@@ -1,0 +1,118 @@
+"""E10 (§V-A): network tomography — diagnostics without direct observation.
+
+Over a real battlefield topology snapshot, monitor nodes exchange
+end-to-end probes along min-ETX paths.  A hidden set of links fails; the
+boolean tomography engine localizes them from path outcomes only.  A second
+sweep recovers per-link delays from end-to-end sums.  Expected shape:
+localization recall grows with monitor count (more paths = more coverage
+and more exoneration); additive-delay error shrinks as measurements
+approach full rank.
+"""
+
+import itertools
+
+import numpy as np
+from common import ResultTable, run_and_print, standard_scenario
+
+from repro.core.learning.tomography import (
+    AdditiveTomography,
+    BooleanTomography,
+    PathMeasurement,
+)
+from repro.net.topology import build_topology
+
+
+def _paths_between_monitors(topology, monitors):
+    paths = []
+    for a, b in itertools.combinations(monitors, 2):
+        path = topology.shortest_path(a, b)
+        if path is not None and len(path) >= 2:
+            paths.append(tuple(path))
+    return paths
+
+
+def _link_delays(topology, rng):
+    return {
+        tuple(sorted(edge)): float(rng.uniform(0.005, 0.05))
+        for edge in topology.graph.edges
+    }
+
+
+def run_experiment(quick: bool = True) -> ResultTable:
+    scenario = standard_scenario(51, n_blue=90, n_red=0, n_gray=0)
+    topology = build_topology(scenario.network)
+    # Work on the giant component so monitor pairs have paths.
+    giant = max(topology.components(), key=len)
+    nodes = sorted(giant)
+    rng = np.random.default_rng(8)
+    delays = _link_delays(topology, rng)
+
+    table = ResultTable(
+        "E10 — failure localization & delay estimation vs monitor count",
+        ["n_monitors", "n_paths", "failed_links", "precision", "recall",
+         "delay_mae_s", "rank_deficiency"],
+    )
+    monitor_counts = (4, 8, 16) if quick else (4, 8, 16, 24, 32)
+    for n_monitors in monitor_counts:
+        monitors = list(
+            rng.choice(nodes, size=min(n_monitors, len(nodes)), replace=False)
+        )
+        paths = _paths_between_monitors(topology, monitors)
+        if not paths:
+            continue
+        # Fail 3 random links that at least one path crosses.
+        crossed = sorted({l for p in paths for l in zip(p, p[1:])})
+        crossed = sorted({tuple(sorted(l)) for l in crossed})
+        k = min(3, len(crossed))
+        failed = {
+            crossed[i]
+            for i in rng.choice(len(crossed), size=k, replace=False)
+        }
+        boolean_ms = []
+        additive_ms = []
+        for path in paths:
+            links = [tuple(sorted(l)) for l in zip(path, path[1:])]
+            ok = not any(l in failed for l in links)
+            boolean_ms.append(PathMeasurement(path, success=ok))
+            if ok:
+                additive_ms.append(
+                    PathMeasurement(
+                        path,
+                        success=True,
+                        delay_s=sum(delays[l] for l in links),
+                    )
+                )
+        boolean = BooleanTomography(boolean_ms)
+        score = boolean.score(failed)
+        if additive_ms:
+            additive = AdditiveTomography(additive_ms)
+            mae = additive.estimation_error(delays)
+            deficiency = additive.rank_deficiency()
+        else:
+            mae, deficiency = float("nan"), -1
+        table.add_row(
+            n_monitors=n_monitors,
+            n_paths=len(paths),
+            failed_links=len(failed),
+            precision=score["precision"],
+            recall=score["recall"],
+            delay_mae_s=mae,
+            rank_deficiency=deficiency,
+        )
+    return table
+
+
+def test_e10_tomography(benchmark):
+    table = run_and_print(benchmark, run_experiment)
+    rows = table.to_dicts()
+    assert rows, "no tomography rows produced"
+    # More monitors -> more measurement paths.
+    n_paths = [r["n_paths"] for r in rows]
+    assert n_paths == sorted(n_paths)
+    # Localization is useful at the largest monitor set.
+    assert rows[-1]["recall"] >= 0.5
+    assert rows[-1]["precision"] >= 0.5
+
+
+if __name__ == "__main__":
+    run_experiment(quick=False).print()

@@ -1,0 +1,66 @@
+"""E12 (§V-B, citations [28-33]): the cost-of-learning frontier.
+
+Evaluate every topology-activation option on estimation error vs
+communication energy, and show the policy choosing along the frontier as
+the error target tightens.  Expected shape: a clean monotone frontier
+(more links, less error) with the policy selecting the cheapest option
+meeting each target — the "activate different network topologies based on
+the trade-off" behavior.
+"""
+
+import numpy as np
+from common import ResultTable, run_and_print
+
+from repro.core.learning.cost import ActivationPolicy, cost_accuracy_frontier
+
+
+def run_experiment(quick: bool = True) -> ResultTable:
+    n_sensors = 16 if quick else 32
+    noise = 1.0
+    table = ResultTable(
+        "E12 — accuracy vs communication-energy frontier + policy choices",
+        ["row_kind", "option", "links", "energy_j", "rmse", "error_target"],
+    )
+    for row in cost_accuracy_frontier(
+        n_sensors, noise, rng=np.random.default_rng(0)
+    ):
+        table.add_row(
+            row_kind="frontier",
+            option=row["name"],
+            links=row["links"],
+            energy_j=row["energy_j"],
+            rmse=row["rmse"],
+            error_target="",
+        )
+    policy = ActivationPolicy(n_sensors, noise, rng=np.random.default_rng(0))
+    targets = (1.0, 0.5, 0.3, 0.2) if quick else (1.0, 0.6, 0.45, 0.3, 0.25, 0.18)
+    for target in targets:
+        chosen = policy.choose(target)
+        table.add_row(
+            row_kind="policy",
+            option=chosen.name,
+            links=chosen.links,
+            energy_j=chosen.energy_j,
+            rmse=policy.error_of(chosen),
+            error_target=target,
+        )
+    return table
+
+
+def test_e12_cost_frontier(benchmark):
+    table = run_and_print(benchmark, run_experiment)
+    rows = table.to_dicts()
+    frontier = [r for r in rows if r["row_kind"] == "frontier"]
+    # The frontier is monotone: more energy, less error.
+    energies = [r["energy_j"] for r in frontier]
+    errors = [r["rmse"] for r in frontier]
+    assert energies == sorted(energies)
+    assert errors == sorted(errors, reverse=True)
+    # Policy spends more energy as the target tightens.
+    policy_rows = [r for r in rows if r["row_kind"] == "policy"]
+    chosen_energy = [r["energy_j"] for r in policy_rows]
+    assert chosen_energy == sorted(chosen_energy)
+
+
+if __name__ == "__main__":
+    run_experiment(quick=False).print()

@@ -1,0 +1,112 @@
+"""E13 (§V-B): continual learning without forgetting; poisoning defense.
+
+Part 1: a stream of battlefield contexts (distinct input regimes with
+different input-output maps) trains a blind single-model learner vs a
+context-detecting learner; both are then re-examined on every past context.
+Expected shape: the blind learner's error on early contexts grows with each
+new regime (catastrophic forgetting); the context-aware learner's stays
+flat.
+
+Part 2: label-flip poisoning of a training batch, with and without the
+reference-model residual filter.  Expected shape: filtering recovers most
+of the clean-model accuracy.
+"""
+
+import numpy as np
+from common import ResultTable, run_and_print
+
+from repro.core.learning.adversarial import flip_labels, poisoning_detector
+from repro.core.learning.continual import (
+    BlindContinualLearner,
+    ContextAwareLearner,
+    OnlineLinearModel,
+)
+
+DIM = 4
+
+
+def _contexts(n_contexts: int, rng):
+    out = []
+    for i in range(n_contexts):
+        w = rng.normal(0, 1, DIM)
+        center = i * 8.0
+        x = rng.normal(center, 1.0, (400, DIM))
+        out.append((x, x @ w))
+    return out
+
+
+def run_experiment(quick: bool = True) -> ResultTable:
+    rng = np.random.default_rng(9)
+    n_contexts = 3 if quick else 5
+    contexts = _contexts(n_contexts, rng)
+    blind = BlindContinualLearner(DIM)
+    aware = ContextAwareLearner(DIM, context_threshold=4.0)
+    table = ResultTable(
+        "E13 — forgetting across contexts; poisoning filter",
+        ["row_kind", "after_context", "context_0_mse_blind",
+         "context_0_mse_aware", "detail", "value"],
+    )
+    for i, (x, y) in enumerate(contexts):
+        blind.learn(x, y)
+        aware.learn(x, y)
+        x0, y0 = contexts[0]
+        table.add_row(
+            row_kind="forgetting",
+            after_context=i,
+            context_0_mse_blind=blind.evaluate(x0, y0),
+            context_0_mse_aware=aware.evaluate(x0, y0),
+            detail="",
+            value="",
+        )
+
+    # --- poisoning defense
+    w = rng.normal(0, 1, DIM)
+    x = rng.normal(0, 1, (600, DIM))
+    y = x @ w + rng.normal(0, 0.05, 600)
+    poisoned, mask = flip_labels(y, 0.25, rng)
+    holdout_x = rng.normal(0, 1, (200, DIM))
+    holdout_y = holdout_x @ w
+
+    def train_mse(labels, keep=None):
+        model = OnlineLinearModel(DIM)
+        if keep is None:
+            model.partial_fit(x, labels)
+        else:
+            model.partial_fit(x[keep], labels[keep])
+        return model.mse(holdout_x, holdout_y)
+
+    clean_mse = train_mse(y)
+    poisoned_mse = train_mse(poisoned)
+    flagged = poisoning_detector(x, poisoned, w)
+    filtered_mse = train_mse(poisoned, keep=~flagged)
+    for detail, value in (
+        ("clean", clean_mse),
+        ("poisoned_25pct", poisoned_mse),
+        ("poisoned_filtered", filtered_mse),
+    ):
+        table.add_row(
+            row_kind="poisoning",
+            after_context="",
+            context_0_mse_blind="",
+            context_0_mse_aware="",
+            detail=detail,
+            value=value,
+        )
+    return table
+
+
+def test_e13_continual(benchmark):
+    table = run_and_print(benchmark, run_experiment)
+    rows = table.to_dicts()
+    forgetting = [r for r in rows if r["row_kind"] == "forgetting"]
+    first, last = forgetting[0], forgetting[-1]
+    # Blind learner forgets context 0; context-aware does not.
+    assert last["context_0_mse_blind"] > first["context_0_mse_blind"] + 0.01
+    assert last["context_0_mse_aware"] < 0.01
+    poisoning = {r["detail"]: r["value"] for r in rows if r["row_kind"] == "poisoning"}
+    assert poisoning["poisoned_25pct"] > poisoning["clean"]
+    assert poisoning["poisoned_filtered"] < poisoning["poisoned_25pct"]
+
+
+if __name__ == "__main__":
+    run_experiment(quick=False).print()

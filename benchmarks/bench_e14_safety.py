@@ -1,0 +1,136 @@
+"""E14 (§V-B + §VI): learning safety — verification and runtime assurance.
+
+Part 1: interval output-range analysis (IBP) over random small MLPs —
+fraction of input boxes *verified* safe vs box radius, cross-checked by
+simulation-driven falsification (no verified box may contain a violation).
+
+Part 2: runtime shield around an unsafe learned policy — interception rate
+and the guarantee that no unsafe action escapes.  Also the actuation
+interlock: demolition requests blocked when occupancy sensing reports
+humans present (the paper's "smarter ammunition" discussion).
+
+Expected shape: verification rate decays with box radius (IBP bounds widen)
+but soundness never breaks; the shield intercepts exactly the unsafe
+fraction of proposals.
+"""
+
+import numpy as np
+from common import ResultTable, run_and_print
+
+from repro.core.learning.safety import IntervalMlp, RuntimeMonitor, ShieldedPolicy
+from repro.things.actuators import ActuationRequest, Actuator, SafetyInterlock
+from repro.things.capabilities import ActuationType
+
+
+def _random_mlp(rng):
+    return IntervalMlp(
+        [
+            (rng.normal(0, 1, (10, 3)), rng.normal(0, 0.1, 10)),
+            (rng.normal(0, 0.5, (1, 10)), np.zeros(1)),
+        ]
+    )
+
+
+def run_experiment(quick: bool = True) -> ResultTable:
+    rng = np.random.default_rng(14)
+    table = ResultTable(
+        "E14 — verified boxes vs radius; runtime-shield interception",
+        ["row_kind", "radius", "verified_frac", "falsified_verified",
+         "detail", "value"],
+    )
+    n_models = 10 if quick else 30
+    models = [_random_mlp(rng) for _ in range(n_models)]
+    thresholds = []
+    for model in models:
+        samples = [
+            model.forward(rng.uniform(-1, 1, 3))[0] for _ in range(200)
+        ]
+        thresholds.append(float(np.percentile(samples, 99)) + 0.5)
+
+    radii = (0.05, 0.15, 0.4) if quick else (0.02, 0.05, 0.1, 0.2, 0.4, 0.8)
+    for radius in radii:
+        verified = 0
+        falsified_inside_verified = 0
+        trials = 0
+        for model, threshold in zip(models, thresholds):
+            for _ in range(5):
+                center = rng.uniform(-0.5, 0.5, 3)
+                lo, hi = center - radius, center + radius
+                trials += 1
+                if model.verify_output_below(lo, hi, threshold):
+                    verified += 1
+                    if model.falsify(lo, hi, threshold, rng, samples=200) is not None:
+                        falsified_inside_verified += 1
+        table.add_row(
+            row_kind="verification",
+            radius=radius,
+            verified_frac=verified / trials,
+            falsified_verified=falsified_inside_verified,
+            detail="",
+            value="",
+        )
+
+    # --- runtime shield
+    policy_rng = np.random.default_rng(5)
+    policy = lambda s: np.array([float(policy_rng.normal(0, 2))])  # noqa: E731
+    monitor = RuntimeMonitor("bound", lambda s, a: abs(a[0]) <= 1.0)
+    shield = ShieldedPolicy(policy, monitor, lambda s: np.array([0.0]))
+    violations = 0
+    for _ in range(500):
+        action = shield.act(np.zeros(1))
+        if abs(action[0]) > 1.0:
+            violations += 1
+    table.add_row(
+        row_kind="shield", radius="", verified_frac="", falsified_verified="",
+        detail="intervention_rate", value=shield.intervention_rate,
+    )
+    table.add_row(
+        row_kind="shield", radius="", verified_frac="", falsified_verified="",
+        detail="unsafe_actions_escaped", value=violations,
+    )
+
+    # --- actuation interlock (smarter ammunition)
+    interlock = SafetyInterlock()
+    humans_present = {"flag": True}
+    interlock.add_guard(
+        "occupancy",
+        lambda req: "humans detected in radius" if humans_present["flag"] else None,
+    )
+    charge = Actuator(1, ActuationType.DEMOLITION, interlock=interlock)
+    blocked = not charge.fire(
+        ActuationRequest(kind=ActuationType.DEMOLITION, human_decision=True)
+    )
+    humans_present["flag"] = False
+    allowed = charge.fire(
+        ActuationRequest(kind=ActuationType.DEMOLITION, human_decision=True)
+    )
+    table.add_row(
+        row_kind="interlock", radius="", verified_frac="",
+        falsified_verified="", detail="blocked_when_occupied", value=blocked,
+    )
+    table.add_row(
+        row_kind="interlock", radius="", verified_frac="",
+        falsified_verified="", detail="allowed_when_clear", value=allowed,
+    )
+    return table
+
+
+def test_e14_safety(benchmark):
+    table = run_and_print(benchmark, run_experiment)
+    rows = table.to_dicts()
+    verification = [r for r in rows if r["row_kind"] == "verification"]
+    # Soundness: no verified box ever falsified.
+    assert all(r["falsified_verified"] == 0 for r in verification)
+    # Verified fraction decays with radius.
+    fractions = [r["verified_frac"] for r in verification]
+    assert fractions[0] >= fractions[-1]
+    shield = {r["detail"]: r["value"] for r in rows if r["row_kind"] == "shield"}
+    assert shield["unsafe_actions_escaped"] == 0
+    assert 0.0 < shield["intervention_rate"] < 1.0
+    interlock = {r["detail"]: r["value"] for r in rows if r["row_kind"] == "interlock"}
+    assert interlock["blocked_when_occupied"] is True
+    assert interlock["allowed_when_clear"] is True
+
+
+if __name__ == "__main__":
+    run_experiment(quick=False).print()

@@ -1,0 +1,83 @@
+"""E15 (§V-A): attention directed to true anomalies despite deception.
+
+A stream of sensor reports: genuine anomalies are corroborated by several
+trusted scouts; deceptive injections are loud (more extreme values!) but
+come from fewer, low-trust sources.  Sweep the number of deceptive
+situations and measure precision@k of the attention ranking, with and
+without the trust/corroboration machinery.  Expected shape: naive
+surprise-only ranking is hijacked by loud deceptions; trust-weighted,
+corroboration-aware ranking keeps precision high.
+"""
+
+import numpy as np
+from common import ResultTable, run_and_print
+
+from repro.core.learning.anomaly import AttentionManager, Report
+from repro.security.trust import TrustLedger
+
+N_TRUE = 4
+
+
+def _run(n_deceptions: int, use_trust: bool, seed: int = 6) -> float:
+    rng = np.random.default_rng(seed)
+    trust = TrustLedger()
+    scouts = list(range(1, 7))
+    liars = list(range(100, 100 + max(1, n_deceptions)))
+    if use_trust:
+        for _ in range(10):
+            for s in scouts:
+                trust.observe(s, True)
+            for liar in liars:
+                trust.observe(liar, False)
+    manager = AttentionManager(trust=trust)
+    manager.prime_baseline(
+        "activity", list(10.0 + rng.normal(0, 1.0, 50))
+    )
+    # Genuine anomalies: 3 distinct scouts each, moderately extreme.
+    for situation in range(1, N_TRUE + 1):
+        for scout in rng.choice(scouts, size=3, replace=False):
+            manager.ingest(
+                Report("activity", 25.0 + float(rng.normal(0, 1)), int(scout),
+                       situation),
+                update_baseline=False,
+            )
+    # Deceptions: one low-trust source each, very extreme (louder!).
+    for k in range(n_deceptions):
+        manager.ingest(
+            Report("activity", 90.0 + float(rng.normal(0, 1)),
+                   liars[k % len(liars)], 1000 + k),
+            update_baseline=False,
+        )
+    return manager.precision_at_k(N_TRUE, set(range(1, N_TRUE + 1)))
+
+
+def run_experiment(quick: bool = True) -> ResultTable:
+    table = ResultTable(
+        "E15 — attention precision@4 vs deceptive injections",
+        ["n_deceptions", "naive_precision", "trust_aware_precision"],
+    )
+    counts = (0, 4, 12) if quick else (0, 2, 4, 8, 12, 20)
+    seeds = (6, 7, 8)
+    for n in counts:
+        naive = float(np.mean([_run(n, False, s) for s in seeds]))
+        aware = float(np.mean([_run(n, True, s) for s in seeds]))
+        table.add_row(
+            n_deceptions=n, naive_precision=naive, trust_aware_precision=aware
+        )
+    return table
+
+
+def test_e15_attention(benchmark):
+    table = run_and_print(benchmark, run_experiment)
+    rows = table.to_dicts()
+    # With no deception both are perfect.
+    assert rows[0]["trust_aware_precision"] == 1.0
+    # Under heavy deception, trust-aware attention stays high while the
+    # naive ranking is hijacked by the louder injections.
+    worst = rows[-1]
+    assert worst["trust_aware_precision"] >= 0.9
+    assert worst["naive_precision"] < worst["trust_aware_precision"]
+
+
+if __name__ == "__main__":
+    run_experiment(quick=False).print()

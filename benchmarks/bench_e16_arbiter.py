@@ -1,0 +1,97 @@
+"""E16 (extension; §II "diverse missions ... competing for resources").
+
+A stream of missions with mixed priorities arrives over a fixed inventory.
+Compare arbitration policies: no preemption (FCFS hold) vs priority
+preemption.  Expected shape: without preemption, early low-priority
+missions starve late high-priority ones; with preemption, high-priority
+admission stays near 1.0 at the cost of preempting low-priority work.
+"""
+
+from common import ResultTable, run_and_print, standard_scenario
+
+from repro.core.mission import MissionGoal, MissionType
+from repro.core.services.arbiter import MissionArbiter, MissionState
+from repro.things.capabilities import SensingModality
+from repro.util.geometry import Region
+
+
+def _goal(scenario, rng, priority):
+    # Overlapping half-region missions with demanding coverage: the
+    # inventory can support only a couple at a time, so contention is real.
+    w = scenario.region.width / 2
+    x0 = float(rng.choice([0.0, w]))
+    return MissionGoal(
+        MissionType.SURVEIL,
+        Region(x0, 0.0, x0 + w, scenario.region.height),
+        min_coverage=0.75,
+        priority=priority,
+        duration_s=float(rng.uniform(100.0, 250.0)),
+        modalities=frozenset(
+            {SensingModality.SEISMIC, SensingModality.ACOUSTIC,
+             SensingModality.CAMERA}
+        ),
+    )
+
+
+def _run(preemption: bool, n_missions: int, seed: int = 81):
+    scenario = standard_scenario(seed, n_blue=55, n_red=0, n_gray=0)
+    arbiter = MissionArbiter(scenario, allow_preemption=preemption)
+    sim = scenario.sim
+    rng = sim.rng.get("mission-stream")
+    high_priority_records = []
+
+    def submit_one(i):
+        priority = 10 if i % 3 == 0 else 1
+        record = arbiter.submit(_goal(scenario, rng, priority))
+        if priority == 10:
+            high_priority_records.append(record)
+
+    for i in range(n_missions):
+        sim.call_at(20.0 + i * 40.0, lambda i=i: submit_one(i))
+    sim.run(until=20.0 + n_missions * 40.0 + 300.0)
+    report = arbiter.report()
+    hp_admitted = sum(
+        1
+        for r in high_priority_records
+        if r.state in (MissionState.ACTIVE, MissionState.COMPLETED)
+    )
+    report["hp_admission_rate"] = (
+        hp_admitted / len(high_priority_records)
+        if high_priority_records
+        else float("nan")
+    )
+    return report
+
+
+def run_experiment(quick: bool = True) -> ResultTable:
+    n_missions = 9 if quick else 18
+    table = ResultTable(
+        "E16 — mission arbitration: priority preemption vs FCFS hold",
+        ["policy", "submitted", "admission_rate", "hp_admission_rate",
+         "preemptions"],
+    )
+    for preemption in (False, True):
+        report = _run(preemption, n_missions)
+        table.add_row(
+            policy="preemptive" if preemption else "fcfs_hold",
+            submitted=report["submitted"],
+            admission_rate=report["admission_rate"],
+            hp_admission_rate=report["hp_admission_rate"],
+            preemptions=report["preemptions"],
+        )
+    return table
+
+
+def test_e16_arbiter(benchmark):
+    table = run_and_print(benchmark, run_experiment)
+    rows = {r["policy"]: r for r in table.to_dicts()}
+    # Preemption never lowers high-priority admission.
+    assert (
+        rows["preemptive"]["hp_admission_rate"]
+        >= rows["fcfs_hold"]["hp_admission_rate"]
+    )
+    assert rows["fcfs_hold"]["preemptions"] == 0
+
+
+if __name__ == "__main__":
+    run_experiment(quick=False).print()

@@ -1,0 +1,88 @@
+"""E18 (extension; §III-B functional composition): pipeline placement.
+
+Place a perception pipeline (capture -> detect -> associate -> report) onto
+the discovered compute fabric: greedy latency-aware placement vs the
+cloud-only baseline (everything on the single biggest host), across data
+rates.  Expected shape: greedy never loses to cloud-only; *where* it places
+shifts with rate — at low rates it processes near the camera (the transfer
+to the far edge cloud dominates), at mid rates capacity pushes the heavy
+stage onto the big host, and at extreme rates the whole fabric saturates
+(reported as infeasible), which is the capacity wall §IV-B's dynamic
+reallocation argument starts from.
+"""
+
+from common import ResultTable, run_and_print, standard_scenario
+
+from repro.core.synthesis.functional import PipelinePlacer, ServiceGraph, Stage
+from repro.net.topology import build_topology
+
+
+def _pipeline(source_node):
+    return ServiceGraph.linear_pipeline(
+        [
+            Stage("capture", 1e6, output_bits_per_unit=64_000,
+                  pinned_node=source_node),
+            Stage("detect", 5e9, output_bits_per_unit=4_000),
+            Stage("associate", 5e8, output_bits_per_unit=1_000),
+            Stage("report", 1e5, output_bits_per_unit=512),
+        ]
+    )
+
+
+def run_experiment(quick: bool = True) -> ResultTable:
+    scenario = standard_scenario(95, n_blue=100, n_red=0, n_gray=0)
+    hosts = [a for a in scenario.inventory.blue() if a.profile.compute_flops > 0]
+    topology = build_topology(scenario.network)
+    camera_hosts = [a for a in hosts if a.profile.device_class == "camera_pole"]
+    source = (camera_hosts[0] if camera_hosts else hosts[0]).node_id
+    service = _pipeline(source)
+    table = ResultTable(
+        "E18 — pipeline placement: greedy edge-aware vs cloud-only",
+        ["data_rate_hz", "placement", "latency_s", "transfer_s", "compute_s",
+         "hosts_used", "feasible"],
+    )
+    rates = (1.0, 100.0) if quick else (1.0, 10.0, 100.0, 500.0, 2000.0)
+    for rate in rates:
+        placer = PipelinePlacer(hosts, topology, data_rate_hz=rate)
+        for label, placement in (
+            ("greedy", placer.place(service)),
+            ("cloud_only", placer.colocated_baseline(service)),
+        ):
+            table.add_row(
+                data_rate_hz=rate,
+                placement=label,
+                latency_s=placement.end_to_end_latency_s,
+                transfer_s=placement.transfer_latency_s,
+                compute_s=placement.compute_latency_s,
+                hosts_used=len(set(placement.assignment.values())),
+                feasible=placement.feasible,
+            )
+    return table
+
+
+def test_e18_placement(benchmark):
+    table = run_and_print(benchmark, run_experiment)
+    rows = table.to_dicts()
+    for rate in {r["data_rate_hz"] for r in rows}:
+        greedy = next(
+            r for r in rows
+            if r["data_rate_hz"] == rate and r["placement"] == "greedy"
+        )
+        cloud = next(
+            r for r in rows
+            if r["data_rate_hz"] == rate and r["placement"] == "cloud_only"
+        )
+        # Greedy placement never loses to the cloud-only baseline.
+        assert greedy["latency_s"] <= cloud["latency_s"] + 1e-9
+    # Greedy stays feasible at the quick-mode rates (full mode sweeps past
+    # the fabric's capacity wall on purpose).
+    quick_rates = {1.0, 100.0}
+    assert all(
+        r["feasible"]
+        for r in rows
+        if r["placement"] == "greedy" and r["data_rate_hz"] in quick_rates
+    )
+
+
+if __name__ == "__main__":
+    run_experiment(quick=False).print()

@@ -1,0 +1,82 @@
+"""E6 (§I, §VI): command by intent shortens the decision loop.
+
+Decision requests about a drifting situation are served by three C2 modes;
+the envelope-width sweep shows how much delegation buys how much loop.
+Expected shape: hierarchical >> intent >> autonomous in latency and
+staleness; intent-mode latency falls monotonically with envelope width.
+"""
+
+from common import ResultTable, run_and_print
+
+from repro import Simulator
+from repro.core.services.c2 import C2Comparison, C2Mode
+
+
+def _run(mode, envelope=0.7, *, seed=5, duration=4 * 3600.0):
+    sim = Simulator(seed=seed)
+    comparison = C2Comparison(
+        sim,
+        mode,
+        arrival_rate_hz=0.1,
+        envelope_fraction=envelope,
+        drift_speed_m_s=1.5,
+    )
+    comparison.start(duration)
+    sim.run(until=3 * duration)
+    return comparison.report()
+
+
+def run_experiment(quick: bool = True) -> ResultTable:
+    table = ResultTable(
+        "E6 — decision latency & information staleness by C2 mode",
+        ["mode", "envelope", "decisions", "latency_mean_s", "latency_p95_s",
+         "staleness_mean_m", "stale_fraction"],
+    )
+    duration = (2 * 3600.0) if quick else (8 * 3600.0)
+    for mode in C2Mode:
+        report = _run(mode, duration=duration)
+        table.add_row(
+            mode=mode.value,
+            envelope=0.7,
+            decisions=report["decisions"],
+            latency_mean_s=report["latency_mean_s"],
+            latency_p95_s=report["latency_p95_s"],
+            staleness_mean_m=report["staleness_mean_m"],
+            stale_fraction=report["stale_fraction"],
+        )
+    envelopes = (0.25, 0.75) if quick else (0.0, 0.25, 0.5, 0.75, 1.0)
+    for envelope in envelopes:
+        report = _run(C2Mode.INTENT, envelope, duration=duration)
+        table.add_row(
+            mode="intent",
+            envelope=envelope,
+            decisions=report["decisions"],
+            latency_mean_s=report["latency_mean_s"],
+            latency_p95_s=report["latency_p95_s"],
+            staleness_mean_m=report["staleness_mean_m"],
+            stale_fraction=report["stale_fraction"],
+        )
+    return table
+
+
+def test_e6_intent(benchmark):
+    table = run_and_print(benchmark, run_experiment)
+    rows = table.to_dicts()
+    by_mode = {r["mode"]: r for r in rows[:3]}
+    assert (
+        by_mode["hierarchical"]["latency_mean_s"]
+        > by_mode["intent"]["latency_mean_s"]
+        > by_mode["autonomous"]["latency_mean_s"]
+    )
+    assert (
+        by_mode["hierarchical"]["stale_fraction"]
+        >= by_mode["intent"]["stale_fraction"]
+        >= by_mode["autonomous"]["stale_fraction"]
+    )
+    # Wider envelope, shorter loop.
+    sweep = [r for r in rows[3:]]
+    assert sweep[-1]["latency_mean_s"] <= sweep[0]["latency_mean_s"]
+
+
+if __name__ == "__main__":
+    run_experiment(quick=False).print()

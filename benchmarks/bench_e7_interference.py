@@ -1,0 +1,67 @@
+"""E7 (§IV-A, citation [12]): uncoordinated adaptive components interact badly.
+
+N adaptive rate controllers share one bottleneck.  Uncoordinated, each
+chases the shared delay signal at full gain — corrections compound and the
+system oscillates/saturates.  Coordinated, they split the correction.
+Expected shape (the cited server-farm result): uncoordinated delay RMSE is
+an order of magnitude worse and grows with controller count; coordinated
+stays near the setpoint at any N.
+"""
+
+from common import ResultTable, run_and_print
+
+from repro.core.adaptation.resources import (
+    AdaptiveRateController,
+    CoordinatedRateControllers,
+)
+
+
+def _run(n_controllers: int, coordinated: bool, epochs: int = 150):
+    controllers = [
+        AdaptiveRateController(setpoint_s=1.0, rate=1.0, gain=1.5)
+        for _ in range(n_controllers)
+    ]
+    shared = CoordinatedRateControllers(
+        controllers, capacity=2.0 * n_controllers, coordinated=coordinated
+    )
+    return shared.run(epochs)
+
+
+def run_experiment(quick: bool = True) -> ResultTable:
+    table = ResultTable(
+        "E7 — coordinated vs uncoordinated adaptive controllers",
+        ["n_controllers", "mode", "delay_rmse", "mean_delay", "oscillation"],
+    )
+    counts = (2, 5, 10) if quick else (2, 5, 10, 20, 40)
+    for n in counts:
+        for coordinated in (True, False):
+            out = _run(n, coordinated)
+            table.add_row(
+                n_controllers=n,
+                mode="coordinated" if coordinated else "uncoordinated",
+                delay_rmse=out["delay_rmse"],
+                mean_delay=out["mean_delay"],
+                oscillation=out["oscillation"],
+            )
+    return table
+
+
+def test_e7_interference(benchmark):
+    table = run_and_print(benchmark, run_experiment)
+    rows = table.to_dicts()
+    for n in {r["n_controllers"] for r in rows}:
+        coord = next(
+            r for r in rows
+            if r["n_controllers"] == n and r["mode"] == "coordinated"
+        )
+        uncoord = next(
+            r for r in rows
+            if r["n_controllers"] == n and r["mode"] == "uncoordinated"
+        )
+        if n >= 5:
+            # The pathology the paper cites: severe loss without coordination.
+            assert uncoord["delay_rmse"] > 3 * coord["delay_rmse"]
+
+
+if __name__ == "__main__":
+    run_experiment(quick=False).print()

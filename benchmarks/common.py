@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md §2 (E1..E15) and
+prints its series as a :class:`~repro.util.tables.ResultTable`.  Benchmarks
+run in two modes:
+
+* ``pytest benchmarks/ --benchmark-only`` — *quick* mode: reduced sweeps so
+  the whole harness completes in minutes; timing captured by
+  pytest-benchmark.
+* ``python benchmarks/bench_*.py`` — *full* mode: the complete sweep for
+  the experiment writeup (EXPERIMENTS.md numbers come from these).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import ScenarioBuilder, Simulator
+from repro.util.tables import ResultTable
+
+__all__ = ["ResultTable", "standard_scenario", "run_and_print"]
+
+
+def standard_scenario(
+    seed: int,
+    *,
+    blocks: int = 8,
+    n_blue: int = 80,
+    n_red: int = 10,
+    n_gray: int = 30,
+    density: float = 0.4,
+    targets: int = 0,
+    jammers: int = 0,
+    events: int = 0,
+):
+    """The default urban world used across experiments."""
+    sim = Simulator(seed=seed)
+    builder = (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=blocks, block_size_m=100.0, density=density)
+        .population(n_blue=n_blue, n_red=n_red, n_gray=n_gray)
+    )
+    if targets:
+        builder = builder.targets(targets)
+    if jammers:
+        builder = builder.jammers(jammers)
+    if events:
+        builder = builder.events(events)
+    return builder.build()
+
+
+def run_and_print(benchmark, fn: Callable[[], ResultTable]) -> ResultTable:
+    """Benchmark ``fn`` once (pedantic single round) and print its table."""
+    table = benchmark.pedantic(fn, rounds=1, iterations=1)
+    print()
+    table.print()
+    return table

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Non-combatant evacuation with the full IoBT stack, and what each part buys.
+
+The mission of the paper's introduction: evacuate civilian groups through an
+urban grid while hazards appear dynamically and red sources spread
+disinformation about where the danger is.  The run compares the full stack
+(synthesis + learning + adaptation) against each single-function ablation.
+
+Run:  python examples/evacuation_mission.py
+"""
+
+from repro import ScenarioBuilder, Simulator
+from repro.core.services.evacuation import EvacuationConfig, EvacuationMission
+from repro.util.tables import ResultTable
+
+
+def run_mission(seed: int, **flags) -> "EvacuationResult":
+    sim = Simulator(seed=seed)
+    scenario = (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=8, block_size_m=100.0, density=0.4)
+        .population(n_blue=80, n_red=40, n_gray=30)
+        .build()
+    )
+    mission = EvacuationMission(scenario, EvacuationConfig(**flags))
+    return mission.run()
+
+
+def main() -> None:
+    configurations = [
+        ("full stack", {}),
+        ("no synthesis", {"use_synthesis": False}),
+        ("no learning", {"use_learning": False}),
+        ("no adaptation", {"use_adaptation": False}),
+        ("none", {
+            "use_synthesis": False,
+            "use_learning": False,
+            "use_adaptation": False,
+        }),
+    ]
+    seeds = (11, 12, 13, 14, 15)
+    table = ResultTable(
+        "Evacuation mission: ablation of IoBT functions (mean over "
+        f"{len(seeds)} seeds)",
+        ["configuration", "evacuated", "exposures", "mean_time_s", "belief_acc"],
+    )
+    for label, flags in configurations:
+        evacuated, exposures, times, accuracy = 0.0, 0.0, 0.0, 0.0
+        for seed in seeds:
+            result = run_mission(seed, **flags)
+            evacuated += result.evacuated_fraction
+            exposures += result.exposures
+            times += result.mean_evacuation_time_s
+            accuracy += result.hazard_belief_accuracy
+        n = len(seeds)
+        table.add_row(
+            configuration=label,
+            evacuated=evacuated / n,
+            exposures=exposures / n,
+            mean_time_s=times / n,
+            belief_acc=accuracy / n,
+        )
+    table.print()
+    print(
+        "\nReading: exposures (civilians walked through active hazards) is"
+        "\nthe safety metric; the full stack should dominate every ablation."
+    )
+
+
+if __name__ == "__main__":
+    main()

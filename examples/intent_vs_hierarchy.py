@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Command by intent vs hierarchical approval: the decision-loop trade.
+
+Reproduces the paper's core doctrinal argument as a measurement: requests
+about a drifting situation arrive continuously; hierarchical C2 routes each
+through an echelon approval chain, command-by-intent decides in-envelope
+requests locally, full autonomy decides everything locally.  The price of
+each extra approval stage is paid in *staleness* — how far the situation
+moved before the decision landed.
+
+Also sweeps the envelope width: how much initiative must be delegated
+before the decision loop is effectively local?
+
+Run:  python examples/intent_vs_hierarchy.py
+"""
+
+from repro import Simulator
+from repro.core.services.c2 import C2Comparison, C2Mode
+from repro.util.tables import ResultTable
+
+
+def run(mode: C2Mode, *, envelope: float = 0.7, seed: int = 5):
+    sim = Simulator(seed=seed)
+    comparison = C2Comparison(
+        sim,
+        mode,
+        arrival_rate_hz=0.1,
+        envelope_fraction=envelope,
+        drift_speed_m_s=1.5,
+        stale_threshold_m=100.0,
+    )
+    comparison.start(duration_s=4 * 3600.0)
+    sim.run(until=12 * 3600.0)
+    return comparison.report()
+
+
+def main() -> None:
+    table = ResultTable(
+        "Decision loop by C2 mode (4 h of requests, drift 1.5 m/s)",
+        ["mode", "decisions", "latency_mean_s", "latency_p95_s",
+         "staleness_mean_m", "stale_fraction"],
+    )
+    for mode in C2Mode:
+        report = run(mode)
+        table.add_row(
+            mode=mode.value,
+            decisions=report["decisions"],
+            latency_mean_s=report["latency_mean_s"],
+            latency_p95_s=report["latency_p95_s"],
+            staleness_mean_m=report["staleness_mean_m"],
+            stale_fraction=report["stale_fraction"],
+        )
+    table.print()
+
+    sweep = ResultTable(
+        "Intent mode: effect of initiative-envelope width",
+        ["envelope_fraction", "latency_mean_s", "stale_fraction",
+         "escalations"],
+    )
+    for envelope in (0.0, 0.25, 0.5, 0.75, 1.0):
+        report = run(C2Mode.INTENT, envelope=envelope)
+        sweep.add_row(
+            envelope_fraction=envelope,
+            latency_mean_s=report["latency_mean_s"],
+            stale_fraction=report["stale_fraction"],
+            escalations=report["escalations"],
+        )
+    sweep.print()
+    print(
+        "\nReading: hierarchical approval saturates the chain and acts on"
+        "\nobsolete data; delegating initiative shrinks the loop roughly in"
+        "\nproportion to the envelope width — the paper's central claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

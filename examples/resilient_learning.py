@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Distributed learning under Byzantine compromise and unreliable humans.
+
+Two learning services from Challenge 3, attacked and defended:
+
+1. **Decentralized SGD** across 12 heterogeneous workers, 3 of them
+   Byzantine, over a time-varying (failure-churned) topology — plain
+   averaging vs Krum vs coordinate-median.
+2. **Social-sensing truth discovery** over claims from honest and colluding
+   human sources — majority vote vs EM (with two vetted anchor scouts).
+
+Run:  python examples/resilient_learning.py
+"""
+
+import numpy as np
+
+from repro.core.learning import (
+    AGGREGATORS,
+    DecentralizedSGD,
+    RandomTopology,
+    TruthDiscovery,
+    majority_vote,
+)
+from repro.core.learning.distributed import make_regression_shards
+from repro.things.humans import HumanSource
+from repro.util.tables import ResultTable
+
+
+def byzantine_demo() -> None:
+    rng = np.random.default_rng(1)
+    shards, _true_w = make_regression_shards(12, 50, 6, rng)
+    table = ResultTable(
+        "Decentralized SGD, 12 workers (3 Byzantine), churned topology",
+        ["aggregator", "round_20_loss", "round_80_loss"],
+    )
+    for name in ("mean", "krum", "median", "trimmed_mean"):
+        sgd = DecentralizedSGD(
+            shards,
+            RandomTopology(12, 0.4, np.random.default_rng(2)),
+            aggregator=AGGREGATORS[name],
+            byzantine_workers={0, 1, 2},
+            rng=np.random.default_rng(3),
+        )
+        trace = sgd.run(80)
+        table.add_row(
+            aggregator=name, round_20_loss=trace[19], round_80_loss=trace[-1]
+        )
+    table.print()
+
+
+def truth_discovery_demo() -> None:
+    rng = np.random.default_rng(5)
+    truths = {e: bool(rng.random() < 0.5) for e in range(1, 61)}
+    honest = [
+        HumanSource(i, reliability=0.85, report_rate=0.8) for i in range(1, 10)
+    ]
+    colluders = [
+        HumanSource(100 + i, reliability=0.9, report_rate=0.9, malicious=True)
+        for i in range(1, 16)
+    ]
+    claims = []
+    for source in honest + colluders:
+        claims.extend(source.report_all(truths, rng))
+
+    mv = majority_vote(claims)
+    mv_acc = sum(mv[e] == truths[e] for e in mv) / len(mv)
+    plain = TruthDiscovery().run(claims).accuracy(truths)
+    anchored = (
+        TruthDiscovery(anchors={1: 0.85, 2: 0.85})
+        .run(claims)
+        .accuracy(truths)
+    )
+
+    table = ResultTable(
+        "Truth discovery: 9 honest vs 15 colluding sources, 60 events",
+        ["method", "accuracy"],
+    )
+    table.add_row(method="majority vote", accuracy=mv_acc)
+    table.add_row(method="EM (no anchors)", accuracy=plain)
+    table.add_row(method="EM + 2 anchored scouts", accuracy=anchored)
+    table.print()
+    print(
+        "\nReading: colluders defeat majority vote outright and can even\n"
+        "flip unanchored EM into their mirrored story; two vetted scouts\n"
+        "are enough to break the symmetry and recover every event."
+    )
+
+
+if __name__ == "__main__":
+    byzantine_demo()
+    print()
+    truth_discovery_demo()

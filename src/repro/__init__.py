@@ -1,0 +1,54 @@
+"""repro — an Internet of Battlefield Things (IoBT) simulation & services library.
+
+A laptop-scale realization of the research agenda in "Will Distributed
+Computing Revolutionize Peace?  The Emergence of Battlefield IoT"
+(Abdelzaher et al., ICDCS 2018): a battlefield network substrate plus
+assured synthesis, adaptive reflexes, and resilient learning services, with
+adversarial (red/gray) elements throughout.
+
+Quickstart::
+
+    from repro import Simulator, ScenarioBuilder
+
+    sim = Simulator(seed=7)
+    scenario = (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=8)
+        .population(n_blue=60, n_red=6, n_gray=20)
+        .build()
+    )
+
+See README.md and DESIGN.md for the architecture and experiment index.
+"""
+
+from repro._version import __version__
+from repro.sim import Simulator
+from repro.net import Network, Channel, Jammer
+from repro.things import (
+    Affiliation,
+    Asset,
+    AssetInventory,
+    CapabilityProfile,
+    SensingModality,
+    ActuationType,
+    make_profile,
+)
+from repro.scenarios import ScenarioBuilder, Scenario, UrbanGrid
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "Network",
+    "Channel",
+    "Jammer",
+    "Affiliation",
+    "Asset",
+    "AssetInventory",
+    "CapabilityProfile",
+    "SensingModality",
+    "ActuationType",
+    "make_profile",
+    "ScenarioBuilder",
+    "Scenario",
+    "UrbanGrid",
+]

@@ -1,0 +1,34 @@
+"""The paper's contribution areas: synthesis, adaptation, learning, services.
+
+Submodules:
+
+* :mod:`repro.core.mission` / :mod:`repro.core.intent` — mission goals and
+  command-by-intent decomposition.
+* :mod:`repro.core.synthesis` — Challenge 1: assured synthesis of composite
+  IoBT assets (discovery, characterization, composition, assurance).
+* :mod:`repro.core.adaptation` — Challenge 2: adaptive reflexes
+  (self-aware adaptation, self-stabilization, games, resource knobs).
+* :mod:`repro.core.learning` — Challenge 3: learning & intelligent services
+  (truth discovery, tomography, distributed/Byzantine learning, safety).
+* :mod:`repro.core.services` — battlefield services built on the above
+  (C2 models, tracking, surveillance, evacuation).
+"""
+
+from repro.core.mission import MissionGoal, MissionType
+from repro.core.intent import (
+    CommanderIntent,
+    SubordinateObjective,
+    InitiativeEnvelope,
+    decompose_spatial,
+    aggregate_compliance,
+)
+
+__all__ = [
+    "MissionGoal",
+    "MissionType",
+    "CommanderIntent",
+    "SubordinateObjective",
+    "InitiativeEnvelope",
+    "decompose_spatial",
+    "aggregate_compliance",
+]

@@ -1,0 +1,169 @@
+"""Adaptive communications: switching transports with connectivity.
+
+§IV-B calls for "dynamically (re)allocat[ing] computing and network
+resources" as conditions change.  One of the sharpest such knobs is the
+*transport regime*: mesh routing (AODV-style) is efficient while the force
+is connected, but delivers nothing across partitions, where
+store-carry-forward (DTN) is the only thing that works — at much higher
+overhead.  The :class:`TransportSwitcher` monitors the attached nodes'
+connectivity (giant-component fraction) and migrates the node set between
+registered routers, with hysteresis so border-line connectivity does not
+flap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import AdaptationError
+from repro.net.node import Network
+from repro.net.routing.base import Router
+from repro.net.routing.dtn import _StoreCarryForwardRouter
+from repro.net.topology import build_topology
+from repro.net.transport import DeliveryReceipt, MessageService
+
+__all__ = ["TransportSwitcher"]
+
+
+class TransportSwitcher:
+    """Connectivity-driven migration between routing transports.
+
+    Parameters
+    ----------
+    routers:
+        ``{"mesh": <router>, "dtn": <router>}`` — exactly these two keys.
+        Neither router may be pre-attached; the switcher owns attachment.
+    partition_threshold:
+        Giant-component fraction below which the force counts as
+        partitioned (switch to DTN).
+    hysteresis:
+        The reverse switch (back to mesh) requires the fraction to exceed
+        ``partition_threshold + hysteresis``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        node_ids: Sequence[int],
+        routers: Dict[str, Router],
+        *,
+        check_period_s: float = 10.0,
+        partition_threshold: float = 0.9,
+        hysteresis: float = 0.05,
+    ):
+        if set(routers) != {"mesh", "dtn"}:
+            raise AdaptationError('routers must have exactly keys {"mesh", "dtn"}')
+        if check_period_s <= 0:
+            raise AdaptationError("check_period_s must be positive")
+        if not node_ids:
+            raise AdaptationError("need at least one node")
+        self.network = network
+        self.sim = network.sim
+        self.node_ids = sorted(node_ids)
+        self.routers = dict(routers)
+        self.check_period_s = check_period_s
+        self.partition_threshold = partition_threshold
+        self.hysteresis = hysteresis
+        self.current = "mesh"
+        self.switches = 0
+        self._services: Dict[str, MessageService] = {}
+        self._receipts: List[DeliveryReceipt] = []
+        self._user_handlers: Dict[int, Callable] = {}
+        self._started = False
+        self._attach_current()
+
+    # -------------------------------------------------------------- plumbing
+
+    def _attach_current(self) -> None:
+        router = self.routers[self.current]
+        for node_id in self.node_ids:
+            node = self.network.node(node_id)
+            if node.router is not None and node.router is not router:
+                node.router = None  # detach from whichever held it
+            if node.router is None:
+                router.attach(node_id)
+        service = MessageService(router)
+        for node_id, handler in self._user_handlers.items():
+            service.on_message(node_id, handler)
+        self._services[self.current] = service
+        if isinstance(router, _StoreCarryForwardRouter):
+            router.start()
+
+    def service(self) -> MessageService:
+        return self._services[self.current]
+
+    # ------------------------------------------------------------ monitoring
+
+    def connectivity(self) -> float:
+        """Giant-component fraction over the switcher's (live) nodes."""
+        topology = build_topology(self.network)
+        live = [
+            n for n in self.node_ids
+            if n in topology.graph
+        ]
+        if not live:
+            return 0.0
+        sub = topology.graph.subgraph(live)
+        import networkx as nx
+
+        if sub.number_of_nodes() == 0:
+            return 0.0
+        giant = max(
+            (len(c) for c in nx.connected_components(sub)), default=0
+        )
+        return giant / len(self.node_ids)
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self.sim.every(self.check_period_s, self.check)
+
+    def check(self) -> str:
+        """One monitoring pass; returns the (possibly new) current regime."""
+        fraction = self.connectivity()
+        self.sim.metrics.sample("comms.connectivity", fraction)
+        if self.current == "mesh" and fraction < self.partition_threshold:
+            self._switch("dtn", fraction)
+        elif (
+            self.current == "dtn"
+            and fraction > self.partition_threshold + self.hysteresis
+        ):
+            self._switch("mesh", fraction)
+        return self.current
+
+    def _switch(self, target: str, fraction: float) -> None:
+        old_router = self.routers[self.current]
+        for node_id in list(old_router.attached):
+            if node_id in set(self.node_ids):
+                old_router.detach(node_id)
+        self.current = target
+        self._attach_current()
+        self.switches += 1
+        self.sim.trace.emit(
+            "comms.switch", to=target, connectivity=round(fraction, 4)
+        )
+
+    # --------------------------------------------------------------- sending
+
+    def on_message(self, node_id: int, handler: Callable) -> None:
+        self._user_handlers[node_id] = handler
+        for service in self._services.values():
+            service.on_message(node_id, handler)
+
+    def send(
+        self, src: int, dst: Optional[int], payload: Any = None, **kwargs
+    ) -> DeliveryReceipt:
+        receipt = self.service().send(src, dst, payload, **kwargs)
+        self._receipts.append(receipt)
+        return receipt
+
+    # --------------------------------------------------------------- metrics
+
+    def delivery_ratio(self) -> float:
+        if not self._receipts:
+            return float("nan")
+        done = sum(1 for r in self._receipts if r.delivered)
+        return done / len(self._receipts)
+
+    def delivered_count(self) -> int:
+        return sum(1 for r in self._receipts if r.delivered)

@@ -1,0 +1,144 @@
+"""Diverse vs homogeneous controller teams.
+
+§IV-B: "diversity is well documented as a way to improve the performance of
+human workgroups ... instead [of] brittle controllers designed with fixed
+assumptions, one may design novel controllers that are parameterized
+differently but adapt their parameterization by observing their neighbors."
+
+:class:`TrackingController` is a first-order tracker with a smoothing
+parameter; a :class:`ControllerTeam` fuses member estimates and (optionally)
+lets poor performers imitate their best-performing neighbor.  A diverse team
+spans slow-to-fast parameterizations, so *some* member is near-optimal in
+any signal regime, and neighbor-imitation pulls the team there — which is
+why it beats any single fixed parameterization across regime changes (E8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import AdaptationError
+
+__all__ = [
+    "TrackingController",
+    "ControllerTeam",
+    "make_homogeneous_team",
+    "make_diverse_team",
+]
+
+
+class TrackingController:
+    """Exponential tracker ``estimate += alpha * (signal - estimate)``.
+
+    Low alpha filters noise but lags fast signals; high alpha follows fast
+    signals but amplifies noise.  There is no universally good alpha — that
+    is the premise the diversity claim rests on.
+    """
+
+    def __init__(self, alpha: float):
+        if not (0.0 < alpha <= 1.0):
+            raise AdaptationError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.estimate = 0.0
+        self.squared_error = 0.0
+        self.steps = 0
+
+    def update(self, observation: float, truth: float) -> float:
+        self.estimate += self.alpha * (observation - self.estimate)
+        self.squared_error += (self.estimate - truth) ** 2
+        self.steps += 1
+        return self.estimate
+
+    @property
+    def rmse(self) -> float:
+        if self.steps == 0:
+            return 0.0
+        return float(np.sqrt(self.squared_error / self.steps))
+
+    def recent_error(self) -> float:
+        """Error rate proxy used for neighbor comparison."""
+        return self.rmse
+
+
+class ControllerTeam:
+    """A team of trackers with fused output and optional social adaptation."""
+
+    def __init__(
+        self,
+        controllers: Sequence[TrackingController],
+        *,
+        imitate: bool = True,
+        imitation_period: int = 25,
+        imitation_blend: float = 0.5,
+    ):
+        if not controllers:
+            raise AdaptationError("team needs at least one controller")
+        self.controllers = list(controllers)
+        self.imitate = imitate
+        self.imitation_period = imitation_period
+        self.imitation_blend = imitation_blend
+        self._step = 0
+        self.team_squared_error = 0.0
+        self.team_steps = 0
+
+    def fused_estimate(self) -> float:
+        return float(np.mean([c.estimate for c in self.controllers]))
+
+    def step(self, observation: float, truth: float) -> float:
+        for controller in self.controllers:
+            controller.update(observation, truth)
+        self._step += 1
+        if self.imitate and self._step % self.imitation_period == 0:
+            self._imitation_round()
+        fused = self.fused_estimate()
+        self.team_squared_error += (fused - truth) ** 2
+        self.team_steps += 1
+        return fused
+
+    def _imitation_round(self) -> None:
+        """Worst performers move their parameter toward the best's."""
+        best = min(self.controllers, key=lambda c: c.recent_error())
+        for controller in self.controllers:
+            if controller is best:
+                continue
+            if controller.recent_error() > best.recent_error():
+                controller.alpha += self.imitation_blend * (
+                    best.alpha - controller.alpha
+                )
+                controller.alpha = min(1.0, max(1e-3, controller.alpha))
+
+    @property
+    def team_rmse(self) -> float:
+        if self.team_steps == 0:
+            return 0.0
+        return float(np.sqrt(self.team_squared_error / self.team_steps))
+
+    def alphas(self) -> List[float]:
+        return [c.alpha for c in self.controllers]
+
+
+def make_homogeneous_team(
+    n: int, alpha: float = 0.3, **team_kwargs
+) -> ControllerTeam:
+    """All members share one fixed-assumption parameterization."""
+    return ControllerTeam(
+        [TrackingController(alpha) for _ in range(n)], **team_kwargs
+    )
+
+
+def make_diverse_team(
+    n: int,
+    *,
+    alpha_range: tuple = (0.05, 0.95),
+    **team_kwargs,
+) -> ControllerTeam:
+    """Members span the parameter spectrum (geometric spacing)."""
+    if n < 1:
+        raise AdaptationError("team size must be >= 1")
+    lo, hi = alpha_range
+    alphas = np.geomspace(lo, hi, n)
+    return ControllerTeam(
+        [TrackingController(float(a)) for a in alphas], **team_kwargs
+    )

@@ -1,0 +1,227 @@
+"""Game-theoretic intent decomposition.
+
+§IV-A: "by suitably choosing agent objective functions, one may be able to
+guarantee that the interactions between the multiple agents in the
+battlefield will converge to an equilibrium in which the desired objectives
+are met ... coordination ... naturally result[s] from each agent seeking to
+optimize its given objective function."
+
+:class:`TaskAssignmentGame` is a congestion/potential game: agents pick one
+task each; a task of value ``v`` staffed by ``k`` agents pays each of them
+``v / k`` (equal-share reward).  This game admits the exact potential
+function ``Phi = sum_t v_t * H(k_t)`` (harmonic numbers), so best-response
+dynamics provably converge to a pure Nash equilibrium — the analytic
+embodiment of command by intent.
+
+Malicious agents (the paper's derailment concern) pick the move that
+*minimizes social welfare* instead of maximizing their own payoff; E5
+measures the welfare loss they cause.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.errors import AdaptationError
+
+__all__ = [
+    "TaskAssignmentGame",
+    "BestResponseDynamics",
+    "GameResult",
+    "game_from_objectives",
+]
+
+
+def game_from_objectives(objectives, n_agents: int) -> "TaskAssignmentGame":
+    """Build the assignment game for a spatial intent decomposition.
+
+    This is the bridge between :func:`repro.core.intent.decompose_spatial`
+    and the game layer: each subordinate objective becomes a task whose
+    value is its area weight scaled by the mission priority, so
+    best-response dynamics *are* the sector-staffing mechanism — agents
+    self-assign to sectors, high-value sectors get staffed first, and the
+    equilibrium realizes the commander's spatial emphasis without explicit
+    coordination.
+    """
+    if not objectives:
+        raise AdaptationError("no objectives to build a game from")
+    values = []
+    for objective in objectives:
+        value = objective.weight * max(1, objective.goal.priority)
+        values.append(max(value, 1e-6))
+    return TaskAssignmentGame(values, n_agents)
+
+
+class TaskAssignmentGame:
+    """Equal-share task-assignment potential game."""
+
+    def __init__(self, task_values: Sequence[float], n_agents: int):
+        if not task_values or any(v <= 0 for v in task_values):
+            raise AdaptationError("task values must be positive and non-empty")
+        if n_agents < 1:
+            raise AdaptationError("need at least one agent")
+        self.task_values = list(task_values)
+        self.n_tasks = len(task_values)
+        self.n_agents = n_agents
+
+    # ------------------------------------------------------------- mechanics
+
+    def counts(self, assignment: Sequence[int]) -> List[int]:
+        counts = [0] * self.n_tasks
+        for task in assignment:
+            counts[task] += 1
+        return counts
+
+    def payoff(self, assignment: Sequence[int], agent: int) -> float:
+        """Agent's equal share of its task's value."""
+        task = assignment[agent]
+        k = self.counts(assignment)[task]
+        return self.task_values[task] / k
+
+    def welfare(self, assignment: Sequence[int]) -> float:
+        """Total value captured: sum of values of staffed tasks."""
+        counts = self.counts(assignment)
+        return sum(
+            v for v, k in zip(self.task_values, counts) if k > 0
+        )
+
+    def optimal_welfare(self) -> float:
+        """Welfare of an optimal assignment (staff the top-min(n,m) tasks)."""
+        top = sorted(self.task_values, reverse=True)[
+            : min(self.n_agents, self.n_tasks)
+        ]
+        return sum(top)
+
+    def potential(self, assignment: Sequence[int]) -> float:
+        """Rosenthal potential: sum_t v_t * H(k_t)."""
+        total = 0.0
+        for v, k in zip(self.task_values, self.counts(assignment)):
+            total += v * sum(1.0 / i for i in range(1, k + 1))
+        return total
+
+    def best_response(self, assignment: List[int], agent: int) -> int:
+        """Task maximizing the agent's payoff given others' choices."""
+        counts = self.counts(assignment)
+        current = assignment[agent]
+        counts[current] -= 1  # remove self
+        best_task, best_pay = current, -math.inf
+        for task in range(self.n_tasks):
+            pay = self.task_values[task] / (counts[task] + 1)
+            if pay > best_pay + 1e-12:
+                best_pay = pay
+                best_task = task
+        return best_task
+
+    def worst_response(self, assignment: List[int], agent: int) -> int:
+        """Welfare-minimizing move (the malicious-agent strategy)."""
+        best_task, worst_welfare = assignment[agent], math.inf
+        for task in range(self.n_tasks):
+            trial = list(assignment)
+            trial[agent] = task
+            w = self.welfare(trial)
+            if w < worst_welfare - 1e-12:
+                worst_welfare = w
+                best_task = task
+        return best_task
+
+
+@dataclass
+class GameResult:
+    """Outcome of one best-response run."""
+
+    assignment: List[int]
+    rounds: int
+    converged: bool
+    welfare: float
+    optimal_welfare: float
+    potential_trace: List[float] = field(default_factory=list)
+
+    @property
+    def efficiency(self) -> float:
+        """Welfare as a fraction of optimum (price-of-anarchy empirically)."""
+        return self.welfare / self.optimal_welfare if self.optimal_welfare else 0.0
+
+
+class BestResponseDynamics:
+    """Round-robin best-response with optional malicious agents.
+
+    Honest agents best-respond; malicious agents worst-respond (welfare
+    minimizing).  With no malicious agents the run provably converges (the
+    potential strictly increases on every improving move and is bounded);
+    with them it may cycle, which the ``converged`` flag reports.
+    """
+
+    def __init__(
+        self,
+        game: TaskAssignmentGame,
+        *,
+        malicious: Optional[Set[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.game = game
+        self.malicious = set(malicious) if malicious else set()
+        bad = [a for a in self.malicious if not (0 <= a < game.n_agents)]
+        if bad:
+            raise AdaptationError(f"malicious agent ids out of range: {bad}")
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def initial_assignment(self) -> List[int]:
+        return [
+            int(self.rng.integers(0, self.game.n_tasks))
+            for _ in range(self.game.n_agents)
+        ]
+
+    def run(
+        self,
+        *,
+        max_rounds: int = 200,
+        assignment: Optional[List[int]] = None,
+    ) -> GameResult:
+        game = self.game
+        state = (
+            list(assignment)
+            if assignment is not None
+            else self.initial_assignment()
+        )
+        potential_trace = [game.potential(state)]
+        converged = False
+        rounds_used = max_rounds
+        for round_idx in range(max_rounds):
+            moved = False
+            for agent in range(game.n_agents):
+                if agent in self.malicious:
+                    choice = game.worst_response(state, agent)
+                else:
+                    choice = game.best_response(state, agent)
+                if choice != state[agent]:
+                    state[agent] = choice
+                    moved = True
+            potential_trace.append(game.potential(state))
+            if not moved:
+                converged = True
+                rounds_used = round_idx + 1
+                break
+        return GameResult(
+            assignment=state,
+            rounds=rounds_used,
+            converged=converged,
+            welfare=game.welfare(state),
+            optimal_welfare=game.optimal_welfare(),
+            potential_trace=potential_trace,
+        )
+
+    def is_nash(self, assignment: List[int]) -> bool:
+        """No single honest deviation improves its payoff."""
+        game = self.game
+        for agent in range(game.n_agents):
+            if game.best_response(list(assignment), agent) != assignment[agent]:
+                current = game.payoff(assignment, agent)
+                trial = list(assignment)
+                trial[agent] = game.best_response(trial, agent)
+                if game.payoff(trial, agent) > current + 1e-12:
+                    return False
+        return True

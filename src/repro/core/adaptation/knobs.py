@@ -1,0 +1,105 @@
+"""Adaptation knobs.
+
+"Concrete degrees of freedom expressed in 'adaptation knobs'" (§IV-B).
+A knob is a named, bounded parameter an adaptation policy may move — if the
+subordinate's :class:`~repro.core.intent.InitiativeEnvelope` permits it.
+The registry records every movement for after-action audit, which is how
+experiments attribute behavior changes to specific adaptations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.intent import InitiativeEnvelope
+from repro.errors import AdaptationError
+
+__all__ = ["AdaptationKnob", "KnobRegistry"]
+
+
+@dataclass
+class AdaptationKnob:
+    """A bounded scalar or categorical degree of freedom.
+
+    Exactly one of (``bounds``) or (``choices``) must be provided.
+    ``on_change`` is invoked with the new value after validation.
+    """
+
+    name: str
+    value: Any
+    bounds: Optional[Tuple[float, float]] = None
+    choices: Optional[Tuple[Any, ...]] = None
+    on_change: Optional[Callable[[Any], None]] = None
+
+    def __post_init__(self) -> None:
+        if (self.bounds is None) == (self.choices is None):
+            raise AdaptationError(
+                f"knob {self.name}: exactly one of bounds/choices required"
+            )
+        self._validate(self.value)
+
+    def _validate(self, value: Any) -> None:
+        if self.bounds is not None:
+            lo, hi = self.bounds
+            if not (lo <= value <= hi):
+                raise AdaptationError(
+                    f"knob {self.name}: {value} outside [{lo}, {hi}]"
+                )
+        elif self.choices is not None and value not in self.choices:
+            raise AdaptationError(
+                f"knob {self.name}: {value!r} not among {self.choices}"
+            )
+
+    def set(self, value: Any) -> None:
+        self._validate(value)
+        self.value = value
+        if self.on_change is not None:
+            self.on_change(value)
+
+
+class KnobRegistry:
+    """Envelope-gated knob store with a movement audit log."""
+
+    def __init__(self, envelope: Optional[InitiativeEnvelope] = None):
+        self.envelope = envelope
+        self._knobs: Dict[str, AdaptationKnob] = {}
+        self.audit_log: List[Tuple[float, str, Any, Any]] = []
+
+    def register(self, knob: AdaptationKnob) -> AdaptationKnob:
+        if knob.name in self._knobs:
+            raise AdaptationError(f"duplicate knob {knob.name}")
+        self._knobs[knob.name] = knob
+        return knob
+
+    def get(self, name: str) -> AdaptationKnob:
+        try:
+            return self._knobs[name]
+        except KeyError:
+            raise AdaptationError(f"unknown knob {name!r}") from None
+
+    def permitted(self, name: str) -> bool:
+        if self.envelope is None:
+            return True
+        return self.envelope.permits(name)
+
+    def move(self, name: str, value: Any, *, time: float = 0.0) -> bool:
+        """Move a knob if the envelope permits; returns whether it moved.
+
+        A denied move is recorded in the audit log as an escalation point —
+        the subordinate would have to ask up the chain.
+        """
+        knob = self.get(name)
+        if not self.permitted(name):
+            self.audit_log.append((time, name, knob.value, "DENIED"))
+            return False
+        old = knob.value
+        knob.set(value)
+        self.audit_log.append((time, name, old, value))
+        return True
+
+    def names(self) -> List[str]:
+        return sorted(self._knobs)
+
+    def denied_moves(self) -> List[Tuple[float, str, Any, Any]]:
+        return [entry for entry in self.audit_log if entry[3] == "DENIED"]

@@ -1,0 +1,123 @@
+"""Adaptive perception: sensing-modality switching.
+
+§IV-B: "seismic sensing may be used when smoke or other phenomena render
+visual tracking unreliable, or when connection is lost with the camera due
+to a wireless jamming attack."  The :class:`ModalityManager` scores each
+available modality under the current :class:`Environment` and enables the
+best usable set, switching automatically as conditions change — the
+concrete redundancy-exploiting reflex.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AdaptationError
+from repro.things.asset import Asset
+from repro.things.capabilities import SensingModality
+from repro.things.sensors import Environment
+
+__all__ = ["ModalityManager"]
+
+
+class ModalityManager:
+    """Keeps each asset's best-usable sensor modalities enabled.
+
+    Parameters
+    ----------
+    min_effectiveness:
+        A modality below this environment-modulated effectiveness is
+        considered unusable and disabled.
+    hysteresis:
+        A currently-active modality is only abandoned when a challenger
+        beats it by this margin (prevents flapping on noisy conditions).
+    """
+
+    def __init__(
+        self,
+        assets: Sequence[Asset],
+        *,
+        min_effectiveness: float = 0.3,
+        hysteresis: float = 0.1,
+    ):
+        if not (0.0 <= min_effectiveness <= 1.0):
+            raise AdaptationError("min_effectiveness must be in [0, 1]")
+        self.assets = list(assets)
+        self.min_effectiveness = min_effectiveness
+        self.hysteresis = hysteresis
+        self.switches = 0
+        self._active: Dict[int, Optional[SensingModality]] = {}
+
+    def effectiveness(
+        self, modality: SensingModality, env: Environment
+    ) -> float:
+        return env.modality_factor(modality)
+
+    def best_modality(
+        self, asset: Asset, env: Environment
+    ) -> Optional[SensingModality]:
+        """Highest-effectiveness usable modality for one asset."""
+        usable = [
+            (self.effectiveness(s.modality, env), s.modality.value, s.modality)
+            for s in asset.sensors
+        ]
+        usable = [u for u in usable if u[0] >= self.min_effectiveness]
+        if not usable:
+            return None
+        usable.sort(key=lambda u: (-u[0], u[1]))
+        return usable[0][2]
+
+    def update(self, env: Environment) -> int:
+        """Re-evaluate all assets; returns the number of switches made."""
+        switched = 0
+        for asset in self.assets:
+            if not asset.sensors:
+                continue
+            seen_before = asset.id in self._active
+            current = self._active.get(asset.id)
+            best = self.best_modality(asset, env)
+            if seen_before and best is current:
+                self._apply(asset, current)
+                continue
+            if not seen_before:
+                # First evaluation: record and apply without hysteresis.
+                self._active[asset.id] = best
+                self._apply(asset, best)
+                switched += 1
+                continue
+            # Hysteresis: keep a still-usable current modality unless the
+            # challenger is clearly better.
+            if current is not None and best is not None:
+                cur_eff = self.effectiveness(current, env)
+                new_eff = self.effectiveness(best, env)
+                if (
+                    cur_eff >= self.min_effectiveness
+                    and new_eff - cur_eff < self.hysteresis
+                ):
+                    self._apply(asset, current)
+                    continue
+            self._active[asset.id] = best
+            self._apply(asset, best)
+            switched += 1
+        self.switches += switched
+        return switched
+
+    def _apply(self, asset: Asset, active: Optional[SensingModality]) -> None:
+        for sensor in asset.sensors:
+            sensor.enabled = active is not None and sensor.modality is active
+
+    def active_modality(self, asset_id: int) -> Optional[SensingModality]:
+        return self._active.get(asset_id)
+
+    def active_counts(self) -> Dict[SensingModality, int]:
+        counts: Dict[SensingModality, int] = {}
+        for modality in self._active.values():
+            if modality is not None:
+                counts[modality] = counts.get(modality, 0) + 1
+        return counts
+
+    def blinded_assets(self) -> List[int]:
+        """Assets with no usable modality under current conditions."""
+        return sorted(
+            aid for aid, m in self._active.items() if m is None
+        )

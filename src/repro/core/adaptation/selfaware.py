@@ -1,0 +1,272 @@
+"""A unified theory of self-aware adaptation.
+
+§IV-A argues that self-stabilizing algorithms, error-correcting decoders,
+and adaptive controllers "all implicitly share the notion of *self* that
+encapsulates state, models, actions, and goals, and that adapts its actions
+and models as needed, such that its goals are met."
+
+This module is that notion made concrete:
+
+* :class:`SelfModel` — the four ingredients (state, goal, model, actions).
+* :class:`SelfAwareAgent` — the adaptation loop: sense -> detect mismatch
+  against the goal -> select a corrective action (and/or revise the model)
+  -> act.  One loop, three disciplinary instantiations:
+
+  - :class:`InvariantMaintainer` (distributed computing / self-stabilization)
+  - :class:`CodewordCorrector` (information theory / error correction)
+  - :class:`SetpointController` (control theory / adaptive control)
+
+The tests verify the *unification claim* behaviorally: all three subclasses
+restore their goal predicate after arbitrary single-fault perturbations,
+through the same loop, without subclass-specific orchestration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AdaptationError
+
+__all__ = [
+    "SelfModel",
+    "SelfAwareAgent",
+    "InvariantMaintainer",
+    "CodewordCorrector",
+    "SetpointController",
+]
+
+
+@dataclass
+class SelfModel:
+    """State, goal, model, actions — the encapsulated 'self'.
+
+    ``goal`` is a predicate over state; ``model`` is whatever internal
+    representation the agent uses to predict action outcomes; ``actions``
+    maps action names to callables mutating state.
+    """
+
+    state: Any
+    goal: Callable[[Any], bool]
+    model: Any = None
+    actions: Dict[str, Callable[[Any], Any]] = field(default_factory=dict)
+
+    def goal_met(self) -> bool:
+        return bool(self.goal(self.state))
+
+
+class SelfAwareAgent:
+    """The generic adaptation loop over a :class:`SelfModel`.
+
+    Subclasses implement :meth:`select_action` (which corrective action to
+    take on mismatch) and optionally :meth:`revise_model` (model adaptation
+    on persistent mismatch).  ``step`` returns True when the goal holds
+    after the step.
+    """
+
+    def __init__(self, self_model: SelfModel, *, max_steps_per_adapt: int = 100):
+        self.self_model = self_model
+        self.max_steps_per_adapt = max_steps_per_adapt
+        self.adaptations = 0
+        self.model_revisions = 0
+
+    # ------------------------------------------------------------- extension
+
+    def select_action(self) -> Optional[str]:
+        """Name of the corrective action to run, or None when stuck."""
+        raise NotImplementedError
+
+    def revise_model(self) -> bool:
+        """Adapt the internal model; return True if something changed."""
+        return False
+
+    # ------------------------------------------------------------------ loop
+
+    def step(self) -> bool:
+        """One monitor-analyze-plan-execute pass."""
+        if self.self_model.goal_met():
+            return True
+        action_name = self.select_action()
+        if action_name is None:
+            if self.revise_model():
+                self.model_revisions += 1
+                action_name = self.select_action()
+        if action_name is None:
+            return False
+        action = self.self_model.actions.get(action_name)
+        if action is None:
+            raise AdaptationError(f"unknown action {action_name!r}")
+        self.self_model.state = action(self.self_model.state)
+        self.adaptations += 1
+        return self.self_model.goal_met()
+
+    def adapt_until_stable(self) -> int:
+        """Run steps until the goal holds; returns steps used.
+
+        Raises :class:`AdaptationError` if the goal is not restored within
+        ``max_steps_per_adapt`` steps (divergent adaptation).
+        """
+        for i in range(self.max_steps_per_adapt):
+            if self.step():
+                return i + 1
+        raise AdaptationError(
+            f"goal not restored within {self.max_steps_per_adapt} steps"
+        )
+
+
+class InvariantMaintainer(SelfAwareAgent):
+    """Self-stabilization flavor: ordered corrective rules.
+
+    Rules are ``(guard, action_name)`` pairs; the first rule whose guard
+    holds fires — the classic guarded-command form of self-stabilizing
+    algorithms.
+    """
+
+    def __init__(
+        self,
+        self_model: SelfModel,
+        rules: Sequence[Tuple[Callable[[Any], bool], str]],
+        **kwargs,
+    ):
+        super().__init__(self_model, **kwargs)
+        self.rules = list(rules)
+
+    def select_action(self) -> Optional[str]:
+        for guard, action_name in self.rules:
+            if guard(self.self_model.state):
+                return action_name
+        return None
+
+
+class CodewordCorrector(SelfAwareAgent):
+    """Error-correction flavor: re-enforce code constraints.
+
+    State is a bit vector; the goal is even parity on every parity group
+    (a simple single-error-correcting structure when groups are chosen as
+    in a Hamming code).  The corrective action flips the single bit whose
+    flip repairs the most violated groups — decoding *as* adaptation.
+    """
+
+    def __init__(
+        self,
+        bits: Sequence[int],
+        parity_groups: Sequence[Sequence[int]],
+        **kwargs,
+    ):
+        self.parity_groups = [list(g) for g in parity_groups]
+        state = np.array(bits, dtype=int) % 2
+
+        def goal(s: np.ndarray) -> bool:
+            return all(int(s[list(g)].sum()) % 2 == 0 for g in self.parity_groups)
+
+        model = SelfModel(
+            state=state,
+            goal=goal,
+            actions={"flip_best": self._flip_best},
+        )
+        super().__init__(model, **kwargs)
+
+    def _violations(self, state: np.ndarray) -> List[int]:
+        return [
+            i
+            for i, g in enumerate(self.parity_groups)
+            if int(state[list(g)].sum()) % 2 != 0
+        ]
+
+    def _flip_best(self, state: np.ndarray) -> np.ndarray:
+        violated = set(self._violations(state))
+        if not violated:
+            return state
+        best_bit, best_fix = None, -1
+        for bit in range(len(state)):
+            fixes = sum(
+                1 for i in violated if bit in self.parity_groups[i]
+            ) - sum(
+                1
+                for i, g in enumerate(self.parity_groups)
+                if i not in violated and bit in g
+            )
+            if fixes > best_fix:
+                best_fix = fixes
+                best_bit = bit
+        out = state.copy()
+        if best_bit is not None:
+            out[best_bit] ^= 1
+        return out
+
+    def select_action(self) -> Optional[str]:
+        return "flip_best" if self._violations(self.self_model.state) else None
+
+
+class SetpointController(SelfAwareAgent):
+    """Adaptive-control flavor: track a setpoint through an unknown gain.
+
+    The plant is ``y += b * u``; the controller believes the gain is
+    ``b_hat`` and commands ``u = (setpoint - y) / b_hat``.  When progress
+    stalls (model mismatch), :meth:`revise_model` re-estimates ``b_hat``
+    from the observed response — model revision *as* adaptation.
+    """
+
+    def __init__(
+        self,
+        plant_gain: float,
+        setpoint: float,
+        *,
+        initial_gain_estimate: float = 1.0,
+        tolerance: float = 1e-3,
+        **kwargs,
+    ):
+        if plant_gain == 0:
+            raise AdaptationError("plant gain must be nonzero")
+        self.plant_gain = plant_gain
+        self.setpoint = setpoint
+        self.tolerance = tolerance
+        self.b_hat = initial_gain_estimate
+        self._last_error: Optional[float] = None
+        self._last_u: Optional[float] = None
+
+        model = SelfModel(
+            state=0.0,
+            goal=lambda y: abs(y - setpoint) <= tolerance,
+            model={"b_hat": initial_gain_estimate},
+            actions={"drive": self._drive},
+        )
+        super().__init__(model, **kwargs)
+
+    def _drive(self, y: float) -> float:
+        error = self.setpoint - y
+        u = error / self.b_hat
+        # Clamp to a sane actuation envelope.
+        u = max(-1e6, min(1e6, u))
+        self._last_error = error
+        self._last_u = u
+        return y + self.plant_gain * u
+
+    def select_action(self) -> Optional[str]:
+        if self._diverging():
+            return None  # force a model revision first
+        return "drive"
+
+    def _diverging(self) -> bool:
+        if self._last_error is None:
+            return False
+        current_error = self.setpoint - float(self.self_model.state)
+        return abs(current_error) > abs(self._last_error) + self.tolerance
+
+    def revise_model(self) -> bool:
+        """Re-estimate the gain from the last observed step response."""
+        if self._last_u is None or self._last_u == 0:
+            return False
+        previous_y = (
+            float(self.self_model.state) - self.plant_gain * self._last_u
+        )
+        observed_delta = float(self.self_model.state) - previous_y
+        new_b_hat = observed_delta / self._last_u
+        if new_b_hat == 0 or new_b_hat == self.b_hat:
+            return False
+        self.b_hat = new_b_hat
+        self.self_model.model["b_hat"] = new_b_hat
+        self._last_error = None
+        return True

@@ -1,0 +1,230 @@
+"""Self-stabilizing network protocols.
+
+Two classics run over the live network's neighbor relation in synchronous
+rounds, as the concrete "adapt to maintain an invariant" reflexes:
+
+* :class:`SpanningTreeProtocol` — BFS spanning tree toward a root
+  (Dolev-Israeli-Moran style).  After any perturbation (node loss, link
+  churn, corrupted state) the tree re-converges; convergence time is the
+  measured reflex latency.
+* :class:`LeaderElection` — max-id flooding; every connected component
+  agrees on its maximum live id.
+
+Both expose ``legitimate()`` — the invariant — and count rounds to
+re-stabilization, which E4 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import AdaptationError
+from repro.net.node import Network
+
+__all__ = ["SpanningTreeProtocol", "LeaderElection"]
+
+_INF = 10**9
+
+
+class SpanningTreeProtocol:
+    """Self-stabilizing BFS spanning tree over the live topology.
+
+    Each node repeatedly sets ``dist = min(neighbor dists) + 1`` and adopts
+    the minimizing neighbor as parent; the root pins ``dist = 0``.  This is
+    self-stabilizing: from *any* state (including adversarially corrupted
+    distance values) it converges to a legitimate BFS tree within O(diameter)
+    rounds.
+    """
+
+    def __init__(self, network: Network, root: int, node_ids: Optional[List[int]] = None):
+        self.network = network
+        self.sim = network.sim
+        self.root = root
+        self.node_ids = sorted(node_ids) if node_ids is not None else sorted(network.nodes)
+        if root not in self.node_ids:
+            raise AdaptationError(f"root {root} not among protocol nodes")
+        self.dist: Dict[int, int] = {n: _INF for n in self.node_ids}
+        self.parent: Dict[int, Optional[int]] = {n: None for n in self.node_ids}
+        self.rounds = 0
+
+    # ------------------------------------------------------------------ round
+
+    def _live(self, node_id: int) -> bool:
+        return node_id in self.network.nodes and self.network.node(node_id).up
+
+    def round(self) -> int:
+        """One synchronous round; returns the number of nodes that changed."""
+        self.rounds += 1
+        changed = 0
+        new_dist: Dict[int, int] = {}
+        new_parent: Dict[int, Optional[int]] = {}
+        for node_id in self.node_ids:
+            if not self._live(node_id):
+                new_dist[node_id] = _INF
+                new_parent[node_id] = None
+                continue
+            if node_id == self.root:
+                new_dist[node_id] = 0
+                new_parent[node_id] = None
+                continue
+            best_parent, best_dist = None, _INF
+            for nb in self.network.neighbors(node_id):
+                if nb not in self.dist or not self._live(nb):
+                    continue
+                d = self.dist[nb]
+                if d + 1 < best_dist:
+                    best_dist = d + 1
+                    best_parent = nb
+            new_dist[node_id] = best_dist if best_dist < _INF else _INF
+            new_parent[node_id] = best_parent
+        for node_id in self.node_ids:
+            if (
+                new_dist[node_id] != self.dist[node_id]
+                or new_parent[node_id] != self.parent[node_id]
+            ):
+                changed += 1
+        self.dist = new_dist
+        self.parent = new_parent
+        return changed
+
+    def stabilize(self, max_rounds: int = 1000) -> int:
+        """Run rounds until quiescent; returns rounds used."""
+        for i in range(max_rounds):
+            if self.round() == 0:
+                return i + 1
+        raise AdaptationError(f"tree did not stabilize in {max_rounds} rounds")
+
+    # -------------------------------------------------------------- invariant
+
+    def legitimate(self) -> bool:
+        """Is the current state a correct BFS tree of the live topology?"""
+        if not self._live(self.root):
+            return False
+        # Ground truth BFS distances over live nodes.
+        truth = self._bfs_distances()
+        for node_id in self.node_ids:
+            if not self._live(node_id):
+                continue
+            true_d = truth.get(node_id, _INF)
+            if self.dist[node_id] != true_d:
+                return False
+            if node_id != self.root and true_d < _INF:
+                p = self.parent[node_id]
+                if p is None or truth.get(p, _INF) != true_d - 1:
+                    return False
+        return True
+
+    def _bfs_distances(self) -> Dict[int, int]:
+        frontier = [self.root]
+        dist = {self.root: 0}
+        while frontier:
+            nxt = []
+            for node_id in frontier:
+                for nb in self.network.neighbors(node_id):
+                    if nb in dist or nb not in self.dist:
+                        continue
+                    if not self._live(nb):
+                        continue
+                    dist[nb] = dist[node_id] + 1
+                    nxt.append(nb)
+            frontier = nxt
+        return dist
+
+    def corrupt(self, node_id: int, fake_dist: int) -> None:
+        """Adversarially corrupt one node's state (for stabilization tests)."""
+        self.dist[node_id] = fake_dist
+
+    def tree_edges(self) -> List[tuple]:
+        return [
+            (n, p)
+            for n, p in self.parent.items()
+            if p is not None and self.dist[n] < _INF
+        ]
+
+
+class LeaderElection:
+    """Self-stabilizing max-id leader election with age-stamped beliefs.
+
+    Naive max-propagation is *not* self-stabilizing: after the leader dies,
+    nodes can sustain each other's stale belief forever ("ghost leader").
+    The standard repair is to age beliefs: a node advertises
+    ``(leader_id, age)``; ages grow by one per hop/round and only the leader
+    itself regenerates age 0.  Beliefs older than ``max_age`` (the network
+    size bounds true ages) are discarded, so ghosts age out.
+    """
+
+    def __init__(self, network: Network, node_ids: Optional[List[int]] = None):
+        self.network = network
+        self.node_ids = sorted(node_ids) if node_ids is not None else sorted(network.nodes)
+        self.leader: Dict[int, int] = {n: n for n in self.node_ids}
+        self.age: Dict[int, int] = {n: 0 for n in self.node_ids}
+        self.max_age = len(self.node_ids) + 1
+        self.rounds = 0
+
+    def _live(self, node_id: int) -> bool:
+        return node_id in self.network.nodes and self.network.node(node_id).up
+
+    def round(self) -> int:
+        self.rounds += 1
+        changed = 0
+        new_leader: Dict[int, int] = {}
+        new_age: Dict[int, int] = {}
+        for node_id in self.node_ids:
+            if not self._live(node_id):
+                new_leader[node_id], new_age[node_id] = node_id, 0
+                continue
+            # Self-nomination is always a valid candidate at age 0.
+            candidates = [(node_id, 0)]
+            for nb in self.network.neighbors(node_id):
+                if nb not in self.leader or not self._live(nb):
+                    continue
+                aged = self.age[nb] + 1
+                if aged <= self.max_age:
+                    candidates.append((self.leader[nb], aged))
+            # Highest id wins; among equal ids prefer the freshest belief.
+            best_id = max(c[0] for c in candidates)
+            best_age = min(a for l, a in candidates if l == best_id)
+            new_leader[node_id], new_age[node_id] = best_id, best_age
+            # Age changes count as instability too: a ghost id's ages keep
+            # inflating while the id looks stable, and quiescence must not
+            # be declared until the ghost is fully flushed.
+            if best_id != self.leader[node_id] or best_age != self.age[node_id]:
+                changed += 1
+        self.leader = new_leader
+        self.age = new_age
+        return changed
+
+    def stabilize(self, max_rounds: int = 1000) -> int:
+        for i in range(max_rounds):
+            if self.round() == 0:
+                return i + 1
+        raise AdaptationError(f"election did not stabilize in {max_rounds} rounds")
+
+    def legitimate(self) -> bool:
+        """Every live node agrees with its component's maximum live id."""
+        components = self._components()
+        for comp in components:
+            expected = max(comp)
+            for node_id in comp:
+                if self.leader[node_id] != expected:
+                    return False
+        return True
+
+    def _components(self) -> List[Set[int]]:
+        live = [n for n in self.node_ids if self._live(n)]
+        seen: Set[int] = set()
+        out: List[Set[int]] = []
+        for start in live:
+            if start in seen:
+                continue
+            comp = {start}
+            frontier = [start]
+            while frontier:
+                node_id = frontier.pop()
+                for nb in self.network.neighbors(node_id):
+                    if nb in self.leader and self._live(nb) and nb not in comp:
+                        comp.add(nb)
+                        frontier.append(nb)
+            seen |= comp
+            out.append(comp)
+        return out

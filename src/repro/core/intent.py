@@ -1,0 +1,150 @@
+"""Command by intent.
+
+The paper's central doctrinal shift: a commander specifies *intent* — the
+goal, constraints, and acceptable end states — and subordinate units fill in
+the details, exercising "disciplined initiative" within an explicit
+envelope.  This module provides:
+
+* :class:`CommanderIntent` — goal + constraints + end state.
+* :class:`InitiativeEnvelope` — the freedom delegated to a subordinate
+  (which knobs it may move, its risk budget, when it must escalate).
+* :func:`decompose_spatial` — hierarchical decomposition of an intent into
+  per-sector subordinate objectives (the game-theoretic decomposition in
+  :mod:`repro.core.adaptation.games` is the behavioral counterpart).
+* :func:`aggregate_compliance` — quantifiable aggregate compliance of local
+  adaptations with the global intent, which is exactly the assurance the
+  paper demands from autonomy ("allowing local adaptation ... that ensures
+  quantifiable compliance, in aggregate, with mission goals").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.core.mission import MissionGoal
+from repro.util.geometry import Region
+
+__all__ = [
+    "InitiativeEnvelope",
+    "CommanderIntent",
+    "SubordinateObjective",
+    "decompose_spatial",
+    "aggregate_compliance",
+]
+
+
+@dataclass(frozen=True)
+class InitiativeEnvelope:
+    """The delegated decision space of a subordinate.
+
+    ``allowed_knobs`` names the adaptation knobs the subordinate may move
+    without escalation; anything else requires a request up the chain.
+    ``risk_budget`` bounds the acceptable probability of sector-level
+    failure the subordinate may trade for responsiveness.
+    """
+
+    allowed_knobs: FrozenSet[str] = frozenset(
+        {"sensing_modality", "reallocate_compute", "reposition_mobile"}
+    )
+    risk_budget: float = 0.1
+    max_assets: int = 100
+    escalation_latency_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.risk_budget <= 1.0):
+            raise ConfigurationError("risk_budget must be in [0, 1]")
+
+    def permits(self, knob: str) -> bool:
+        return knob in self.allowed_knobs
+
+
+@dataclass(frozen=True)
+class CommanderIntent:
+    """Goal, constraints, and desired end state — the *what*, not the *how*."""
+
+    goal: MissionGoal
+    end_state: str = ""
+    forbidden_zones: Tuple[Region, ...] = ()
+    max_acceptable_risk: float = 0.2
+    require_human_for_lethal: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.max_acceptable_risk <= 1.0):
+            raise ConfigurationError("max_acceptable_risk must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SubordinateObjective:
+    """One subordinate's share of the intent: a sector plus an envelope."""
+
+    objective_id: int
+    sector: Region
+    goal: MissionGoal
+    envelope: InitiativeEnvelope
+    weight: float = 1.0  # share of the global objective (area fraction)
+
+
+def decompose_spatial(
+    intent: CommanderIntent,
+    nx: int,
+    ny: int,
+    *,
+    envelope: Optional[InitiativeEnvelope] = None,
+) -> List[SubordinateObjective]:
+    """Decompose an intent into an ``nx * ny`` sector grid of objectives.
+
+    Each subordinate inherits the mission goal restricted to its sector.
+    Sector weights are area fractions, so aggregate compliance is a proper
+    weighted average.
+    """
+    if nx < 1 or ny < 1:
+        raise ConfigurationError("decomposition grid must be at least 1x1")
+    env = envelope if envelope is not None else InitiativeEnvelope()
+    area = intent.goal.area
+    dx = area.width / nx
+    dy = area.height / ny
+    objectives: List[SubordinateObjective] = []
+    oid = 0
+    for j in range(ny):
+        for i in range(nx):
+            sector = Region(
+                area.x_min + i * dx,
+                area.y_min + j * dy,
+                area.x_min + (i + 1) * dx,
+                area.y_min + (j + 1) * dy,
+            )
+            sector_goal = replace(intent.goal, area=sector)
+            oid += 1
+            objectives.append(
+                SubordinateObjective(
+                    objective_id=oid,
+                    sector=sector,
+                    goal=sector_goal,
+                    envelope=env,
+                    weight=sector.area / area.area if area.area > 0 else 0.0,
+                )
+            )
+    return objectives
+
+
+def aggregate_compliance(
+    results: Sequence[Tuple[SubordinateObjective, float]],
+) -> float:
+    """Weighted aggregate compliance in [0, 1].
+
+    ``results`` pairs each objective with its locally-achieved satisfaction
+    (e.g., achieved coverage / required coverage, capped at 1).  The return
+    value is the area-weighted mean — the quantifiable aggregate guarantee
+    the commander reasons about.
+    """
+    if not results:
+        return 0.0
+    total_weight = sum(obj.weight for obj, _s in results)
+    if total_weight <= 0:
+        return 0.0
+    acc = 0.0
+    for obj, satisfaction in results:
+        acc += obj.weight * min(max(satisfaction, 0.0), 1.0)
+    return acc / total_weight

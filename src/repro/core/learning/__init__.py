@@ -1,0 +1,99 @@
+"""Challenge 3 — Learning and intelligent battlefield services.
+
+* :mod:`truth_discovery` — EM social-sensing truth discovery from
+  unreliable/adversarial sources (+ majority-vote baseline).
+* :mod:`reputation` — feeding truth-discovery outcomes into trust.
+* :mod:`tomography` — network tomography: boolean failure localization and
+  additive-delay inference from end-to-end paths.
+* :mod:`anomaly` — information diagnostics: attention allocation under
+  noise and deception.
+* :mod:`distributed` — gossip averaging and decentralized SGD over
+  time-varying topologies.
+* :mod:`byzantine` — resilient aggregation rules (Krum, median, trimmed
+  mean) against Byzantine workers.
+* :mod:`continual` — context-conditioned continual learning vs blind
+  sequential training (catastrophic forgetting).
+* :mod:`adversarial` — poisoning and evasion attack generation.
+* :mod:`cost` — cost-aware learning: topology activation vs accuracy.
+* :mod:`safety` — runtime safety monitors and interval output-range
+  analysis for small neural models.
+"""
+
+from repro.core.learning.truth_discovery import (
+    TruthDiscovery,
+    TruthDiscoveryResult,
+    majority_vote,
+)
+from repro.core.learning.reputation import ReputationFeedback
+from repro.core.learning.tomography import (
+    BooleanTomography,
+    AdditiveTomography,
+    PathMeasurement,
+)
+from repro.core.learning.anomaly import AttentionManager, Report
+from repro.core.learning.distributed import (
+    GossipAverager,
+    DecentralizedSGD,
+    RingTopology,
+    RandomTopology,
+)
+from repro.core.learning.byzantine import (
+    mean_aggregate,
+    median_aggregate,
+    trimmed_mean_aggregate,
+    krum_aggregate,
+    AGGREGATORS,
+)
+from repro.core.learning.continual import (
+    OnlineLinearModel,
+    BlindContinualLearner,
+    ContextAwareLearner,
+)
+from repro.core.learning.adversarial import (
+    flip_labels,
+    evasion_perturb,
+    poisoning_detector,
+)
+from repro.core.learning.cost import (
+    ActivationPolicy,
+    TopologyOption,
+    cost_accuracy_frontier,
+)
+from repro.core.learning.safety import (
+    IntervalMlp,
+    RuntimeMonitor,
+    ShieldedPolicy,
+)
+
+__all__ = [
+    "TruthDiscovery",
+    "TruthDiscoveryResult",
+    "majority_vote",
+    "ReputationFeedback",
+    "BooleanTomography",
+    "AdditiveTomography",
+    "PathMeasurement",
+    "AttentionManager",
+    "Report",
+    "GossipAverager",
+    "DecentralizedSGD",
+    "RingTopology",
+    "RandomTopology",
+    "mean_aggregate",
+    "median_aggregate",
+    "trimmed_mean_aggregate",
+    "krum_aggregate",
+    "AGGREGATORS",
+    "OnlineLinearModel",
+    "BlindContinualLearner",
+    "ContextAwareLearner",
+    "flip_labels",
+    "evasion_perturb",
+    "poisoning_detector",
+    "ActivationPolicy",
+    "TopologyOption",
+    "cost_accuracy_frontier",
+    "IntervalMlp",
+    "RuntimeMonitor",
+    "ShieldedPolicy",
+]

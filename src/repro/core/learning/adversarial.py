@@ -1,0 +1,87 @@
+"""Adversarial attacks on learners, and a detection primitive.
+
+§V-B: "Adversarial attacks may supply malicious inputs (i.e., inputs
+modified to yield erroneous model outputs)" — and in an IoBT the adversary
+controls red/gray nodes, so both *training-time* (poisoning) and
+*test-time* (evasion) attacks are in scope.
+
+* :func:`flip_labels` — training-set label-flip poisoning.
+* :func:`evasion_perturb` — FGSM-style bounded input perturbation against
+  a linear scorer (the gradient-sign attack of the paper's citation [27]).
+* :func:`poisoning_detector` — loss-based filtering: samples whose loss
+  under a trusted reference model is anomalously high are flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import LearningError
+
+__all__ = ["flip_labels", "evasion_perturb", "poisoning_detector"]
+
+
+def flip_labels(
+    y: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flip the sign of a random ``fraction`` of regression/class labels.
+
+    Returns ``(poisoned_labels, poisoned_mask)``.
+    """
+    if not (0.0 <= fraction <= 1.0):
+        raise LearningError("fraction must be in [0, 1]")
+    y = np.asarray(y, dtype=float).copy()
+    n = len(y)
+    k = int(round(fraction * n))
+    mask = np.zeros(n, dtype=bool)
+    if k > 0:
+        idx = rng.choice(n, size=k, replace=False)
+        y[idx] = -y[idx]
+        mask[idx] = True
+    return y, mask
+
+
+def evasion_perturb(
+    x: np.ndarray,
+    w: np.ndarray,
+    epsilon: float,
+    *,
+    target_down: bool = True,
+) -> np.ndarray:
+    """Gradient-sign evasion against a linear scorer ``score = x . w``.
+
+    Shifts each input by ``epsilon`` per coordinate in the direction that
+    lowers (``target_down``) or raises the score — the linear-model
+    specialization of FGSM.
+    """
+    if epsilon < 0:
+        raise LearningError("epsilon must be non-negative")
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    direction = -np.sign(w) if target_down else np.sign(w)
+    return x + epsilon * direction[None, :]
+
+
+def poisoning_detector(
+    x: np.ndarray,
+    y: np.ndarray,
+    reference_w: np.ndarray,
+    *,
+    z_threshold: float = 2.5,
+) -> np.ndarray:
+    """Flag samples whose residual under a trusted model is anomalous.
+
+    Returns a boolean mask of suspected-poisoned samples.  The reference
+    model is assumed to come from a vetted (e.g., pre-deployment) training
+    phase; at IoBT scale, that assumption is the documented limitation.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.asarray(y, dtype=float)
+    residuals = np.abs(x @ reference_w - y)
+    med = np.median(residuals)
+    mad = np.median(np.abs(residuals - med)) + 1e-9
+    z = 0.6745 * (residuals - med) / mad  # robust z-score
+    return z > z_threshold

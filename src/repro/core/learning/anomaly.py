@@ -1,0 +1,139 @@
+"""Information diagnostics: attention allocation.
+
+§V-A: "attention is a bottleneck.  It should be directed to situations that
+deserve it the most ... [but] in the presence of failures and noisy data,
+anomalous inputs might be the result of noise or misinformation."
+
+The :class:`AttentionManager` maintains a per-signal baseline (online mean
+and variance), scores incoming :class:`Report` objects by *surprise*
+(z-score vs baseline), discounts by source trust, accumulates corroboration
+across independent sources, and surfaces the top-k items.  A deceptive
+injection is surprising but uncorroborated and low-trust, so it loses the
+attention auction — which is exactly the E15 measurement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LearningError
+from repro.security.trust import TrustLedger
+from repro.util.stats import RunningStats
+
+__all__ = ["Report", "AttentionManager"]
+
+_report_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Report:
+    """An incoming observation about some monitored signal."""
+
+    signal: str            # which quantity this reports on
+    value: float
+    source_id: int
+    situation_id: int      # what it is evidence of (for corroboration)
+    time: float = 0.0
+    uid: int = field(default_factory=lambda: next(_report_ids))
+
+
+@dataclass
+class _Situation:
+    situation_id: int
+    score: float = 0.0
+    sources: set = field(default_factory=set)
+    reports: int = 0
+    last_time: float = 0.0
+
+
+class AttentionManager:
+    """Trust- and corroboration-weighted anomaly attention."""
+
+    def __init__(
+        self,
+        *,
+        trust: Optional[TrustLedger] = None,
+        corroboration_bonus: float = 0.5,
+        min_baseline_samples: int = 5,
+        decay_half_life_s: float = 60.0,
+    ):
+        self.trust = trust if trust is not None else TrustLedger()
+        self.corroboration_bonus = corroboration_bonus
+        self.min_baseline_samples = min_baseline_samples
+        self.decay_half_life_s = decay_half_life_s
+        self._baselines: Dict[str, RunningStats] = {}
+        self._situations: Dict[int, _Situation] = {}
+
+    # ---------------------------------------------------------------- scoring
+
+    def surprise(self, report: Report) -> float:
+        """Z-score of the report value against the signal's baseline."""
+        baseline = self._baselines.get(report.signal)
+        if baseline is None or baseline.count < self.min_baseline_samples:
+            return 0.0  # no baseline yet: nothing is surprising
+        std = baseline.std if baseline.std > 1e-9 else 1.0
+        return abs(report.value - baseline.mean) / std
+
+    def ingest(self, report: Report, *, update_baseline: bool = True) -> float:
+        """Process one report; returns its weighted anomaly contribution."""
+        z = self.surprise(report)
+        source_trust = self.trust.trust(report.source_id)
+        contribution = z * source_trust
+        situation = self._situations.get(report.situation_id)
+        if situation is None:
+            situation = self._situations[report.situation_id] = _Situation(
+                situation_id=report.situation_id
+            )
+        # Corroboration: additional *distinct* sources multiply the score.
+        if report.source_id not in situation.sources:
+            corroboration = 1.0 + self.corroboration_bonus * len(situation.sources)
+            situation.sources.add(report.source_id)
+        else:
+            corroboration = 0.25  # repetition by one source adds little
+        self._decay(situation, report.time)
+        situation.score += contribution * corroboration
+        situation.reports += 1
+        situation.last_time = max(situation.last_time, report.time)
+        if update_baseline:
+            self._baseline(report.signal).add(report.value)
+        return contribution
+
+    def _baseline(self, signal: str) -> RunningStats:
+        if signal not in self._baselines:
+            self._baselines[signal] = RunningStats()
+        return self._baselines[signal]
+
+    def prime_baseline(self, signal: str, values: Sequence[float]) -> None:
+        """Seed a baseline from historical normal data."""
+        self._baseline(signal).extend(values)
+
+    def _decay(self, situation: _Situation, now: float) -> None:
+        dt = now - situation.last_time
+        if dt <= 0 or self.decay_half_life_s <= 0:
+            return
+        situation.score *= 0.5 ** (dt / self.decay_half_life_s)
+
+    # ---------------------------------------------------------------- queries
+
+    def top_k(self, k: int) -> List[Tuple[int, float]]:
+        """The k situations most deserving of attention (id, score)."""
+        if k < 1:
+            raise LearningError("k must be >= 1")
+        ranked = sorted(
+            self._situations.values(),
+            key=lambda s: (-s.score, s.situation_id),
+        )
+        return [(s.situation_id, s.score) for s in ranked[:k]]
+
+    def precision_at_k(self, k: int, true_anomalies: set) -> float:
+        """Fraction of the top-k that are genuinely anomalous situations."""
+        top = self.top_k(k)
+        if not top:
+            return 0.0
+        hits = sum(1 for sid, _score in top if sid in true_anomalies)
+        return hits / len(top)
+
+    def situation_count(self) -> int:
+        return len(self._situations)

@@ -1,0 +1,102 @@
+"""Byzantine-resilient aggregation rules.
+
+The fault model: of ``n`` submitted update vectors, up to ``f`` come from
+compromised workers and may be arbitrary.  Resilient rules bound the
+adversary's influence:
+
+* :func:`median_aggregate` — coordinate-wise median (resists f < n/2).
+* :func:`trimmed_mean_aggregate` — drop the f largest and f smallest per
+  coordinate, average the rest.
+* :func:`krum_aggregate` — select the vector with the smallest sum of
+  distances to its n-f-2 nearest neighbors (Blanchard et al.); optional
+  multi-Krum averaging of the m best.
+* :func:`mean_aggregate` — the non-resilient baseline a single Byzantine
+  worker can drag arbitrarily far.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.errors import LearningError
+
+__all__ = [
+    "mean_aggregate",
+    "median_aggregate",
+    "trimmed_mean_aggregate",
+    "krum_aggregate",
+    "AGGREGATORS",
+]
+
+
+def _stack(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    if not vectors:
+        raise LearningError("no vectors to aggregate")
+    matrix = np.vstack([np.asarray(v, dtype=float) for v in vectors])
+    if not np.isfinite(matrix).all():
+        # Byzantine vectors may be inf/nan bombs; neutralize them so the
+        # robust rules can still operate (mean stays vulnerable by design
+        # to *large finite* values, which is the realistic attack).
+        matrix = np.nan_to_num(matrix, nan=0.0, posinf=1e12, neginf=-1e12)
+    return matrix
+
+
+def mean_aggregate(vectors: Sequence[np.ndarray], f: int = 0) -> np.ndarray:
+    """Plain averaging — the vulnerable baseline."""
+    return _stack(vectors).mean(axis=0)
+
+
+def median_aggregate(vectors: Sequence[np.ndarray], f: int = 0) -> np.ndarray:
+    """Coordinate-wise median."""
+    return np.median(_stack(vectors), axis=0)
+
+
+def trimmed_mean_aggregate(
+    vectors: Sequence[np.ndarray], f: int = 0
+) -> np.ndarray:
+    """Coordinate-wise f-trimmed mean."""
+    matrix = _stack(vectors)
+    n = matrix.shape[0]
+    if 2 * f >= n:
+        raise LearningError(f"cannot trim {f} from each side of {n} vectors")
+    if f == 0:
+        return matrix.mean(axis=0)
+    ordered = np.sort(matrix, axis=0)
+    return ordered[f : n - f].mean(axis=0)
+
+
+def krum_aggregate(
+    vectors: Sequence[np.ndarray], f: int = 0, *, m: int = 1
+) -> np.ndarray:
+    """(Multi-)Krum: average the m most centrally located vectors.
+
+    Requires ``n >= 2f + 3`` for its Byzantine-resilience guarantee; we
+    enforce ``n > 2f`` and clamp the neighborhood size for small n.
+    """
+    matrix = _stack(vectors)
+    n = matrix.shape[0]
+    if n <= 2 * f:
+        raise LearningError(f"krum needs n > 2f (n={n}, f={f})")
+    # Pairwise squared distances.
+    diffs = matrix[:, None, :] - matrix[None, :, :]
+    d2 = (diffs**2).sum(axis=2)
+    # Score: sum over the n-f-2 nearest other vectors.
+    neighborhood = max(1, n - f - 2)
+    scores = np.empty(n)
+    for i in range(n):
+        others = np.delete(d2[i], i)
+        others.sort()
+        scores[i] = others[:neighborhood].sum()
+    best = np.argsort(scores)[: max(1, min(m, n))]
+    return matrix[best].mean(axis=0)
+
+
+#: Registry used by the E11 benchmark to sweep aggregation rules.
+AGGREGATORS: Dict[str, Callable[..., np.ndarray]] = {
+    "mean": mean_aggregate,
+    "median": median_aggregate,
+    "trimmed_mean": trimmed_mean_aggregate,
+    "krum": krum_aggregate,
+}

@@ -1,0 +1,154 @@
+"""Continual learning with and without context awareness.
+
+§V-B: "In systems that learn blindly without proper contextualization, new
+information can often erase previously learned knowledge ... the system
+must learn the different relevant underlying contexts automatically."
+
+* :class:`OnlineLinearModel` — SGD linear regressor (the shared primitive).
+* :class:`BlindContinualLearner` — one model trained on whatever arrives;
+  suffers catastrophic forgetting when the data distribution shifts.
+* :class:`ContextAwareLearner` — detects context shifts from input
+  statistics (no labels needed), maintains one model per inferred context,
+  and routes both training and prediction through the detected context —
+  so old knowledge survives new regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import LearningError
+
+__all__ = ["OnlineLinearModel", "BlindContinualLearner", "ContextAwareLearner"]
+
+
+class OnlineLinearModel:
+    """Linear regression trained by normalized LMS.
+
+    The update ``w -= mu * (pred - y) * x / (eps + ||x||^2)`` is stable for
+    ``0 < mu < 2`` regardless of input scale — plain SGD diverges on
+    large-norm inputs, which battlefield feature streams (unnormalized
+    sensor values) readily produce.
+    """
+
+    def __init__(self, dim: int, *, learning_rate: float = 0.5):
+        if dim < 1:
+            raise LearningError("dim must be >= 1")
+        if not (0.0 < learning_rate < 2.0):
+            raise LearningError("NLMS learning_rate must be in (0, 2)")
+        self.dim = dim
+        self.learning_rate = learning_rate
+        self.w = np.zeros(dim)
+        self.samples_seen = 0
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=float) @ self.w
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.atleast_1d(np.asarray(y, dtype=float))
+        for xi, yi in zip(x, y):
+            error = xi @ self.w - yi
+            norm_sq = float(xi @ xi) + 1e-9
+            self.w -= self.learning_rate * error * xi / norm_sq
+            self.samples_seen += 1
+
+    def mse(self, x: np.ndarray, y: np.ndarray) -> float:
+        residual = self.predict(x) - np.asarray(y, dtype=float)
+        return float(np.mean(residual**2))
+
+
+class BlindContinualLearner:
+    """One model, trained sequentially on everything (the baseline)."""
+
+    def __init__(self, dim: int, **model_kwargs):
+        self.model = OnlineLinearModel(dim, **model_kwargs)
+
+    def learn(self, x: np.ndarray, y: np.ndarray) -> None:
+        self.model.partial_fit(x, y)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        return self.model.mse(x, y)
+
+
+class ContextAwareLearner:
+    """Context-detecting continual learner.
+
+    Context detection is unsupervised: each batch's input mean vector is
+    compared against stored context signatures; a batch farther than
+    ``context_threshold`` from every known signature opens a new context.
+    Signatures are running means, so drifting contexts track slowly while
+    jumps open fresh models.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        context_threshold: float = 2.0,
+        max_contexts: int = 16,
+        **model_kwargs,
+    ):
+        if context_threshold <= 0:
+            raise LearningError("context_threshold must be positive")
+        self.dim = dim
+        self.context_threshold = context_threshold
+        self.max_contexts = max_contexts
+        self._model_kwargs = model_kwargs
+        self.models: Dict[int, OnlineLinearModel] = {}
+        self.signatures: Dict[int, np.ndarray] = {}
+        self._signature_counts: Dict[int, int] = {}
+        self._next_context = 0
+
+    # ------------------------------------------------------------ detection
+
+    def detect_context(self, x: np.ndarray) -> int:
+        """Return the context id for a batch (possibly a new one)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        center = x.mean(axis=0)
+        best_ctx, best_dist = None, float("inf")
+        for ctx, signature in self.signatures.items():
+            dist = float(np.linalg.norm(center - signature))
+            if dist < best_dist:
+                best_dist = dist
+                best_ctx = ctx
+        if best_ctx is not None and best_dist <= self.context_threshold:
+            return best_ctx
+        if len(self.models) >= self.max_contexts:
+            return best_ctx if best_ctx is not None else 0
+        ctx = self._next_context
+        self._next_context += 1
+        self.models[ctx] = OnlineLinearModel(self.dim, **self._model_kwargs)
+        self.signatures[ctx] = center.copy()
+        self._signature_counts[ctx] = 0
+        return ctx
+
+    def _update_signature(self, ctx: int, x: np.ndarray) -> None:
+        center = np.atleast_2d(x).mean(axis=0)
+        count = self._signature_counts[ctx]
+        self.signatures[ctx] = (self.signatures[ctx] * count + center) / (
+            count + 1
+        )
+        self._signature_counts[ctx] = count + 1
+
+    # ------------------------------------------------------------- learning
+
+    def learn(self, x: np.ndarray, y: np.ndarray) -> int:
+        """Train on a batch; returns the context it was routed to."""
+        ctx = self.detect_context(x)
+        self.models[ctx].partial_fit(x, y)
+        self._update_signature(ctx, x)
+        return ctx
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Route to the detected context's model and score."""
+        if not self.models:
+            raise LearningError("learner has no contexts yet")
+        ctx = self.detect_context(np.atleast_2d(x))
+        return self.models[ctx].mse(x, y)
+
+    @property
+    def context_count(self) -> int:
+        return len(self.models)

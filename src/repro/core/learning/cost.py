@@ -1,0 +1,153 @@
+"""Cost-aware learning: topology activation vs accuracy.
+
+§V-B (citing the information-theoretic line [28-33]): "one might activate
+different network topologies based on the trade-off between network
+learning and communication ... self-configure to jointly optimize both
+learning cost and decision making accuracy."
+
+Concretely: N sensors hold noisy observations of a common quantity; fusing
+over an activated topology averages whatever values can reach the fusion
+point, at a per-round energy cost proportional to activated links.  Denser
+activation -> lower estimation error, higher energy.  The
+:class:`ActivationPolicy` picks the cheapest option meeting an error
+target; :func:`cost_accuracy_frontier` sweeps the options for E12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import LearningError
+
+__all__ = ["TopologyOption", "ActivationPolicy", "cost_accuracy_frontier"]
+
+
+@dataclass(frozen=True)
+class TopologyOption:
+    """One activatable communication pattern.
+
+    ``participation`` is the fraction of sensors whose values reach fusion
+    per round; ``links`` is the energy proxy (transmissions per round).
+    """
+
+    name: str
+    participation: float
+    links: int
+    energy_per_link_j: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.participation <= 1.0):
+            raise LearningError("participation must be in (0, 1]")
+        if self.links < 0:
+            raise LearningError("links must be non-negative")
+
+    @property
+    def energy_j(self) -> float:
+        return self.links * self.energy_per_link_j
+
+
+def standard_options(n_sensors: int) -> List[TopologyOption]:
+    """The canonical activation ladder for ``n_sensors`` nodes."""
+    if n_sensors < 2:
+        raise LearningError("need >= 2 sensors")
+    return [
+        TopologyOption("single", participation=1.0 / n_sensors, links=1),
+        TopologyOption(
+            "sparse_quarter",
+            participation=max(0.25, 1.0 / n_sensors),
+            links=max(1, n_sensors // 4),
+        ),
+        TopologyOption("half", participation=0.5, links=n_sensors // 2),
+        TopologyOption("tree", participation=1.0, links=n_sensors - 1),
+        TopologyOption(
+            "dense_redundant", participation=1.0, links=2 * (n_sensors - 1)
+        ),
+    ]
+
+
+def estimation_error(
+    option: TopologyOption,
+    n_sensors: int,
+    noise_std: float,
+    rng: np.random.Generator,
+    *,
+    trials: int = 200,
+) -> float:
+    """Monte-Carlo RMSE of fusing a participating subset's observations.
+
+    The redundant option additionally averages two independent rounds
+    (its extra links buy retransmission diversity).
+    """
+    k = max(1, int(round(option.participation * n_sensors)))
+    rounds = 2 if option.links > n_sensors - 1 else 1
+    errors = np.empty(trials)
+    for t in range(trials):
+        estimates = [
+            float(np.mean(rng.normal(0.0, noise_std, k))) for _ in range(rounds)
+        ]
+        errors[t] = np.mean(estimates)
+    return float(np.sqrt(np.mean(errors**2)))
+
+
+class ActivationPolicy:
+    """Pick the cheapest topology meeting an error target.
+
+    ``choose`` evaluates options (cached Monte-Carlo error) and returns the
+    minimum-energy option whose RMSE is below the target; if none qualifies
+    it returns the most accurate one (graceful degradation).
+    """
+
+    def __init__(
+        self,
+        n_sensors: int,
+        noise_std: float,
+        *,
+        options: Optional[Sequence[TopologyOption]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.n_sensors = n_sensors
+        self.noise_std = noise_std
+        self.options = (
+            list(options) if options is not None else standard_options(n_sensors)
+        )
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._error_cache: Dict[str, float] = {}
+
+    def error_of(self, option: TopologyOption) -> float:
+        if option.name not in self._error_cache:
+            self._error_cache[option.name] = estimation_error(
+                option, self.n_sensors, self.noise_std, self.rng
+            )
+        return self._error_cache[option.name]
+
+    def choose(self, error_target: float) -> TopologyOption:
+        qualifying = [
+            o for o in self.options if self.error_of(o) <= error_target
+        ]
+        if qualifying:
+            return min(qualifying, key=lambda o: (o.energy_j, o.name))
+        return min(self.options, key=lambda o: (self.error_of(o), o.name))
+
+
+def cost_accuracy_frontier(
+    n_sensors: int,
+    noise_std: float,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Dict[str, float]]:
+    """Evaluate every standard option; rows of name/energy/error (E12)."""
+    policy = ActivationPolicy(n_sensors, noise_std, rng=rng)
+    rows = []
+    for option in policy.options:
+        rows.append(
+            {
+                "name": option.name,
+                "links": option.links,
+                "energy_j": option.energy_j,
+                "rmse": policy.error_of(option),
+            }
+        )
+    return rows

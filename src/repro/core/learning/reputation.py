@@ -1,0 +1,57 @@
+"""Reputation feedback: close the loop from truth discovery to trust.
+
+After each truth-discovery pass, every source's claims are scored against
+the inferred truths and pushed into the shared :class:`TrustLedger`.  Over
+rounds, honest sources accumulate trust and colluding sources lose it —
+which is what lets *recruitment* (synthesis) avoid sources that *learning*
+has unmasked.  This is the synthesis <-> learning interaction of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.learning.truth_discovery import TruthDiscoveryResult
+from repro.security.trust import TrustLedger
+from repro.things.humans import Claim
+
+__all__ = ["ReputationFeedback"]
+
+
+class ReputationFeedback:
+    """Scores claim batches against inferred truth and updates trust."""
+
+    def __init__(
+        self,
+        ledger: Optional[TrustLedger] = None,
+        *,
+        confidence_floor: float = 0.7,
+    ):
+        """``confidence_floor``: only events whose inferred probability is
+        this far from 0.5 (either side) generate reputation evidence —
+        uncertain inferences should not convict or exonerate anyone."""
+        self.ledger = ledger if ledger is not None else TrustLedger()
+        self.confidence_floor = confidence_floor
+        self.rounds = 0
+
+    def apply(
+        self, claims: Sequence[Claim], result: TruthDiscoveryResult
+    ) -> Dict[int, float]:
+        """Update the ledger from one round; returns new trust snapshot."""
+        self.rounds += 1
+        for claim in claims:
+            p_true = result.event_probability.get(claim.event_id)
+            if p_true is None:
+                continue
+            confidence = max(p_true, 1.0 - p_true)
+            if confidence < self.confidence_floor:
+                continue
+            inferred = p_true > 0.5
+            agreed = claim.value == inferred
+            # Weight evidence by inference confidence.
+            self.ledger.observe(claim.source_id, agreed, weight=confidence)
+        self.ledger.age_all()
+        return self.ledger.snapshot()
+
+    def distrusted_sources(self, threshold: float = 0.4) -> Sequence[int]:
+        return list(self.ledger.suspicious(threshold))

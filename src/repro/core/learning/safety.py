@@ -1,0 +1,166 @@
+"""Learning safety: runtime monitoring and output-range verification.
+
+§V-B: "novel methodologies ... might rely on runtime monitoring,
+certificate-based verification" — and the citations include output-range
+analysis for neural networks (Dutta et al.) and simulation-driven
+falsification (Dreossi et al.).
+
+* :class:`IntervalMlp` — interval bound propagation (IBP) through a small
+  ReLU MLP: given an input box, compute a *sound* enclosure of the output
+  range.  If the unsafe region lies outside the enclosure, the network is
+  verified safe on that box (certificate-based verification).
+* :class:`RuntimeMonitor` — a predicate evaluated on every proposed action
+  with veto power and an audit trail.
+* :class:`ShieldedPolicy` — a learned policy wrapped by a monitor plus a
+  verified-safe fallback: the runtime-assurance (Simplex) architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LearningError
+
+__all__ = ["IntervalMlp", "RuntimeMonitor", "ShieldedPolicy"]
+
+
+class IntervalMlp:
+    """A ReLU MLP with interval bound propagation.
+
+    ``layers`` is a list of (weight, bias) pairs; ReLU is applied between
+    layers (not after the last).  ``propagate`` soundly encloses the output
+    over an input box using the standard IBP rules:
+    ``center = W (l+u)/2 + b``, ``radius = |W| (u-l)/2``.
+    """
+
+    def __init__(self, layers: Sequence[Tuple[np.ndarray, np.ndarray]]):
+        if not layers:
+            raise LearningError("need at least one layer")
+        self.layers = [
+            (np.asarray(w, dtype=float), np.asarray(b, dtype=float))
+            for w, b in layers
+        ]
+        for i, (w, b) in enumerate(self.layers):
+            if w.ndim != 2 or b.ndim != 1 or w.shape[0] != b.shape[0]:
+                raise LearningError(f"layer {i} shapes inconsistent")
+            if i > 0 and w.shape[1] != self.layers[i - 1][0].shape[0]:
+                raise LearningError(f"layer {i} does not compose with {i-1}")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = np.asarray(x, dtype=float)
+        for i, (w, b) in enumerate(self.layers):
+            h = w @ h + b
+            if i < len(self.layers) - 1:
+                h = np.maximum(h, 0.0)
+        return h
+
+    def propagate(
+        self, lower: np.ndarray, upper: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sound output bounds over the input box [lower, upper]."""
+        lo = np.asarray(lower, dtype=float)
+        hi = np.asarray(upper, dtype=float)
+        if lo.shape != hi.shape or np.any(lo > hi):
+            raise LearningError("invalid input box")
+        for i, (w, b) in enumerate(self.layers):
+            center = (lo + hi) / 2.0
+            radius = (hi - lo) / 2.0
+            new_center = w @ center + b
+            new_radius = np.abs(w) @ radius
+            lo = new_center - new_radius
+            hi = new_center + new_radius
+            if i < len(self.layers) - 1:
+                lo = np.maximum(lo, 0.0)
+                hi = np.maximum(hi, 0.0)
+        return lo, hi
+
+    def verify_output_below(
+        self, lower: np.ndarray, upper: np.ndarray, threshold: float, output_index: int = 0
+    ) -> bool:
+        """Certify ``output[output_index] < threshold`` over the box.
+
+        True means *verified safe* (sound); False means *unknown* — IBP
+        bounds are conservative, so False does not imply a violation.
+        """
+        _lo, hi = self.propagate(lower, upper)
+        return bool(hi[output_index] < threshold)
+
+    def falsify(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        threshold: float,
+        rng: np.random.Generator,
+        *,
+        output_index: int = 0,
+        samples: int = 1000,
+    ) -> Optional[np.ndarray]:
+        """Simulation-driven falsification: search the box for a violation.
+
+        Returns a counterexample input, or None if none was found.
+        """
+        lo = np.asarray(lower, dtype=float)
+        hi = np.asarray(upper, dtype=float)
+        for _i in range(samples):
+            x = rng.uniform(lo, hi)
+            if self.forward(x)[output_index] >= threshold:
+                return x
+        return None
+
+
+class RuntimeMonitor:
+    """A safety predicate with veto power and an audit trail."""
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Callable[[np.ndarray, np.ndarray], bool],
+    ):
+        """``predicate(state, action) -> True`` means the action is safe."""
+        self.name = name
+        self.predicate = predicate
+        self.checks = 0
+        self.vetoes = 0
+        self.veto_log: List[Tuple[int, float]] = []
+
+    def allows(self, state: np.ndarray, action: np.ndarray) -> bool:
+        self.checks += 1
+        ok = bool(self.predicate(state, action))
+        if not ok:
+            self.vetoes += 1
+        return ok
+
+
+class ShieldedPolicy:
+    """Runtime assurance: learned policy + monitor + safe fallback.
+
+    ``act`` consults the learned policy; if the monitor vetoes its output,
+    the verified-safe fallback acts instead.  Interception statistics are
+    what E14 reports.
+    """
+
+    def __init__(
+        self,
+        policy: Callable[[np.ndarray], np.ndarray],
+        monitor: RuntimeMonitor,
+        fallback: Callable[[np.ndarray], np.ndarray],
+    ):
+        self.policy = policy
+        self.monitor = monitor
+        self.fallback = fallback
+        self.interventions = 0
+        self.actions = 0
+
+    def act(self, state: np.ndarray) -> np.ndarray:
+        self.actions += 1
+        proposed = np.asarray(self.policy(state), dtype=float)
+        if self.monitor.allows(state, proposed):
+            return proposed
+        self.interventions += 1
+        return np.asarray(self.fallback(state), dtype=float)
+
+    @property
+    def intervention_rate(self) -> float:
+        return self.interventions / self.actions if self.actions else 0.0

@@ -1,0 +1,148 @@
+"""Network tomography: infer internal state from end-to-end observations.
+
+§V-A: "Health ... needs to be inferred (and damage, if any, assessed)
+without direct component observation.  In communication networks, this
+problem is sometimes known as network tomography."
+
+Two classical flavors over path measurements:
+
+* :class:`BooleanTomography` — localize failed links from path success /
+  failure bits.  Links on any successful path are exonerated; failures are
+  explained by a minimal hitting set over the remaining suspects (greedy
+  set-cover, the standard heuristic).
+* :class:`AdditiveTomography` — estimate per-link delays from end-to-end
+  path delays by non-negative least squares on the routing matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import LearningError
+
+__all__ = ["PathMeasurement", "BooleanTomography", "AdditiveTomography"]
+
+Link = Tuple[int, int]
+
+
+def _norm(link: Link) -> Link:
+    a, b = link
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class PathMeasurement:
+    """One end-to-end observation over a known path."""
+
+    path: Tuple[int, ...]          # node sequence
+    success: bool = True
+    delay_s: Optional[float] = None
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        return tuple(_norm((a, b)) for a, b in zip(self.path, self.path[1:]))
+
+
+class BooleanTomography:
+    """Failure localization from path success/failure observations."""
+
+    def __init__(self, measurements: Sequence[PathMeasurement]):
+        if not measurements:
+            raise LearningError("no measurements")
+        self.measurements = list(measurements)
+
+    def localize(self) -> Set[Link]:
+        """Return the inferred failed-link set (greedy minimal hitting set)."""
+        good_links: Set[Link] = set()
+        for m in self.measurements:
+            if m.success:
+                good_links.update(m.links)
+        # Each failed path must be "explained" by >= 1 bad link among its
+        # non-exonerated links.
+        unexplained: List[Set[Link]] = []
+        for m in self.measurements:
+            if m.success:
+                continue
+            suspects = set(m.links) - good_links
+            if suspects:
+                unexplained.append(suspects)
+        failed: Set[Link] = set()
+        while unexplained:
+            # Pick the suspect covering the most unexplained failures.
+            counts: Dict[Link, int] = {}
+            for suspects in unexplained:
+                for link in suspects:
+                    counts[link] = counts.get(link, 0) + 1
+            best = max(sorted(counts), key=lambda l: counts[l])
+            failed.add(best)
+            unexplained = [s for s in unexplained if best not in s]
+        return failed
+
+    def identifiable_links(self) -> Set[Link]:
+        """Links covered by at least one measurement (others are invisible)."""
+        out: Set[Link] = set()
+        for m in self.measurements:
+            out.update(m.links)
+        return out
+
+    def score(self, true_failed: Set[Link]) -> Dict[str, float]:
+        """Precision/recall of localization vs ground truth, over
+        identifiable links only (unobserved links cannot be localized)."""
+        observable = self.identifiable_links()
+        truth = {_norm(l) for l in true_failed} & observable
+        inferred = self.localize()
+        tp = len(inferred & truth)
+        precision = tp / len(inferred) if inferred else (1.0 if not truth else 0.0)
+        recall = tp / len(truth) if truth else 1.0
+        return {"precision": precision, "recall": recall}
+
+
+class AdditiveTomography:
+    """Per-link delay estimation from end-to-end path delays."""
+
+    def __init__(self, measurements: Sequence[PathMeasurement]):
+        usable = [
+            m for m in measurements if m.success and m.delay_s is not None
+        ]
+        if not usable:
+            raise LearningError("no successful delay measurements")
+        self.measurements = usable
+        self.links: List[Link] = sorted(
+            {link for m in usable for link in m.links}
+        )
+        self._index = {link: i for i, link in enumerate(self.links)}
+
+    def routing_matrix(self) -> np.ndarray:
+        matrix = np.zeros((len(self.measurements), len(self.links)))
+        for row, m in enumerate(self.measurements):
+            for link in m.links:
+                matrix[row, self._index[link]] += 1.0
+        return matrix
+
+    def estimate(self) -> Dict[Link, float]:
+        """Non-negative least-squares link-delay estimates."""
+        from scipy.optimize import nnls
+
+        matrix = self.routing_matrix()
+        delays = np.array([m.delay_s for m in self.measurements])
+        solution, _residual = nnls(matrix, delays)
+        return {link: float(solution[i]) for link, i in self._index.items()}
+
+    def rank_deficiency(self) -> int:
+        """Unidentifiable dimensions (0 means fully identifiable)."""
+        matrix = self.routing_matrix()
+        return len(self.links) - int(np.linalg.matrix_rank(matrix))
+
+    def estimation_error(self, true_delays: Dict[Link, float]) -> float:
+        """Mean absolute error over links present in both maps."""
+        estimates = self.estimate()
+        common = [l for l in estimates if _norm(l) in {_norm(k) for k in true_delays}]
+        truth = { _norm(k): v for k, v in true_delays.items() }
+        if not common:
+            return float("nan")
+        return float(
+            np.mean([abs(estimates[l] - truth[_norm(l)]) for l in common])
+        )

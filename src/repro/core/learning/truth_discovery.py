@@ -1,0 +1,197 @@
+"""Social-sensing truth discovery.
+
+Implements the estimation-theoretic model of the paper's citations [1-4]
+(Wang et al.): binary world events, sources with latent reliability, joint
+maximum-likelihood recovery of both via EM.
+
+Model: event ``e`` has truth ``t_e ~ Bernoulli(p)``; source ``i`` reports
+``t_e`` with probability ``r_i`` and ``not t_e`` otherwise (a symmetric
+noisy channel — an adversarial source is simply one with ``r_i < 0.5``,
+which the EM happily estimates, automatically *inverting* its testimony).
+
+:func:`majority_vote` is the baseline that weighs all sources equally and
+is what colluding false sources defeat (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import LearningError
+from repro.things.humans import Claim
+
+__all__ = ["TruthDiscoveryResult", "TruthDiscovery", "majority_vote"]
+
+
+@dataclass
+class TruthDiscoveryResult:
+    """Inferred event truths and source reliabilities."""
+
+    event_probability: Dict[int, float]   # P(event true | claims)
+    source_reliability: Dict[int, float]  # estimated r_i
+    iterations: int
+    converged: bool
+
+    def truths(self, threshold: float = 0.5) -> Dict[int, bool]:
+        return {e: p > threshold for e, p in self.event_probability.items()}
+
+    def accuracy(self, ground_truth: Dict[int, bool]) -> float:
+        """Fraction of events whose inferred truth matches ground truth."""
+        inferred = self.truths()
+        common = [e for e in ground_truth if e in inferred]
+        if not common:
+            return float("nan")
+        hits = sum(1 for e in common if inferred[e] == ground_truth[e])
+        return hits / len(common)
+
+
+def majority_vote(claims: Sequence[Claim]) -> Dict[int, bool]:
+    """Unweighted per-event majority (ties break toward True)."""
+    votes: Dict[int, List[bool]] = {}
+    for claim in claims:
+        votes.setdefault(claim.event_id, []).append(claim.value)
+    return {
+        e: (sum(v) >= len(v) / 2.0) for e, v in votes.items()
+    }
+
+
+class TruthDiscovery:
+    """EM estimator for event truths and source reliabilities."""
+
+    def __init__(
+        self,
+        *,
+        prior_true: float = 0.5,
+        initial_reliability: float = 0.8,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        anchors: Optional[Dict[int, float]] = None,
+    ):
+        """``anchors`` maps source ids to *known* reliabilities that the
+        M-step never updates.  The symmetric-channel EM has a label-switching
+        symmetry: a colluding majority can pull it into the mirrored
+        solution where the liars look reliable.  Anchoring even a couple of
+        vetted sources (blue-force scouts with established track records)
+        breaks that symmetry — this is the operational reason recruitment
+        keeps trusted sources in every report stream."""
+        if not (0.0 < prior_true < 1.0):
+            raise LearningError("prior_true must be in (0, 1)")
+        if not (0.0 < initial_reliability < 1.0):
+            raise LearningError("initial_reliability must be in (0, 1)")
+        self.prior_true = prior_true
+        self.initial_reliability = initial_reliability
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.anchors = dict(anchors) if anchors else {}
+        for source_id, value in self.anchors.items():
+            if not (0.0 < value < 1.0):
+                raise LearningError(
+                    f"anchor reliability for source {source_id} must be in (0, 1)"
+                )
+
+    def run(self, claims: Sequence[Claim]) -> TruthDiscoveryResult:
+        if not claims:
+            raise LearningError("no claims to run truth discovery on")
+        events = sorted({c.event_id for c in claims})
+        sources = sorted({c.source_id for c in claims})
+        e_index = {e: i for i, e in enumerate(events)}
+        s_index = {s: i for i, s in enumerate(sources)}
+
+        # Claim matrix: +1 (true), -1 (false), 0 (no claim).
+        matrix = np.zeros((len(sources), len(events)), dtype=np.int8)
+        for claim in claims:
+            matrix[s_index[claim.source_id], e_index[claim.event_id]] = (
+                1 if claim.value else -1
+            )
+        mask = matrix != 0
+
+        anchor_idx = {
+            s_index[s]: r for s, r in self.anchors.items() if s in s_index
+        }
+        # With anchors, unknown sources start *uninformative* (0.5): the
+        # first E-step is then driven solely by anchored testimony, which
+        # places EM in the correct basin even when colluders are the
+        # majority.  Without anchors, a symmetric start would be a fixed
+        # point, so the optimistic initial_reliability is used instead.
+        base = 0.5 if anchor_idx else self.initial_reliability
+        reliability = np.full(len(sources), base)
+        for idx, r in anchor_idx.items():
+            reliability[idx] = r
+        prob_true = np.full(len(events), self.prior_true)
+        eps = 1e-9
+
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            # ---------------- E-step: posterior P(event true | claims, r)
+            log_r = np.log(np.clip(reliability, eps, 1 - eps))
+            log_nr = np.log(np.clip(1 - reliability, eps, 1 - eps))
+            # If event true: claim +1 has prob r, claim -1 has prob (1-r).
+            ll_true = ((matrix == 1).T @ log_r) + ((matrix == -1).T @ log_nr)
+            ll_false = ((matrix == 1).T @ log_nr) + ((matrix == -1).T @ log_r)
+            prior = np.log(self.prior_true) - np.log(1 - self.prior_true)
+            logit = ll_true - ll_false + prior
+            new_prob = 1.0 / (1.0 + np.exp(-np.clip(logit, -500, 500)))
+
+            # ---------------- M-step: r_i = expected agreement rate
+            # Agreement weight: P(true)*1{claim=+1} + P(false)*1{claim=-1}.
+            agree = (matrix == 1) * new_prob[None, :] + (matrix == -1) * (
+                1.0 - new_prob[None, :]
+            )
+            claim_counts = mask.sum(axis=1)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                new_reliability = np.where(
+                    claim_counts > 0,
+                    agree.sum(axis=1) / np.maximum(claim_counts, 1),
+                    self.initial_reliability,
+                )
+            # Keep away from 0/1 so the log-likelihood stays finite.
+            new_reliability = np.clip(new_reliability, 0.01, 0.99)
+            for idx, r in anchor_idx.items():
+                new_reliability[idx] = r  # anchored sources are pinned
+
+            delta = max(
+                float(np.abs(new_prob - prob_true).max()),
+                float(np.abs(new_reliability - reliability).max()),
+            )
+            prob_true = new_prob
+            reliability = new_reliability
+            if delta < self.tolerance:
+                converged = True
+                break
+
+        return TruthDiscoveryResult(
+            event_probability={e: float(prob_true[e_index[e]]) for e in events},
+            source_reliability={
+                s: float(reliability[s_index[s]]) for s in sources
+            },
+            iterations=iteration,
+            converged=converged,
+        )
+
+
+class StreamingTruthDiscovery:
+    """Windowed streaming wrapper: re-estimates over a sliding claim window.
+
+    Matches the "parallel and streaming truth discovery" citation [4]: new
+    claim batches arrive over time; estimates update per batch while memory
+    stays bounded by the window.
+    """
+
+    def __init__(self, *, window: int = 5000, **td_kwargs):
+        if window < 1:
+            raise LearningError("window must be >= 1")
+        self.window = window
+        self._estimator = TruthDiscovery(**td_kwargs)
+        self._claims: List[Claim] = []
+        self.last_result: Optional[TruthDiscoveryResult] = None
+
+    def add_batch(self, claims: Sequence[Claim]) -> TruthDiscoveryResult:
+        self._claims.extend(claims)
+        if len(self._claims) > self.window:
+            self._claims = self._claims[-self.window:]
+        self.last_result = self._estimator.run(self._claims)
+        return self.last_result

@@ -1,0 +1,84 @@
+"""Mission goals.
+
+A :class:`MissionGoal` is the declarative, high-level description of what a
+mission must achieve ("track a collection of insurgents ... within a certain
+geographic area").  The synthesis pipeline compiles goals into quantitative
+requirements (:mod:`repro.core.synthesis.requirements`), and the services
+layer executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet
+
+from repro.errors import ConfigurationError
+from repro.things.capabilities import SensingModality
+from repro.util.geometry import Region
+
+__all__ = ["MissionType", "MissionGoal"]
+
+
+class MissionType(Enum):
+    """The mission families the paper's examples draw from."""
+
+    SURVEIL = "surveil"          # wide-area persistent surveillance
+    TRACK = "track"              # track a dispersed moving group
+    EVACUATE = "evacuate"        # non-combatant evacuation
+    MONITOR_HEALTH = "monitor"   # physiological/psychological monitoring
+
+
+@dataclass(frozen=True)
+class MissionGoal:
+    """A high-level mission goal.
+
+    Parameters
+    ----------
+    area:
+        Geographic area of responsibility.
+    modalities:
+        Acceptable sensing modalities (any of them satisfies a sensing
+        need; redundancy across modalities is what adaptation exploits).
+    min_coverage:
+        Required fraction of the area within sensing range.
+    max_latency_s:
+        Bound on sensing-to-decision latency.
+    min_confidence:
+        Required confidence in fused information (0..1).
+    duration_s:
+        Mission time horizon.
+    priority:
+        Relative importance when missions compete for assets (higher wins).
+    """
+
+    mission_type: MissionType
+    area: Region
+    modalities: FrozenSet[SensingModality] = frozenset(
+        {SensingModality.CAMERA, SensingModality.ACOUSTIC, SensingModality.SEISMIC}
+    )
+    min_coverage: float = 0.8
+    max_latency_s: float = 10.0
+    min_confidence: float = 0.8
+    duration_s: float = 3600.0
+    priority: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.min_coverage <= 1.0):
+            raise ConfigurationError("min_coverage must be in (0, 1]")
+        if self.max_latency_s <= 0:
+            raise ConfigurationError("max_latency_s must be positive")
+        if not (0.0 < self.min_confidence <= 1.0):
+            raise ConfigurationError("min_confidence must be in (0, 1]")
+        if not self.modalities:
+            raise ConfigurationError("at least one sensing modality required")
+
+    def describe(self) -> str:
+        mods = "/".join(sorted(m.value for m in self.modalities))
+        return (
+            f"{self.mission_type.value} over "
+            f"{self.area.width:.0f}x{self.area.height:.0f}m "
+            f"(coverage>={self.min_coverage:.0%}, latency<={self.max_latency_s}s, "
+            f"modalities: {mods})"
+        )

@@ -1,0 +1,55 @@
+"""Battlefield services built on the synthesis/adaptation/learning stack.
+
+* :mod:`repro.core.services.c2` — command-and-control decision-loop models
+  (hierarchical approval vs command-by-intent vs full autonomy).
+* :mod:`repro.core.services.tracking` — distributed target tracking with
+  networked fusion.
+* :mod:`repro.core.services.surveillance` — wide-area coverage monitoring.
+* :mod:`repro.core.services.evacuation` — the non-combatant evacuation
+  mission that exercises all three IoBT functions together (Figure 1).
+"""
+
+from repro.core.services.c2 import (
+    C2Mode,
+    DecisionRequest,
+    EchelonChain,
+    C2Comparison,
+)
+from repro.core.services.tracking import TrackingService, Track
+from repro.core.services.surveillance import SurveillanceService
+from repro.core.services.evacuation import (
+    EvacuationMission,
+    EvacuationConfig,
+    EvacuationResult,
+)
+from repro.core.services.arbiter import (
+    MissionArbiter,
+    MissionRecord,
+    MissionState,
+)
+from repro.core.services.health import (
+    HealthMonitorService,
+    SoldierModel,
+    CasualtyKind,
+    VitalsSample,
+)
+
+__all__ = [
+    "MissionArbiter",
+    "MissionRecord",
+    "MissionState",
+    "HealthMonitorService",
+    "SoldierModel",
+    "CasualtyKind",
+    "VitalsSample",
+    "C2Mode",
+    "DecisionRequest",
+    "EchelonChain",
+    "C2Comparison",
+    "TrackingService",
+    "Track",
+    "SurveillanceService",
+    "EvacuationMission",
+    "EvacuationConfig",
+    "EvacuationResult",
+]

@@ -1,0 +1,207 @@
+"""Multi-mission arbitration: competing IoBTs over one asset inventory.
+
+§II: "There will likely be many networks operating simultaneously, possibly
+competing for resources ... Tasks are not expected to start or end
+simultaneously, and new tasks may emerge as others are being executed."
+
+The :class:`MissionArbiter` owns the inventory's allocation state.  Each
+submitted mission is composed from *unallocated* assets; when that fails
+and the newcomer outranks an active mission, the arbiter preempts the
+lowest-priority active mission(s) and retries.  Missions release their
+assets on completion, unblocking any queued requests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+from repro.core.mission import MissionGoal
+from repro.core.synthesis.composer import CompositeAsset, GreedyComposer
+from repro.core.synthesis.requirements import compile_goal
+from repro.errors import CompositionError
+from repro.net.topology import TopologySnapshot, build_topology
+from repro.scenarios.builder import Scenario
+from repro.things.asset import Asset
+
+__all__ = ["MissionState", "MissionRecord", "MissionArbiter"]
+
+_mission_ids = itertools.count(1)
+
+
+class MissionState(Enum):
+    QUEUED = "queued"
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    PREEMPTED = "preempted"
+    REJECTED = "rejected"
+
+
+@dataclass
+class MissionRecord:
+    """Lifecycle record of one mission in the arbiter."""
+
+    goal: MissionGoal
+    state: MissionState = MissionState.QUEUED
+    composite: Optional[CompositeAsset] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    ended_at: Optional[float] = None
+    preemptions_caused: int = 0
+    mission_id: int = field(default_factory=lambda: next(_mission_ids))
+
+    @property
+    def held_assets(self) -> Set[int]:
+        if self.composite is None or self.state is not MissionState.ACTIVE:
+            return set()
+        return set(self.composite.members)
+
+
+class MissionArbiter:
+    """Admission + preemption control over a shared asset inventory."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        composer: Optional[GreedyComposer] = None,
+        allow_preemption: bool = True,
+    ):
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.composer = composer if composer is not None else GreedyComposer()
+        self.allow_preemption = allow_preemption
+        self.missions: List[MissionRecord] = []
+        self.preemption_count = 0
+
+    # -------------------------------------------------------------- plumbing
+
+    def active_missions(self) -> List[MissionRecord]:
+        return [m for m in self.missions if m.state is MissionState.ACTIVE]
+
+    def allocated_assets(self) -> Set[int]:
+        out: Set[int] = set()
+        for mission in self.active_missions():
+            out |= mission.held_assets
+        return out
+
+    def free_pool(self) -> List[Asset]:
+        taken = self.allocated_assets()
+        return [
+            a
+            for a in self.scenario.inventory.blue()
+            if a.alive and a.id not in taken
+        ]
+
+    def _topology(self) -> TopologySnapshot:
+        return build_topology(self.scenario.network)
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, goal: MissionGoal) -> MissionRecord:
+        """Try to admit a mission now; preempt lower priorities if allowed."""
+        record = MissionRecord(goal=goal, submitted_at=self.sim.now)
+        self.missions.append(record)
+        if self._try_start(record):
+            return record
+        if self.allow_preemption and self._preempt_for(record):
+            return record
+        record.state = MissionState.REJECTED
+        self.sim.trace.emit(
+            "arbiter.rejected", mission=record.mission_id, priority=goal.priority
+        )
+        return record
+
+    def _try_start(self, record: MissionRecord) -> bool:
+        pool = self.free_pool()
+        if not pool:
+            return False
+        requirements = compile_goal(record.goal)
+        try:
+            composite = self.composer.compose(
+                requirements, pool, self._topology()
+            )
+        except CompositionError:
+            return False
+        if not composite.satisfies():
+            return False
+        record.composite = composite
+        record.state = MissionState.ACTIVE
+        record.started_at = self.sim.now
+        self.sim.trace.emit(
+            "arbiter.started",
+            mission=record.mission_id,
+            assets=composite.size,
+            priority=record.goal.priority,
+        )
+        self.sim.call_in(record.goal.duration_s, lambda: self.complete(record))
+        return True
+
+    def _preempt_for(self, record: MissionRecord) -> bool:
+        """Preempt strictly lower-priority missions until the newcomer fits."""
+        victims = sorted(
+            (
+                m
+                for m in self.active_missions()
+                if m.goal.priority < record.goal.priority
+            ),
+            key=lambda m: (m.goal.priority, m.started_at or 0.0),
+        )
+        preempted: List[MissionRecord] = []
+        for victim in victims:
+            victim.state = MissionState.PREEMPTED
+            victim.ended_at = self.sim.now
+            preempted.append(victim)
+            self.preemption_count += 1
+            record.preemptions_caused += 1
+            self.sim.trace.emit(
+                "arbiter.preempted",
+                mission=victim.mission_id,
+                by=record.mission_id,
+            )
+            if self._try_start(record):
+                return True
+        # Could not fit even after all eligible preemptions: roll back.
+        for victim in preempted:
+            victim.state = MissionState.ACTIVE
+            victim.ended_at = None
+            self.preemption_count -= 1
+            record.preemptions_caused -= 1
+        return False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def complete(self, record: MissionRecord) -> None:
+        """Finish a mission and try to admit queued/rejected work."""
+        if record.state is not MissionState.ACTIVE:
+            return
+        record.state = MissionState.COMPLETED
+        record.ended_at = self.sim.now
+        self.sim.trace.emit("arbiter.completed", mission=record.mission_id)
+        self._retry_rejected()
+
+    def _retry_rejected(self) -> None:
+        for record in self.missions:
+            if record.state is MissionState.REJECTED:
+                record.state = MissionState.QUEUED
+                if not self._try_start(record):
+                    record.state = MissionState.REJECTED
+
+    # --------------------------------------------------------------- metrics
+
+    def report(self) -> Dict[str, float]:
+        states = {s: 0 for s in MissionState}
+        for mission in self.missions:
+            states[mission.state] += 1
+        admitted = states[MissionState.ACTIVE] + states[MissionState.COMPLETED]
+        total = len(self.missions)
+        return {
+            "submitted": float(total),
+            "admitted": float(admitted),
+            "admission_rate": admitted / total if total else float("nan"),
+            "preemptions": float(self.preemption_count),
+            "active": float(states[MissionState.ACTIVE]),
+            "rejected": float(states[MissionState.REJECTED]),
+        }

@@ -1,0 +1,252 @@
+"""Command-and-control decision-loop models.
+
+§I: "The hierarchical nature of decisions reduces the speed of response as
+authorizations to carry out actions must arrive through an appropriate
+chain of command.  As a result, actions are delayed and, by the time they
+are carried out, might already be based on stale information."  Command by
+intent "shortens the decision loop ... improving decisions by acting faster
+(and, hence, on more up-to-date data)."
+
+The model: decision requests arrive about a *moving* situation; acting on a
+request after delay ``d`` means acting on information that is ``d`` seconds
+stale, during which the situation drifted at ``drift_speed``.  Three modes:
+
+* ``HIERARCHICAL`` — every request climbs an :class:`EchelonChain` of
+  approval stages (each an M/M/c-style service queue).
+* ``INTENT`` — requests inside the subordinate's initiative envelope are
+  decided locally after a short local-decision delay; out-of-envelope
+  requests escalate up the chain.
+* ``AUTONOMOUS`` — everything is decided locally (the no-assurance
+  extreme, included to show the trade, not to advocate it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.util.stats import summarize
+
+__all__ = ["C2Mode", "DecisionRequest", "EchelonChain", "C2Comparison"]
+
+_request_ids = itertools.count(1)
+
+
+class C2Mode(Enum):
+    HIERARCHICAL = "hierarchical"
+    INTENT = "intent"
+    AUTONOMOUS = "autonomous"
+
+
+@dataclass
+class DecisionRequest:
+    """One decision needing authorization.
+
+    ``in_envelope`` marks whether a subordinate's initiative envelope
+    covers it (only meaningful for INTENT mode).
+    """
+
+    created_at: float
+    in_envelope: bool = True
+    uid: int = field(default_factory=lambda: next(_request_ids))
+    decided_at: Optional[float] = None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.decided_at is None:
+            return None
+        return self.decided_at - self.created_at
+
+
+class _Stage:
+    """One echelon: ``servers`` approvers with exponential service times."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        servers: int,
+        mean_service_s: float,
+        rng: np.random.Generator,
+    ):
+        if servers < 1 or mean_service_s <= 0:
+            raise ConfigurationError("servers >= 1 and mean_service_s > 0")
+        self.sim = sim
+        self.name = name
+        self.servers = servers
+        self.mean_service_s = mean_service_s
+        self.rng = rng
+        self.busy = 0
+        self.queue: Deque[Tuple[DecisionRequest, Callable]] = deque()
+
+    def submit(self, request: DecisionRequest, done: Callable) -> None:
+        self.queue.append((request, done))
+        self._try_start()
+
+    def _try_start(self) -> None:
+        while self.busy < self.servers and self.queue:
+            request, done = self.queue.popleft()
+            self.busy += 1
+            service = float(self.rng.exponential(self.mean_service_s))
+
+            def finish(req=request, cb=done):
+                self.busy -= 1
+                self._try_start()
+                cb(req)
+
+            self.sim.call_in(service, finish)
+
+
+class EchelonChain:
+    """A chain of approval stages a request must clear in order."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        stage_specs: Sequence[Tuple[str, int, float]] = (
+            ("company", 2, 20.0),
+            ("battalion", 2, 40.0),
+            ("brigade", 1, 60.0),
+        ),
+    ):
+        self.sim = sim
+        rng = sim.rng.get("c2")
+        self.stages = [
+            _Stage(sim, name, servers, mean_s, rng)
+            for name, servers, mean_s in stage_specs
+        ]
+        if not self.stages:
+            raise ConfigurationError("need at least one echelon stage")
+
+    def submit(
+        self,
+        request: DecisionRequest,
+        on_decided: Callable[[DecisionRequest], None],
+        *,
+        start_stage: int = 0,
+    ) -> None:
+        def advance(req: DecisionRequest, stage_idx: int) -> None:
+            if stage_idx >= len(self.stages):
+                req.decided_at = self.sim.now
+                on_decided(req)
+                return
+            self.stages[stage_idx].submit(
+                req, lambda r: advance(r, stage_idx + 1)
+            )
+
+        advance(request, start_stage)
+
+
+class C2Comparison:
+    """Run one C2 mode over a Poisson stream of decision requests.
+
+    Staleness of a decision = drift distance accumulated while waiting:
+    ``drift_speed * latency``.  ``stale_threshold_m`` marks decisions that
+    acted on effectively obsolete information.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mode: C2Mode,
+        *,
+        arrival_rate_hz: float = 0.1,
+        envelope_fraction: float = 0.7,
+        local_decision_s: float = 5.0,
+        drift_speed_m_s: float = 1.5,
+        stale_threshold_m: float = 100.0,
+        chain: Optional[EchelonChain] = None,
+    ):
+        if arrival_rate_hz <= 0:
+            raise ConfigurationError("arrival_rate_hz must be positive")
+        if not (0.0 <= envelope_fraction <= 1.0):
+            raise ConfigurationError("envelope_fraction must be in [0, 1]")
+        self.sim = sim
+        self.mode = mode
+        self.arrival_rate_hz = arrival_rate_hz
+        self.envelope_fraction = envelope_fraction
+        self.local_decision_s = local_decision_s
+        self.drift_speed_m_s = drift_speed_m_s
+        self.stale_threshold_m = stale_threshold_m
+        self.chain = chain if chain is not None else EchelonChain(sim)
+        self.decided: List[DecisionRequest] = []
+        self.escalations = 0
+        self._rng = sim.rng.get("c2.arrivals")
+        self._stopped = False
+
+    def start(self, duration_s: float) -> None:
+        self._horizon = duration_s
+        self._schedule_arrival()
+
+    def _schedule_arrival(self) -> None:
+        gap = float(self._rng.exponential(1.0 / self.arrival_rate_hz))
+        if self.sim.now + gap > self._horizon:
+            return
+        self.sim.call_in(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        request = DecisionRequest(
+            created_at=self.sim.now,
+            in_envelope=bool(self._rng.random() < self.envelope_fraction),
+        )
+        self._dispatch(request)
+        self._schedule_arrival()
+
+    def _dispatch(self, request: DecisionRequest) -> None:
+        def decided(req: DecisionRequest) -> None:
+            self.decided.append(req)
+
+        if self.mode is C2Mode.AUTONOMOUS:
+            self._decide_locally(request, decided)
+        elif self.mode is C2Mode.INTENT:
+            if request.in_envelope:
+                self._decide_locally(request, decided)
+            else:
+                self.escalations += 1
+                self.chain.submit(request, decided)
+        else:
+            self.chain.submit(request, decided)
+
+    def _decide_locally(
+        self, request: DecisionRequest, decided: Callable
+    ) -> None:
+        delay = float(self._rng.exponential(self.local_decision_s))
+
+        def finish():
+            request.decided_at = self.sim.now
+            decided(request)
+
+        self.sim.call_in(delay, finish)
+
+    # ------------------------------------------------------------- reporting
+
+    def staleness_m(self, request: DecisionRequest) -> float:
+        latency = request.latency_s or 0.0
+        return latency * self.drift_speed_m_s
+
+    def report(self) -> Dict[str, float]:
+        latencies = [r.latency_s for r in self.decided if r.latency_s is not None]
+        staleness = [self.staleness_m(r) for r in self.decided]
+        stale_frac = (
+            sum(1 for s in staleness if s > self.stale_threshold_m)
+            / len(staleness)
+            if staleness
+            else float("nan")
+        )
+        lat = summarize(latencies)
+        return {
+            "decisions": float(len(self.decided)),
+            "latency_mean_s": lat["mean"],
+            "latency_p95_s": lat["p95"],
+            "staleness_mean_m": float(np.mean(staleness)) if staleness else float("nan"),
+            "stale_fraction": stale_frac,
+            "escalations": float(self.escalations),
+        }

@@ -1,0 +1,241 @@
+"""Soldier health monitoring.
+
+§II lists "monitoring physiological and psychological state of soldiers"
+among the motivating IoBT tasks.  Wearables sample vital signs and report
+them over the battlefield network to a medic station; the station maintains
+per-soldier baselines and raises casualty alerts on sustained anomalies.
+
+The physiological model is deliberately simple but has the features that
+matter for the service problem: individual baselines (one threshold does
+not fit all), activity noise (false-alarm pressure), and two casualty
+signatures (spike -> decay for trauma, collapse for loss of consciousness).
+Detection must also survive *reporting gaps* — a wearable that falls silent
+because its carrier went down is itself a medical signal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.transport import MessageService
+from repro.scenarios.builder import Scenario
+from repro.things.asset import Asset
+from repro.util.stats import RunningStats
+
+__all__ = ["CasualtyKind", "VitalsSample", "SoldierModel", "HealthMonitorService"]
+
+_sample_ids = itertools.count(1)
+
+
+class CasualtyKind(Enum):
+    TRAUMA = "trauma"        # heart-rate spike then decline
+    COLLAPSE = "collapse"    # abrupt drop toward zero
+
+
+@dataclass(frozen=True)
+class VitalsSample:
+    """One wearable report."""
+
+    soldier_id: int
+    heart_rate: float
+    time: float
+    uid: int = field(default_factory=lambda: next(_sample_ids))
+
+
+class SoldierModel:
+    """Ground-truth physiology of one monitored soldier."""
+
+    def __init__(
+        self,
+        soldier_id: int,
+        rng: np.random.Generator,
+        *,
+        resting_hr: Optional[float] = None,
+    ):
+        self.soldier_id = soldier_id
+        self.resting_hr = (
+            resting_hr if resting_hr is not None else float(rng.uniform(55, 85))
+        )
+        self.casualty_at: Optional[float] = None
+        self.casualty_kind: Optional[CasualtyKind] = None
+
+    def become_casualty(self, time: float, kind: CasualtyKind) -> None:
+        self.casualty_at = time
+        self.casualty_kind = kind
+
+    def heart_rate(self, time: float, rng: np.random.Generator) -> float:
+        """Current true heart rate (bpm)."""
+        base = self.resting_hr + float(rng.normal(0.0, 4.0))
+        # Activity excursions: occasional exertion bumps.
+        if rng.random() < 0.1:
+            base += float(rng.uniform(15, 35))
+        if self.casualty_at is None or time < self.casualty_at:
+            return max(35.0, base)
+        elapsed = time - self.casualty_at
+        if self.casualty_kind is CasualtyKind.COLLAPSE:
+            return max(0.0, base * np.exp(-elapsed / 20.0))
+        # Trauma: spike for ~60 s, then decline.
+        if elapsed < 60.0:
+            return base + 60.0 + float(rng.normal(0, 5.0))
+        return max(20.0, base - 0.4 * (elapsed - 60.0))
+
+
+class HealthMonitorService:
+    """Wearable sampling -> networked reporting -> anomaly alerts.
+
+    Alerts fire when either (a) ``consecutive_anomalies`` successive samples
+    fall outside the soldier's learned baseline band, or (b) no sample has
+    arrived for ``silence_timeout_s`` (the silent-casualty case).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        wearers: Sequence[Asset],
+        medic_node: int,
+        service: MessageService,
+        *,
+        sample_period_s: float = 5.0,
+        z_threshold: float = 3.5,
+        consecutive_anomalies: int = 3,
+        silence_timeout_s: float = 45.0,
+        warmup_samples: int = 10,
+    ):
+        if not wearers:
+            raise ConfigurationError("need at least one monitored soldier")
+        if sample_period_s <= 0:
+            raise ConfigurationError("sample_period_s must be positive")
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.wearers = list(wearers)
+        self.medic_node = medic_node
+        self.service = service
+        self.sample_period_s = sample_period_s
+        self.z_threshold = z_threshold
+        self.consecutive_anomalies = consecutive_anomalies
+        self.silence_timeout_s = silence_timeout_s
+        self.warmup_samples = warmup_samples
+        self._rng = self.sim.rng.get("health")
+        self.soldiers: Dict[int, SoldierModel] = {
+            a.id: SoldierModel(a.id, self._rng) for a in self.wearers
+        }
+        self._baselines: Dict[int, RunningStats] = {
+            a.id: RunningStats() for a in self.wearers
+        }
+        self._anomaly_streak: Dict[int, int] = {a.id: 0 for a in self.wearers}
+        self._last_heard: Dict[int, float] = {a.id: 0.0 for a in self.wearers}
+        self.alerts: Dict[int, float] = {}  # soldier -> first alert time
+        self._started = False
+        self.samples_received = 0
+        self.service.on_message(medic_node, self._on_report)
+
+    # ---------------------------------------------------------------- control
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self.sim.every(self.sample_period_s, self._sample_round)
+            self.sim.every(self.sample_period_s, self._silence_check)
+
+    def inflict_casualty(
+        self, soldier_id: int, kind: CasualtyKind = CasualtyKind.TRAUMA
+    ) -> None:
+        self.soldiers[soldier_id].become_casualty(self.sim.now, kind)
+        self.sim.trace.emit(
+            "health.casualty", soldier=soldier_id, kind=kind.value
+        )
+
+    # ---------------------------------------------------------------- sensing
+
+    def _sample_round(self) -> None:
+        for asset in self.wearers:
+            if not asset.alive:
+                continue
+            soldier = self.soldiers[asset.id]
+            sample = VitalsSample(
+                soldier_id=asset.id,
+                heart_rate=soldier.heart_rate(self.sim.now, self._rng),
+                time=self.sim.now,
+            )
+            if asset.battery is not None:
+                asset.battery.drain_sense()
+            if asset.node_id == self.medic_node:
+                self._ingest(sample)
+            else:
+                self.service.send(
+                    asset.node_id, self.medic_node, payload=sample,
+                    size_bits=256,
+                )
+
+    def _on_report(self, packet) -> None:
+        sample = packet.payload
+        if isinstance(sample, VitalsSample):
+            self._ingest(sample)
+
+    def _ingest(self, sample: VitalsSample) -> None:
+        self.samples_received += 1
+        self._last_heard[sample.soldier_id] = self.sim.now
+        baseline = self._baselines[sample.soldier_id]
+        if baseline.count >= self.warmup_samples:
+            std = baseline.std if baseline.std > 1e-6 else 1.0
+            z = abs(sample.heart_rate - baseline.mean) / std
+            if z >= self.z_threshold:
+                self._anomaly_streak[sample.soldier_id] += 1
+                if (
+                    self._anomaly_streak[sample.soldier_id]
+                    >= self.consecutive_anomalies
+                ):
+                    self._raise_alert(sample.soldier_id, "vitals")
+                return  # anomalous samples do not poison the baseline
+            self._anomaly_streak[sample.soldier_id] = 0
+        baseline.add(sample.heart_rate)
+
+    def _silence_check(self) -> None:
+        for asset in self.wearers:
+            last = self._last_heard[asset.id]
+            if (
+                last > 0
+                and self.sim.now - last > self.silence_timeout_s
+                and asset.id not in self.alerts
+            ):
+                self._raise_alert(asset.id, "silence")
+
+    def _raise_alert(self, soldier_id: int, reason: str) -> None:
+        if soldier_id not in self.alerts:
+            self.alerts[soldier_id] = self.sim.now
+            self.sim.trace.emit(
+                "health.alert", soldier=soldier_id, reason=reason
+            )
+
+    # --------------------------------------------------------------- metrics
+
+    def detection_latency_s(self, soldier_id: int) -> Optional[float]:
+        soldier = self.soldiers[soldier_id]
+        if soldier.casualty_at is None or soldier_id not in self.alerts:
+            return None
+        return self.alerts[soldier_id] - soldier.casualty_at
+
+    def detection_stats(self) -> Dict[str, float]:
+        casualties = {
+            sid for sid, s in self.soldiers.items() if s.casualty_at is not None
+        }
+        detected = casualties & set(self.alerts)
+        false_alarms = set(self.alerts) - casualties
+        latencies = [
+            self.detection_latency_s(sid)
+            for sid in detected
+            if self.detection_latency_s(sid) is not None
+        ]
+        return {
+            "casualties": float(len(casualties)),
+            "detected": float(len(detected)),
+            "recall": len(detected) / len(casualties) if casualties else 1.0,
+            "false_alarms": float(len(false_alarms)),
+            "mean_latency_s": float(np.mean(latencies)) if latencies else float("nan"),
+        }

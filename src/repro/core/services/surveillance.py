@@ -1,0 +1,84 @@
+"""Wide-area persistent surveillance: coverage monitoring.
+
+Tracks the fraction of the area of responsibility within range of a live,
+enabled sensor, sampled on a period.  This is the service-quality signal
+for the E4 reflex experiment: an attack drops coverage; the reflex (or
+re-synthesis) restores it; time-to-recover is read off the series.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.synthesis.composer import coverage_fraction
+from repro.errors import ConfigurationError
+from repro.scenarios.builder import Scenario
+from repro.things.asset import Asset
+from repro.util.geometry import Region
+
+__all__ = ["SurveillanceService"]
+
+
+class SurveillanceService:
+    """Periodic coverage sampling over a sensor set.
+
+    Coverage counts only *usable* sensors: alive assets with at least one
+    enabled sensor (a ModalityManager may disable all of an asset's sensors
+    under hostile conditions, which correctly shows up as coverage loss).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        sensor_assets: Sequence[Asset],
+        area: Optional[Region] = None,
+        *,
+        sample_period_s: float = 5.0,
+        metric_name: str = "surveillance.coverage",
+    ):
+        if sample_period_s <= 0:
+            raise ConfigurationError("sample_period_s must be positive")
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.sensor_assets = list(sensor_assets)
+        self.area = area if area is not None else scenario.region
+        self.sample_period_s = sample_period_s
+        self.metric_name = metric_name
+        self._started = False
+
+    def usable_sensors(self) -> List[Asset]:
+        return [
+            asset
+            for asset in self.sensor_assets
+            if asset.alive and any(s.enabled for s in asset.sensors)
+        ]
+
+    def coverage(self) -> float:
+        return coverage_fraction(self.usable_sensors(), self.area)
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self.sim.every(self.sample_period_s, self._sample)
+
+    def _sample(self) -> None:
+        self.sim.metrics.sample(self.metric_name, self.coverage())
+
+    # --------------------------------------------------------------- queries
+
+    def replace_sensors(self, sensor_assets: Sequence[Asset]) -> None:
+        """Swap in a new sensor set (what re-synthesis does)."""
+        self.sensor_assets = list(sensor_assets)
+
+    def recovery_time_s(
+        self, drop_time: float, target: float
+    ) -> Optional[float]:
+        """Time from ``drop_time`` until coverage first re-reached ``target``.
+
+        None when it never recovered within the recorded series.
+        """
+        series = self.sim.metrics.series(self.metric_name)
+        for t, v in zip(series.times, series.values):
+            if t > drop_time and v >= target:
+                return t - drop_time
+        return None

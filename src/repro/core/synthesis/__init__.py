@@ -1,0 +1,59 @@
+"""Challenge 1 — Assured synthesis of composite IoBT assets.
+
+Pipeline::
+
+    MissionGoal --compile_goal--> RequirementSet
+    AssetInventory --DiscoveryService--> discovered assets
+    sniffed traffic --TrafficFingerprinter--> device classes / Sybil flags
+    discovery + trust --AssetCharacterizer--> characterizations
+    characterizations --Recruiter--> candidate pool
+    pool + requirements --GreedyComposer (or baselines)--> CompositeAsset
+    CompositeAsset --assess--> AssuranceReport
+"""
+
+from repro.core.synthesis.requirements import (
+    RequirementSet,
+    compile_goal,
+)
+from repro.core.synthesis.discovery import DiscoveryService, DiscoveryRecord
+from repro.core.synthesis.fingerprint import TrafficFingerprinter
+from repro.core.synthesis.characterization import (
+    AssetCharacterizer,
+    Characterization,
+)
+from repro.core.synthesis.recruitment import Recruiter
+from repro.core.synthesis.composer import CompositeAsset, GreedyComposer
+from repro.core.synthesis.optimizer import (
+    AnnealingComposer,
+    RandomComposer,
+    evaluate_composite,
+)
+from repro.core.synthesis.assurance import AssuranceReport, assess
+from repro.core.synthesis.functional import (
+    Stage,
+    ServiceGraph,
+    Placement,
+    PipelinePlacer,
+)
+
+__all__ = [
+    "Stage",
+    "ServiceGraph",
+    "Placement",
+    "PipelinePlacer",
+    "RequirementSet",
+    "compile_goal",
+    "DiscoveryService",
+    "DiscoveryRecord",
+    "TrafficFingerprinter",
+    "AssetCharacterizer",
+    "Characterization",
+    "Recruiter",
+    "CompositeAsset",
+    "GreedyComposer",
+    "AnnealingComposer",
+    "RandomComposer",
+    "evaluate_composite",
+    "AssuranceReport",
+    "assess",
+]

@@ -1,0 +1,106 @@
+"""Asset characterization: fuse discovery, fingerprints, and trust.
+
+Produces per-asset :class:`Characterization` records — the paper's
+"characterize their capabilities to meet mission goals (and/or their
+potential threats, in case of gray/red nodes)".  Characterizations are what
+recruitment filters on; they never read ground-truth affiliation, only
+observable evidence (discovery freshness, side-channel flags, fingerprint
+anomalies, reputation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.synthesis.discovery import DiscoveryService
+from repro.core.synthesis.fingerprint import TrafficFingerprinter
+from repro.security.trust import TrustLedger
+from repro.things.asset import Asset, AssetInventory
+
+__all__ = ["Characterization", "AssetCharacterizer"]
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """Evidence-based assessment of one asset."""
+
+    asset_id: int
+    node_id: int
+    device_class_claimed: str
+    device_class_estimated: Optional[str]
+    trust: float
+    availability: float         # observation frequency vs probe rounds
+    staleness_s: float
+    hostile_suspected: bool
+    fingerprint_anomaly: Optional[float]
+
+    @property
+    def usable(self) -> bool:
+        """Is the evidence fresh enough to recruit on at all?"""
+        return self.availability > 0.0
+
+
+class AssetCharacterizer:
+    """Builds characterizations from the synthesis evidence sources."""
+
+    def __init__(
+        self,
+        inventory: AssetInventory,
+        discovery: DiscoveryService,
+        *,
+        fingerprinter: Optional[TrafficFingerprinter] = None,
+        trust: Optional[TrustLedger] = None,
+        sybil_threshold: float = 3.0,
+    ):
+        self.inventory = inventory
+        self.discovery = discovery
+        self.fingerprinter = fingerprinter
+        self.trust = trust if trust is not None else TrustLedger()
+        self.sybil_threshold = sybil_threshold
+
+    def characterize(self, asset: Asset) -> Optional[Characterization]:
+        """Characterize one asset from current evidence; None if unseen."""
+        record = self.discovery.records.get(asset.id)
+        if record is None:
+            return None
+        now = self.discovery.sim.now
+        elapsed_rounds = max(
+            1.0, now / self.discovery.probe_period_s
+        )
+        availability = min(1.0, record.observations / elapsed_rounds)
+
+        estimated = None
+        anomaly = None
+        if self.fingerprinter is not None and self.fingerprinter.fitted:
+            result = self.fingerprinter.classify(asset.node_id)
+            if result is not None:
+                estimated = result[0]
+            anomaly = self.fingerprinter.anomaly_score(
+                asset.node_id, asset.profile.device_class
+            )
+
+        hostile = asset.id in self.discovery.suspected_hostiles
+        if anomaly is not None and anomaly > self.sybil_threshold:
+            hostile = True
+
+        return Characterization(
+            asset_id=asset.id,
+            node_id=asset.node_id,
+            device_class_claimed=asset.profile.device_class,
+            device_class_estimated=estimated,
+            trust=self.trust.trust(asset.id),
+            availability=availability,
+            staleness_s=record.staleness(now),
+            hostile_suspected=hostile,
+            fingerprint_anomaly=anomaly,
+        )
+
+    def characterize_all(self) -> List[Characterization]:
+        """Characterize every discovered asset."""
+        out = []
+        for asset in self.inventory:
+            c = self.characterize(asset)
+            if c is not None:
+                out.append(c)
+        return out

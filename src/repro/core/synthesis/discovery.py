@@ -1,0 +1,210 @@
+"""Continuous discovery of cyberphysical assets.
+
+§III-A: mobile, duty-cycled assets "may not consistently respond to probes",
+"may not appear at consistent topological locations", and "move frequently,
+so their discovery needs to be continuous".  The :class:`DiscoveryService`
+runs periodic probe rounds from a set of blue discoverer nodes:
+
+* **Active probing** — an asset is observed in a round if it is alive,
+  awake (duty-cycle draw), and within radio range of some discoverer.
+* **Passive side-channel** — red/gray nodes that transmit are observable
+  by RF-sensing blue assets even when they ignore probes; emitters that are
+  not in the blue roster are flagged as *suspected hostiles* (the paper's
+  "discovery of gray/red nodes using side channel emanations").
+
+Records age: an asset unseen for longer than ``staleness_s`` no longer
+counts as discovered (continuous discovery, not one-shot census).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.errors import DiscoveryError
+from repro.scenarios.builder import Scenario
+from repro.things.asset import Affiliation, Asset
+from repro.things.capabilities import SensingModality
+from repro.util.geometry import Point, distance
+
+__all__ = ["DiscoveryRecord", "DiscoveryService"]
+
+
+@dataclass
+class DiscoveryRecord:
+    """What discovery knows about one asset."""
+
+    asset_id: int
+    first_seen: float
+    last_seen: float
+    observations: int = 1
+    last_position: Optional[Point] = None
+    via_side_channel: bool = False
+
+    def staleness(self, now: float) -> float:
+        return now - self.last_seen
+
+
+class DiscoveryService:
+    """Periodic probe + passive RF discovery over a scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        discoverer_node_ids: Sequence[int],
+        *,
+        probe_period_s: float = 5.0,
+        staleness_s: float = 60.0,
+        emission_rate: float = 0.3,
+    ):
+        if not discoverer_node_ids:
+            raise DiscoveryError("need at least one discoverer node")
+        if probe_period_s <= 0:
+            raise DiscoveryError("probe_period_s must be positive")
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.network = scenario.network
+        self.inventory = scenario.inventory
+        self.discoverers = list(discoverer_node_ids)
+        self.probe_period_s = probe_period_s
+        self.staleness_s = staleness_s
+        self.emission_rate = emission_rate
+        self.records: Dict[int, DiscoveryRecord] = {}
+        self.suspected_hostiles: Set[int] = set()
+        self._rng = self.sim.rng.get("discovery")
+        self._started = False
+        self._blue_roster = {
+            a.asset_id if hasattr(a, "asset_id") else a.id
+            for a in self.inventory.blue()
+        }
+
+    def start(self) -> None:
+        """Begin periodic probe rounds (idempotent)."""
+        if not self._started:
+            self._started = True
+            self.sim.every(self.probe_period_s, self.probe_round)
+
+    # ------------------------------------------------------------ probe round
+
+    def probe_round(self) -> int:
+        """Run one discovery round; returns new+refreshed observation count."""
+        observed = 0
+        live_discoverers = [
+            d for d in self.discoverers if d in self.network.nodes
+            and self.network.node(d).up
+        ]
+        reach: Set[int] = set()
+        for d in live_discoverers:
+            reach.update(self.network.neighbors(d))
+            reach.add(d)
+        for asset in self.inventory:
+            if not asset.alive:
+                continue
+            if asset.node_id not in reach:
+                continue
+            if not asset.is_awake(self._rng):
+                continue
+            self._observe(asset, side_channel=False)
+            observed += 1
+            self.sim.metrics.incr("discovery.active_observations")
+        observed += self._side_channel_round()
+        self.sim.metrics.sample("discovery.recall", self.recall())
+        return observed
+
+    def _side_channel_round(self) -> int:
+        """Detect transmitting non-blue emitters via blue RF sensors."""
+        rf_sensors = [
+            a
+            for a in self.inventory.blue()
+            if a.alive and a.profile.can_sense(SensingModality.RF)
+        ]
+        if not rf_sensors:
+            return 0
+        observed = 0
+        for asset in self.inventory:
+            if not asset.alive or asset.affiliation is Affiliation.BLUE:
+                continue
+            # Emission draw: is this node transmitting during our dwell?
+            if self._rng.random() >= self.emission_rate:
+                continue
+            for sensor_asset in rf_sensors:
+                rf_range = max(
+                    sensor_asset.profile.sensing_range_m,
+                    self.network.channel.comm_range_m(asset.profile.tx_power_dbm),
+                )
+                if distance(sensor_asset.position, asset.position) <= rf_range:
+                    self._observe(asset, side_channel=True)
+                    if asset.id not in self._blue_roster:
+                        self.suspected_hostiles.add(asset.id)
+                    observed += 1
+                    self.sim.metrics.incr("discovery.side_channel_observations")
+                    break
+        return observed
+
+    def _observe(self, asset: Asset, *, side_channel: bool) -> None:
+        record = self.records.get(asset.id)
+        if record is None:
+            self.records[asset.id] = DiscoveryRecord(
+                asset_id=asset.id,
+                first_seen=self.sim.now,
+                last_seen=self.sim.now,
+                last_position=asset.position,
+                via_side_channel=side_channel,
+            )
+            self.sim.trace.emit(
+                "discovery.new", asset=asset.id, side_channel=side_channel
+            )
+        else:
+            record.last_seen = self.sim.now
+            record.observations += 1
+            record.last_position = asset.position
+
+    # --------------------------------------------------------------- queries
+
+    def fresh_records(self) -> List[DiscoveryRecord]:
+        """Records seen within the staleness horizon."""
+        now = self.sim.now
+        return [
+            r for r in self.records.values() if r.staleness(now) <= self.staleness_s
+        ]
+
+    def discovered_ids(self) -> Set[int]:
+        return {r.asset_id for r in self.fresh_records()}
+
+    def recall(self) -> float:
+        """Fraction of alive assets currently (freshly) discovered."""
+        alive = [a for a in self.inventory if a.alive]
+        if not alive:
+            return 0.0
+        found = self.discovered_ids()
+        return sum(1 for a in alive if a.id in found) / len(alive)
+
+    def hostile_detection_stats(self) -> Dict[str, float]:
+        """Detection quality of the suspicion set vs ground truth.
+
+        Side-channel discovery flags *non-blue emitters* (it cannot tell
+        red from gray from emissions alone), so precision/recall are
+        reported against the non-blue population; ``red_recall`` separately
+        reports how many truly hostile assets were flagged.
+        """
+        non_blue = {
+            a.id for a in self.inventory if a.affiliation is not Affiliation.BLUE
+        }
+        truly_hostile = {a.id for a in self.inventory if a.hostile}
+        suspected = self.suspected_hostiles
+        tp = len(suspected & non_blue)
+        precision = tp / len(suspected) if suspected else 0.0
+        recall = tp / len(non_blue) if non_blue else 0.0
+        red_recall = (
+            len(suspected & truly_hostile) / len(truly_hostile)
+            if truly_hostile
+            else 0.0
+        )
+        return {
+            "precision": precision,
+            "recall": recall,
+            "red_recall": red_recall,
+            "suspected": len(suspected),
+        }

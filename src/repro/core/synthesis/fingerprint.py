@@ -1,0 +1,186 @@
+"""Traffic fingerprinting for device identification.
+
+§III-A lists "fingerprinting based on unique traffic characteristics" as a
+cyber-discovery technique — and warns that wireless assets "may not be
+amenable" to it, which is precisely what makes it a classifier rather than
+a lookup.  The :class:`TrafficFingerprinter` taps the network promiscuously,
+accumulates per-source traffic features, and classifies sources against
+device-class centroids learned from labeled (blue) examples.  Sources whose
+traffic does not match their *claimed* class are Sybil suspects.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DiscoveryError
+from repro.net.node import Network
+from repro.net.packet import Packet, PacketKind
+
+__all__ = ["TrafficProfile", "TrafficFingerprinter"]
+
+#: Packet kinds binned as features (order fixed for vector layout).
+_KIND_BINS = (
+    PacketKind.DATA,
+    PacketKind.BEACON,
+    PacketKind.CONTROL,
+    PacketKind.MODEL_UPDATE,
+)
+
+
+@dataclass
+class TrafficProfile:
+    """Accumulated traffic statistics for one source node."""
+
+    node_id: int
+    packets: int = 0
+    total_bits: float = 0.0
+    first_time: float = math.inf
+    last_time: float = -math.inf
+    kind_counts: Dict[PacketKind, int] = field(default_factory=dict)
+    _sizes_sum_sq: float = 0.0
+
+    def update(self, packet: Packet, time: float) -> None:
+        self.packets += 1
+        self.total_bits += packet.size_bits
+        self._sizes_sum_sq += float(packet.size_bits) ** 2
+        self.first_time = min(self.first_time, time)
+        self.last_time = max(self.last_time, time)
+        self.kind_counts[packet.kind] = self.kind_counts.get(packet.kind, 0) + 1
+
+    @property
+    def mean_size_bits(self) -> float:
+        return self.total_bits / self.packets if self.packets else 0.0
+
+    @property
+    def size_std(self) -> float:
+        if self.packets < 2:
+            return 0.0
+        mean = self.mean_size_bits
+        var = self._sizes_sum_sq / self.packets - mean * mean
+        return math.sqrt(max(0.0, var))
+
+    @property
+    def rate_hz(self) -> float:
+        span = self.last_time - self.first_time
+        return self.packets / span if span > 0 else float(self.packets)
+
+    def feature_vector(self) -> np.ndarray:
+        """Log-scaled feature vector for classification."""
+        kind_fracs = [
+            self.kind_counts.get(k, 0) / self.packets if self.packets else 0.0
+            for k in _KIND_BINS
+        ]
+        return np.array(
+            [
+                math.log1p(self.rate_hz),
+                math.log1p(self.mean_size_bits),
+                math.log1p(self.size_std),
+                *kind_fracs,
+            ],
+            dtype=float,
+        )
+
+
+class TrafficFingerprinter:
+    """Promiscuous traffic tap + nearest-centroid device classifier."""
+
+    def __init__(self, network: Network, *, min_packets: int = 5):
+        self.network = network
+        self.sim = network.sim
+        self.min_packets = min_packets
+        self.profiles: Dict[int, TrafficProfile] = {}
+        self._centroids: Dict[str, np.ndarray] = {}
+        self._scale: Optional[np.ndarray] = None
+        network.add_sniffer(self._on_delivery)
+
+    # ----------------------------------------------------------------- tap
+
+    def _on_delivery(self, packet: Packet, from_id: int, to_id: int) -> None:
+        profile = self.profiles.get(from_id)
+        if profile is None:
+            profile = self.profiles[from_id] = TrafficProfile(node_id=from_id)
+        profile.update(packet, self.sim.now)
+
+    def profile(self, node_id: int) -> Optional[TrafficProfile]:
+        return self.profiles.get(node_id)
+
+    def observed_nodes(self) -> List[int]:
+        return sorted(
+            nid
+            for nid, p in self.profiles.items()
+            if p.packets >= self.min_packets
+        )
+
+    # ------------------------------------------------------------- training
+
+    def fit(self, labeled: Dict[int, str]) -> None:
+        """Learn class centroids from labeled node -> device_class pairs."""
+        grouped: Dict[str, List[np.ndarray]] = defaultdict(list)
+        for node_id, label in labeled.items():
+            profile = self.profiles.get(node_id)
+            if profile is None or profile.packets < self.min_packets:
+                continue
+            grouped[label].append(profile.feature_vector())
+        if not grouped:
+            raise DiscoveryError("no usable labeled examples to fit on")
+        all_vecs = np.vstack([v for vecs in grouped.values() for v in vecs])
+        scale = all_vecs.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        self._centroids = {
+            label: np.mean(vecs, axis=0) for label, vecs in grouped.items()
+        }
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self._centroids)
+
+    # ----------------------------------------------------------- prediction
+
+    def _distance(self, vec: np.ndarray, label: str) -> float:
+        assert self._scale is not None
+        diff = (vec - self._centroids[label]) / self._scale
+        return float(np.linalg.norm(diff))
+
+    def classify(self, node_id: int) -> Optional[Tuple[str, float]]:
+        """Predicted (device_class, distance) for a node, or None."""
+        if not self.fitted:
+            raise DiscoveryError("fingerprinter is not fitted")
+        profile = self.profiles.get(node_id)
+        if profile is None or profile.packets < self.min_packets:
+            return None
+        vec = profile.feature_vector()
+        best = min(self._centroids, key=lambda lbl: self._distance(vec, lbl))
+        return best, self._distance(vec, best)
+
+    def anomaly_score(self, node_id: int, claimed_class: str) -> Optional[float]:
+        """Distance between a node's traffic and its *claimed* class.
+
+        High scores mean the node does not behave like what it claims to
+        be — the Sybil signature.
+        """
+        if not self.fitted:
+            raise DiscoveryError("fingerprinter is not fitted")
+        if claimed_class not in self._centroids:
+            return None
+        profile = self.profiles.get(node_id)
+        if profile is None or profile.packets < self.min_packets:
+            return None
+        return self._distance(profile.feature_vector(), claimed_class)
+
+    def flag_sybils(
+        self, claims: Dict[int, str], *, threshold: float = 3.0
+    ) -> List[int]:
+        """Nodes whose traffic deviates from their claimed class."""
+        flagged = []
+        for node_id, claimed in sorted(claims.items()):
+            score = self.anomaly_score(node_id, claimed)
+            if score is not None and score > threshold:
+                flagged.append(node_id)
+        return flagged

@@ -1,0 +1,89 @@
+"""Recruitment: select the candidate pool for composition.
+
+Filters characterized assets on trust / freshness / suspicion thresholds
+and ranks by a suitability score, producing the pool that a composer
+searches.  Recruitment decisions use only *evidence* (characterizations);
+whether a hostile slips through is measured by the experiments, not
+prevented by oracle knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.synthesis.characterization import (
+    AssetCharacterizer,
+    Characterization,
+)
+from repro.things.asset import Asset, AssetInventory
+
+__all__ = ["Recruiter"]
+
+
+class Recruiter:
+    """Builds ranked candidate pools from characterizations."""
+
+    def __init__(
+        self,
+        inventory: AssetInventory,
+        characterizer: AssetCharacterizer,
+        *,
+        min_trust: float = 0.4,
+        max_staleness_s: float = 60.0,
+        exclude_suspected_hostiles: bool = True,
+    ):
+        self.inventory = inventory
+        self.characterizer = characterizer
+        self.min_trust = min_trust
+        self.max_staleness_s = max_staleness_s
+        self.exclude_suspected_hostiles = exclude_suspected_hostiles
+
+    def suitability(self, c: Characterization) -> float:
+        """Rank score: trusted, available, behaviorally consistent."""
+        penalty = 0.0
+        if c.fingerprint_anomaly is not None:
+            penalty = min(1.0, c.fingerprint_anomaly / 10.0)
+        return c.trust * (0.5 + 0.5 * c.availability) * (1.0 - 0.5 * penalty)
+
+    def eligible(self, c: Characterization) -> bool:
+        if c.trust < self.min_trust:
+            return False
+        if c.staleness_s > self.max_staleness_s:
+            return False
+        if self.exclude_suspected_hostiles and c.hostile_suspected:
+            return False
+        return True
+
+    def recruit(
+        self, *, limit: Optional[int] = None
+    ) -> List[Asset]:
+        """Return the ranked candidate pool (best first)."""
+        characterized = self.characterizer.characterize_all()
+        scored = [
+            (self.suitability(c), c)
+            for c in characterized
+            if self.eligible(c)
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1].asset_id))
+        if limit is not None:
+            scored = scored[:limit]
+        pool = []
+        for _score, c in scored:
+            asset = self.inventory.get(c.asset_id)
+            if asset.alive:
+                pool.append(asset)
+        return pool
+
+    def rejection_report(self) -> Dict[str, int]:
+        """Counts of why characterized assets were rejected (for audits)."""
+        report = {"low_trust": 0, "stale": 0, "suspected_hostile": 0, "accepted": 0}
+        for c in self.characterizer.characterize_all():
+            if c.trust < self.min_trust:
+                report["low_trust"] += 1
+            elif c.staleness_s > self.max_staleness_s:
+                report["stale"] += 1
+            elif self.exclude_suspected_hostiles and c.hostile_suspected:
+                report["suspected_hostile"] += 1
+            else:
+                report["accepted"] += 1
+        return report

@@ -1,0 +1,118 @@
+"""Reasoning from goals to means.
+
+:func:`compile_goal` turns a declarative :class:`MissionGoal` into a
+quantitative :class:`RequirementSet`: how many sensors (per the coverage
+geometry), how much compute (per the expected detection load), and what the
+network must provide (latency -> hop budget; confidence -> redundancy).
+This is the "automatic reasoning from goals to means" step of §III-B.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.core.mission import MissionGoal, MissionType
+from repro.errors import RequirementError
+from repro.things.capabilities import SensingModality
+
+__all__ = ["RequirementSet", "compile_goal"]
+
+#: Hexagonal-packing efficiency: disks cover at most ~90.7% of the plane;
+#: randomly-placed disks do worse.  Used to inflate the naive sensor count.
+_PACKING_EFFICIENCY = 0.7
+
+#: Planning estimate of one relay hop's latency (MAC + transmission), used
+#: to convert a latency budget into a hop budget.
+_PER_HOP_LATENCY_S = 0.05
+
+#: Processing cost per detection event (feature extraction + association).
+_FLOPS_PER_DETECTION = 5.0e7
+
+#: Baseline fusion cost per sensor per second of mission time.
+_FLOPS_PER_SENSOR_HZ = 1.0e6
+
+
+@dataclass(frozen=True)
+class RequirementSet:
+    """Quantitative requirements compiled from one mission goal."""
+
+    goal: MissionGoal
+    n_sensors: int
+    modalities: FrozenSet[SensingModality]
+    sensing_range_m: float
+    compute_flops: float
+    max_hops: int
+    min_bandwidth_bps: float
+    redundancy: int
+    coverage_target: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_sensors} sensors (range~{self.sensing_range_m:.0f}m), "
+            f"{self.compute_flops:.2e} FLOPS, <= {self.max_hops} hops, "
+            f"redundancy x{self.redundancy}"
+        )
+
+
+def compile_goal(
+    goal: MissionGoal,
+    *,
+    sensing_range_m: Optional[float] = None,
+    scan_rate_hz: float = 1.0,
+) -> RequirementSet:
+    """Compile a mission goal into quantitative requirements.
+
+    Parameters
+    ----------
+    sensing_range_m:
+        Planning value for effective sensor range.  Defaults to a
+        conservative 150 m (ground-sensor class); callers that know their
+        inventory pass the actual median range.
+    scan_rate_hz:
+        How often each sensor produces a scan, driving the compute sizing.
+    """
+    r = sensing_range_m if sensing_range_m is not None else 150.0
+    if r <= 0:
+        raise RequirementError("sensing_range_m must be positive")
+
+    # --- sensing: disk-coverage geometry with packing inefficiency.
+    area_needed = goal.min_coverage * goal.area.area
+    per_sensor = math.pi * r * r * _PACKING_EFFICIENCY
+    n_sensors = max(1, math.ceil(area_needed / per_sensor))
+
+    # --- redundancy: higher confidence demands independent corroboration.
+    if goal.min_confidence >= 0.95:
+        redundancy = 3
+    elif goal.min_confidence >= 0.85:
+        redundancy = 2
+    else:
+        redundancy = 1
+    if goal.mission_type is MissionType.TRACK:
+        # Tracking needs continuous custody: one extra layer of overlap.
+        redundancy += 1
+
+    # --- compute: expected detection load plus steady fusion cost.
+    detection_rate = n_sensors * scan_rate_hz
+    compute_flops = (
+        detection_rate * _FLOPS_PER_DETECTION
+        + n_sensors * scan_rate_hz * _FLOPS_PER_SENSOR_HZ
+    )
+
+    # --- network: latency budget -> hop budget; report sizing -> bandwidth.
+    max_hops = max(1, int(goal.max_latency_s / _PER_HOP_LATENCY_S / redundancy))
+    report_bits = 2048.0
+    min_bandwidth_bps = detection_rate * report_bits * redundancy
+
+    return RequirementSet(
+        goal=goal,
+        n_sensors=n_sensors * redundancy,
+        modalities=goal.modalities,
+        sensing_range_m=r,
+        compute_flops=compute_flops,
+        max_hops=max_hops,
+        min_bandwidth_bps=min_bandwidth_bps,
+        redundancy=redundancy,
+        coverage_target=goal.min_coverage,
+    )

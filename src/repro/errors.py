@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the library with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation kernel is misused."""
+
+
+class NetworkError(ReproError):
+    """Raised for network-layer failures (no route, node unknown, ...)."""
+
+
+class CompositionError(ReproError):
+    """Raised when a composite asset cannot be synthesized."""
+
+
+class RequirementError(ReproError):
+    """Raised when mission goals cannot be compiled into requirements."""
+
+
+class DiscoveryError(ReproError):
+    """Raised by the asset-discovery subsystem."""
+
+
+class AdaptationError(ReproError):
+    """Raised by the adaptation subsystem."""
+
+
+class LearningError(ReproError):
+    """Raised by the learning subsystem."""
+
+
+class SecurityError(ReproError):
+    """Raised by the security subsystem (attack configuration, trust)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""

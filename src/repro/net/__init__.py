@@ -1,0 +1,40 @@
+"""Wireless battlefield network substrate.
+
+Provides the physical/link layers (log-distance channel with shadowing,
+jamming, a contention MAC), node and network containers, mobility models,
+topology snapshots, and a family of routing/dissemination protocols under
+:mod:`repro.net.routing`.
+"""
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.channel import Channel, Jammer
+from repro.net.node import NetNode, Network
+from repro.net.mobility import (
+    MobilityModel,
+    StaticMobility,
+    RandomWaypoint,
+    ManhattanGrid,
+    GroupMobility,
+    MobilityManager,
+)
+from repro.net.topology import TopologySnapshot, build_topology
+from repro.net.transport import MessageService, DeliveryReceipt
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "Channel",
+    "Jammer",
+    "NetNode",
+    "Network",
+    "MobilityModel",
+    "StaticMobility",
+    "RandomWaypoint",
+    "ManhattanGrid",
+    "GroupMobility",
+    "MobilityManager",
+    "TopologySnapshot",
+    "build_topology",
+    "MessageService",
+    "DeliveryReceipt",
+]

@@ -1,0 +1,226 @@
+"""Wireless propagation: log-distance path loss, shadowing, fading, jamming.
+
+The model is standard: received power (dBm) is transmit power minus a
+log-distance path loss, plus a per-link lognormal shadowing term and a
+per-transmission fast-fading term.  Delivery succeeds with a probability
+that is a smooth (logistic) function of SINR, where interference includes
+active jammers.  This is the classic abstraction used by packet-level MANET
+simulators; it reproduces the qualitative effects the paper's arguments rely
+on (range limits, partitions, jamming-induced loss).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.geometry import Point, distance
+from repro.util.rng import derive_seed
+
+__all__ = ["Channel", "Jammer"]
+
+
+def _dbm_to_mw(dbm: float) -> float:
+    return 10.0 ** (dbm / 10.0)
+
+
+def _mw_to_dbm(mw: float) -> float:
+    return 10.0 * math.log10(max(mw, 1e-30))
+
+
+@dataclass
+class Jammer:
+    """A broadband interferer at a fixed position.
+
+    ``active`` can be toggled by attack scenarios; ``power_dbm`` is the
+    radiated power, attenuated toward the receiver with the same path-loss
+    law as legitimate transmitters.
+    """
+
+    position: Point
+    power_dbm: float = 30.0
+    active: bool = True
+
+    def interference_mw(self, channel: "Channel", at: Point) -> float:
+        if not self.active:
+            return 0.0
+        d = distance(self.position, at)
+        rx_dbm = self.power_dbm - channel.path_loss_db(d)
+        return _dbm_to_mw(rx_dbm)
+
+
+class Channel:
+    """Log-distance path-loss channel with shadowing, fading and jamming.
+
+    Parameters
+    ----------
+    path_loss_exponent:
+        2.0 for free space, ~3.0 for urban outdoor (default), 4+ indoors.
+    shadowing_sigma_db:
+        Std-dev of the per-link lognormal shadowing term.  Shadowing is
+        *static per link* (deterministic from the seed and the node pair),
+        matching the physical interpretation of obstacles.
+    fading_sigma_db:
+        Std-dev of the per-transmission fast-fading term.
+    sinr_threshold_db:
+        SINR at which delivery probability is 50%.
+    """
+
+    def __init__(
+        self,
+        *,
+        path_loss_exponent: float = 3.0,
+        reference_loss_db: float = 40.0,
+        reference_distance_m: float = 1.0,
+        shadowing_sigma_db: float = 4.0,
+        fading_sigma_db: float = 2.0,
+        noise_floor_dbm: float = -95.0,
+        sinr_threshold_db: float = 10.0,
+        sinr_softness_db: float = 1.5,
+        seed: int = 0,
+    ):
+        if path_loss_exponent <= 0:
+            raise ConfigurationError("path_loss_exponent must be positive")
+        if reference_distance_m <= 0:
+            raise ConfigurationError("reference_distance_m must be positive")
+        self.path_loss_exponent = path_loss_exponent
+        self.reference_loss_db = reference_loss_db
+        self.reference_distance_m = reference_distance_m
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.fading_sigma_db = fading_sigma_db
+        self.noise_floor_dbm = noise_floor_dbm
+        self.sinr_threshold_db = sinr_threshold_db
+        self.sinr_softness_db = sinr_softness_db
+        self.seed = seed
+        self.jammers: List[Jammer] = []
+        self._fading_rng = np.random.default_rng(derive_seed(seed, "fading"))
+
+    # ------------------------------------------------------------ propagation
+
+    def path_loss_db(self, d: float) -> float:
+        """Deterministic log-distance path loss at distance ``d`` meters."""
+        d = max(d, self.reference_distance_m)
+        return self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(
+            d / self.reference_distance_m
+        )
+
+    def shadowing_db(self, node_a: int, node_b: int) -> float:
+        """Static per-link shadowing, symmetric in the node pair."""
+        if self.shadowing_sigma_db <= 0:
+            return 0.0
+        lo, hi = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+        rng = np.random.default_rng(
+            derive_seed(self.seed, "shadow", str(lo), str(hi))
+        )
+        return float(rng.normal(0.0, self.shadowing_sigma_db))
+
+    def rx_power_dbm(
+        self,
+        tx_power_dbm: float,
+        tx_pos: Point,
+        rx_pos: Point,
+        tx_id: int = -1,
+        rx_id: int = -1,
+        *,
+        with_fading: bool = True,
+    ) -> float:
+        """Mean received power plus shadowing (and fading if requested)."""
+        power = tx_power_dbm - self.path_loss_db(distance(tx_pos, rx_pos))
+        if tx_id >= 0 and rx_id >= 0:
+            power += self.shadowing_db(tx_id, rx_id)
+        if with_fading and self.fading_sigma_db > 0:
+            power += float(self._fading_rng.normal(0.0, self.fading_sigma_db))
+        return power
+
+    def interference_mw(self, at: Point) -> float:
+        """Aggregate jammer interference power at a receiver position."""
+        return sum(j.interference_mw(self, at) for j in self.jammers)
+
+    def sinr_db(
+        self,
+        tx_power_dbm: float,
+        tx_pos: Point,
+        rx_pos: Point,
+        tx_id: int = -1,
+        rx_id: int = -1,
+        *,
+        with_fading: bool = True,
+        extra_interference_mw: float = 0.0,
+    ) -> float:
+        rx_dbm = self.rx_power_dbm(
+            tx_power_dbm, tx_pos, rx_pos, tx_id, rx_id, with_fading=with_fading
+        )
+        denom_mw = (
+            _dbm_to_mw(self.noise_floor_dbm)
+            + self.interference_mw(rx_pos)
+            + extra_interference_mw
+        )
+        return rx_dbm - _mw_to_dbm(denom_mw)
+
+    # ---------------------------------------------------------------- delivery
+
+    def delivery_probability(
+        self,
+        tx_power_dbm: float,
+        tx_pos: Point,
+        rx_pos: Point,
+        tx_id: int = -1,
+        rx_id: int = -1,
+        *,
+        extra_interference_mw: float = 0.0,
+    ) -> float:
+        """Probability a single transmission is decoded at the receiver.
+
+        Logistic in SINR around the threshold; evaluated *without* fast
+        fading (fading is what the logistic smoothing stands in for).
+        """
+        sinr = self.sinr_db(
+            tx_power_dbm,
+            tx_pos,
+            rx_pos,
+            tx_id,
+            rx_id,
+            with_fading=False,
+            extra_interference_mw=extra_interference_mw,
+        )
+        z = (sinr - self.sinr_threshold_db) / max(self.sinr_softness_db, 1e-6)
+        # Clamp to avoid overflow in exp for extreme SINR values.
+        z = min(max(z, -40.0), 40.0)
+        return 1.0 / (1.0 + math.exp(-z))
+
+    def comm_range_m(self, tx_power_dbm: float, margin_db: float = 0.0) -> float:
+        """Distance at which mean SINR (no jamming) equals the threshold.
+
+        Used to size neighbor-search grids; actual delivery is probabilistic.
+        """
+        budget_db = (
+            tx_power_dbm
+            - self.noise_floor_dbm
+            - self.sinr_threshold_db
+            - self.reference_loss_db
+            - margin_db
+        )
+        if budget_db <= 0:
+            return self.reference_distance_m
+        return self.reference_distance_m * 10.0 ** (
+            budget_db / (10.0 * self.path_loss_exponent)
+        )
+
+    # ----------------------------------------------------------------- jamming
+
+    def add_jammer(self, jammer: Jammer) -> Jammer:
+        self.jammers.append(jammer)
+        return jammer
+
+    def clear_jammers(self) -> None:
+        self.jammers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel(n={self.path_loss_exponent}, "
+            f"sigma={self.shadowing_sigma_db}dB, jammers={len(self.jammers)})"
+        )

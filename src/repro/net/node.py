@@ -1,0 +1,311 @@
+"""Network nodes and the network container.
+
+:class:`NetNode` is the communication endpoint (radio parameters, liveness,
+handler/router hooks).  :class:`Network` owns the channel, a spatial index
+for neighbor queries (so 10,000-node inventories stay fast), and the
+transmit path: MAC delay -> delivery draw -> scheduled reception.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.net.channel import Channel
+from repro.net.mac import ContentionMac
+from repro.net.packet import Packet, PacketKind
+from repro.sim.kernel import Simulator
+from repro.util.geometry import Point, distance
+
+__all__ = ["NetNode", "Network"]
+
+SPEED_OF_LIGHT_M_S = 3.0e8
+
+PacketHandler = Callable[["NetNode", Packet, int], None]
+SendResult = Callable[[bool], None]
+
+
+class NetNode:
+    """A radio-equipped network endpoint.
+
+    The node is deliberately thin: protocol behavior lives in routers
+    (:mod:`repro.net.routing`) and in the asset layer (:mod:`repro.things`).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        *,
+        tx_power_dbm: float = 20.0,
+        bitrate_bps: float = 1.0e6,
+    ):
+        self.id = node_id
+        self.position = position
+        self.tx_power_dbm = tx_power_dbm
+        self.bitrate_bps = bitrate_bps
+        self.up = True
+        self.router: Optional[Any] = None
+        self.handlers: Dict[PacketKind, PacketHandler] = {}
+        self.default_handler: Optional[PacketHandler] = None
+        # Optional hook charged (bits_tx, bits_rx) for energy accounting.
+        self.energy_hook: Optional[Callable[[float, float], None]] = None
+        # Count of in-flight transmissions (for MAC contention estimates).
+        self.busy_tx = 0
+
+    def on(self, kind: PacketKind, handler: PacketHandler) -> None:
+        """Register a handler for packets of ``kind`` addressed to this node."""
+        self.handlers[kind] = handler
+
+    def deliver_local(self, packet: Packet, from_id: int) -> None:
+        """Hand a received packet to the registered application handler."""
+        handler = self.handlers.get(packet.kind, self.default_handler)
+        if handler is not None:
+            handler(self, packet, from_id)
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"NetNode({self.id}, {state}, pos=({self.position.x:.0f},{self.position.y:.0f}))"
+
+
+class Network:
+    """Container for nodes + channel; implements the transmit path.
+
+    Neighbor queries use a uniform grid sized to the maximum communication
+    range, so they cost O(occupants of 9 cells) instead of O(N).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Optional[Channel] = None,
+        mac: Optional[ContentionMac] = None,
+        *,
+        neighbor_margin_db: float = 3.0,
+    ):
+        self.sim = sim
+        self.channel = channel if channel is not None else Channel(seed=sim.rng.seed)
+        self.mac = mac if mac is not None else ContentionMac()
+        self.neighbor_margin_db = neighbor_margin_db
+        self.nodes: Dict[int, NetNode] = {}
+        self._rng = sim.rng.get("net")
+        self._grid: Dict[Tuple[int, int], Set[int]] = {}
+        self._cell_size = 0.0
+        self._grid_dirty = True
+        # Listeners observing every successful delivery (promiscuous taps,
+        # used by fingerprinting / side-channel discovery).
+        self._sniffers: List[Callable[[Packet, int, int], None]] = []
+
+    # ------------------------------------------------------------- membership
+
+    def add_node(self, node: NetNode) -> NetNode:
+        if node.id in self.nodes:
+            raise NetworkError(f"duplicate node id {node.id}")
+        self.nodes[node.id] = node
+        self._grid_dirty = True
+        return node
+
+    def create_node(self, node_id: int, position: Point, **kwargs: Any) -> NetNode:
+        return self.add_node(NetNode(node_id, position, **kwargs))
+
+    def remove_node(self, node_id: int) -> None:
+        self.nodes.pop(node_id, None)
+        self._grid_dirty = True
+
+    def node(self, node_id: int) -> NetNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id}") from None
+
+    def set_position(self, node_id: int, position: Point) -> None:
+        self.node(node_id).position = position
+        self._grid_dirty = True
+
+    def fail_node(self, node_id: int) -> None:
+        """Take a node down (battlefield loss, capture, battery death)."""
+        self.node(node_id).up = False
+        self.sim.trace.emit("net.node_down", node=node_id)
+
+    def restore_node(self, node_id: int) -> None:
+        self.node(node_id).up = True
+        self.sim.trace.emit("net.node_up", node=node_id)
+
+    def up_nodes(self) -> List[NetNode]:
+        return [n for n in self.nodes.values() if n.up]
+
+    # ------------------------------------------------------------ spatial grid
+
+    def _max_range(self) -> float:
+        if not self.nodes:
+            return 1.0
+        max_power = max(n.tx_power_dbm for n in self.nodes.values())
+        return self.channel.comm_range_m(max_power, margin_db=-self.neighbor_margin_db)
+
+    def _rebuild_grid(self) -> None:
+        self._cell_size = max(self._max_range(), 1.0)
+        self._grid = {}
+        for node in self.nodes.values():
+            cell = self._cell_of(node.position)
+            self._grid.setdefault(cell, set()).add(node.id)
+        self._grid_dirty = False
+
+    def _cell_of(self, p: Point) -> Tuple[int, int]:
+        return (int(math.floor(p.x / self._cell_size)), int(math.floor(p.y / self._cell_size)))
+
+    def invalidate_topology(self) -> None:
+        """Mark the spatial index stale (bulk position updates call this)."""
+        self._grid_dirty = True
+
+    def neighbors(self, node_id: int, *, include_down: bool = False) -> List[int]:
+        """Ids of nodes within (margin-extended) communication range."""
+        if self._grid_dirty:
+            self._rebuild_grid()
+        node = self.node(node_id)
+        limit = self.channel.comm_range_m(
+            node.tx_power_dbm, margin_db=-self.neighbor_margin_db
+        )
+        cx, cy = self._cell_of(node.position)
+        found: List[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for other_id in self._grid.get((cx + dx, cy + dy), ()):
+                    if other_id == node_id:
+                        continue
+                    other = self.nodes[other_id]
+                    if not include_down and not other.up:
+                        continue
+                    if distance(node.position, other.position) <= limit:
+                        found.append(other_id)
+        found.sort()
+        return found
+
+    # --------------------------------------------------------------- transmit
+
+    def _busy_neighbors(self, node: NetNode) -> int:
+        return sum(
+            self.nodes[nid].busy_tx
+            for nid in self.neighbors(node.id)
+            if nid in self.nodes
+        )
+
+    def transmission_delay_s(self, node: NetNode, packet: Packet) -> float:
+        return packet.size_bits / max(node.bitrate_bps, 1.0)
+
+    def send(
+        self,
+        sender_id: int,
+        receiver_id: int,
+        packet: Packet,
+        on_result: Optional[SendResult] = None,
+    ) -> None:
+        """Unicast ``packet`` over one hop; outcome reported via ``on_result``.
+
+        The outcome callback fires at the time the transmission completes
+        (success) or would have completed (failure) — i.e., it models a
+        link-layer ack with negligible ack airtime.
+        """
+        sender = self.node(sender_id)
+        receiver = self.node(receiver_id)
+        if not sender.up:
+            if on_result:
+                on_result(False)
+            return
+        busy = self._busy_neighbors(sender)
+        delay = (
+            self.mac.access_delay(busy, self._rng)
+            + self.transmission_delay_s(sender, packet)
+            + distance(sender.position, receiver.position) / SPEED_OF_LIGHT_M_S
+        )
+        p_ok = self.channel.delivery_probability(
+            sender.tx_power_dbm,
+            sender.position,
+            receiver.position,
+            sender.id,
+            receiver.id,
+        ) * self.mac.collision_survival(busy)
+        success = bool(receiver.up) and (self._rng.random() < p_ok)
+        self.sim.metrics.incr("net.tx_attempts")
+        if sender.energy_hook:
+            sender.energy_hook(packet.size_bits, 0.0)
+        sender.busy_tx += 1
+
+        def complete() -> None:
+            sender.busy_tx = max(0, sender.busy_tx - 1)
+            if success and receiver.up:
+                self.sim.metrics.incr("net.tx_success")
+                self._deliver(receiver, packet, sender_id)
+                if on_result:
+                    on_result(True)
+            else:
+                self.sim.metrics.incr("net.tx_failed")
+                if on_result:
+                    on_result(False)
+
+        self.sim.call_in(delay, complete)
+
+    def broadcast(self, sender_id: int, packet: Packet) -> int:
+        """Link-local broadcast to every in-range neighbor.
+
+        Returns the neighbor count at transmit time.  Each neighbor's
+        reception is drawn independently (no acks on broadcast).
+        """
+        sender = self.node(sender_id)
+        if not sender.up:
+            return 0
+        neighbor_ids = self.neighbors(sender_id)
+        busy = self._busy_neighbors(sender)
+        base_delay = self.mac.access_delay(busy, self._rng) + self.transmission_delay_s(
+            sender, packet
+        )
+        self.sim.metrics.incr("net.tx_attempts")
+        if sender.energy_hook:
+            sender.energy_hook(packet.size_bits, 0.0)
+        sender.busy_tx += 1
+        survival = self.mac.collision_survival(busy)
+        deliveries: List[int] = []
+        for nid in neighbor_ids:
+            receiver = self.nodes[nid]
+            p_ok = (
+                self.channel.delivery_probability(
+                    sender.tx_power_dbm,
+                    sender.position,
+                    receiver.position,
+                    sender.id,
+                    receiver.id,
+                )
+                * survival
+            )
+            if self._rng.random() < p_ok:
+                deliveries.append(nid)
+
+        def complete() -> None:
+            sender.busy_tx = max(0, sender.busy_tx - 1)
+            for nid in deliveries:
+                receiver = self.nodes.get(nid)
+                if receiver is not None and receiver.up:
+                    self.sim.metrics.incr("net.tx_success")
+                    self._deliver(receiver, packet, sender_id)
+
+        self.sim.call_in(base_delay, complete)
+        return len(neighbor_ids)
+
+    def _deliver(self, receiver: NetNode, packet: Packet, from_id: int) -> None:
+        if receiver.energy_hook:
+            receiver.energy_hook(0.0, packet.size_bits)
+        for sniffer in self._sniffers:
+            sniffer(packet, from_id, receiver.id)
+        if receiver.router is not None:
+            receiver.router.on_receive(receiver, packet, from_id)
+        else:
+            receiver.deliver_local(packet, from_id)
+
+    def add_sniffer(self, fn: Callable[[Packet, int, int], None]) -> None:
+        """Observe every successful delivery as ``(packet, from, to)``."""
+        self._sniffers.append(fn)
+
+    def __repr__(self) -> str:
+        return f"Network(nodes={len(self.nodes)}, jammers={len(self.channel.jammers)})"

@@ -1,0 +1,79 @@
+"""Packet model.
+
+Packets carry an application payload plus the headers the routing layer
+needs.  Sizes are in bits so transmission delay follows directly from the
+radio bitrate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+__all__ = ["PacketKind", "Packet"]
+
+_packet_ids = itertools.count(1)
+
+
+class PacketKind(Enum):
+    """Coarse traffic classes; fingerprinting keys off these."""
+
+    DATA = "data"
+    BEACON = "beacon"
+    PROBE = "probe"
+    PROBE_REPLY = "probe_reply"
+    CONTROL = "control"
+    RREQ = "rreq"
+    RREP = "rrep"
+    DTN_SUMMARY = "dtn_summary"
+    MODEL_UPDATE = "model_update"
+
+
+@dataclass
+class Packet:
+    """A network packet.
+
+    ``dst`` of ``None`` means link-local broadcast.  ``path`` accumulates the
+    node ids the packet visited (used for tomography and metrics).
+    """
+
+    src: int
+    dst: Optional[int]
+    kind: PacketKind = PacketKind.DATA
+    payload: Any = None
+    size_bits: int = 1024
+    ttl: int = 32
+    created_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    flow_id: Optional[int] = None
+    path: List[int] = field(default_factory=list)
+    headers: Dict[str, Any] = field(default_factory=dict)
+
+    def copy_for_forwarding(self) -> "Packet":
+        """A forwarding copy sharing uid/payload but with its own path list."""
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            kind=self.kind,
+            payload=self.payload,
+            size_bits=self.size_bits,
+            ttl=self.ttl - 1,
+            created_at=self.created_at,
+            uid=self.uid,
+            flow_id=self.flow_id,
+            path=list(self.path),
+            headers=dict(self.headers),
+        )
+
+    @property
+    def hops(self) -> int:
+        """Number of transmissions so far (path entries minus origin)."""
+        return max(0, len(self.path) - 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(uid={self.uid}, {self.kind.value}, "
+            f"{self.src}->{self.dst}, ttl={self.ttl})"
+        )

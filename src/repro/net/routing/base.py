@@ -1,0 +1,99 @@
+"""Router interface shared by all protocols."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.errors import NetworkError
+from repro.net.node import NetNode, Network
+from repro.net.packet import Packet
+
+__all__ = ["Router"]
+
+DeliveryCallback = Callable[[Packet, int], None]
+
+
+class Router:
+    """Base router: bookkeeping for attachment and delivery accounting.
+
+    Subclasses override :meth:`send` (originate a packet at its source) and
+    :meth:`on_receive` (handle a packet the network delivered to a node).
+    """
+
+    name = "base"
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.sim = network.sim
+        self.attached: Dict[int, NetNode] = {}
+
+    # ------------------------------------------------------------- attachment
+
+    def attach(self, node_id: int) -> None:
+        node = self.network.node(node_id)
+        if node.router is not None and node.router is not self:
+            raise NetworkError(f"node {node_id} already has a router")
+        node.router = self
+        self.attached[node_id] = node
+
+    def attach_all(self, node_ids: Iterable[int]) -> None:
+        for node_id in node_ids:
+            self.attach(node_id)
+
+    def detach(self, node_id: int) -> None:
+        node = self.attached.pop(node_id, None)
+        if node is not None and node.router is self:
+            node.router = None
+
+    # ---------------------------------------------------------------- routing
+
+    def send(self, src_id: int, packet: Packet) -> None:
+        """Originate ``packet`` at node ``src_id``."""
+        raise NotImplementedError
+
+    def on_receive(self, node: NetNode, packet: Packet, from_id: int) -> None:
+        """Handle a packet delivered by the network to ``node``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ accounting
+
+    def _deliver_up(self, node: NetNode, packet: Packet, from_id: int) -> None:
+        """Hand the packet to the application and record delivery metrics."""
+        self.sim.metrics.incr(f"route.{self.name}.delivered")
+        self.sim.metrics.sample(
+            f"route.{self.name}.latency_s", self.sim.now - packet.created_at
+        )
+        self.sim.metrics.sample(f"route.{self.name}.hops", packet.hops)
+        node.deliver_local(packet, from_id)
+
+    def _stamp_origin(self, src_id: int, packet: Packet) -> None:
+        packet.created_at = self.sim.now
+        if not packet.path:
+            packet.path.append(src_id)
+
+    def send_reliable(
+        self,
+        sender_id: int,
+        receiver_id: int,
+        packet: Packet,
+        *,
+        retries: int = 3,
+        on_result: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        """Unicast with link-layer retransmissions (ARQ), like 802.11.
+
+        Retries draw fresh fading/backoff each attempt, so a marginal link
+        with per-try probability p succeeds with 1-(1-p)^(retries+1).
+        """
+
+        def attempt(tries_left: int) -> None:
+            def result(ok: bool) -> None:
+                if ok or tries_left <= 0:
+                    if on_result:
+                        on_result(ok)
+                else:
+                    attempt(tries_left - 1)
+
+            self.network.send(sender_id, receiver_id, packet, on_result=result)
+
+        attempt(retries)

@@ -1,0 +1,55 @@
+"""Duplicate-suppressed blind flooding.
+
+Every node rebroadcasts each packet the first time it sees it, until the TTL
+expires.  Maximal reliability and latency-optimality at maximal cost — the
+canonical dissemination baseline the smarter protocols are judged against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.net.node import NetNode, Network
+from repro.net.packet import Packet
+from repro.net.routing.base import Router
+
+__all__ = ["FloodingRouter"]
+
+
+class FloodingRouter(Router):
+    name = "flooding"
+
+    def __init__(self, network: Network):
+        super().__init__(network)
+        self._seen: Dict[int, Set[int]] = {}
+
+    def _already_seen(self, node_id: int, uid: int) -> bool:
+        seen = self._seen.setdefault(node_id, set())
+        if uid in seen:
+            return True
+        seen.add(uid)
+        return False
+
+    def send(self, src_id: int, packet: Packet) -> None:
+        self._stamp_origin(src_id, packet)
+        self._already_seen(src_id, packet.uid)
+        node = self.attached.get(src_id) or self.network.node(src_id)
+        # Source delivers to itself when it is the destination (degenerate).
+        if packet.dst == src_id:
+            self._deliver_up(node, packet, src_id)
+            return
+        self.network.broadcast(src_id, packet)
+
+    def on_receive(self, node: NetNode, packet: Packet, from_id: int) -> None:
+        if self._already_seen(node.id, packet.uid):
+            return
+        fwd = packet.copy_for_forwarding()
+        fwd.path.append(node.id)
+        if packet.dst is None:
+            # Broadcast payloads are consumed everywhere and forwarded on.
+            self._deliver_up(node, fwd, from_id)
+        elif packet.dst == node.id:
+            self._deliver_up(node, fwd, from_id)
+            return
+        if fwd.ttl > 0:
+            self.network.broadcast(node.id, fwd)

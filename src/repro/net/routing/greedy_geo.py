@@ -1,0 +1,97 @@
+"""Greedy geographic forwarding.
+
+Each hop forwards to the neighbor geographically closest to the destination,
+provided it is strictly closer than the current node (otherwise the packet
+is at a local minimum — a "void" — and is dropped after a bounded number of
+random detours).  Position knowledge comes from a pluggable location
+service; the default reads true positions, modeling a GPS-equipped force.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.node import NetNode, Network
+from repro.net.packet import Packet
+from repro.net.routing.base import Router
+from repro.util.geometry import Point, distance
+
+__all__ = ["GreedyGeoRouter"]
+
+LocationService = Callable[[int], Optional[Point]]
+
+
+class GreedyGeoRouter(Router):
+    name = "geo"
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        location_service: Optional[LocationService] = None,
+        max_detours: int = 2,
+        retries: int = 2,
+    ):
+        super().__init__(network)
+        self._locate = location_service or self._true_position
+        self.max_detours = max_detours
+        self.retries = retries
+        self._rng = network.sim.rng.get("geo")
+
+    def _true_position(self, node_id: int) -> Optional[Point]:
+        if node_id in self.network.nodes:
+            return self.network.node(node_id).position
+        return None
+
+    def send(self, src_id: int, packet: Packet) -> None:
+        self._stamp_origin(src_id, packet)
+        node = self.network.node(src_id)
+        if packet.dst == src_id:
+            self._deliver_up(node, packet, src_id)
+            return
+        self._forward(node, packet)
+
+    def on_receive(self, node: NetNode, packet: Packet, from_id: int) -> None:
+        fwd = packet.copy_for_forwarding()
+        fwd.path.append(node.id)
+        if packet.dst == node.id or packet.dst is None:
+            self._deliver_up(node, fwd, from_id)
+            return
+        if fwd.ttl <= 0:
+            self.sim.metrics.incr(f"route.{self.name}.ttl_expired")
+            return
+        self._forward(node, fwd)
+
+    def _forward(self, node: NetNode, packet: Packet, attempt: int = 0) -> None:
+        dst_pos = self._locate(packet.dst) if packet.dst is not None else None
+        if dst_pos is None:
+            self.sim.metrics.incr(f"route.{self.name}.no_location")
+            return
+        here = distance(node.position, dst_pos)
+        best_id: Optional[int] = None
+        best_dist = here
+        neighbor_ids = self.network.neighbors(node.id)
+        for nid in neighbor_ids:
+            if nid in packet.path:
+                continue
+            d = distance(self.network.node(nid).position, dst_pos)
+            if d < best_dist:
+                best_dist = d
+                best_id = nid
+        detours = packet.headers.get("geo_detours", 0)
+        if best_id is None:
+            # Local minimum: take a bounded random detour, then give up.
+            candidates = [n for n in neighbor_ids if n not in packet.path]
+            if detours >= self.max_detours or not candidates:
+                self.sim.metrics.incr(f"route.{self.name}.void_drop")
+                return
+            best_id = candidates[int(self._rng.integers(0, len(candidates)))]
+            packet.headers["geo_detours"] = detours + 1
+
+        def result(ok: bool) -> None:
+            if not ok and attempt < self.retries:
+                self._forward(node, packet, attempt + 1)
+            elif not ok:
+                self.sim.metrics.incr(f"route.{self.name}.link_drop")
+
+        self.network.send(node.id, best_id, packet, on_result=result)

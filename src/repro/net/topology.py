@@ -1,0 +1,107 @@
+"""Topology snapshots.
+
+A :class:`TopologySnapshot` is a networkx view of the network at one instant:
+nodes are live endpoints, edges carry delivery probability and ETX (expected
+transmission count).  Synthesis, tomography, and assurance all consume these
+snapshots rather than poking at the live network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro.net.node import Network
+
+__all__ = ["TopologySnapshot", "build_topology"]
+
+
+@dataclass
+class TopologySnapshot:
+    """A frozen connectivity graph with link-quality annotations."""
+
+    graph: nx.Graph
+    time: float
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        return self.graph.number_of_edges()
+
+    def is_connected(self) -> bool:
+        if self.graph.number_of_nodes() == 0:
+            return False
+        return nx.is_connected(self.graph)
+
+    def components(self) -> List[Set[int]]:
+        return [set(c) for c in nx.connected_components(self.graph)]
+
+    def giant_component_fraction(self) -> float:
+        if self.graph.number_of_nodes() == 0:
+            return 0.0
+        comps = self.components()
+        return max(len(c) for c in comps) / self.graph.number_of_nodes()
+
+    def shortest_path(
+        self, src: int, dst: int, weight: str = "etx"
+    ) -> Optional[List[int]]:
+        """Min-ETX path, or None when src/dst are disconnected."""
+        try:
+            return nx.shortest_path(self.graph, src, dst, weight=weight)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    def path_etx(self, path: List[int]) -> float:
+        """Sum of ETX along a node path."""
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            total += self.graph.edges[a, b]["etx"]
+        return total
+
+    def degree_stats(self) -> Dict[str, float]:
+        degrees = [d for _n, d in self.graph.degree()]
+        if not degrees:
+            return {"mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "mean": sum(degrees) / len(degrees),
+            "min": float(min(degrees)),
+            "max": float(max(degrees)),
+        }
+
+
+def build_topology(
+    network: Network,
+    *,
+    min_delivery_probability: float = 0.1,
+    include_down: bool = False,
+) -> TopologySnapshot:
+    """Snapshot the network's connectivity graph.
+
+    An edge is added between each neighbor pair whose (fading-free) delivery
+    probability exceeds ``min_delivery_probability``; edge attributes are
+    ``p`` (delivery probability, min of both directions) and ``etx`` (1/p).
+    """
+    graph = nx.Graph()
+    nodes = network.nodes.values() if include_down else network.up_nodes()
+    for node in nodes:
+        graph.add_node(node.id, pos=(node.position.x, node.position.y))
+    for node in nodes:
+        for other_id in network.neighbors(node.id, include_down=include_down):
+            if other_id <= node.id or other_id not in graph:
+                continue
+            other = network.node(other_id)
+            p_fwd = network.channel.delivery_probability(
+                node.tx_power_dbm, node.position, other.position, node.id, other.id
+            )
+            p_rev = network.channel.delivery_probability(
+                other.tx_power_dbm, other.position, node.position, other.id, node.id
+            )
+            p = min(p_fwd, p_rev)
+            if p >= min_delivery_probability:
+                graph.add_edge(node.id, other_id, p=p, etx=1.0 / p)
+    return TopologySnapshot(graph=graph, time=network.sim.now)

@@ -1,0 +1,132 @@
+"""Message transport over any router.
+
+:class:`MessageService` gives applications a simple ``send -> receipt``
+abstraction and aggregates delivery statistics (delivery ratio, latency,
+hop count, transmissions per delivery) that the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.node import NetNode, Network
+from repro.net.packet import Packet, PacketKind
+from repro.net.routing.base import Router
+from repro.util.stats import summarize
+
+__all__ = ["DeliveryReceipt", "MessageService"]
+
+
+@dataclass
+class DeliveryReceipt:
+    """Tracks the fate of one application message."""
+
+    uid: int
+    src: int
+    dst: Optional[int]
+    sent_at: float
+    delivered_at: Optional[float] = None
+    hops: Optional[int] = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_at is not None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at
+
+
+class MessageService:
+    """Application-level messaging bound to one router.
+
+    The service installs a DATA handler on every node the router is attached
+    to; user callbacks can be registered per destination node.
+    """
+
+    def __init__(self, router: Router):
+        self.router = router
+        self.network: Network = router.network
+        self.sim = router.sim
+        self.receipts: Dict[int, DeliveryReceipt] = {}
+        # Multiple services (tracking, health, ...) may share one transport
+        # and register on the same node, so handlers are multicast lists —
+        # a single-slot dict would silently drop earlier subscribers.
+        self._user_handlers: Dict[int, List[Callable[[Packet], None]]] = {}
+        for node in router.attached.values():
+            self._install(node)
+
+    def _install(self, node: NetNode) -> None:
+        node.on(PacketKind.DATA, self._on_data)
+
+    def attach(self, node_id: int) -> None:
+        """Attach a node to the router and this service."""
+        self.router.attach(node_id)
+        self._install(self.network.node(node_id))
+
+    def on_message(self, node_id: int, handler: Callable[[Packet], None]) -> None:
+        """Subscribe ``handler`` to messages arriving at ``node_id``.
+
+        Subscriptions are additive: every registered handler runs.
+        """
+        self._user_handlers.setdefault(node_id, []).append(handler)
+
+    def send(
+        self,
+        src: int,
+        dst: Optional[int],
+        payload: Any = None,
+        *,
+        size_bits: int = 2048,
+        ttl: int = 32,
+    ) -> DeliveryReceipt:
+        packet = Packet(
+            src=src,
+            dst=dst,
+            kind=PacketKind.DATA,
+            payload=payload,
+            size_bits=size_bits,
+            ttl=ttl,
+        )
+        receipt = DeliveryReceipt(
+            uid=packet.uid, src=src, dst=dst, sent_at=self.sim.now
+        )
+        self.receipts[packet.uid] = receipt
+        self.router.send(src, packet)
+        return receipt
+
+    def _on_data(self, node: NetNode, packet: Packet, from_id: int) -> None:
+        receipt = self.receipts.get(packet.uid)
+        if receipt is not None and receipt.delivered_at is None:
+            if receipt.dst is None or receipt.dst == node.id:
+                receipt.delivered_at = self.sim.now
+                receipt.hops = packet.hops
+        for handler in self._user_handlers.get(node.id, ()):
+            handler(packet)
+
+    # ------------------------------------------------------------- statistics
+
+    def delivery_ratio(self) -> float:
+        if not self.receipts:
+            return float("nan")
+        done = sum(1 for r in self.receipts.values() if r.delivered)
+        return done / len(self.receipts)
+
+    def latency_summary(self) -> Dict[str, float]:
+        lat = [
+            r.latency_s for r in self.receipts.values() if r.latency_s is not None
+        ]
+        return summarize(lat)
+
+    def hops_summary(self) -> Dict[str, float]:
+        hops = [float(r.hops) for r in self.receipts.values() if r.hops is not None]
+        return summarize(hops)
+
+    def transmissions_per_delivery(self) -> float:
+        delivered = sum(1 for r in self.receipts.values() if r.delivered)
+        if delivered == 0:
+            return float("inf")
+        return self.sim.metrics.counter("net.tx_attempts") / delivered

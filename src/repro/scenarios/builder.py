@@ -1,0 +1,267 @@
+"""Scenario builder: assemble world + channel + population + workloads.
+
+The builder is the one-stop entry point used by examples, tests, and every
+benchmark, so experiments differ only in the parameters they pass, never in
+assembly boilerplate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.channel import Jammer
+from repro.net.mobility import (
+    ManhattanGrid as ManhattanMobility,
+    MobilityManager,
+    RandomWaypoint,
+    StaticMobility,
+)
+from repro.net.node import Network
+from repro.scenarios.urban import UrbanGrid
+from repro.scenarios.workloads import EventField, TargetGroup
+from repro.sim.kernel import Simulator
+from repro.things.asset import Affiliation, Asset, AssetInventory
+from repro.things.capabilities import make_profile
+from repro.things.humans import HumanSource
+from repro.things.sensors import Environment
+from repro.util.geometry import Region
+
+__all__ = ["Scenario", "ScenarioBuilder"]
+
+#: Default blue-force device mix (class -> weight).
+DEFAULT_BLUE_MIX: Dict[str, float] = {
+    "occupancy_tag": 0.20,
+    "ground_sensor": 0.25,
+    "camera_pole": 0.15,
+    "wearable": 0.15,
+    "ugv": 0.08,
+    "drone": 0.07,
+    "edge_cloud": 0.02,
+    "smartphone": 0.08,
+}
+
+#: Gray (civilian) devices are overwhelmingly phones plus ambient IoT.
+DEFAULT_GRAY_MIX: Dict[str, float] = {
+    "smartphone": 0.7,
+    "occupancy_tag": 0.2,
+    "camera_pole": 0.1,
+}
+
+#: Red assets masquerade as civilian-grade hardware.
+DEFAULT_RED_MIX: Dict[str, float] = {
+    "smartphone": 0.6,
+    "ground_sensor": 0.25,
+    "drone": 0.15,
+}
+
+
+@dataclass
+class Scenario:
+    """A fully assembled world ready for services and experiments."""
+
+    sim: Simulator
+    grid: UrbanGrid
+    network: Network
+    inventory: AssetInventory
+    mobility: MobilityManager
+    environment: Environment
+    targets: Optional[TargetGroup] = None
+    events: Optional[EventField] = None
+    jammers: List[Jammer] = field(default_factory=list)
+
+    @property
+    def region(self) -> Region:
+        return self.grid.region
+
+    def blue_node_ids(self) -> List[int]:
+        return [a.node_id for a in self.inventory.blue() if a.alive]
+
+    def start(self) -> None:
+        """Start background dynamics (mobility, targets)."""
+        self.mobility.start()
+        if self.targets is not None:
+            self.targets.start()
+
+
+class ScenarioBuilder:
+    """Fluent construction of :class:`Scenario` objects.
+
+    >>> sim = Simulator(seed=3)
+    >>> scenario = (
+    ...     ScenarioBuilder(sim)
+    ...     .urban_grid(blocks=5)
+    ...     .population(n_blue=40, n_red=5, n_gray=10)
+    ...     .build()
+    ... )
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._rng = sim.rng.get("scenario")
+        self._grid = UrbanGrid(blocks=10, block_size_m=100.0)
+        self._density = 0.5
+        self._population: List[Tuple[Affiliation, Dict[str, float], int]] = []
+        self._mobile_fraction = 0.5
+        self._street_mobility = True
+        self._n_targets = 0
+        self._n_events = 0
+        self._n_jammers = 0
+        self._jammer_power_dbm = 30.0
+        self._environment = Environment()
+        self._human_reliability = (0.6, 0.95)
+        self._red_duty_cycle = 0.7
+        self._mobility_period_s = 1.0
+
+    # ----------------------------------------------------------------- world
+
+    def urban_grid(
+        self, blocks: int = 10, block_size_m: float = 100.0, density: float = 0.5
+    ) -> "ScenarioBuilder":
+        self._grid = UrbanGrid(blocks=blocks, block_size_m=block_size_m)
+        self._density = density
+        return self
+
+    def environment(self, env: Environment) -> "ScenarioBuilder":
+        self._environment = env
+        return self
+
+    # ------------------------------------------------------------ population
+
+    def population(
+        self,
+        n_blue: int = 50,
+        n_red: int = 0,
+        n_gray: int = 0,
+        *,
+        blue_mix: Optional[Dict[str, float]] = None,
+        gray_mix: Optional[Dict[str, float]] = None,
+        red_mix: Optional[Dict[str, float]] = None,
+    ) -> "ScenarioBuilder":
+        if n_blue < 0 or n_red < 0 or n_gray < 0:
+            raise ConfigurationError("population counts must be non-negative")
+        self._population = [
+            (Affiliation.BLUE, blue_mix or DEFAULT_BLUE_MIX, n_blue),
+            (Affiliation.RED, red_mix or DEFAULT_RED_MIX, n_red),
+            (Affiliation.GRAY, gray_mix or DEFAULT_GRAY_MIX, n_gray),
+        ]
+        return self
+
+    def mobility(
+        self,
+        mobile_fraction: float = 0.5,
+        *,
+        street_constrained: bool = True,
+        update_period_s: float = 1.0,
+    ) -> "ScenarioBuilder":
+        if not (0.0 <= mobile_fraction <= 1.0):
+            raise ConfigurationError("mobile_fraction must be in [0, 1]")
+        self._mobile_fraction = mobile_fraction
+        self._street_mobility = street_constrained
+        self._mobility_period_s = update_period_s
+        return self
+
+    # ------------------------------------------------------------- workloads
+
+    def targets(self, n_targets: int) -> "ScenarioBuilder":
+        self._n_targets = n_targets
+        return self
+
+    def events(self, n_events: int) -> "ScenarioBuilder":
+        self._n_events = n_events
+        return self
+
+    def jammers(self, n_jammers: int, power_dbm: float = 30.0) -> "ScenarioBuilder":
+        self._n_jammers = n_jammers
+        self._jammer_power_dbm = power_dbm
+        return self
+
+    # ----------------------------------------------------------------- build
+
+    def _sample_class(self, mix: Dict[str, float]) -> str:
+        classes = sorted(mix)
+        weights = np.array([mix[c] for c in classes], dtype=float)
+        weights = weights / weights.sum()
+        return str(self._rng.choice(classes, p=weights))
+
+    def build(self) -> Scenario:
+        channel = self._grid.channel(seed=self.sim.rng.seed, density=self._density)
+        network = Network(self.sim, channel)
+        inventory = AssetInventory(network)
+        mobility = MobilityManager(
+            self.sim, network, update_period_s=self._mobility_period_s
+        )
+        region = self._grid.region
+
+        if not self._population:
+            self.population()
+
+        for affiliation, mix, count in self._population:
+            for _i in range(count):
+                device_class = self._sample_class(mix)
+                profile = make_profile(device_class)
+                if profile.mobile or affiliation is not Affiliation.BLUE:
+                    position = self._grid.random_block_point(self._rng)
+                else:
+                    position = self._grid.snap_to_street(
+                        self._grid.random_block_point(self._rng)
+                    )
+                human = None
+                if device_class in ("smartphone", "wearable"):
+                    lo, hi = self._human_reliability
+                    human = HumanSource(
+                        source_id=len(inventory) + 1,
+                        reliability=float(self._rng.uniform(lo, hi)),
+                        malicious=affiliation is Affiliation.RED,
+                    )
+                duty = 1.0
+                if affiliation is not Affiliation.BLUE:
+                    duty = self._red_duty_cycle
+                asset = inventory.create(
+                    profile,
+                    position,
+                    affiliation,
+                    duty_cycle=duty,
+                    human=human,
+                )
+                asset.add_default_sensors()
+                self._attach_mobility(asset, mobility, region)
+
+        scenario = Scenario(
+            sim=self.sim,
+            grid=self._grid,
+            network=network,
+            inventory=inventory,
+            mobility=mobility,
+            environment=self._environment,
+        )
+        if self._n_targets > 0:
+            scenario.targets = TargetGroup(self.sim, region, self._n_targets)
+        if self._n_events > 0:
+            scenario.events = EventField(self.sim, region, self._n_events)
+        for _j in range(self._n_jammers):
+            jammer = Jammer(
+                position=region.sample(self._rng),
+                power_dbm=self._jammer_power_dbm,
+                active=False,  # attacks switch them on
+            )
+            channel.add_jammer(jammer)
+            scenario.jammers.append(jammer)
+        return scenario
+
+    def _attach_mobility(
+        self, asset: Asset, mobility: MobilityManager, region: Region
+    ) -> None:
+        if asset.profile.mobile and self._rng.random() < self._mobile_fraction:
+            if self._street_mobility and asset.profile.device_class != "drone":
+                model = ManhattanMobility(
+                    asset.position, region, block_size=self._grid.block_size_m
+                )
+            else:
+                model = RandomWaypoint(asset.position, region)
+        else:
+            model = StaticMobility(asset.position)
+        mobility.attach(asset.node_id, model)

@@ -1,0 +1,32 @@
+"""Security: attack injection and trust/reputation.
+
+The paper treats security as a crosscutting concern: contested environments
+contain adversary-owned nodes, jamming, data contamination, impersonation.
+This package provides the attack injectors used by experiments and the
+reputation machinery shared by synthesis and learning.
+"""
+
+from repro.security.attacks import (
+    Attack,
+    AttackSchedule,
+    JammingAttack,
+    NodeCaptureAttack,
+    NodeDestructionAttack,
+    SybilAttack,
+    DataPoisoningAttack,
+    AttritionProcess,
+)
+from repro.security.trust import BetaReputation, TrustLedger
+
+__all__ = [
+    "Attack",
+    "AttackSchedule",
+    "JammingAttack",
+    "NodeCaptureAttack",
+    "NodeDestructionAttack",
+    "SybilAttack",
+    "DataPoisoningAttack",
+    "AttritionProcess",
+    "BetaReputation",
+    "TrustLedger",
+]

@@ -1,0 +1,309 @@
+"""Attack injection.
+
+Attacks are schedulable perturbations applied to a scenario.  Each attack
+has a ``launch`` (and usually a ``cease``) and emits trace records so that
+experiments can align recovery metrics with attack timing.  The attack
+families cover the threats the paper enumerates: jamming (denial),
+capture/insider (data contamination), Sybil/impersonation (identity), node
+destruction (physical loss), and sensor data poisoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SecurityError
+from repro.net.channel import Jammer
+from repro.scenarios.builder import Scenario
+from repro.things.asset import Affiliation, Asset
+from repro.things.capabilities import make_profile
+from repro.util.geometry import Point
+
+__all__ = [
+    "Attack",
+    "AttackSchedule",
+    "JammingAttack",
+    "NodeCaptureAttack",
+    "NodeDestructionAttack",
+    "SybilAttack",
+    "DataPoisoningAttack",
+    "AttritionProcess",
+]
+
+
+class Attack:
+    """Base attack: subclasses implement :meth:`launch` / :meth:`cease`."""
+
+    name = "attack"
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.active = False
+
+    def launch(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self.sim.trace.emit("attack.launch", attack=self.name)
+        self._apply()
+
+    def cease(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        self.sim.trace.emit("attack.cease", attack=self.name)
+        self._revert()
+
+    def schedule(self, start_s: float, duration_s: Optional[float] = None) -> None:
+        """Launch at ``start_s`` and optionally cease after ``duration_s``."""
+        self.sim.call_at(start_s, self.launch)
+        if duration_s is not None:
+            self.sim.call_at(start_s + duration_s, self.cease)
+
+    def _apply(self) -> None:
+        raise NotImplementedError
+
+    def _revert(self) -> None:
+        """Default: attacks are irreversible unless overridden."""
+
+
+class JammingAttack(Attack):
+    """Activate jammers (denial of the RF environment)."""
+
+    name = "jamming"
+
+    def __init__(self, scenario: Scenario, jammers: Optional[Sequence[Jammer]] = None):
+        super().__init__(scenario)
+        self.jammers = list(jammers) if jammers is not None else list(scenario.jammers)
+        if not self.jammers:
+            raise SecurityError("no jammers available to activate")
+
+    def _apply(self) -> None:
+        for jammer in self.jammers:
+            jammer.active = True
+        # Jamming also degrades RF-band sensing for everyone.
+        self.scenario.environment.rf_interference = 1.0
+
+    def _revert(self) -> None:
+        for jammer in self.jammers:
+            jammer.active = False
+        self.scenario.environment.rf_interference = 0.0
+
+
+class NodeCaptureAttack(Attack):
+    """Turn blue/gray assets into adversary-controlled insiders.
+
+    Captured assets stay up (they are more valuable to the adversary alive),
+    but their human sources become malicious and their sensors can be
+    poisoned via :class:`DataPoisoningAttack`.
+    """
+
+    name = "capture"
+
+    def __init__(self, scenario: Scenario, asset_ids: Sequence[int]):
+        super().__init__(scenario)
+        if not asset_ids:
+            raise SecurityError("no assets given to capture")
+        self.asset_ids = list(asset_ids)
+
+    def _apply(self) -> None:
+        for asset_id in self.asset_ids:
+            asset = self.scenario.inventory.get(asset_id)
+            asset.captured = True
+            if asset.human is not None:
+                asset.human.malicious = True
+            self.sim.trace.emit("attack.capture", asset=asset_id)
+
+    def _revert(self) -> None:
+        for asset_id in self.asset_ids:
+            asset = self.scenario.inventory.get(asset_id)
+            asset.captured = False
+            if asset.human is not None:
+                asset.human.malicious = False
+
+
+class NodeDestructionAttack(Attack):
+    """Physically destroy assets (kinetic loss / battery sabotage)."""
+
+    name = "destruction"
+
+    def __init__(self, scenario: Scenario, asset_ids: Sequence[int]):
+        super().__init__(scenario)
+        if not asset_ids:
+            raise SecurityError("no assets given to destroy")
+        self.asset_ids = list(asset_ids)
+
+    def _apply(self) -> None:
+        for asset_id in self.asset_ids:
+            asset = self.scenario.inventory.get(asset_id)
+            self.scenario.network.fail_node(asset.node_id)
+            self.sim.trace.emit("attack.destroy", asset=asset_id)
+
+
+class SybilAttack(Attack):
+    """Inject fake identities that masquerade as benign civilian devices.
+
+    Each Sybil is a real red-controlled radio claiming a gray smartphone
+    profile; discovery/characterization must unmask them from behavior
+    (duty cycles, traffic fingerprints), not from labels.
+    """
+
+    name = "sybil"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        n_identities: int,
+        *,
+        claimed_class: str = "smartphone",
+    ):
+        super().__init__(scenario)
+        if n_identities < 1:
+            raise SecurityError("need at least one Sybil identity")
+        self.n_identities = n_identities
+        self.claimed_class = claimed_class
+        self.created: List[Asset] = []
+
+    def _apply(self) -> None:
+        rng = self.sim.rng.get("sybil")
+        for _i in range(self.n_identities):
+            position = self.scenario.region.sample(rng)
+            asset = self.scenario.inventory.create(
+                make_profile(self.claimed_class),
+                position,
+                Affiliation.RED,
+                duty_cycle=0.9,
+            )
+            self.created.append(asset)
+            self.sim.trace.emit("attack.sybil", asset=asset.id)
+
+    def _revert(self) -> None:
+        for asset in self.created:
+            self.scenario.network.fail_node(asset.node_id)
+
+
+class DataPoisoningAttack(Attack):
+    """Make compromised sensors emit displaced/false detections.
+
+    While active, ``poison(detections, rng)`` filters a detection batch:
+    reports from compromised nodes are displaced by ``displacement_m``
+    (plausible-looking but wrong), modeling contaminated inputs to fusion.
+    """
+
+    name = "poisoning"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        node_ids: Sequence[int],
+        *,
+        displacement_m: float = 200.0,
+    ):
+        super().__init__(scenario)
+        if not node_ids:
+            raise SecurityError("no nodes given to poison")
+        self.node_ids = set(node_ids)
+        self.displacement_m = displacement_m
+
+    def _apply(self) -> None:
+        self.sim.trace.emit("attack.poison_on", nodes=len(self.node_ids))
+
+    def poison(self, detections, rng: np.random.Generator):
+        """Return the detection list with compromised reports displaced."""
+        if not self.active:
+            return list(detections)
+        out = []
+        for det in detections:
+            if det.sensor_node in self.node_ids:
+                angle = float(rng.uniform(0, 2 * np.pi))
+                out.append(
+                    type(det)(
+                        sensor_node=det.sensor_node,
+                        modality=det.modality,
+                        target_id=det.target_id,
+                        time=det.time,
+                        measured_position=Point(
+                            det.measured_position.x
+                            + self.displacement_m * np.cos(angle),
+                            det.measured_position.y
+                            + self.displacement_m * np.sin(angle),
+                        ),
+                        confidence=det.confidence,
+                    )
+                )
+            else:
+                out.append(det)
+        return out
+
+
+class AttritionProcess(Attack):
+    """Continuous random attrition: exponential time-to-loss per asset.
+
+    Models the steady drip of battlefield losses (not a single strike):
+    while active, each targeted asset fails independently with the given
+    mean time between failures.  This is the "failure or removal of assets
+    as a normal operating regime" of §III — the background churn that
+    discovery and composition must be robust to.
+    """
+
+    name = "attrition"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        asset_ids: Optional[Sequence[int]] = None,
+        *,
+        mtbf_s: float = 600.0,
+    ):
+        super().__init__(scenario)
+        if mtbf_s <= 0:
+            raise SecurityError("mtbf_s must be positive")
+        self.mtbf_s = mtbf_s
+        self.asset_ids = (
+            list(asset_ids)
+            if asset_ids is not None
+            else [a.id for a in scenario.inventory.blue()]
+        )
+        if not self.asset_ids:
+            raise SecurityError("no assets to attrit")
+        self.losses: List[int] = []
+        self._rng = scenario.sim.rng.get("attrition")
+
+    def _apply(self) -> None:
+        for asset_id in self.asset_ids:
+            delay = float(self._rng.exponential(self.mtbf_s))
+            self.sim.call_in(delay, lambda aid=asset_id: self._maybe_fail(aid))
+
+    def _maybe_fail(self, asset_id: int) -> None:
+        if not self.active:
+            return
+        asset = self.scenario.inventory.get(asset_id)
+        if asset.alive:
+            self.scenario.network.fail_node(asset.node_id)
+            self.losses.append(asset_id)
+            self.sim.trace.emit("attack.attrition", asset=asset_id)
+
+    def loss_rate(self) -> float:
+        return len(self.losses) / len(self.asset_ids)
+
+
+@dataclass
+class AttackSchedule:
+    """A named timeline of attacks, applied to one scenario."""
+
+    scenario: Scenario
+    entries: List[Attack] = field(default_factory=list)
+
+    def add(
+        self, attack: Attack, start_s: float, duration_s: Optional[float] = None
+    ) -> Attack:
+        attack.schedule(start_s, duration_s)
+        self.entries.append(attack)
+        return attack
+
+    def active_attacks(self) -> List[str]:
+        return [a.name for a in self.entries if a.active]

@@ -1,0 +1,93 @@
+"""Trust and reputation.
+
+:class:`BetaReputation` is the standard Josang beta-reputation system:
+positive/negative interaction outcomes update a Beta(alpha, beta) posterior
+whose mean is the trust score.  :class:`TrustLedger` holds one reputation
+per subject and supports exponential aging so stale evidence fades — which
+is what lets trust recover (or collapse) as behavior changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BetaReputation", "TrustLedger"]
+
+
+@dataclass
+class BetaReputation:
+    """Beta(alpha, beta) reputation with a (1,1) uniform prior."""
+
+    alpha: float = 1.0
+    beta: float = 1.0
+
+    @property
+    def trust(self) -> float:
+        """Posterior mean probability of good behavior."""
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def confidence(self) -> float:
+        """Evidence mass (0 = prior only, ->1 with observations)."""
+        n = self.alpha + self.beta - 2.0
+        return n / (n + 10.0)
+
+    def observe(self, positive: bool, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ConfigurationError("weight must be non-negative")
+        if positive:
+            self.alpha += weight
+        else:
+            self.beta += weight
+
+    def age(self, factor: float) -> None:
+        """Decay evidence toward the prior by ``factor`` in (0, 1]."""
+        if not (0.0 < factor <= 1.0):
+            raise ConfigurationError("aging factor must be in (0, 1]")
+        self.alpha = 1.0 + (self.alpha - 1.0) * factor
+        self.beta = 1.0 + (self.beta - 1.0) * factor
+
+    def __repr__(self) -> str:
+        return f"BetaReputation(trust={self.trust:.3f}, a={self.alpha:.1f}, b={self.beta:.1f})"
+
+
+class TrustLedger:
+    """Per-subject reputations with aging and thresholded queries."""
+
+    def __init__(self, *, aging_factor: float = 0.98):
+        if not (0.0 < aging_factor <= 1.0):
+            raise ConfigurationError("aging_factor must be in (0, 1]")
+        self.aging_factor = aging_factor
+        self._reps: Dict[int, BetaReputation] = {}
+
+    def reputation(self, subject: int) -> BetaReputation:
+        if subject not in self._reps:
+            self._reps[subject] = BetaReputation()
+        return self._reps[subject]
+
+    def observe(self, subject: int, positive: bool, weight: float = 1.0) -> None:
+        self.reputation(subject).observe(positive, weight)
+
+    def trust(self, subject: int) -> float:
+        return self.reputation(subject).trust
+
+    def age_all(self) -> None:
+        for rep in self._reps.values():
+            rep.age(self.aging_factor)
+
+    def trusted(self, threshold: float = 0.6) -> Iterable[int]:
+        return sorted(
+            s for s, r in self._reps.items() if r.trust >= threshold
+        )
+
+    def suspicious(self, threshold: float = 0.4) -> Iterable[int]:
+        return sorted(s for s, r in self._reps.items() if r.trust < threshold)
+
+    def snapshot(self) -> Dict[int, float]:
+        return {s: r.trust for s, r in self._reps.items()}
+
+    def __len__(self) -> int:
+        return len(self._reps)

@@ -1,0 +1,182 @@
+"""The discrete-event scheduler.
+
+:class:`Simulator` owns the virtual clock, the event queue, the RNG streams
+for the run, and the metric/trace recorders.  It is deliberately simple:
+a binary heap of events, stable tie-breaking, and generator-based processes
+layered on top (see :mod:`repro.sim.process`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event import Event
+from repro.sim.metrics import MetricRecorder
+from repro.sim.trace import TraceLog
+from repro.util.rng import RngStreams
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all RNG streams used by components in this run.
+
+    Example
+    -------
+    >>> sim = Simulator(seed=1)
+    >>> hits = []
+    >>> def proc(sim):
+    ...     yield sim.timeout(5.0)
+    ...     hits.append(sim.now)
+    >>> _ = sim.spawn(proc(sim))
+    >>> sim.run(until=10.0)
+    >>> hits
+    [5.0]
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now = 0.0
+        self.rng = RngStreams(seed)
+        self.metrics = MetricRecorder(self)
+        self.trace = TraceLog(self)
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._process_count = 0
+
+    # ------------------------------------------------------------------ events
+
+    def event(self, name: str = "") -> Event:
+        """Create an unscheduled event owned by this simulator."""
+        return Event(self, name=name)
+
+    def schedule(
+        self, delay: float, event: Optional[Event] = None, priority: int = 0
+    ) -> Event:
+        """Schedule ``event`` (or a fresh one) to fire ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        ev = event if event is not None else self.event()
+        if not ev.pending:
+            raise SimulationError(f"cannot schedule non-pending event {ev!r}")
+        ev.time = self.now + delay
+        ev.priority = priority
+        ev.seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` time units from now."""
+        ev = self.schedule(delay)
+        ev.value = value
+        return ev
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute virtual time ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(f"call_at({time}) is in the past (now={self.now})")
+        ev = self.schedule(time - self.now)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` time units."""
+        ev = self.schedule(delay)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[[], None],
+        *,
+        start_delay: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> None:
+        """Run ``fn()`` periodically every ``interval`` time units.
+
+        The recurrence stops when the simulation horizon is reached or when
+        ``until`` (absolute time) passes.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+
+        first = interval if start_delay is None else start_delay
+
+        def tick() -> None:
+            if until is not None and self.now > until:
+                return
+            fn()
+            self.call_in(interval, tick)
+
+        self.call_in(first, tick)
+
+    # --------------------------------------------------------------- processes
+
+    def spawn(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> "Process":  # noqa: F821
+        """Start a generator-based process; returns its Process handle."""
+        from repro.sim.process import Process
+
+        self._process_count += 1
+        return Process(self, generator, name=name or f"proc-{self._process_count}")
+
+    # ----------------------------------------------------------------- running
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False when queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time < self.now:  # pragma: no cover - guarded by schedule()
+                raise SimulationError("event queue corrupted: time went backward")
+            self.now = ev.time
+            ev._fire(ev.value)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains, ``until`` is reached, or event budget ends.
+
+        ``until`` is an absolute virtual time; the clock is advanced to it
+        even if the queue drains earlier, so periodic metrics cover the full
+        horizon.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            fired = 0
+            while self._queue:
+                if until is not None and self._queue[0].time > until:
+                    break
+                if not self.step():
+                    break
+                fired += 1
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted ({max_events} events)"
+                    )
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    @property
+    def queue_length(self) -> int:
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self.now:.3f}, queued={self.queue_length})"

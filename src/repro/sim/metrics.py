@@ -1,0 +1,123 @@
+"""Metric recording for simulation runs.
+
+Two flavors:
+
+* :class:`TimeSeries` — timestamped samples of a named quantity.
+* Counters — monotone event counts.
+
+The :class:`MetricRecorder` is attached to each :class:`Simulator` and
+timestamps samples with the virtual clock automatically.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from repro.util.stats import RunningStats, summarize
+
+__all__ = ["TimeSeries", "MetricRecorder"]
+
+
+class TimeSeries:
+    """Timestamped samples of one quantity, kept in arrival order.
+
+    Simulation time is nondecreasing, so arrival order equals time order.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self.stats = RunningStats()
+
+    def add(self, time: float, value: float) -> None:
+        self.times.append(float(time))
+        self.values.append(float(value))
+        self.stats.add(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def window(self, t_start: float, t_end: float) -> List[float]:
+        """Values sampled in ``[t_start, t_end)``."""
+        lo = bisect.bisect_left(self.times, t_start)
+        hi = bisect.bisect_left(self.times, t_end)
+        return self.values[lo:hi]
+
+    def time_average(self, horizon: Optional[float] = None) -> float:
+        """Piecewise-constant time average (sample-and-hold).
+
+        Treats each sample as holding until the next one; the final sample
+        holds until ``horizon`` (defaults to the last sample time, in which
+        case the final sample gets zero weight unless it is the only one).
+        """
+        if not self.values:
+            return float("nan")
+        if len(self.values) == 1:
+            return self.values[0]
+        end = horizon if horizon is not None else self.times[-1]
+        total = 0.0
+        span = 0.0
+        for i in range(len(self.values)):
+            t0 = self.times[i]
+            t1 = self.times[i + 1] if i + 1 < len(self.times) else max(end, t0)
+            dt = max(0.0, t1 - t0)
+            total += self.values[i] * dt
+            span += dt
+        return total / span if span > 0 else self.values[-1]
+
+    def summary(self) -> Dict[str, float]:
+        return summarize(self.values)
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name}, n={len(self)})"
+
+
+class MetricRecorder:
+    """Holds all metrics of one simulation run, keyed by name."""
+
+    def __init__(self, sim: "Simulator"):  # noqa: F821
+        self._sim = sim
+        self._series: Dict[str, TimeSeries] = {}
+        self._counters: Dict[str, float] = {}
+
+    # ------------------------------------------------------------- time series
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def sample(self, name: str, value: float) -> None:
+        """Record ``value`` for series ``name`` at the current virtual time."""
+        self.series(name).add(self._sim.now, value)
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series
+
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
+
+    # ---------------------------------------------------------------- counters
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Summaries of every series plus all counters (for reports)."""
+        out: Dict[str, Dict[str, float]] = {
+            name: ts.summary() for name, ts in self._series.items()
+        }
+        for name, val in self._counters.items():
+            out[f"counter:{name}"] = {"value": val}
+        return out

@@ -1,0 +1,143 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.sim.event.Event`
+objects; the kernel resumes it when the yielded event fires.  This mirrors
+the structure of SimPy-style models while remaining a few hundred lines and
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.event import Event
+
+__all__ = ["Process", "Timeout", "Waiting", "AllOf"]
+
+
+class Timeout:
+    """Declarative alternative to ``sim.timeout`` inside process bodies.
+
+    ``yield Timeout(3.0)`` is equivalent to ``yield sim.timeout(3.0)`` but
+    does not require the process body to hold a simulator reference.
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+        self.value = value
+
+
+class AllOf:
+    """Wait for every event in a collection: ``yield AllOf([e1, e2])``.
+
+    The process resumes once all events fired; the yielded value is the list
+    of their values in input order.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Sequence[Event]):
+        self.events = list(events)
+
+
+class Waiting:
+    """Sentinel yielded by processes that park until externally resumed."""
+
+    __slots__ = ()
+
+
+_WAITING = Waiting()
+
+
+class Process:
+    """Drives a generator, waking it as the events it yields fire."""
+
+    def __init__(
+        self,
+        sim: "Simulator",  # noqa: F821
+        generator: Generator[Any, Any, Any],
+        name: str = "proc",
+    ):
+        self.sim = sim
+        self.name = name
+        self._gen = generator
+        self._done = False
+        self._parked = False
+        self.result: Any = None
+        self.done_event: Event = sim.event(name=f"{name}.done")
+        # Kick off on a zero-delay event so spawning inside a callback is safe.
+        start = sim.schedule(0.0)
+        start.add_callback(lambda _ev: self._resume(None))
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def parked(self) -> bool:
+        return self._parked
+
+    def interrupt(self, value: Any = None) -> None:
+        """Resume a parked process immediately with ``value``."""
+        if self._done:
+            return
+        if not self._parked:
+            raise SimulationError(f"{self.name} is not parked")
+        self._parked = False
+        self._resume(value)
+
+    def _resume(self, value: Any) -> None:
+        if self._done:
+            return
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            ev = self.sim.timeout(target.delay, value=target.value)
+            ev.add_callback(lambda e: self._resume(e.value))
+        elif isinstance(target, AllOf):
+            self._wait_all(target.events)
+        elif isinstance(target, Waiting):
+            self._parked = True
+        elif isinstance(target, Event):
+            target.add_callback(lambda e: self._resume(e.value))
+        elif isinstance(target, Process):
+            target.done_event.add_callback(lambda e: self._resume(e.value))
+        else:
+            raise SimulationError(
+                f"{self.name} yielded unsupported object {target!r}"
+            )
+
+    def _wait_all(self, events: List[Event]) -> None:
+        remaining = {id(ev) for ev in events if not ev.fired}
+        if not remaining:
+            self._resume([ev.value for ev in events])
+            return
+
+        def on_fire(ev: Event) -> None:
+            remaining.discard(id(ev))
+            if not remaining:
+                self._resume([e.value for e in events])
+
+        for ev in events:
+            if not ev.fired:
+                ev.add_callback(on_fire)
+
+    def _finish(self, value: Any) -> None:
+        self._done = True
+        self.result = value
+        self.done_event.succeed(value)
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "parked" if self._parked else "running"
+        return f"Process({self.name}, {state})"

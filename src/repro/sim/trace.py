@@ -1,0 +1,95 @@
+"""Structured event tracing.
+
+A :class:`TraceLog` records ``(time, category, fields)`` tuples.  Traces are
+how integration tests assert on *sequences* of behavior (e.g., "the reflex
+fired before re-synthesis was requested") and how determinism is verified
+across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    fields: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"time": self.time, "category": self.category}
+        out.update(dict(self.fields))
+        return out
+
+
+class TraceLog:
+    """Append-only trace attached to a simulator.
+
+    Tracing is enabled by default but can be capped or disabled for very
+    large runs (benchmarks disable it).
+    """
+
+    def __init__(self, sim: "Simulator", max_records: int = 1_000_000):  # noqa: F821
+        self._sim = sim
+        self.enabled = True
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, category: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if len(self.records) >= self.max_records:
+            return
+        record = TraceRecord(
+            time=self._sim.now,
+            category=category,
+            fields=tuple(sorted(fields.items())),
+        )
+        self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a live listener for each emitted record."""
+        self._listeners.append(listener)
+
+    def filter(
+        self, category: Optional[str] = None, **field_filters: Any
+    ) -> List[TraceRecord]:
+        """Records matching a category and exact field values."""
+        out = []
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if all(rec.get(k) == v for k, v in field_filters.items()):
+                out.append(rec)
+        return out
+
+    def count(self, category: str) -> int:
+        return sum(1 for rec in self.records if rec.category == category)
+
+    def fingerprint(self) -> int:
+        """A stable hash of the whole trace; equal across identical runs."""
+        acc = 0
+        for rec in self.records:
+            acc = hash((acc, round(rec.time, 9), rec.category, rec.fields))
+        return acc
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,109 @@
+"""Actuator models with safety interlocks.
+
+The paper's discussion section motivates "smarter ammunition" that withholds
+activation when humans are present.  :class:`SafetyInterlock` is that
+mechanism: a predicate chain evaluated at actuation time; any veto blocks
+the action and is recorded for audit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.things.capabilities import ActuationType
+from repro.util.geometry import Point
+
+__all__ = ["ActuationRequest", "SafetyInterlock", "Actuator"]
+
+_request_ids = itertools.count(1)
+
+#: A guard inspects a request and returns a veto reason or None to allow.
+Guard = Callable[["ActuationRequest"], Optional[str]]
+
+
+@dataclass
+class ActuationRequest:
+    """A command to an actuator, carrying the authorization context."""
+
+    kind: ActuationType
+    target_position: Optional[Point] = None
+    target_category: Optional[str] = None
+    authorized_by: Optional[str] = None
+    human_decision: bool = False
+    uid: int = field(default_factory=lambda: next(_request_ids))
+
+
+class SafetyInterlock:
+    """An ordered chain of guards; any veto blocks actuation."""
+
+    def __init__(self):
+        self._guards: List[Tuple[str, Guard]] = []
+        self.vetoes: List[Tuple[int, str, str]] = []  # (request, guard, reason)
+
+    def add_guard(self, name: str, guard: Guard) -> None:
+        self._guards.append((name, guard))
+
+    def check(self, request: ActuationRequest) -> Optional[str]:
+        """Return the first veto reason, or None when all guards pass."""
+        for name, guard in self._guards:
+            reason = guard(request)
+            if reason is not None:
+                self.vetoes.append((request.uid, name, reason))
+                return f"{name}: {reason}"
+        return None
+
+    @property
+    def guard_count(self) -> int:
+        return len(self._guards)
+
+
+class Actuator:
+    """An effectuator mounted on a node.
+
+    ``fire`` applies the interlock chain and, for lethal actuation types,
+    additionally requires an explicit human decision (the paper's "decision
+    to fire a weapon ... remains with humans").
+    """
+
+    LETHAL = frozenset({ActuationType.DEMOLITION})
+
+    def __init__(
+        self,
+        node_id: int,
+        kind: ActuationType,
+        *,
+        interlock: Optional[SafetyInterlock] = None,
+        require_human_for_lethal: bool = True,
+    ):
+        self.node_id = node_id
+        self.kind = kind
+        self.interlock = interlock if interlock is not None else SafetyInterlock()
+        self.require_human_for_lethal = require_human_for_lethal
+        self.activations: List[ActuationRequest] = []
+        self.blocked: List[Tuple[ActuationRequest, str]] = []
+
+    def fire(self, request: ActuationRequest) -> bool:
+        """Attempt the actuation; returns True when it was carried out."""
+        if request.kind is not self.kind:
+            raise ConfigurationError(
+                f"actuator {self.kind.value} got request {request.kind.value}"
+            )
+        if (
+            self.require_human_for_lethal
+            and self.kind in self.LETHAL
+            and not request.human_decision
+        ):
+            self.blocked.append((request, "lethal action requires human decision"))
+            return False
+        veto = self.interlock.check(request)
+        if veto is not None:
+            self.blocked.append((request, veto))
+            return False
+        self.activations.append(request)
+        return True
+
+    def __repr__(self) -> str:
+        return f"Actuator(node={self.node_id}, {self.kind.value})"

@@ -1,0 +1,197 @@
+"""Capability profiles.
+
+The paper stresses *extreme heterogeneity*: "from tiny occupancy sensors to
+drones with three-dimensional Radar and LiDar sensors; from small on-board
+compute devices to powerful edge clouds with GPUs".  A
+:class:`CapabilityProfile` quantifies what a device can sense, actuate,
+compute, store, and transmit; :data:`DEVICE_CLASSES` provides that spectrum
+(capabilities spanning several orders of magnitude).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, FrozenSet
+
+__all__ = [
+    "SensingModality",
+    "ActuationType",
+    "CapabilityProfile",
+    "DEVICE_CLASSES",
+    "make_profile",
+]
+
+
+class SensingModality(Enum):
+    OCCUPANCY = "occupancy"
+    ACOUSTIC = "acoustic"
+    SEISMIC = "seismic"
+    CAMERA = "camera"
+    RADAR = "radar"
+    LIDAR = "lidar"
+    RF = "rf"
+    PHYSIOLOGICAL = "physiological"
+
+
+class ActuationType(Enum):
+    ALARM = "alarm"
+    DOOR = "door"
+    RELAY_DEPLOY = "relay_deploy"
+    DEMOLITION = "demolition"
+    VEHICLE = "vehicle"
+
+
+@dataclass(frozen=True)
+class CapabilityProfile:
+    """What a device can do, in physical units.
+
+    ``compute_flops`` and ``storage_bits`` span the paper's "many orders of
+    magnitude"; sensing/actuation are capability sets with per-modality
+    range.
+    """
+
+    device_class: str
+    sensing: FrozenSet[SensingModality] = frozenset()
+    sensing_range_m: float = 0.0
+    actuation: FrozenSet[ActuationType] = frozenset()
+    compute_flops: float = 0.0
+    storage_bits: float = 0.0
+    bandwidth_bps: float = 1.0e5
+    tx_power_dbm: float = 10.0
+    battery_j: float = 5.0e3
+    mobile: bool = False
+    disposable: bool = False
+
+    def can_sense(self, modality: SensingModality) -> bool:
+        return modality in self.sensing
+
+    def can_actuate(self, kind: ActuationType) -> bool:
+        return kind in self.actuation
+
+    def with_overrides(self, **kwargs) -> "CapabilityProfile":
+        return replace(self, **kwargs)
+
+
+def _fs(*items):
+    return frozenset(items)
+
+
+#: The heterogeneity spectrum from the paper's Figure 2 narrative.
+DEVICE_CLASSES: Dict[str, CapabilityProfile] = {
+    "occupancy_tag": CapabilityProfile(
+        device_class="occupancy_tag",
+        sensing=_fs(SensingModality.OCCUPANCY),
+        sensing_range_m=10.0,
+        compute_flops=1.0e6,
+        storage_bits=8.0e6,
+        bandwidth_bps=2.0e4,
+        tx_power_dbm=0.0,
+        battery_j=1.0e3,
+        disposable=True,
+    ),
+    "ground_sensor": CapabilityProfile(
+        device_class="ground_sensor",
+        sensing=_fs(SensingModality.SEISMIC, SensingModality.ACOUSTIC),
+        sensing_range_m=150.0,
+        compute_flops=1.0e8,
+        storage_bits=1.0e9,
+        bandwidth_bps=2.0e5,
+        tx_power_dbm=10.0,
+        battery_j=2.0e4,
+    ),
+    "camera_pole": CapabilityProfile(
+        device_class="camera_pole",
+        sensing=_fs(SensingModality.CAMERA),
+        sensing_range_m=300.0,
+        compute_flops=1.0e9,
+        storage_bits=6.4e10,
+        bandwidth_bps=2.0e6,
+        tx_power_dbm=17.0,
+        battery_j=2.0e5,
+    ),
+    "wearable": CapabilityProfile(
+        device_class="wearable",
+        sensing=_fs(SensingModality.PHYSIOLOGICAL, SensingModality.RF),
+        sensing_range_m=30.0,
+        compute_flops=5.0e8,
+        storage_bits=3.2e10,
+        bandwidth_bps=1.0e6,
+        tx_power_dbm=10.0,
+        battery_j=4.0e4,
+        mobile=True,
+    ),
+    "ugv": CapabilityProfile(
+        device_class="ugv",
+        sensing=_fs(
+            SensingModality.CAMERA, SensingModality.LIDAR, SensingModality.ACOUSTIC
+        ),
+        sensing_range_m=200.0,
+        actuation=_fs(ActuationType.VEHICLE, ActuationType.RELAY_DEPLOY),
+        compute_flops=2.0e10,
+        storage_bits=8.0e11,
+        bandwidth_bps=5.0e6,
+        tx_power_dbm=20.0,
+        battery_j=2.0e6,
+        mobile=True,
+    ),
+    "drone": CapabilityProfile(
+        device_class="drone",
+        sensing=_fs(
+            SensingModality.CAMERA, SensingModality.RADAR, SensingModality.LIDAR
+        ),
+        sensing_range_m=800.0,
+        actuation=_fs(ActuationType.VEHICLE),
+        compute_flops=5.0e10,
+        storage_bits=2.56e11,
+        bandwidth_bps=1.0e7,
+        tx_power_dbm=23.0,
+        battery_j=5.0e5,
+        mobile=True,
+    ),
+    "edge_cloud": CapabilityProfile(
+        device_class="edge_cloud",
+        compute_flops=1.0e13,
+        storage_bits=8.0e13,
+        bandwidth_bps=1.0e8,
+        tx_power_dbm=27.0,
+        battery_j=1.0e9,
+    ),
+    "demolition_charge": CapabilityProfile(
+        device_class="demolition_charge",
+        sensing=_fs(SensingModality.OCCUPANCY),
+        sensing_range_m=20.0,
+        actuation=_fs(ActuationType.DEMOLITION),
+        compute_flops=1.0e6,
+        storage_bits=8.0e6,
+        bandwidth_bps=2.0e4,
+        tx_power_dbm=4.0,
+        battery_j=5.0e3,
+        disposable=True,
+    ),
+    "smartphone": CapabilityProfile(
+        device_class="smartphone",
+        sensing=_fs(
+            SensingModality.CAMERA, SensingModality.ACOUSTIC, SensingModality.RF
+        ),
+        sensing_range_m=50.0,
+        compute_flops=1.0e10,
+        storage_bits=5.12e11,
+        bandwidth_bps=2.0e6,
+        tx_power_dbm=15.0,
+        battery_j=5.0e4,
+        mobile=True,
+    ),
+}
+
+
+def make_profile(device_class: str, **overrides) -> CapabilityProfile:
+    """Instantiate a profile from :data:`DEVICE_CLASSES` with overrides."""
+    try:
+        base = DEVICE_CLASSES[device_class]
+    except KeyError:
+        raise KeyError(
+            f"unknown device class {device_class!r}; "
+            f"known: {sorted(DEVICE_CLASSES)}"
+        ) from None
+    return base.with_overrides(**overrides) if overrides else base

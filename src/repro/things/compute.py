@@ -1,0 +1,113 @@
+"""Compute elements.
+
+A :class:`ComputeElement` is a FLOPS-rated processor with a FIFO queue,
+running on the simulation clock.  Edge clouds and on-board processors are
+the same class at different ratings — heterogeneity is the point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+
+__all__ = ["ComputeTask", "ComputeElement"]
+
+_task_ids = itertools.count(1)
+
+
+@dataclass
+class ComputeTask:
+    """A unit of computation: ``work_flops`` of processing."""
+
+    work_flops: float
+    on_done: Optional[Callable[["ComputeTask"], None]] = None
+    label: str = ""
+    uid: int = field(default_factory=lambda: next(_task_ids))
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+class ComputeElement:
+    """A FLOPS-rated processor with a bounded FIFO queue.
+
+    Tasks beyond ``queue_capacity`` are rejected (returned False), which is
+    what the saturation-protection experiments probe.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        flops: float,
+        *,
+        queue_capacity: int = 64,
+    ):
+        if flops <= 0:
+            raise ConfigurationError("flops must be positive")
+        self.sim = sim
+        self.node_id = node_id
+        self.flops = flops
+        self.queue_capacity = queue_capacity
+        self.queue: Deque[ComputeTask] = deque()
+        self.running: Optional[ComputeTask] = None
+        self.completed = 0
+        self.rejected = 0
+        self.busy_time_s = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue) + (1 if self.running is not None else 0)
+
+    def utilization(self, horizon_s: Optional[float] = None) -> float:
+        span = horizon_s if horizon_s is not None else self.sim.now
+        return self.busy_time_s / span if span > 0 else 0.0
+
+    def submit(self, task: ComputeTask) -> bool:
+        """Enqueue a task; False when the queue is saturated."""
+        if len(self.queue) >= self.queue_capacity:
+            self.rejected += 1
+            return False
+        task.submitted_at = self.sim.now
+        self.queue.append(task)
+        if self.running is None:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self.queue:
+            self.running = None
+            return
+        task = self.queue.popleft()
+        task.started_at = self.sim.now
+        self.running = task
+        duration = task.work_flops / self.flops
+        self.busy_time_s += duration
+        self.sim.call_in(duration, lambda: self._finish(task))
+
+    def _finish(self, task: ComputeTask) -> None:
+        task.finished_at = self.sim.now
+        self.completed += 1
+        if task.on_done is not None:
+            task.on_done(task)
+        self._start_next()
+
+    def service_time_s(self, work_flops: float) -> float:
+        return work_flops / self.flops
+
+    def __repr__(self) -> str:
+        return (
+            f"ComputeElement(node={self.node_id}, {self.flops:.2e} FLOPS, "
+            f"queued={self.queue_length})"
+        )

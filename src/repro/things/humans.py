@@ -1,0 +1,108 @@
+"""Human assets as information sources (social sensing).
+
+The paper's human-asset model follows the estimation-theoretic social
+sensing line it cites (Wang et al.): each source has a latent reliability;
+sources emit binary claims about world events; adversarial sources can
+collude to push a false narrative.  :mod:`repro.core.learning.truth_discovery`
+recovers event truth and source reliability from these claims.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Claim", "HumanSource"]
+
+_claim_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A binary assertion by a source about an event variable."""
+
+    source_id: int
+    event_id: int
+    value: bool
+    time: float = 0.0
+    uid: int = field(default_factory=lambda: next(_claim_ids))
+
+
+class HumanSource:
+    """A human information source with latent reliability and bias.
+
+    Parameters
+    ----------
+    reliability:
+        Probability the source reports an event's true value.
+    report_rate:
+        Probability the source reports on any given event at all.
+    malicious:
+        Malicious sources invert the truth (colluding disinformation);
+        their ``reliability`` is the probability of *successful* inversion,
+        so high-reliability malicious sources are the most damaging.
+    collusion_group:
+        Optional label; colluding sources share one coordinated story.
+    """
+
+    def __init__(
+        self,
+        source_id: int,
+        *,
+        reliability: float = 0.8,
+        report_rate: float = 0.6,
+        malicious: bool = False,
+        collusion_group: Optional[str] = None,
+    ):
+        if not (0.0 <= reliability <= 1.0):
+            raise ConfigurationError("reliability must be in [0, 1]")
+        if not (0.0 <= report_rate <= 1.0):
+            raise ConfigurationError("report_rate must be in [0, 1]")
+        self.source_id = source_id
+        self.reliability = reliability
+        self.report_rate = report_rate
+        self.malicious = malicious
+        self.collusion_group = collusion_group
+
+    def report(
+        self,
+        event_id: int,
+        truth: bool,
+        rng: np.random.Generator,
+        time: float = 0.0,
+    ) -> Optional[Claim]:
+        """Maybe produce a claim about one event."""
+        if rng.random() >= self.report_rate:
+            return None
+        if self.malicious:
+            # Tell the truth only when the inversion "fails".
+            value = (not truth) if rng.random() < self.reliability else truth
+        else:
+            value = truth if rng.random() < self.reliability else (not truth)
+        return Claim(source_id=self.source_id, event_id=event_id, value=value, time=time)
+
+    def report_all(
+        self,
+        truths: Dict[int, bool],
+        rng: np.random.Generator,
+        time: float = 0.0,
+    ) -> List[Claim]:
+        """Report on a batch of events (skipping per ``report_rate``)."""
+        claims = []
+        for event_id in sorted(truths):
+            claim = self.report(event_id, truths[event_id], rng, time)
+            if claim is not None:
+                claims.append(claim)
+        return claims
+
+    def __repr__(self) -> str:
+        tag = "malicious" if self.malicious else "honest"
+        return (
+            f"HumanSource({self.source_id}, {tag}, "
+            f"reliability={self.reliability:.2f})"
+        )

@@ -1,0 +1,22 @@
+"""Shared utilities: seeded RNG streams, geometry, statistics, result tables."""
+
+from repro.util.rng import RngStreams, derive_seed
+from repro.util.geometry import Point, Region, distance
+from repro.util.stats import (
+    RunningStats,
+    mean_confidence_interval,
+    summarize,
+)
+from repro.util.tables import ResultTable
+
+__all__ = [
+    "RngStreams",
+    "derive_seed",
+    "Point",
+    "Region",
+    "distance",
+    "RunningStats",
+    "mean_confidence_interval",
+    "summarize",
+    "ResultTable",
+]

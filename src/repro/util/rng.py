@@ -1,0 +1,67 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library draws from a named stream derived
+from a single experiment seed.  Two runs with the same seed produce identical
+traces (a tested invariant), while distinct streams are statistically
+independent, so adding a new consumer does not perturb existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["derive_seed", "RngStreams"]
+
+
+def derive_seed(root_seed: int, *names: str) -> int:
+    """Derive a child seed from ``root_seed`` and a path of stream names.
+
+    The derivation is a stable hash, so it does not depend on creation order
+    or on Python's per-process hash randomization.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(root_seed)).encode("utf-8"))
+    for name in names:
+        hasher.update(b"/")
+        hasher.update(name.encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "big")
+
+
+class RngStreams:
+    """A factory of named, independent :class:`numpy.random.Generator` streams.
+
+    >>> streams = RngStreams(seed=7)
+    >>> a = streams.get("mobility")
+    >>> b = streams.get("channel")
+    >>> a is streams.get("mobility")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = np.random.default_rng(
+                derive_seed(self.seed, name)
+            )
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Return a child ``RngStreams`` rooted under ``name``.
+
+        Useful for handing a subsystem its own namespace of streams.
+        """
+        return RngStreams(derive_seed(self.seed, name))
+
+    def reset(self) -> None:
+        """Drop all streams so the next ``get`` starts from the seed again."""
+        self._streams.clear()
+
+    def __repr__(self) -> str:
+        return f"RngStreams(seed={self.seed}, streams={sorted(self._streams)})"

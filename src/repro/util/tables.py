@@ -1,0 +1,83 @@
+"""Plain-text result tables for the benchmark harness.
+
+Each benchmark regenerates one experiment (E1..E15 in DESIGN.md) and prints
+its series through a :class:`ResultTable`, so all experiments report in a
+uniform, diff-friendly format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ResultTable"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class ResultTable:
+    """An append-only table with named columns, rendered as aligned text.
+
+    >>> t = ResultTable("demo", ["n", "latency_s"])
+    >>> t.add_row(n=10, latency_s=0.5)
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[Dict[str, Any]] = []
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append({c: values.get(c, "") for c in self.columns})
+
+    def column(self, name: str) -> List[Any]:
+        """Return all values of one column, in insertion order."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row[name] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[_fmt(row[c]) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(row) for row in self.rows]
+
+    def to_csv(self) -> str:
+        out = [",".join(self.columns)]
+        for row in self.rows:
+            out.append(",".join(_fmt(row[c]) for c in self.columns))
+        return "\n".join(out)
+
+    def __len__(self) -> int:
+        return len(self.rows)

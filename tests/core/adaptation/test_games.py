@@ -1,0 +1,174 @@
+"""Tests for game-theoretic intent decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptation.games import BestResponseDynamics, TaskAssignmentGame
+from repro.errors import AdaptationError
+
+
+class TestGameMechanics:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(AdaptationError):
+            TaskAssignmentGame([1.0, -2.0], 3)
+        with pytest.raises(AdaptationError):
+            TaskAssignmentGame([], 3)
+
+    def test_payoff_is_equal_share(self):
+        game = TaskAssignmentGame([12.0], 3)
+        assignment = [0, 0, 0]
+        assert game.payoff(assignment, 0) == pytest.approx(4.0)
+
+    def test_welfare_counts_staffed_tasks_once(self):
+        game = TaskAssignmentGame([10.0, 6.0, 2.0], 4)
+        assert game.welfare([0, 0, 1, 1]) == pytest.approx(16.0)
+
+    def test_optimal_welfare(self):
+        game = TaskAssignmentGame([10.0, 6.0, 2.0], 2)
+        assert game.optimal_welfare() == pytest.approx(16.0)
+
+    def test_best_response_prefers_empty_high_value(self):
+        game = TaskAssignmentGame([10.0, 9.0], 2)
+        # Both on task 0: moving to task 1 gives 9 > 5.
+        assert game.best_response([0, 0], 1) == 1
+
+
+class TestPotential:
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=20), min_size=2, max_size=5),
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_improving_moves_increase_potential(self, values, n_agents, seed):
+        """The defining property of an exact potential game."""
+        game = TaskAssignmentGame(values, n_agents)
+        rng = np.random.default_rng(seed)
+        assignment = [int(rng.integers(0, game.n_tasks)) for _ in range(n_agents)]
+        agent = int(rng.integers(0, n_agents))
+        before_pay = game.payoff(assignment, agent)
+        before_phi = game.potential(assignment)
+        trial = list(assignment)
+        trial[agent] = game.best_response(assignment, agent)
+        after_pay = game.payoff(trial, agent)
+        after_phi = game.potential(trial)
+        # Potential difference equals payoff difference (exact potential).
+        assert after_phi - before_phi == pytest.approx(
+            after_pay - before_pay, abs=1e-9
+        )
+
+
+class TestConvergence:
+    def test_honest_dynamics_converge_to_nash(self):
+        game = TaskAssignmentGame([10, 8, 5, 3, 2], 9)
+        brd = BestResponseDynamics(game, rng=np.random.default_rng(7))
+        result = brd.run()
+        assert result.converged
+        assert brd.is_nash(result.assignment)
+
+    def test_nash_welfare_is_efficient_here(self):
+        # With n_agents >= n_tasks, every task gets staffed at equilibrium.
+        game = TaskAssignmentGame([10, 8, 5], 6)
+        result = BestResponseDynamics(game, rng=np.random.default_rng(1)).run()
+        assert result.efficiency == pytest.approx(1.0)
+
+    def test_potential_nondecreasing_under_honest_play(self):
+        game = TaskAssignmentGame([9, 7, 4, 2], 8)
+        result = BestResponseDynamics(game, rng=np.random.default_rng(3)).run()
+        trace = result.potential_trace
+        assert all(b >= a - 1e-9 for a, b in zip(trace, trace[1:]))
+
+    def test_convergence_scales_with_agents(self):
+        for n in (5, 20, 60):
+            game = TaskAssignmentGame([10, 8, 5, 3], n)
+            result = BestResponseDynamics(
+                game, rng=np.random.default_rng(n)
+            ).run()
+            assert result.converged
+
+
+class TestMaliciousAgents:
+    def test_malicious_ids_validated(self):
+        game = TaskAssignmentGame([5, 3], 4)
+        with pytest.raises(AdaptationError):
+            BestResponseDynamics(game, malicious={9})
+
+    def test_malicious_agents_reduce_welfare(self):
+        # More tasks than agents, with empty-task values always beating
+        # shared ones for honest players — so honest play staffs 5 distinct
+        # tasks, while malicious stacking strands task value.
+        game = TaskAssignmentGame([10, 9, 8, 7, 6, 5, 4, 3], 5)
+        honest = BestResponseDynamics(
+            game, rng=np.random.default_rng(2)
+        ).run()
+        attacked = BestResponseDynamics(
+            game, malicious={0, 1}, rng=np.random.default_rng(2)
+        ).run()
+        assert honest.welfare == pytest.approx(40.0)  # top-5 all staffed
+        assert attacked.welfare < honest.welfare
+
+    def test_more_malicious_worse_welfare(self):
+        game = TaskAssignmentGame([10, 9, 8, 7, 6, 5, 4, 3], 8)
+        welfares = []
+        for k in (0, 2, 4):
+            result = BestResponseDynamics(
+                game,
+                malicious=set(range(k)),
+                rng=np.random.default_rng(4),
+            ).run()
+            welfares.append(result.welfare)
+        assert welfares[0] >= welfares[1] >= welfares[2]
+        assert welfares[0] > welfares[2]
+
+
+class TestGameFromObjectives:
+    def _objectives(self, nx=3, ny=2):
+        from repro.core.intent import CommanderIntent, decompose_spatial
+        from repro.core.mission import MissionGoal, MissionType
+        from repro.util.geometry import Region
+
+        goal = MissionGoal(MissionType.SURVEIL, Region(0, 0, 900, 600))
+        return decompose_spatial(CommanderIntent(goal=goal), nx, ny)
+
+    def test_one_task_per_sector(self):
+        from repro.core.adaptation.games import game_from_objectives
+
+        objectives = self._objectives(3, 2)
+        game = game_from_objectives(objectives, n_agents=6)
+        assert game.n_tasks == 6
+
+    def test_empty_objectives_rejected(self):
+        from repro.core.adaptation.games import game_from_objectives
+        from repro.errors import AdaptationError
+
+        with pytest.raises(AdaptationError):
+            game_from_objectives([], 3)
+
+    def test_equilibrium_staffs_every_sector_when_agents_suffice(self):
+        from repro.core.adaptation.games import game_from_objectives
+
+        objectives = self._objectives(3, 2)
+        game = game_from_objectives(objectives, n_agents=12)
+        result = BestResponseDynamics(
+            game, rng=np.random.default_rng(5)
+        ).run()
+        assert result.converged
+        counts = game.counts(result.assignment)
+        assert all(c >= 1 for c in counts)  # full spatial coverage
+
+    def test_priority_scales_values(self):
+        from dataclasses import replace
+
+        from repro.core.adaptation.games import game_from_objectives
+        from repro.core.intent import CommanderIntent, decompose_spatial
+        from repro.core.mission import MissionGoal, MissionType
+        from repro.util.geometry import Region
+
+        goal_hi = MissionGoal(MissionType.SURVEIL, Region(0, 0, 100, 100), priority=5)
+        objectives = decompose_spatial(CommanderIntent(goal=goal_hi), 2, 1)
+        game = game_from_objectives(objectives, 4)
+        goal_lo = replace(goal_hi, priority=1)
+        objectives_lo = decompose_spatial(CommanderIntent(goal=goal_lo), 2, 1)
+        game_lo = game_from_objectives(objectives_lo, 4)
+        assert game.task_values[0] == pytest.approx(5 * game_lo.task_values[0])

@@ -1,0 +1,155 @@
+"""Tests for adaptation knobs and modality switching."""
+
+import pytest
+
+from repro.core.adaptation.knobs import AdaptationKnob, KnobRegistry
+from repro.core.adaptation.perception import ModalityManager
+from repro.core.intent import InitiativeEnvelope
+from repro.errors import AdaptationError
+from repro.net.channel import Channel
+from repro.net.node import Network
+from repro.sim import Simulator
+from repro.things.asset import AssetInventory
+from repro.things.capabilities import SensingModality, make_profile
+from repro.things.sensors import Environment
+from repro.util.geometry import Point
+
+
+class TestKnob:
+    def test_bounds_enforced(self):
+        knob = AdaptationKnob("rate", 1.0, bounds=(0.0, 2.0))
+        knob.set(1.5)
+        with pytest.raises(AdaptationError):
+            knob.set(3.0)
+
+    def test_choices_enforced(self):
+        knob = AdaptationKnob("mode", "a", choices=("a", "b"))
+        knob.set("b")
+        with pytest.raises(AdaptationError):
+            knob.set("c")
+
+    def test_exactly_one_constraint_kind(self):
+        with pytest.raises(AdaptationError):
+            AdaptationKnob("x", 1.0)
+        with pytest.raises(AdaptationError):
+            AdaptationKnob("x", 1.0, bounds=(0, 2), choices=(1.0,))
+
+    def test_on_change_callback(self):
+        seen = []
+        knob = AdaptationKnob("r", 0.0, bounds=(0, 10), on_change=seen.append)
+        knob.set(4.0)
+        assert seen == [4.0]
+
+    def test_initial_value_validated(self):
+        with pytest.raises(AdaptationError):
+            AdaptationKnob("r", 99.0, bounds=(0, 10))
+
+
+class TestRegistry:
+    def test_envelope_denies_unlisted_knob(self):
+        env = InitiativeEnvelope(allowed_knobs=frozenset({"allowed"}))
+        reg = KnobRegistry(env)
+        reg.register(AdaptationKnob("allowed", 1.0, bounds=(0, 5)))
+        reg.register(AdaptationKnob("forbidden", 1.0, bounds=(0, 5)))
+        assert reg.move("allowed", 2.0)
+        assert not reg.move("forbidden", 2.0)
+        assert reg.get("forbidden").value == 1.0
+        assert len(reg.denied_moves()) == 1
+
+    def test_no_envelope_permits_everything(self):
+        reg = KnobRegistry()
+        reg.register(AdaptationKnob("k", 0.0, bounds=(0, 1)))
+        assert reg.move("k", 1.0)
+
+    def test_duplicate_registration_rejected(self):
+        reg = KnobRegistry()
+        reg.register(AdaptationKnob("k", 0.0, bounds=(0, 1)))
+        with pytest.raises(AdaptationError):
+            reg.register(AdaptationKnob("k", 0.0, bounds=(0, 1)))
+
+    def test_unknown_knob(self):
+        with pytest.raises(AdaptationError):
+            KnobRegistry().get("nope")
+
+    def test_audit_log_records_moves(self):
+        reg = KnobRegistry()
+        reg.register(AdaptationKnob("k", 0.0, bounds=(0, 9)))
+        reg.move("k", 3.0, time=12.5)
+        assert reg.audit_log == [(12.5, "k", 0.0, 3.0)]
+
+
+def make_multimodal_asset():
+    sim = Simulator(seed=1)
+    net = Network(sim, Channel(seed=1))
+    inv = AssetInventory(net)
+    ugv = inv.create(make_profile("ugv"), Point(0, 0))
+    ugv.add_default_sensors()  # camera, lidar, acoustic
+    return ugv
+
+
+class TestModalityManager:
+    def test_benign_environment_prefers_a_modality(self):
+        asset = make_multimodal_asset()
+        mgr = ModalityManager([asset])
+        mgr.update(Environment())
+        active = mgr.active_modality(asset.id)
+        assert active is not None
+        enabled = [s.modality for s in asset.sensors if s.enabled]
+        assert enabled == [active]
+
+    def test_smoke_forces_switch_away_from_optics(self):
+        asset = make_multimodal_asset()
+        mgr = ModalityManager([asset])
+        mgr.update(Environment())
+        mgr.update(Environment(smoke=1.0))
+        active = mgr.active_modality(asset.id)
+        assert active not in (SensingModality.CAMERA, SensingModality.LIDAR)
+        assert active is SensingModality.ACOUSTIC
+
+    def test_switch_counted(self):
+        # ground_sensor: acoustic + seismic.  Benign conditions pick
+        # acoustic (alphabetical tie-break); heavy rain damps acoustics
+        # well past the hysteresis margin, forcing a switch to seismic.
+        sim = Simulator(seed=3)
+        net = Network(sim, Channel(seed=3))
+        inv = AssetInventory(net)
+        gs = inv.create(make_profile("ground_sensor"), Point(0, 0))
+        gs.add_default_sensors()
+        mgr = ModalityManager([gs])
+        mgr.update(Environment())
+        assert mgr.active_modality(gs.id) is SensingModality.ACOUSTIC
+        n0 = mgr.switches
+        mgr.update(Environment(rain=1.0))
+        assert mgr.active_modality(gs.id) is SensingModality.SEISMIC
+        assert mgr.switches > n0
+
+    def test_hysteresis_prevents_flapping(self):
+        asset = make_multimodal_asset()
+        mgr = ModalityManager([asset], hysteresis=0.5)
+        mgr.update(Environment())
+        first = mgr.active_modality(asset.id)
+        # A tiny degradation should not trigger a switch.
+        mgr.update(Environment(night=0.1))
+        assert mgr.active_modality(asset.id) is first
+
+    def test_blinded_when_nothing_usable(self):
+        sim = Simulator(seed=2)
+        net = Network(sim, Channel(seed=2))
+        inv = AssetInventory(net)
+        pole = inv.create(make_profile("camera_pole"), Point(0, 0))
+        pole.add_default_sensors()  # camera only
+        mgr = ModalityManager([pole], min_effectiveness=0.3)
+        mgr.update(Environment(smoke=1.0))
+        assert pole.id in mgr.blinded_assets()
+        assert all(not s.enabled for s in pole.sensors)
+
+    def test_recovers_after_conditions_clear(self):
+        asset = make_multimodal_asset()
+        mgr = ModalityManager([asset])
+        mgr.update(Environment(smoke=1.0))
+        mgr.update(Environment())
+        assert mgr.active_modality(asset.id) is not None
+
+    def test_invalid_min_effectiveness(self):
+        with pytest.raises(AdaptationError):
+            ModalityManager([], min_effectiveness=2.0)

@@ -1,0 +1,169 @@
+"""Tests for resource allocation and controller teams."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation.controllers import (
+    ControllerTeam,
+    TrackingController,
+    make_diverse_team,
+    make_homogeneous_team,
+)
+from repro.core.adaptation.resources import (
+    AdaptiveRateController,
+    CoordinatedRateControllers,
+    EdgeAllocator,
+)
+from repro.errors import AdaptationError
+from repro.sim import Simulator
+from repro.things.compute import ComputeElement, ComputeTask
+
+
+def make_elements(sim, flops_list):
+    return [
+        ComputeElement(sim, node_id=i + 1, flops=f)
+        for i, f in enumerate(flops_list)
+    ]
+
+
+class TestEdgeAllocator:
+    def test_requires_elements(self):
+        with pytest.raises(AdaptationError):
+            EdgeAllocator([])
+
+    def test_prefers_faster_idle_element(self):
+        sim = Simulator()
+        fast, slow = make_elements(sim, [1000.0, 10.0])
+        alloc = EdgeAllocator([fast, slow])
+        alloc.submit(1, ComputeTask(work_flops=100.0))
+        assert fast.queue_length == 1
+        assert slow.queue_length == 0
+
+    def test_balances_under_load(self):
+        sim = Simulator()
+        a, b = make_elements(sim, [100.0, 100.0])
+        alloc = EdgeAllocator([a, b])
+        for _ in range(10):
+            alloc.submit(1, ComputeTask(work_flops=100.0))
+        assert a.queue_length > 0 and b.queue_length > 0
+
+    def test_avoids_failed_elements(self):
+        sim = Simulator()
+        a, b = make_elements(sim, [100.0, 100.0])
+        alloc = EdgeAllocator([a, b])
+        alloc.fail_element(a.node_id)
+        for _ in range(4):
+            alloc.submit(1, ComputeTask(work_flops=10.0))
+        assert a.queue_length == 0
+        alloc.restore_element(a.node_id)
+        assert a in alloc.live_elements()
+
+    def test_all_failed_rejects(self):
+        sim = Simulator()
+        (a,) = make_elements(sim, [100.0])
+        alloc = EdgeAllocator([a])
+        alloc.fail_element(a.node_id)
+        assert not alloc.submit(1, ComputeTask(work_flops=10.0))
+        assert alloc.dispatch_rejections == 1
+
+    def test_quota_blocks_flooder_but_not_others(self):
+        sim = Simulator()
+        elements = make_elements(sim, [1000.0])
+        alloc = EdgeAllocator(elements, per_source_quota=3, quota_window_s=100.0)
+        flooder_accepted = sum(
+            alloc.submit(666, ComputeTask(work_flops=1.0)) for _ in range(20)
+        )
+        victim_accepted = alloc.submit(1, ComputeTask(work_flops=1.0))
+        assert flooder_accepted == 3
+        assert victim_accepted
+        assert alloc.quota_rejections == 17
+
+    def test_quota_refills_each_window(self):
+        sim = Simulator()
+        elements = make_elements(sim, [1000.0])
+        alloc = EdgeAllocator(elements, per_source_quota=2, quota_window_s=10.0)
+        for _ in range(5):
+            alloc.submit(1, ComputeTask(work_flops=1.0))
+        sim.run(until=15.0)  # window reset fires
+        assert alloc.submit(1, ComputeTask(work_flops=1.0))
+
+
+class TestRateControl:
+    def test_reduces_rate_when_over_setpoint(self):
+        ctrl = AdaptiveRateController(setpoint_s=1.0, rate=2.0, gain=0.5)
+        new_rate = ctrl.update(observed_delay_s=4.0)
+        assert new_rate < 2.0
+
+    def test_raises_rate_when_under_setpoint(self):
+        ctrl = AdaptiveRateController(setpoint_s=1.0, rate=2.0, gain=0.5)
+        assert ctrl.update(observed_delay_s=0.1) > 2.0
+
+    def test_rate_bounds_respected(self):
+        ctrl = AdaptiveRateController(rate=0.1, rate_bounds=(0.05, 1.0), gain=2.0)
+        for _ in range(50):
+            ctrl.update(0.0)  # keeps pushing the rate up
+        assert ctrl.rate <= 1.0
+
+    def test_uncoordinated_oscillates_more(self):
+        def run(coordinated):
+            controllers = [
+                AdaptiveRateController(setpoint_s=1.0, rate=1.0, gain=1.5)
+                for _ in range(5)
+            ]
+            shared = CoordinatedRateControllers(
+                controllers, capacity=10.0, coordinated=coordinated
+            )
+            return shared.run(epochs=80)
+
+        coord = run(True)
+        uncoord = run(False)
+        assert uncoord["delay_rmse"] > 2 * coord["delay_rmse"]
+        assert uncoord["oscillation"] > coord["oscillation"]
+
+    def test_empty_controllers_rejected(self):
+        with pytest.raises(AdaptationError):
+            CoordinatedRateControllers([])
+
+
+class TestControllerTeams:
+    def _drive(self, team, seed=3, regime_change=True):
+        rng = np.random.default_rng(seed)
+        for t in range(800):
+            if regime_change and t >= 400:
+                truth = float(np.sign(np.sin(t * 0.6)) * 10.0)  # fast square
+            else:
+                truth = float(np.sin(t * 0.01) * 10.0)          # slow drift
+            team.step(truth + float(rng.normal(0, 1.0)), truth)
+        return team.team_rmse
+
+    def test_invalid_alpha(self):
+        with pytest.raises(AdaptationError):
+            TrackingController(0.0)
+
+    def test_diverse_beats_homogeneous_across_regimes(self):
+        homogeneous = self._drive(make_homogeneous_team(7, alpha=0.2))
+        diverse = self._drive(make_diverse_team(7))
+        assert diverse < homogeneous
+
+    def test_imitation_moves_alphas(self):
+        team = make_diverse_team(5, imitate=True, imitation_period=10)
+        before = team.alphas()
+        self._drive(team)
+        assert team.alphas() != before
+
+    def test_no_imitation_keeps_alphas(self):
+        team = make_diverse_team(5, imitate=False)
+        before = team.alphas()
+        self._drive(team)
+        assert team.alphas() == before
+
+    def test_empty_team_rejected(self):
+        with pytest.raises(AdaptationError):
+            ControllerTeam([])
+
+    def test_fused_estimate_is_member_mean(self):
+        team = make_homogeneous_team(3, alpha=0.5, imitate=False)
+        team.step(10.0, 10.0)
+        assert team.fused_estimate() == pytest.approx(
+            np.mean([c.estimate for c in team.controllers])
+        )

@@ -1,0 +1,149 @@
+"""Tests for the unified self-aware adaptation abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation.selfaware import (
+    CodewordCorrector,
+    InvariantMaintainer,
+    SelfAwareAgent,
+    SelfModel,
+    SetpointController,
+)
+from repro.errors import AdaptationError
+
+HAMMING_GROUPS = [(0, 2, 4, 6), (1, 2, 5, 6), (3, 4, 5, 6)]
+VALID_CODEWORD = [0, 0, 0, 0, 0, 0, 0]
+
+
+class TestSelfModel:
+    def test_goal_met(self):
+        model = SelfModel(state=5, goal=lambda s: s > 3)
+        assert model.goal_met()
+
+    def test_unknown_action_raises(self):
+        model = SelfModel(state=0, goal=lambda s: False, actions={})
+
+        class Agent(SelfAwareAgent):
+            def select_action(self):
+                return "missing"
+
+        with pytest.raises(AdaptationError):
+            Agent(model).step()
+
+
+class TestInvariantMaintainer:
+    def _counter_agent(self, start):
+        """Goal: state == 10; rules move toward it."""
+        model = SelfModel(
+            state=start,
+            goal=lambda s: s == 10,
+            actions={"up": lambda s: s + 1, "down": lambda s: s - 1},
+        )
+        rules = [
+            (lambda s: s < 10, "up"),
+            (lambda s: s > 10, "down"),
+        ]
+        return InvariantMaintainer(model, rules)
+
+    def test_restores_from_below(self):
+        agent = self._counter_agent(4)
+        steps = agent.adapt_until_stable()
+        assert agent.self_model.state == 10
+        assert steps == 6
+
+    def test_restores_from_above(self):
+        agent = self._counter_agent(13)
+        agent.adapt_until_stable()
+        assert agent.self_model.state == 10
+
+    def test_already_stable_one_step(self):
+        agent = self._counter_agent(10)
+        assert agent.adapt_until_stable() == 1
+        assert agent.adaptations == 0
+
+    def test_divergence_detected(self):
+        model = SelfModel(
+            state=0, goal=lambda s: s == -1, actions={"up": lambda s: s + 1}
+        )
+        agent = InvariantMaintainer(
+            model, [(lambda s: True, "up")], max_steps_per_adapt=10
+        )
+        with pytest.raises(AdaptationError):
+            agent.adapt_until_stable()
+
+
+class TestCodewordCorrector:
+    def test_valid_codeword_stable(self):
+        agent = CodewordCorrector(VALID_CODEWORD, HAMMING_GROUPS)
+        assert agent.self_model.goal_met()
+
+    @pytest.mark.parametrize("flip_bit", range(7))
+    def test_corrects_any_single_bit_error(self, flip_bit):
+        bits = list(VALID_CODEWORD)
+        bits[flip_bit] ^= 1
+        agent = CodewordCorrector(bits, HAMMING_GROUPS)
+        assert not agent.self_model.goal_met()
+        agent.adapt_until_stable()
+        assert list(agent.self_model.state) == VALID_CODEWORD
+
+    def test_correction_counts_as_adaptation(self):
+        bits = list(VALID_CODEWORD)
+        bits[2] ^= 1
+        agent = CodewordCorrector(bits, HAMMING_GROUPS)
+        agent.adapt_until_stable()
+        assert agent.adaptations >= 1
+
+
+class TestSetpointController:
+    def test_correct_model_converges_fast(self):
+        agent = SetpointController(
+            plant_gain=2.0, setpoint=7.0, initial_gain_estimate=2.0
+        )
+        steps = agent.adapt_until_stable()
+        assert abs(float(agent.self_model.state) - 7.0) < 1e-3
+        assert steps <= 2
+        assert agent.model_revisions == 0
+
+    def test_wrong_sign_gain_triggers_model_revision(self):
+        agent = SetpointController(
+            plant_gain=-2.0, setpoint=5.0, initial_gain_estimate=1.0
+        )
+        agent.adapt_until_stable()
+        assert agent.model_revisions >= 1
+        assert agent.b_hat == pytest.approx(-2.0)
+        assert abs(float(agent.self_model.state) - 5.0) < 1e-3
+
+    def test_wrong_magnitude_converges(self):
+        agent = SetpointController(
+            plant_gain=0.5, setpoint=-3.0, initial_gain_estimate=5.0
+        )
+        agent.adapt_until_stable()
+        assert abs(float(agent.self_model.state) - (-3.0)) < 1e-3
+
+    def test_zero_gain_rejected(self):
+        with pytest.raises(AdaptationError):
+            SetpointController(plant_gain=0.0, setpoint=1.0)
+
+
+class TestUnificationClaim:
+    """The paper's claim: one loop serves all three disciplines."""
+
+    def test_all_three_recover_through_the_same_interface(self):
+        bits = list(VALID_CODEWORD)
+        bits[5] ^= 1
+        agents = [
+            InvariantMaintainer(
+                SelfModel(
+                    state=3,
+                    goal=lambda s: s == 0,
+                    actions={"down": lambda s: s - 1},
+                ),
+                [(lambda s: s > 0, "down")],
+            ),
+            CodewordCorrector(bits, HAMMING_GROUPS),
+            SetpointController(plant_gain=-1.5, setpoint=2.0),
+        ]
+        for agent in agents:
+            agent.adapt_until_stable()   # the SAME generic driver
+            assert agent.self_model.goal_met()

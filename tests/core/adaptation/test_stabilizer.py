@@ -1,0 +1,108 @@
+"""Tests for self-stabilizing protocols."""
+
+import pytest
+
+from repro.core.adaptation.stabilizer import LeaderElection, SpanningTreeProtocol
+from repro.errors import AdaptationError
+from repro.net.channel import Channel
+from repro.net.node import Network
+from repro.sim import Simulator
+from repro.util.geometry import Point
+
+
+def grid_network(nx_, ny, spacing=60.0, seed=2):
+    sim = Simulator(seed=seed)
+    net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=seed))
+    nid = 0
+    for j in range(ny):
+        for i in range(nx_):
+            nid += 1
+            net.create_node(nid, Point(i * spacing, j * spacing))
+    return sim, net
+
+
+class TestSpanningTree:
+    def test_converges_to_legitimate_tree(self):
+        sim, net = grid_network(4, 3)
+        tree = SpanningTreeProtocol(net, root=1)
+        tree.stabilize()
+        assert tree.legitimate()
+
+    def test_unknown_root_rejected(self):
+        sim, net = grid_network(2, 2)
+        with pytest.raises(AdaptationError):
+            SpanningTreeProtocol(net, root=99)
+
+    def test_recovers_from_node_failure(self):
+        sim, net = grid_network(4, 3)
+        tree = SpanningTreeProtocol(net, root=1)
+        tree.stabilize()
+        net.fail_node(2)  # a node next to the root
+        assert not tree.legitimate()
+        rounds = tree.stabilize()
+        assert tree.legitimate()
+        assert rounds >= 1
+
+    def test_recovers_from_state_corruption(self):
+        sim, net = grid_network(4, 3)
+        tree = SpanningTreeProtocol(net, root=1)
+        tree.stabilize()
+        tree.corrupt(7, 0)  # claims to be the root's distance
+        tree.stabilize()
+        assert tree.legitimate()
+
+    def test_tree_edges_span_live_reachable_nodes(self):
+        sim, net = grid_network(3, 3)
+        tree = SpanningTreeProtocol(net, root=1)
+        tree.stabilize()
+        edges = tree.tree_edges()
+        # n-1 edges for n reachable nodes.
+        assert len(edges) == len(net.nodes) - 1
+
+    def test_distances_are_bfs_distances(self):
+        sim, net = grid_network(5, 1, spacing=100.0)  # a line, 1 hop apart
+        tree = SpanningTreeProtocol(net, root=1)
+        tree.stabilize()
+        assert [tree.dist[i] for i in range(1, 6)] == [0, 1, 2, 3, 4]
+
+
+class TestLeaderElection:
+    def test_elects_max_id(self):
+        sim, net = grid_network(4, 2)
+        election = LeaderElection(net)
+        election.stabilize()
+        assert election.legitimate()
+        max_id = max(net.nodes)
+        assert all(
+            election.leader[n] == max_id for n in net.nodes if net.node(n).up
+        )
+
+    def test_ghost_leader_ages_out_after_death(self):
+        sim, net = grid_network(4, 2)
+        election = LeaderElection(net)
+        election.stabilize()
+        old_leader = max(net.nodes)
+        net.fail_node(old_leader)
+        rounds = election.stabilize()
+        assert election.legitimate()
+        live = [n for n in net.nodes if net.node(n).up]
+        new_leader = max(live)
+        assert all(election.leader[n] == new_leader for n in live)
+        assert rounds >= 1
+
+    def test_partition_elects_per_component_leaders(self):
+        sim, net = grid_network(6, 1, spacing=100.0)  # line: 1..6
+        election = LeaderElection(net)
+        election.stabilize()
+        net.fail_node(3)  # split {1,2} and {4,5,6}
+        election.stabilize()
+        assert election.legitimate()
+        assert election.leader[1] == 2
+        assert election.leader[5] == 6
+
+    def test_stabilize_bound(self):
+        sim, net = grid_network(3, 3)
+        election = LeaderElection(net)
+        rounds = election.stabilize()
+        # Information travels one hop per round: diameter bounds convergence.
+        assert rounds <= len(net.nodes) + 2

@@ -1,0 +1,168 @@
+"""Tests for continual learning, adversarial attacks, cost-aware learning."""
+
+import numpy as np
+import pytest
+
+from repro.core.learning.adversarial import (
+    evasion_perturb,
+    flip_labels,
+    poisoning_detector,
+)
+from repro.core.learning.continual import (
+    BlindContinualLearner,
+    ContextAwareLearner,
+    OnlineLinearModel,
+)
+from repro.core.learning.cost import (
+    ActivationPolicy,
+    TopologyOption,
+    cost_accuracy_frontier,
+    standard_options,
+)
+from repro.errors import LearningError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+def make_context(rng, w, center, n=300, dim=3):
+    x = rng.normal(center, 1.0, (n, dim))
+    return x, x @ w
+
+
+class TestOnlineLinearModel:
+    def test_learns_linear_map(self, rng):
+        w = rng.normal(0, 1, 4)
+        x = rng.normal(0, 1, (500, 4))
+        model = OnlineLinearModel(4)
+        model.partial_fit(x, x @ w)
+        assert model.mse(x, x @ w) < 1e-3
+
+    def test_stable_on_large_inputs(self, rng):
+        w = rng.normal(0, 1, 3)
+        x = rng.normal(100, 5, (500, 3))  # large-norm features
+        model = OnlineLinearModel(3)
+        model.partial_fit(x, x @ w)
+        assert np.isfinite(model.w).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(LearningError):
+            OnlineLinearModel(0)
+        with pytest.raises(LearningError):
+            OnlineLinearModel(3, learning_rate=2.5)
+
+
+class TestCatastrophicForgetting:
+    def test_blind_forgets_context_aware_does_not(self, rng):
+        wA, wB = rng.normal(0, 1, 3), rng.normal(0, 1, 3)
+        xA, yA = make_context(rng, wA, center=0.0)
+        xB, yB = make_context(rng, wB, center=8.0)
+        blind = BlindContinualLearner(3)
+        aware = ContextAwareLearner(3, context_threshold=4.0)
+        for learner in (blind, aware):
+            learner.learn(xA, yA)
+        blind_before = blind.evaluate(xA, yA)
+        for learner in (blind, aware):
+            learner.learn(xB, yB)
+        assert blind.evaluate(xA, yA) > blind_before + 0.01  # forgot
+        assert aware.evaluate(xA, yA) < 0.01                 # remembered
+        assert aware.context_count == 2
+
+    def test_same_context_reuses_model(self, rng):
+        aware = ContextAwareLearner(3, context_threshold=4.0)
+        w = rng.normal(0, 1, 3)
+        x1, y1 = make_context(rng, w, center=0.0)
+        x2, y2 = make_context(rng, w, center=0.3)
+        assert aware.learn(x1, y1) == aware.learn(x2, y2)
+        assert aware.context_count == 1
+
+    def test_max_contexts_cap(self, rng):
+        aware = ContextAwareLearner(2, context_threshold=0.5, max_contexts=3)
+        w = rng.normal(0, 1, 2)
+        for center in (0.0, 5.0, 10.0, 15.0, 20.0):
+            x, y = make_context(rng, w, center=center, dim=2)
+            aware.learn(x, y)
+        assert aware.context_count == 3
+
+    def test_evaluate_before_learning_raises(self):
+        with pytest.raises(LearningError):
+            ContextAwareLearner(2).evaluate(np.zeros((1, 2)), np.zeros(1))
+
+
+class TestAdversarial:
+    def test_flip_labels_fraction(self, rng):
+        y = np.ones(100)
+        poisoned, mask = flip_labels(y, 0.3, rng)
+        assert mask.sum() == 30
+        assert np.all(poisoned[mask] == -1.0)
+        assert np.all(poisoned[~mask] == 1.0)
+
+    def test_flip_zero_fraction_noop(self, rng):
+        y = np.ones(10)
+        poisoned, mask = flip_labels(y, 0.0, rng)
+        assert not mask.any()
+
+    def test_flip_invalid_fraction(self, rng):
+        with pytest.raises(LearningError):
+            flip_labels(np.ones(5), 1.5, rng)
+
+    def test_evasion_lowers_score(self, rng):
+        w = rng.normal(0, 1, 6)
+        x = rng.normal(0, 1, (20, 6))
+        adv = evasion_perturb(x, w, epsilon=0.5, target_down=True)
+        assert np.all(adv @ w < x @ w)
+
+    def test_evasion_bounded(self, rng):
+        w = rng.normal(0, 1, 4)
+        x = rng.normal(0, 1, (5, 4))
+        adv = evasion_perturb(x, w, epsilon=0.2)
+        assert np.abs(adv - x).max() <= 0.2 + 1e-12
+
+    def test_poisoning_detector_catches_flips(self, rng):
+        w = rng.normal(0, 1, 4)
+        x = rng.normal(0, 1, (200, 4))
+        y = x @ w + rng.normal(0, 0.05, 200)
+        poisoned, mask = flip_labels(y, 0.1, rng)
+        flagged = poisoning_detector(x, poisoned, w)
+        # Detection quality: most flips caught, few clean flagged.
+        recall = (flagged & mask).sum() / mask.sum()
+        false_rate = (flagged & ~mask).sum() / (~mask).sum()
+        assert recall > 0.8
+        assert false_rate < 0.05
+
+
+class TestCostAwareLearning:
+    def test_standard_options_ordered_by_cost(self):
+        options = standard_options(16)
+        energies = [o.energy_j for o in options]
+        assert energies == sorted(energies)
+
+    def test_frontier_monotone(self):
+        rows = cost_accuracy_frontier(16, 1.0, rng=np.random.default_rng(0))
+        # More energy should buy lower error along the ladder.
+        errors = [r["rmse"] for r in rows]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_policy_picks_cheapest_meeting_target(self):
+        policy = ActivationPolicy(16, 1.0, rng=np.random.default_rng(0))
+        frontier = {o.name: policy.error_of(o) for o in policy.options}
+        # Target achievable by 'half': policy must not pick 'tree' or denser.
+        target = frontier["half"] + 1e-6
+        chosen = policy.choose(target)
+        assert chosen.energy_j <= [
+            o for o in policy.options if o.name == "half"
+        ][0].energy_j
+
+    def test_policy_degrades_gracefully(self):
+        policy = ActivationPolicy(8, 5.0, rng=np.random.default_rng(0))
+        chosen = policy.choose(error_target=1e-9)  # unattainable
+        best = min(policy.options, key=policy.error_of)
+        assert chosen.name == best.name
+
+    def test_option_validation(self):
+        with pytest.raises(LearningError):
+            TopologyOption("bad", participation=0.0, links=1)
+        with pytest.raises(LearningError):
+            standard_options(1)

@@ -1,0 +1,253 @@
+"""Tests for gossip averaging, decentralized SGD, Byzantine aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.learning.byzantine import (
+    AGGREGATORS,
+    krum_aggregate,
+    mean_aggregate,
+    median_aggregate,
+    trimmed_mean_aggregate,
+)
+from repro.core.learning.distributed import (
+    DecentralizedSGD,
+    GossipAverager,
+    RandomTopology,
+    RingTopology,
+    make_regression_shards,
+)
+from repro.errors import LearningError
+
+
+class TestAggregators:
+    def _honest(self, rng, n=8, d=4):
+        return [rng.normal(0, 1, d) for _ in range(n)]
+
+    def test_empty_rejected(self):
+        for fn in AGGREGATORS.values():
+            with pytest.raises(LearningError):
+                fn([])
+
+    def test_all_agree_on_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        for name, fn in AGGREGATORS.items():
+            out = fn([v.copy() for _ in range(5)], 1)
+            assert np.allclose(out, v), name
+
+    def test_mean_dragged_by_outlier(self):
+        rng = np.random.default_rng(0)
+        vectors = self._honest(rng) + [np.full(4, 1e6)]
+        assert np.linalg.norm(mean_aggregate(vectors)) > 1e4
+
+    def test_median_resists_outlier(self):
+        rng = np.random.default_rng(0)
+        vectors = self._honest(rng) + [np.full(4, 1e6)]
+        assert np.linalg.norm(median_aggregate(vectors, 1)) < 10
+
+    def test_trimmed_mean_resists_symmetric_attack(self):
+        rng = np.random.default_rng(0)
+        vectors = self._honest(rng) + [np.full(4, 1e6), np.full(4, -1e6)]
+        out = trimmed_mean_aggregate(vectors, 2)
+        assert np.linalg.norm(out) < 10
+
+    def test_trimmed_mean_over_trim_rejected(self):
+        with pytest.raises(LearningError):
+            trimmed_mean_aggregate([np.zeros(2)] * 4, 2)
+
+    def test_krum_picks_central_vector(self):
+        rng = np.random.default_rng(1)
+        honest = [rng.normal(0, 0.1, 3) for _ in range(7)]
+        attack = [np.full(3, 100.0)]
+        out = krum_aggregate(honest + attack, 1)
+        assert np.linalg.norm(out) < 1.0
+
+    def test_krum_requires_enough_vectors(self):
+        with pytest.raises(LearningError):
+            krum_aggregate([np.zeros(2)] * 4, 2)
+
+    def test_nan_bombs_neutralized(self):
+        rng = np.random.default_rng(2)
+        vectors = self._honest(rng) + [np.full(4, np.nan)]
+        out = median_aggregate(vectors, 1)
+        assert np.isfinite(out).all()
+
+
+class TestGossip:
+    def test_converges_to_mean_on_ring(self):
+        values = [1.0, 5.0, 9.0, 3.0, 7.0, 2.0]
+        gossip = GossipAverager(values, RingTopology(6))
+        gossip.run(100)
+        assert np.allclose(gossip.values, np.mean(values), atol=1e-3)
+
+    def test_disagreement_monotone_nonincreasing_on_static_ring(self):
+        gossip = GossipAverager([0.0, 10.0, 0.0, 10.0], RingTopology(4))
+        gossip.run(30)
+        trace = gossip.disagreement_trace
+        assert all(b <= a + 1e-9 for a, b in zip(trace, trace[1:]))
+
+    def test_time_varying_topology_still_converges(self):
+        rng = np.random.default_rng(3)
+        values = list(rng.normal(0, 5, 12))
+        gossip = GossipAverager(values, RandomTopology(12, 0.3, rng))
+        rounds = gossip.rounds_to(1e-3)
+        assert rounds < 500
+        assert np.allclose(gossip.values, np.mean(values), atol=1e-2)
+
+    def test_sparser_topology_slower(self):
+        def rounds(p, seed):
+            rng = np.random.default_rng(seed)
+            values = list(np.linspace(-5, 5, 16))
+            gossip = GossipAverager(values, RandomTopology(16, p, rng))
+            return gossip.rounds_to(1e-3)
+
+        assert rounds(0.05, 4) > rounds(0.8, 4)
+
+    def test_input_validation(self):
+        with pytest.raises(LearningError):
+            GossipAverager([1.0], RingTopology(2))
+        with pytest.raises(LearningError):
+            RingTopology(1)
+        with pytest.raises(LearningError):
+            RandomTopology(5, 0.0, np.random.default_rng(0))
+
+
+class TestDecentralizedSGD:
+    def _world(self, seed=0, byzantine=None, aggregator=mean_aggregate, n=10):
+        rng = np.random.default_rng(seed)
+        shards, true_w = make_regression_shards(n, 40, 4, rng)
+        sgd = DecentralizedSGD(
+            shards,
+            RingTopology(n),
+            aggregator=aggregator,
+            byzantine_workers=byzantine,
+            rng=rng,
+        )
+        return sgd, true_w
+
+    def test_clean_run_converges(self):
+        sgd, true_w = self._world()
+        trace = sgd.run(80)
+        assert trace[-1] < 0.05
+        assert np.allclose(sgd.consensus_model(), true_w, atol=0.2)
+
+    def test_byzantine_degrades_mean_aggregation(self):
+        clean, _w = self._world()
+        attacked, _w2 = self._world(byzantine={0, 1})
+        clean_loss = clean.run(60)[-1]
+        attacked_loss = attacked.run(60)[-1]
+        # On a ring the poison spreads hop by hop, but the damage is still
+        # large: an order of magnitude worse than the clean run.
+        assert attacked_loss > 5 * clean_loss
+
+    @pytest.mark.parametrize("rule", ["krum", "median", "trimmed_mean"])
+    def test_robust_rules_survive_byzantine(self, rule):
+        sgd, _w = self._world(byzantine={0, 1}, aggregator=AGGREGATORS[rule])
+        trace = sgd.run(80)
+        assert trace[-1] < 0.2
+
+    def test_time_varying_topology(self):
+        rng = np.random.default_rng(5)
+        shards, _w = make_regression_shards(8, 40, 3, rng)
+        sgd = DecentralizedSGD(
+            shards, RandomTopology(8, 0.4, rng), rng=rng
+        )
+        trace = sgd.run(100)
+        assert trace[-1] < 0.1
+
+    def test_heterogeneous_vs_iid_both_converge(self):
+        rng = np.random.default_rng(7)
+        for heterogeneous in (True, False):
+            shards, _w = make_regression_shards(
+                6, 50, 3, rng, heterogeneous=heterogeneous
+            )
+            sgd = DecentralizedSGD(shards, RingTopology(6), rng=rng)
+            assert sgd.run(100)[-1] < 0.1
+
+    def test_shard_dimension_mismatch(self):
+        rng = np.random.default_rng(0)
+        shards = [
+            (rng.normal(0, 1, (10, 3)), rng.normal(0, 1, 10)),
+            (rng.normal(0, 1, (10, 4)), rng.normal(0, 1, 10)),
+        ]
+        with pytest.raises(LearningError):
+            DecentralizedSGD(shards, RingTopology(2))
+
+    def test_global_loss_excludes_byzantine_shards(self):
+        sgd, _w = self._world(byzantine={0})
+        honest_ids = {w.worker_id for w in sgd.honest_workers()}
+        assert 0 not in honest_ids
+
+
+class TestAggregatorProperties:
+    """Hypothesis checks on the robustness contracts of the aggregators."""
+
+    from hypothesis import given, settings, strategies as st
+
+    _vec = st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=3,
+        max_size=3,
+    )
+
+    @given(
+        st.lists(_vec, min_size=5, max_size=9),
+        st.floats(min_value=1e3, max_value=1e9),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_median_bounded_by_honest_range_with_minority_attack(
+        self, honest_lists, attack_scale, seed
+    ):
+        """With f Byzantine vectors (f < n_honest), the coordinate-wise
+        median stays within the honest coordinate-wise min/max."""
+        import numpy as np
+
+        honest = [np.array(v) for v in honest_lists]
+        f = (len(honest) - 1) // 2
+        rng = np.random.default_rng(seed)
+        attacks = [
+            np.sign(rng.normal(0, 1, 3)) * attack_scale for _ in range(f)
+        ]
+        out = median_aggregate(honest + attacks, f)
+        h = np.vstack(honest)
+        assert np.all(out >= h.min(axis=0) - 1e-9)
+        assert np.all(out <= h.max(axis=0) + 1e-9)
+
+    @given(
+        st.lists(_vec, min_size=5, max_size=9),
+        st.floats(min_value=1e3, max_value=1e9),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_trimmed_mean_bounded_when_trim_covers_attack(
+        self, honest_lists, attack_scale, seed
+    ):
+        import numpy as np
+
+        honest = [np.array(v) for v in honest_lists]
+        f = min(2, (len(honest) - 1) // 2)
+        rng = np.random.default_rng(seed)
+        attacks = [
+            np.sign(rng.normal(0, 1, 3)) * attack_scale for _ in range(f)
+        ]
+        out = trimmed_mean_aggregate(honest + attacks, f)
+        h = np.vstack(honest)
+        assert np.all(out >= h.min(axis=0) - 1e-9)
+        assert np.all(out <= h.max(axis=0) + 1e-9)
+
+    @given(st.lists(_vec, min_size=4, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_all_rules_idempotent_on_duplicates(self, vec_lists):
+        """Aggregating n copies of one vector returns that vector."""
+        import numpy as np
+
+        v = np.array(vec_lists[0])
+        copies = [v.copy() for _ in range(len(vec_lists))]
+        f = max(0, (len(copies) - 1) // 3)
+        for name, fn in AGGREGATORS.items():
+            try:
+                out = fn(copies, f)
+            except LearningError:
+                continue  # krum/trim size preconditions
+            assert np.allclose(out, v), name

@@ -1,0 +1,129 @@
+"""Tests for learning safety: IBP verification and runtime shields."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.learning.safety import IntervalMlp, RuntimeMonitor, ShieldedPolicy
+from repro.errors import LearningError
+
+
+def tiny_mlp(seed=0, in_dim=2, hidden=8, out_dim=1):
+    rng = np.random.default_rng(seed)
+    return IntervalMlp(
+        [
+            (rng.normal(0, 1, (hidden, in_dim)), rng.normal(0, 0.1, hidden)),
+            (rng.normal(0, 1, (out_dim, hidden)), np.zeros(out_dim)),
+        ]
+    )
+
+
+class TestIntervalMlp:
+    def test_shape_validation(self):
+        with pytest.raises(LearningError):
+            IntervalMlp([])
+        with pytest.raises(LearningError):
+            IntervalMlp([(np.zeros((2, 3)), np.zeros(5))])
+        with pytest.raises(LearningError):
+            IntervalMlp(
+                [(np.zeros((2, 3)), np.zeros(2)), (np.zeros((1, 9)), np.zeros(1))]
+            )
+
+    def test_degenerate_box_is_exact(self):
+        mlp = tiny_mlp()
+        x = np.array([0.3, -0.2])
+        lo, hi = mlp.propagate(x, x)
+        y = mlp.forward(x)
+        assert np.allclose(lo, y, atol=1e-9)
+        assert np.allclose(hi, y, atol=1e-9)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bounds_are_sound(self, seed, radius):
+        """Every sampled point's output lies within the IBP enclosure."""
+        mlp = tiny_mlp(seed % 5)
+        rng = np.random.default_rng(seed)
+        center = rng.uniform(-1, 1, 2)
+        lo_in, hi_in = center - radius, center + radius
+        lo, hi = mlp.propagate(lo_in, hi_in)
+        for _ in range(20):
+            x = rng.uniform(lo_in, hi_in)
+            y = mlp.forward(x)
+            assert np.all(y >= lo - 1e-9)
+            assert np.all(y <= hi + 1e-9)
+
+    def test_bigger_box_wider_bounds(self):
+        mlp = tiny_mlp()
+        lo1, hi1 = mlp.propagate(np.array([-0.1, -0.1]), np.array([0.1, 0.1]))
+        lo2, hi2 = mlp.propagate(np.array([-1.0, -1.0]), np.array([1.0, 1.0]))
+        assert (hi2 - lo2)[0] > (hi1 - lo1)[0]
+
+    def test_invalid_box_rejected(self):
+        mlp = tiny_mlp()
+        with pytest.raises(LearningError):
+            mlp.propagate(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_verification_certificate(self):
+        mlp = tiny_mlp()
+        lo_in = np.array([-0.05, -0.05])
+        hi_in = np.array([0.05, 0.05])
+        _lo, hi = mlp.propagate(lo_in, hi_in)
+        assert mlp.verify_output_below(lo_in, hi_in, float(hi[0]) + 0.1)
+        assert not mlp.verify_output_below(lo_in, hi_in, float(hi[0]) - 1e-6)
+
+    def test_falsification_finds_real_violations(self):
+        mlp = tiny_mlp()
+        rng = np.random.default_rng(0)
+        lo_in = np.array([-1.0, -1.0])
+        hi_in = np.array([1.0, 1.0])
+        # Threshold below the max observed output: must be falsifiable.
+        samples = [
+            mlp.forward(rng.uniform(lo_in, hi_in))[0] for _ in range(200)
+        ]
+        threshold = float(np.percentile(samples, 90))
+        counterexample = mlp.falsify(lo_in, hi_in, threshold, rng)
+        assert counterexample is not None
+        assert mlp.forward(counterexample)[0] >= threshold
+
+    def test_falsification_respects_verified_boxes(self):
+        mlp = tiny_mlp()
+        rng = np.random.default_rng(0)
+        lo_in = np.array([-0.1, -0.1])
+        hi_in = np.array([0.1, 0.1])
+        _lo, hi = mlp.propagate(lo_in, hi_in)
+        threshold = float(hi[0]) + 0.5
+        assert mlp.verify_output_below(lo_in, hi_in, threshold)
+        assert mlp.falsify(lo_in, hi_in, threshold, rng) is None
+
+
+class TestRuntimeShield:
+    def test_monitor_counts_checks_and_vetoes(self):
+        monitor = RuntimeMonitor("speed", lambda s, a: abs(a[0]) <= 1.0)
+        assert monitor.allows(np.zeros(1), np.array([0.5]))
+        assert not monitor.allows(np.zeros(1), np.array([2.0]))
+        assert monitor.checks == 2
+        assert monitor.vetoes == 1
+
+    def test_shield_intercepts_unsafe_actions(self):
+        aggressive = lambda s: np.array([s[0] * 10.0])   # noqa: E731
+        safe = lambda s: np.array([0.0])                 # noqa: E731
+        monitor = RuntimeMonitor("bound", lambda s, a: abs(a[0]) <= 1.0)
+        shield = ShieldedPolicy(aggressive, monitor, safe)
+        out_safe = shield.act(np.array([0.05]))
+        out_blocked = shield.act(np.array([5.0]))
+        assert out_safe[0] == pytest.approx(0.5)
+        assert out_blocked[0] == 0.0
+        assert shield.interventions == 1
+        assert shield.intervention_rate == pytest.approx(0.5)
+
+    def test_shield_never_emits_unsafe_action(self):
+        rng = np.random.default_rng(3)
+        policy = lambda s: np.array([float(rng.normal(0, 3))])  # noqa: E731
+        monitor = RuntimeMonitor("bound", lambda s, a: abs(a[0]) <= 1.0)
+        shield = ShieldedPolicy(policy, monitor, lambda s: np.array([0.0]))
+        for _ in range(100):
+            action = shield.act(np.zeros(1))
+            assert abs(action[0]) <= 1.0

@@ -1,0 +1,192 @@
+"""Tests for network tomography and attention allocation."""
+
+import numpy as np
+import pytest
+
+from repro.core.learning.anomaly import AttentionManager, Report
+from repro.core.learning.tomography import (
+    AdditiveTomography,
+    BooleanTomography,
+    PathMeasurement,
+)
+from repro.errors import LearningError
+from repro.security.trust import TrustLedger
+
+
+def measure(path, failed_links):
+    normalized = {tuple(sorted(l)) for l in failed_links}
+    ok = not any(
+        tuple(sorted(link)) in normalized for link in zip(path, path[1:])
+    )
+    return PathMeasurement(tuple(path), success=ok)
+
+
+class TestBooleanTomography:
+    def test_no_measurements_raises(self):
+        with pytest.raises(LearningError):
+            BooleanTomography([])
+
+    def test_all_success_no_failures(self):
+        ms = [measure((1, 2, 3), set()), measure((2, 3, 4), set())]
+        assert BooleanTomography(ms).localize() == set()
+
+    def test_single_failure_localized_exactly(self):
+        failed = {(2, 3)}
+        paths = [(1, 2), (2, 3), (3, 4), (1, 2, 3, 4), (2, 3, 4)]
+        ms = [measure(p, failed) for p in paths]
+        inferred = BooleanTomography(ms).localize()
+        assert inferred == {(2, 3)}
+
+    def test_exoneration_by_successful_paths(self):
+        # Path (1,2,3) fails, but (1,2) succeeds => (2,3) is the culprit.
+        failed = {(2, 3)}
+        ms = [measure((1, 2), failed), measure((1, 2, 3), failed)]
+        assert BooleanTomography(ms).localize() == {(2, 3)}
+
+    def test_score_perfect_when_identifiable(self):
+        failed = {(2, 3), (4, 5)}
+        paths = [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (1, 2, 3), (3, 4, 5)]
+        ms = [measure(p, failed) for p in paths]
+        score = BooleanTomography(ms).score(failed)
+        assert score["precision"] == 1.0
+        assert score["recall"] == 1.0
+
+    def test_unobserved_links_excluded_from_score(self):
+        failed = {(7, 8)}  # never measured
+        ms = [measure((1, 2), failed)]
+        score = BooleanTomography(ms).score(failed)
+        assert score["recall"] == 1.0  # vacuous: nothing observable failed
+
+    def test_ambiguity_yields_minimal_explanation(self):
+        # Only one failing path with two untestable links: greedy picks one.
+        failed = {(1, 2)}
+        ms = [measure((1, 2, 3), failed)]
+        inferred = BooleanTomography(ms).localize()
+        assert len(inferred) == 1
+
+
+class TestAdditiveTomography:
+    def _world(self):
+        delays = {
+            (1, 2): 0.010,
+            (2, 3): 0.050,
+            (3, 4): 0.020,
+            (1, 3): 0.040,
+            (2, 4): 0.015,
+        }
+
+        def path_delay(path):
+            return sum(
+                delays[tuple(sorted(l))] for l in zip(path, path[1:])
+            )
+
+        paths = [(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 2, 3), (2, 3, 4), (1, 3, 4)]
+        ms = [
+            PathMeasurement(tuple(p), success=True, delay_s=path_delay(p))
+            for p in paths
+        ]
+        return delays, ms
+
+    def test_exact_recovery_with_full_rank(self):
+        delays, ms = self._world()
+        tomography = AdditiveTomography(ms)
+        assert tomography.rank_deficiency() == 0
+        assert tomography.estimation_error(delays) < 1e-6
+
+    def test_estimates_non_negative(self):
+        delays, ms = self._world()
+        assert all(v >= 0 for v in AdditiveTomography(ms).estimate().values())
+
+    def test_rank_deficiency_reported(self):
+        # Two links only ever measured together: individually unidentifiable.
+        ms = [PathMeasurement((1, 2, 3), success=True, delay_s=0.06)]
+        assert AdditiveTomography(ms).rank_deficiency() == 1
+
+    def test_failed_paths_excluded(self):
+        ms = [
+            PathMeasurement((1, 2), success=False, delay_s=None),
+            PathMeasurement((2, 3), success=True, delay_s=0.05),
+        ]
+        tomography = AdditiveTomography(ms)
+        assert len(tomography.measurements) == 1
+
+    def test_no_usable_measurements(self):
+        with pytest.raises(LearningError):
+            AdditiveTomography([PathMeasurement((1, 2), success=False)])
+
+
+class TestAttention:
+    def _manager(self, **kw):
+        mgr = AttentionManager(**kw)
+        mgr.prime_baseline("temp", [10.0 + 0.1 * i for i in range(20)])
+        return mgr
+
+    def test_no_baseline_no_surprise(self):
+        mgr = AttentionManager()
+        report = Report("new_signal", 1e9, source_id=1, situation_id=1)
+        assert mgr.surprise(report) == 0.0
+
+    def test_anomalous_value_is_surprising(self):
+        mgr = self._manager()
+        normal = Report("temp", 10.5, source_id=1, situation_id=1)
+        weird = Report("temp", 50.0, source_id=1, situation_id=2)
+        assert mgr.surprise(weird) > mgr.surprise(normal)
+
+    def test_corroborated_anomaly_outranks_single_source(self):
+        mgr = self._manager()
+        # Situation 1: 3 distinct sources report the anomaly.
+        for sid in (1, 2, 3):
+            mgr.ingest(Report("temp", 40.0, source_id=sid, situation_id=1),
+                       update_baseline=False)
+        # Situation 2: one source repeats itself 3 times.
+        for _ in range(3):
+            mgr.ingest(Report("temp", 40.0, source_id=9, situation_id=2),
+                       update_baseline=False)
+        top = mgr.top_k(2)
+        assert top[0][0] == 1
+        assert top[0][1] > top[1][1]
+
+    def test_low_trust_source_discounted(self):
+        trust = TrustLedger()
+        for _ in range(10):
+            trust.observe(66, False)  # known liar
+            trust.observe(7, True)    # reliable scout
+        mgr = self._manager(trust=trust)
+        mgr.ingest(Report("temp", 40.0, source_id=66, situation_id=1),
+                   update_baseline=False)
+        mgr.ingest(Report("temp", 40.0, source_id=7, situation_id=2),
+                   update_baseline=False)
+        top = mgr.top_k(2)
+        assert top[0][0] == 2  # trusted source's situation wins
+
+    def test_precision_at_k_under_deception(self):
+        trust = TrustLedger()
+        for _ in range(10):
+            for liar in (100, 101, 102):
+                trust.observe(liar, False)
+            for scout in (1, 2, 3, 4):
+                trust.observe(scout, True)
+        mgr = self._manager(trust=trust)
+        # True anomalies (situations 1, 2): corroborated by trusted scouts.
+        for sid, situation in [(1, 1), (2, 1), (3, 2), (4, 2)]:
+            mgr.ingest(Report("temp", 45.0, source_id=sid, situation_id=situation),
+                       update_baseline=False)
+        # Deceptions (situations 10..12): single low-trust sources.
+        for liar, situation in [(100, 10), (101, 11), (102, 12)]:
+            mgr.ingest(Report("temp", 60.0, source_id=liar, situation_id=situation),
+                       update_baseline=False)
+        assert mgr.precision_at_k(2, true_anomalies={1, 2}) == 1.0
+
+    def test_decay_fades_old_situations(self):
+        mgr = self._manager(decay_half_life_s=10.0)
+        mgr.ingest(Report("temp", 40.0, source_id=1, situation_id=1, time=0.0),
+                   update_baseline=False)
+        score_before = dict(mgr.top_k(1))[1]
+        mgr.ingest(Report("temp", 10.0, source_id=2, situation_id=1, time=100.0),
+                   update_baseline=False)
+        score_after = dict(mgr.top_k(1))[1]
+        assert score_after < score_before
+
+    def test_top_k_validation(self):
+        with pytest.raises(LearningError):
+            AttentionManager().top_k(0)

@@ -1,0 +1,189 @@
+"""Tests for truth discovery and reputation feedback."""
+
+import numpy as np
+import pytest
+
+from repro.core.learning.reputation import ReputationFeedback
+from repro.core.learning.truth_discovery import (
+    StreamingTruthDiscovery,
+    TruthDiscovery,
+    majority_vote,
+)
+from repro.errors import LearningError
+from repro.things.humans import HumanSource
+
+
+def make_world(
+    n_events=30,
+    n_honest=10,
+    n_malicious=0,
+    honest_rel=0.85,
+    malicious_rel=0.9,
+    seed=0,
+):
+    rng = np.random.default_rng(seed)
+    truths = {e: bool(rng.random() < 0.5) for e in range(1, n_events + 1)}
+    sources = [
+        HumanSource(i, reliability=honest_rel, report_rate=0.8)
+        for i in range(1, n_honest + 1)
+    ] + [
+        HumanSource(
+            n_honest + i, reliability=malicious_rel, report_rate=0.9, malicious=True
+        )
+        for i in range(1, n_malicious + 1)
+    ]
+    claims = []
+    for source in sources:
+        claims.extend(source.report_all(truths, rng))
+    return truths, sources, claims, rng
+
+
+class TestTruthDiscovery:
+    def test_no_claims_raises(self):
+        with pytest.raises(LearningError):
+            TruthDiscovery().run([])
+
+    def test_recovers_truth_with_honest_sources(self):
+        truths, _s, claims, _r = make_world()
+        result = TruthDiscovery().run(claims)
+        assert result.accuracy(truths) > 0.9
+        assert result.converged
+
+    def test_estimates_honest_reliability(self):
+        truths, sources, claims, _r = make_world(n_events=60)
+        result = TruthDiscovery().run(claims)
+        honest_estimates = [
+            result.source_reliability[s.source_id] for s in sources
+        ]
+        assert np.mean(honest_estimates) == pytest.approx(0.85, abs=0.1)
+
+    def test_malicious_sources_get_low_reliability(self):
+        truths, sources, claims, _r = make_world(n_malicious=6, n_events=60)
+        result = TruthDiscovery().run(claims)
+        malicious_ids = [s.source_id for s in sources if s.malicious]
+        estimates = [result.source_reliability[i] for i in malicious_ids]
+        assert max(estimates) < 0.3  # EM inverts their testimony
+
+    def test_beats_majority_under_collusion_with_anchors(self):
+        # Malicious outnumber honest: majority vote fails.  Plain EM would
+        # lock onto the colluding majority's mirrored story (label-switching
+        # symmetry), but anchoring two vetted scouts breaks the symmetry.
+        truths, sources, claims, _r = make_world(
+            n_honest=8, n_malicious=14, n_events=50, seed=3
+        )
+        anchored = {sources[0].source_id: 0.85, sources[1].source_id: 0.85}
+        td_acc = TruthDiscovery(anchors=anchored).run(claims).accuracy(truths)
+        mv = majority_vote(claims)
+        mv_acc = sum(mv[e] == truths[e] for e in mv) / len(mv)
+        assert td_acc > 0.85
+        assert mv_acc < 0.5
+        assert td_acc > mv_acc + 0.3
+
+    def test_unanchored_em_beats_majority_when_honest_majority(self):
+        # With honest sources in the majority, no anchors are needed.
+        truths, _s, claims, _r = make_world(
+            n_honest=14, n_malicious=8, n_events=50, seed=3
+        )
+        td_acc = TruthDiscovery().run(claims).accuracy(truths)
+        assert td_acc > 0.9
+
+    def test_anchor_validation(self):
+        with pytest.raises(LearningError):
+            TruthDiscovery(anchors={1: 1.5})
+
+    def test_probability_bounds(self):
+        truths, _s, claims, _r = make_world()
+        result = TruthDiscovery().run(claims)
+        assert all(0.0 <= p <= 1.0 for p in result.event_probability.values())
+        assert all(
+            0.0 < r < 1.0 for r in result.source_reliability.values()
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(LearningError):
+            TruthDiscovery(prior_true=0.0)
+        with pytest.raises(LearningError):
+            TruthDiscovery(initial_reliability=1.0)
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        from repro.things.humans import Claim
+
+        claims = [
+            Claim(1, 1, True),
+            Claim(2, 1, True),
+            Claim(3, 1, False),
+        ]
+        assert majority_vote(claims) == {1: True}
+
+    def test_tie_breaks_true(self):
+        from repro.things.humans import Claim
+
+        claims = [Claim(1, 1, True), Claim(2, 1, False)]
+        assert majority_vote(claims)[1] is True
+
+
+class TestStreaming:
+    def test_batches_update_result(self):
+        truths, sources, _c, rng = make_world(n_events=20)
+        streaming = StreamingTruthDiscovery(window=10_000)
+        for _round in range(3):
+            batch = []
+            for source in sources:
+                batch.extend(source.report_all(truths, rng))
+            result = streaming.add_batch(batch)
+        assert result.accuracy(truths) > 0.9
+
+    def test_window_bounds_memory(self):
+        truths, sources, claims, rng = make_world()
+        streaming = StreamingTruthDiscovery(window=50)
+        streaming.add_batch(claims)
+        assert len(streaming._claims) <= 50
+
+    def test_invalid_window(self):
+        with pytest.raises(LearningError):
+            StreamingTruthDiscovery(window=0)
+
+
+class TestReputationFeedback:
+    def test_honest_gain_trust_malicious_lose_it(self):
+        truths, sources, claims, _r = make_world(
+            n_honest=10, n_malicious=5, n_events=60
+        )
+        result = TruthDiscovery().run(claims)
+        feedback = ReputationFeedback()
+        snapshot = feedback.apply(claims, result)
+        honest_trust = np.mean(
+            [snapshot[s.source_id] for s in sources if not s.malicious]
+        )
+        malicious_trust = np.mean(
+            [snapshot[s.source_id] for s in sources if s.malicious]
+        )
+        assert honest_trust > 0.7
+        assert malicious_trust < 0.35
+
+    def test_uncertain_events_generate_no_evidence(self):
+        from repro.core.learning.truth_discovery import TruthDiscoveryResult
+        from repro.things.humans import Claim
+
+        result = TruthDiscoveryResult(
+            event_probability={1: 0.55},  # under the 0.7 confidence floor
+            source_reliability={},
+            iterations=1,
+            converged=True,
+        )
+        feedback = ReputationFeedback()
+        feedback.apply([Claim(9, 1, True)], result)
+        assert feedback.ledger.trust(9) == pytest.approx(0.5)  # untouched prior
+
+    def test_distrusted_sources_listed(self):
+        truths, sources, claims, _r = make_world(
+            n_honest=10, n_malicious=5, n_events=60
+        )
+        result = TruthDiscovery().run(claims)
+        feedback = ReputationFeedback()
+        feedback.apply(claims, result)
+        distrusted = set(feedback.distrusted_sources())
+        malicious_ids = {s.source_id for s in sources if s.malicious}
+        assert malicious_ids <= distrusted

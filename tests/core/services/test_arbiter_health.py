@@ -1,0 +1,225 @@
+"""Tests for multi-mission arbitration and health monitoring."""
+
+import pytest
+
+from repro import ScenarioBuilder, Simulator
+from repro.core.mission import MissionGoal, MissionType
+from repro.core.services.arbiter import MissionArbiter, MissionState
+from repro.core.services.health import (
+    CasualtyKind,
+    HealthMonitorService,
+    SoldierModel,
+)
+from repro.errors import ConfigurationError
+from repro.net.routing import FloodingRouter
+from repro.net.transport import MessageService
+from repro.things.capabilities import SensingModality
+from repro.util.geometry import Region
+
+
+# --------------------------------------------------------------------- arbiter
+
+
+def make_world(sim, n_blue=120):
+    return (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=6, block_size_m=100.0, density=0.3)
+        .population(n_blue=n_blue, n_red=0, n_gray=0)
+        .build()
+    )
+
+
+def goal(scenario, *, priority=1, coverage=0.4, duration=300.0, sub_region=None):
+    area = sub_region if sub_region is not None else scenario.region
+    return MissionGoal(
+        MissionType.SURVEIL,
+        area,
+        min_coverage=coverage,
+        priority=priority,
+        duration_s=duration,
+        modalities=frozenset(
+            {SensingModality.SEISMIC, SensingModality.ACOUSTIC,
+             SensingModality.CAMERA}
+        ),
+    )
+
+
+class TestArbiter:
+    def test_single_mission_admitted(self, sim):
+        scenario = make_world(sim)
+        arbiter = MissionArbiter(scenario)
+        record = arbiter.submit(goal(scenario))
+        assert record.state is MissionState.ACTIVE
+        assert record.held_assets
+
+    def test_disjoint_missions_no_asset_overlap(self, sim):
+        scenario = make_world(sim)
+        arbiter = MissionArbiter(scenario)
+        half = scenario.region.width / 2
+        left = Region(0, 0, half, scenario.region.height)
+        right = Region(half, 0, scenario.region.width, scenario.region.height)
+        r1 = arbiter.submit(goal(scenario, sub_region=left))
+        r2 = arbiter.submit(goal(scenario, sub_region=right))
+        assert r1.state is MissionState.ACTIVE
+        assert r2.state is MissionState.ACTIVE
+        assert not (r1.held_assets & r2.held_assets)
+
+    def test_completion_releases_assets(self, sim):
+        scenario = make_world(sim)
+        arbiter = MissionArbiter(scenario)
+        record = arbiter.submit(goal(scenario, duration=50.0))
+        held = set(record.held_assets)
+        sim.run(until=100.0)
+        assert record.state is MissionState.COMPLETED
+        assert not (held & arbiter.allocated_assets())
+
+    def test_higher_priority_preempts(self, sim):
+        scenario = make_world(sim, n_blue=60)
+        arbiter = MissionArbiter(scenario)
+        # Saturate with low-priority demanding missions.
+        records = [
+            arbiter.submit(goal(scenario, priority=1, coverage=0.8))
+            for _ in range(4)
+        ]
+        active_before = [
+            r for r in records if r.state is MissionState.ACTIVE
+        ]
+        # A saturating high-priority newcomer.
+        vip = arbiter.submit(goal(scenario, priority=10, coverage=0.8))
+        if vip.state is MissionState.ACTIVE and any(
+            r.state is MissionState.PREEMPTED for r in active_before
+        ):
+            assert arbiter.preemption_count >= 1
+        # Either way, the VIP must not have been starved by lower priority:
+        assert vip.state in (MissionState.ACTIVE, MissionState.REJECTED)
+
+    def test_preemption_disabled(self, sim):
+        scenario = make_world(sim, n_blue=60)
+        arbiter = MissionArbiter(scenario, allow_preemption=False)
+        for _ in range(4):
+            arbiter.submit(goal(scenario, priority=1, coverage=0.8))
+        arbiter.submit(goal(scenario, priority=10, coverage=0.8))
+        assert arbiter.preemption_count == 0
+
+    def test_completion_unblocks_rejected(self, sim):
+        scenario = make_world(sim, n_blue=60)
+        arbiter = MissionArbiter(scenario, allow_preemption=False)
+        first = arbiter.submit(goal(scenario, coverage=0.8, duration=50.0))
+        assert first.state is MissionState.ACTIVE
+        second = arbiter.submit(goal(scenario, coverage=0.8, duration=50.0))
+        if second.state is MissionState.REJECTED:
+            sim.run(until=120.0)
+            assert second.state in (
+                MissionState.ACTIVE, MissionState.COMPLETED
+            )
+
+    def test_report_accounting(self, sim):
+        scenario = make_world(sim)
+        arbiter = MissionArbiter(scenario)
+        arbiter.submit(goal(scenario))
+        report = arbiter.report()
+        assert report["submitted"] == 1.0
+        assert report["admitted"] == 1.0
+        assert report["admission_rate"] == 1.0
+
+
+# --------------------------------------------------------------------- health
+
+
+@pytest.fixture
+def health_world():
+    sim = Simulator(seed=71)
+    scenario = (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=4, block_size_m=70.0, density=0.2)
+        .population(n_blue=40, n_red=0, n_gray=0)
+        .mobility(mobile_fraction=0.0)
+        .build()
+    )
+    wearers = [
+        a for a in scenario.inventory.blue()
+        if a.profile.can_sense(SensingModality.PHYSIOLOGICAL)
+    ][:8]
+    if len(wearers) < 3:
+        pytest.skip("not enough wearables in draw")
+    medic = scenario.blue_node_ids()[0]
+    router = FloodingRouter(scenario.network)
+    router.attach_all(scenario.blue_node_ids())
+    service = MessageService(router)
+    monitor = HealthMonitorService(scenario, wearers, medic, service)
+    return scenario, wearers, monitor
+
+
+class TestSoldierModel:
+    def test_healthy_vitals_near_baseline(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        soldier = SoldierModel(1, rng, resting_hr=70.0)
+        rates = [soldier.heart_rate(t, rng) for t in range(100)]
+        assert 50 < np.median(rates) < 100
+
+    def test_collapse_decays_to_zero(self):
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        soldier = SoldierModel(1, rng, resting_hr=70.0)
+        soldier.become_casualty(10.0, CasualtyKind.COLLAPSE)
+        assert soldier.heart_rate(200.0, rng) < 5.0
+
+    def test_trauma_spikes_then_declines(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        soldier = SoldierModel(1, rng, resting_hr=70.0)
+        soldier.become_casualty(0.0, CasualtyKind.TRAUMA)
+        spike = np.mean([soldier.heart_rate(30.0, rng) for _ in range(20)])
+        later = np.mean([soldier.heart_rate(200.0, rng) for _ in range(20)])
+        assert spike > 110
+        assert later < spike
+
+
+class TestHealthMonitor:
+    def test_requires_wearers(self, health_world):
+        scenario, wearers, monitor = health_world
+        with pytest.raises(ConfigurationError):
+            HealthMonitorService(
+                scenario, [], monitor.medic_node, monitor.service
+            )
+
+    def test_no_casualty_no_false_alarm_storm(self, health_world):
+        scenario, wearers, monitor = health_world
+        monitor.start()
+        scenario.sim.run(until=300.0)
+        stats = monitor.detection_stats()
+        assert stats["false_alarms"] <= 1  # activity noise tolerated
+
+    def test_trauma_detected(self, health_world):
+        scenario, wearers, monitor = health_world
+        monitor.start()
+        scenario.sim.run(until=120.0)  # baseline warmup
+        victim = wearers[1].id
+        monitor.inflict_casualty(victim, CasualtyKind.TRAUMA)
+        scenario.sim.run(until=400.0)
+        assert victim in monitor.alerts
+        latency = monitor.detection_latency_s(victim)
+        assert latency is not None and latency < 120.0
+
+    def test_silent_casualty_detected_by_timeout(self, health_world):
+        scenario, wearers, monitor = health_world
+        monitor.start()
+        scenario.sim.run(until=120.0)
+        victim = wearers[2]
+        scenario.network.fail_node(victim.node_id)  # wearable goes dark
+        scenario.sim.run(until=300.0)
+        assert victim.id in monitor.alerts
+
+    def test_detection_stats_shape(self, health_world):
+        scenario, wearers, monitor = health_world
+        monitor.start()
+        scenario.sim.run(until=120.0)
+        monitor.inflict_casualty(wearers[0].id, CasualtyKind.COLLAPSE)
+        scenario.sim.run(until=400.0)
+        stats = monitor.detection_stats()
+        assert stats["casualties"] == 1.0
+        assert 0.0 <= stats["recall"] <= 1.0

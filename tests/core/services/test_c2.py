@@ -1,0 +1,88 @@
+"""Tests for the C2 decision-loop models."""
+
+import pytest
+
+from repro.core.services.c2 import (
+    C2Comparison,
+    C2Mode,
+    DecisionRequest,
+    EchelonChain,
+)
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+
+
+def run_mode(mode, *, seed=5, rate=0.05, duration=3600.0, **kw):
+    sim = Simulator(seed=seed)
+    comparison = C2Comparison(sim, mode, arrival_rate_hz=rate, **kw)
+    comparison.start(duration)
+    sim.run(until=duration * 3)
+    return comparison
+
+
+class TestEchelonChain:
+    def test_request_clears_all_stages(self):
+        sim = Simulator(seed=1)
+        chain = EchelonChain(sim)
+        decided = []
+        chain.submit(DecisionRequest(created_at=0.0), decided.append)
+        sim.run(until=2000.0)
+        assert len(decided) == 1
+        assert decided[0].latency_s > 0
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EchelonChain(Simulator(), stage_specs=[])
+
+    def test_queueing_delays_under_load(self):
+        sim = Simulator(seed=2)
+        chain = EchelonChain(sim, stage_specs=[("hq", 1, 50.0)])
+        decided = []
+        for _ in range(10):
+            chain.submit(DecisionRequest(created_at=0.0), decided.append)
+        sim.run(until=50_000.0)
+        latencies = sorted(r.latency_s for r in decided)
+        assert latencies[-1] > latencies[0]  # later ones queued
+
+
+class TestC2Comparison:
+    def test_hierarchical_slowest_autonomous_fastest(self):
+        hier = run_mode(C2Mode.HIERARCHICAL).report()
+        intent = run_mode(C2Mode.INTENT).report()
+        auto = run_mode(C2Mode.AUTONOMOUS).report()
+        assert hier["latency_mean_s"] > intent["latency_mean_s"]
+        assert intent["latency_mean_s"] > auto["latency_mean_s"]
+
+    def test_intent_staleness_between_extremes(self):
+        hier = run_mode(C2Mode.HIERARCHICAL).report()
+        intent = run_mode(C2Mode.INTENT).report()
+        auto = run_mode(C2Mode.AUTONOMOUS).report()
+        assert hier["stale_fraction"] >= intent["stale_fraction"]
+        assert intent["stale_fraction"] >= auto["stale_fraction"]
+
+    def test_escalations_only_out_of_envelope(self):
+        comparison = run_mode(C2Mode.INTENT, envelope_fraction=1.0)
+        assert comparison.escalations == 0
+        comparison = run_mode(C2Mode.INTENT, envelope_fraction=0.0)
+        assert comparison.escalations == len(comparison.decided) or (
+            comparison.escalations > 0
+        )
+
+    def test_wider_envelope_lower_latency(self):
+        narrow = run_mode(C2Mode.INTENT, envelope_fraction=0.2).report()
+        wide = run_mode(C2Mode.INTENT, envelope_fraction=0.9).report()
+        assert wide["latency_mean_s"] < narrow["latency_mean_s"]
+
+    def test_staleness_proportional_to_latency(self):
+        comparison = run_mode(C2Mode.AUTONOMOUS, drift_speed_m_s=2.0)
+        for request in comparison.decided[:10]:
+            assert comparison.staleness_m(request) == pytest.approx(
+                request.latency_s * 2.0
+            )
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            C2Comparison(sim, C2Mode.INTENT, arrival_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            C2Comparison(sim, C2Mode.INTENT, envelope_fraction=1.5)

@@ -1,0 +1,107 @@
+"""Tests for the integrated evacuation mission."""
+
+import pytest
+
+from repro import ScenarioBuilder, Simulator
+from repro.core.services.evacuation import (
+    EvacuationConfig,
+    EvacuationMission,
+    EvacuationResult,
+)
+from repro.errors import ConfigurationError
+
+
+def make_mission(seed=11, **config_kw):
+    sim = Simulator(seed=seed)
+    scenario = (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=6, block_size_m=90.0, density=0.4)
+        .population(n_blue=50, n_red=20, n_gray=15)
+        .build()
+    )
+    return EvacuationMission(scenario, EvacuationConfig(**config_kw))
+
+
+class TestConfig:
+    def test_invalid_groups(self):
+        with pytest.raises(ConfigurationError):
+            EvacuationConfig(n_evacuee_groups=0)
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ConfigurationError):
+            EvacuationConfig(deadline_s=0.0)
+
+
+class TestMissionMechanics:
+    def test_runs_to_completion(self):
+        mission = make_mission(deadline_s=400.0)
+        result = mission.run()
+        assert isinstance(result, EvacuationResult)
+        assert 0.0 <= result.evacuated_fraction <= 1.0
+        assert result.exposures >= 0
+
+    def test_cannot_run_twice(self):
+        mission = make_mission(deadline_s=200.0)
+        mission.run()
+        with pytest.raises(ConfigurationError):
+            mission.run()
+
+    def test_hazards_scheduled_within_window(self):
+        mission = make_mission()
+        mission._schedule_hazards()
+        lo, hi = mission.config.hazard_onset_s
+        assert all(lo <= t <= hi for t in mission.hazard_onset.values())
+
+    def test_exits_never_hazardous(self):
+        mission = make_mission()
+        mission._schedule_hazards()
+        assert not (set(mission.hazard_onset) & mission.exits)
+
+    def test_groups_start_off_exits(self):
+        mission = make_mission()
+        assert all(g.node not in mission.exits for g in mission.groups)
+
+    def test_n_exits_respected(self):
+        mission = make_mission(n_exits=2)
+        assert len(mission.exits) == 2
+
+    def test_sensor_budget_respected(self):
+        mission = make_mission(sensor_budget=5)
+        assert len(mission.sensors) <= 5
+
+    def test_deterministic_given_seed(self):
+        r1 = make_mission(seed=77, deadline_s=300.0).run()
+        r2 = make_mission(seed=77, deadline_s=300.0).run()
+        assert r1.evacuated == r2.evacuated
+        assert r1.exposures == r2.exposures
+
+    def test_most_groups_evacuate_with_long_deadline(self):
+        result = make_mission(deadline_s=900.0).run()
+        assert result.evacuated_fraction >= 0.9
+
+
+class TestAblationEffects:
+    """E1's claim at test scale: the full stack is safest."""
+
+    def _mean_exposures(self, seeds=(11, 12, 13), **flags):
+        total = 0
+        for seed in seeds:
+            total += make_mission(seed=seed, **flags).run().exposures
+        return total / len(seeds)
+
+    def test_adaptation_reduces_exposures(self):
+        with_adapt = self._mean_exposures()
+        without = self._mean_exposures(use_adaptation=False)
+        assert with_adapt <= without
+
+    def test_belief_accuracy_better_with_learning(self):
+        def mean_belief(flag):
+            accs = []
+            for seed in (11, 12, 13):
+                accs.append(
+                    make_mission(seed=seed, use_learning=flag).run()
+                    .hazard_belief_accuracy
+                )
+            return sum(accs) / len(accs)
+
+        assert mean_belief(True) > mean_belief(False)

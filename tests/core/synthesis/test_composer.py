@@ -1,0 +1,162 @@
+"""Tests for composition, optimizers, and assurance."""
+
+import numpy as np
+import pytest
+
+from repro import ScenarioBuilder, Simulator
+from repro.core.mission import MissionGoal, MissionType
+from repro.core.synthesis import (
+    AnnealingComposer,
+    GreedyComposer,
+    RandomComposer,
+    assess,
+    compile_goal,
+    evaluate_composite,
+)
+from repro.core.synthesis.composer import coverage_fraction
+from repro.errors import CompositionError
+from repro.net.topology import build_topology
+from repro.things.capabilities import SensingModality
+from repro.util.geometry import Region
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=21)
+    scenario = (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=6, block_size_m=100.0, density=0.3)
+        .population(n_blue=120, n_red=0, n_gray=0)
+        .build()
+    )
+    topo = build_topology(scenario.network)
+    pool = [a for a in scenario.inventory.blue() if a.alive]
+    return scenario, topo, pool
+
+
+def surveil_goal(region, coverage=0.6):
+    # Restrict to mid-range ground modalities so coverage is non-trivial.
+    return MissionGoal(
+        MissionType.SURVEIL,
+        region,
+        min_coverage=coverage,
+        modalities=frozenset(
+            {SensingModality.SEISMIC, SensingModality.ACOUSTIC}
+        ),
+    )
+
+
+class TestGreedyComposer:
+    def test_empty_pool_rejected(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        with pytest.raises(CompositionError):
+            GreedyComposer().compose(req, [], topo)
+
+    def test_composite_has_roles(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        comp = GreedyComposer().compose(req, pool, topo)
+        assert comp.sink is not None
+        assert comp.sensors
+        assert comp.size == len(comp.members)
+
+    def test_sensors_have_required_modality(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        comp = GreedyComposer().compose(req, pool, topo)
+        by_id = {a.id: a for a in pool}
+        for sid in comp.sensors:
+            assert by_id[sid].profile.sensing & req.modalities
+
+    def test_members_deduplicated(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        comp = GreedyComposer().compose(req, pool, topo)
+        assert len(comp.members) == len(set(comp.members))
+
+    def test_coverage_metric_matches_manual(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        comp = GreedyComposer().compose(req, pool, topo)
+        by_id = {a.id: a for a in pool}
+        manual = coverage_fraction(
+            [by_id[s] for s in comp.sensors], scenario.region
+        )
+        assert comp.coverage == pytest.approx(manual)
+
+    def test_greedy_beats_random(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region, coverage=0.7))
+        greedy = GreedyComposer().compose(req, pool, topo)
+        rng = np.random.default_rng(3)
+        random_scores = [
+            evaluate_composite(RandomComposer(rng).compose(req, pool, topo))
+            for _ in range(5)
+        ]
+        assert evaluate_composite(greedy) >= max(random_scores)
+
+    def test_flops_requirement_met_when_possible(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        comp = GreedyComposer().compose(req, pool, topo)
+        assert comp.total_flops >= req.compute_flops
+
+
+class TestAnnealingComposer:
+    def test_never_worse_than_greedy(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region, coverage=0.7))
+        greedy = GreedyComposer().compose(req, pool, topo)
+        annealed = AnnealingComposer(
+            np.random.default_rng(5), iterations=30
+        ).compose(req, pool, topo)
+        assert evaluate_composite(annealed) >= evaluate_composite(greedy) - 1e-9
+
+    def test_invalid_iterations(self):
+        with pytest.raises(CompositionError):
+            AnnealingComposer(np.random.default_rng(0), iterations=0)
+
+
+class TestAssurance:
+    def test_report_fields_consistent(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        comp = GreedyComposer().compose(req, pool, topo)
+        report = assess(comp, scenario.inventory, rng=np.random.default_rng(0))
+        assert 0.0 <= report.coverage <= 1.0
+        assert 0.0 <= report.dependability <= 1.0
+        assert 0.0 <= report.adversary_exposure <= 1.0
+        assert report.meets_coverage == (report.coverage >= req.coverage_target)
+
+    def test_higher_failure_rate_lower_dependability(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        comp = GreedyComposer().compose(req, pool, topo)
+        rng = np.random.default_rng(0)
+        low = assess(comp, scenario.inventory, failure_rate=0.05, rng=rng)
+        rng = np.random.default_rng(0)
+        high = assess(comp, scenario.inventory, failure_rate=0.6, rng=rng)
+        assert high.dependability <= low.dependability
+
+    def test_all_blue_composite_zero_exposure(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        comp = GreedyComposer().compose(req, pool, topo)
+        report = assess(comp, scenario.inventory)
+        assert report.adversary_exposure == 0.0
+
+    def test_captured_member_raises_exposure(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        comp = GreedyComposer().compose(req, pool, topo)
+        scenario.inventory.get(comp.members[0]).captured = True
+        report = assess(comp, scenario.inventory)
+        assert report.adversary_exposure > 0.0
+
+    def test_describe_flags_state(self, world):
+        scenario, topo, pool = world
+        req = compile_goal(surveil_goal(scenario.region))
+        comp = GreedyComposer().compose(req, pool, topo)
+        text = assess(comp, scenario.inventory).describe()
+        assert "ASSURED" in text

@@ -1,0 +1,112 @@
+"""Tests for continuous asset discovery and side-channel detection."""
+
+import pytest
+
+from repro import ScenarioBuilder, Simulator
+from repro.core.synthesis.discovery import DiscoveryService
+from repro.errors import DiscoveryError
+
+
+def make_scenario(sim, n_blue=40, n_red=6, n_gray=10):
+    return (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=5, block_size_m=80.0, density=0.3)
+        .population(n_blue=n_blue, n_red=n_red, n_gray=n_gray)
+        .build()
+    )
+
+
+class TestDiscovery:
+    def test_requires_discoverers(self, sim):
+        scenario = make_scenario(sim)
+        with pytest.raises(DiscoveryError):
+            DiscoveryService(scenario, [])
+
+    def test_recall_grows_over_rounds(self, sim):
+        scenario = make_scenario(sim)
+        service = DiscoveryService(scenario, scenario.blue_node_ids()[:10])
+        service.start()
+        sim.run(until=6.0)
+        early = service.recall()
+        sim.run(until=60.0)
+        late = service.recall()
+        assert late >= early
+        assert late > 0.3
+
+    def test_duty_cycle_slows_discovery(self):
+        def recall_at(duty, t):
+            sim = Simulator(seed=9)
+            scenario = (
+                ScenarioBuilder(sim)
+                .urban_grid(blocks=5, block_size_m=80.0, density=0.3)
+                .population(n_blue=40, n_red=0, n_gray=0)
+                .build()
+            )
+            for asset in scenario.inventory:
+                asset.duty_cycle = duty
+            service = DiscoveryService(
+                scenario, scenario.blue_node_ids()[:8], probe_period_s=5.0
+            )
+            service.start()
+            sim.run(until=t)
+            return service.recall()
+
+        assert recall_at(0.05, 12.0) < recall_at(1.0, 12.0)
+
+    def test_staleness_expires_records(self, sim):
+        scenario = make_scenario(sim, n_blue=20, n_red=0, n_gray=0)
+        service = DiscoveryService(
+            scenario, scenario.blue_node_ids()[:5], staleness_s=10.0
+        )
+        service.probe_round()
+        discovered = service.discovered_ids()
+        assert discovered
+        # Take everything down so nothing refreshes, then advance time.
+        sim.run(until=50.0)
+        assert service.fresh_records() == []
+
+    def test_dead_assets_not_counted_in_recall(self, sim):
+        scenario = make_scenario(sim, n_blue=10, n_red=0, n_gray=0)
+        service = DiscoveryService(scenario, scenario.blue_node_ids()[:3])
+        for asset in list(scenario.inventory)[:5]:
+            scenario.network.fail_node(asset.node_id)
+        service.probe_round()
+        assert 0.0 <= service.recall() <= 1.0
+
+    def test_side_channel_flags_non_blue(self, sim):
+        scenario = make_scenario(sim, n_blue=40, n_red=8, n_gray=8)
+        service = DiscoveryService(
+            scenario, scenario.blue_node_ids()[:10], emission_rate=0.9
+        )
+        service.start()
+        sim.run(until=120.0)
+        stats = service.hostile_detection_stats()
+        assert stats["suspected"] > 0
+        # Everything suspected must actually be non-blue (no false blues):
+        blue_ids = {a.id for a in scenario.inventory.blue()}
+        assert not (service.suspected_hostiles & blue_ids)
+        assert stats["precision"] == pytest.approx(1.0)
+
+    def test_blue_assets_never_suspected(self, sim):
+        scenario = make_scenario(sim, n_blue=30, n_red=0, n_gray=0)
+        service = DiscoveryService(scenario, scenario.blue_node_ids()[:10])
+        service.start()
+        sim.run(until=60.0)
+        assert service.suspected_hostiles == set()
+
+    def test_records_track_observation_counts(self, sim):
+        scenario = make_scenario(sim, n_blue=15, n_red=0, n_gray=0)
+        service = DiscoveryService(scenario, scenario.blue_node_ids()[:5])
+        service.probe_round()
+        service.probe_round()
+        multi = [r for r in service.records.values() if r.observations >= 2]
+        assert multi
+
+    def test_down_discoverers_do_not_probe(self, sim):
+        scenario = make_scenario(sim, n_blue=15, n_red=0, n_gray=0)
+        discoverers = scenario.blue_node_ids()[:3]
+        service = DiscoveryService(scenario, discoverers)
+        for node_id in discoverers:
+            scenario.network.fail_node(node_id)
+        observed = service.probe_round()
+        assert observed == 0

@@ -1,0 +1,87 @@
+"""Tests for energy-aware composition."""
+
+import pytest
+
+from repro import ScenarioBuilder, Simulator
+from repro.core.mission import MissionGoal, MissionType
+from repro.core.synthesis import GreedyComposer, compile_goal
+from repro.net.topology import build_topology
+from repro.things.capabilities import SensingModality
+
+
+@pytest.fixture
+def drained_world():
+    sim = Simulator(seed=83)
+    scenario = (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=6, block_size_m=100.0, density=0.3)
+        .population(n_blue=100, n_red=0, n_gray=0)
+        .build()
+    )
+    rng = sim.rng.get("drain-test")
+    drained = set()
+    for asset in scenario.inventory.blue():
+        if asset.battery is not None and rng.random() < 0.5:
+            asset.battery.remaining_j = 0.01 * asset.battery.capacity_j
+            drained.add(asset.id)
+    goal = MissionGoal(
+        MissionType.SURVEIL,
+        scenario.region,
+        min_coverage=0.5,
+        modalities=frozenset(
+            {SensingModality.SEISMIC, SensingModality.ACOUSTIC}
+        ),
+    )
+    requirements = compile_goal(goal)
+    pool = [a for a in scenario.inventory.blue() if a.alive and a.sensors]
+    topology = build_topology(scenario.network)
+    return scenario, requirements, pool, topology, drained
+
+
+class TestEnergyAwareComposition:
+    def test_energy_factor_neutral_when_disabled(self, drained_world):
+        scenario, requirements, pool, topology, drained = drained_world
+        composer = GreedyComposer(energy_aware=False)
+        assert composer._energy_factor(pool[0]) == 1.0
+
+    def test_energy_factor_scales_with_battery(self, drained_world):
+        scenario, requirements, pool, topology, drained = drained_world
+        composer = GreedyComposer(energy_aware=True)
+        fresh = next(a for a in pool if a.id not in drained)
+        dead = next(a for a in pool if a.id in drained)
+        assert composer._energy_factor(fresh) > composer._energy_factor(dead)
+
+    def test_energy_aware_recruits_fresher_sensors(self, drained_world):
+        scenario, requirements, pool, topology, drained = drained_world
+        blind = GreedyComposer(energy_aware=False).compose(
+            requirements, pool, topology
+        )
+        aware = GreedyComposer(energy_aware=True).compose(
+            requirements, pool, topology
+        )
+
+        def drained_fraction(composite):
+            sensors = composite.sensors
+            if not sensors:
+                return 0.0
+            return sum(1 for s in sensors if s in drained) / len(sensors)
+
+        assert drained_fraction(aware) <= drained_fraction(blind)
+
+    def test_energy_aware_still_satisfies_when_possible(self, drained_world):
+        scenario, requirements, pool, topology, drained = drained_world
+        aware = GreedyComposer(energy_aware=True).compose(
+            requirements, pool, topology
+        )
+        assert aware.coverage >= requirements.coverage_target * 0.9
+
+    def test_batteryless_assets_unpenalized(self, drained_world):
+        scenario, requirements, pool, topology, drained = drained_world
+        composer = GreedyComposer(energy_aware=True)
+        asset = pool[0]
+        battery = asset.battery
+        asset.battery = None
+        try:
+            assert composer._energy_factor(asset) == 1.0
+        finally:
+            asset.battery = battery

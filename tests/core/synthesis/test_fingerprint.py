@@ -1,0 +1,101 @@
+"""Tests for traffic fingerprinting."""
+
+import pytest
+
+from repro.core.synthesis.fingerprint import TrafficFingerprinter
+from repro.errors import DiscoveryError
+from repro.net.channel import Channel
+from repro.net.node import Network
+from repro.net.packet import Packet, PacketKind
+from repro.sim import Simulator
+from repro.util.geometry import Point
+
+
+@pytest.fixture
+def net_and_fp():
+    sim = Simulator(seed=4)
+    net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=4))
+    for i in range(1, 9):
+        net.create_node(i, Point((i % 4) * 20.0, (i // 4) * 20.0))
+    fp = TrafficFingerprinter(net, min_packets=3)
+    return sim, net, fp
+
+
+def drive_traffic(sim, net, node_id, *, n, size, kind=PacketKind.DATA, gap=1.0):
+    for k in range(n):
+        sim.call_in(
+            gap * (k + 1),
+            lambda nid=node_id: net.send(
+                nid, (nid % 8) + 1, Packet(src=nid, dst=(nid % 8) + 1, size_bits=size, kind=kind)
+            ),
+        )
+
+
+class TestProfiles:
+    def test_profiles_accumulate(self, net_and_fp):
+        sim, net, fp = net_and_fp
+        drive_traffic(sim, net, 1, n=5, size=1000)
+        sim.run(until=30.0)
+        profile = fp.profile(1)
+        assert profile is not None
+        assert profile.packets >= 3
+        assert profile.mean_size_bits == pytest.approx(1000.0)
+
+    def test_rate_estimate(self, net_and_fp):
+        sim, net, fp = net_and_fp
+        drive_traffic(sim, net, 1, n=10, size=500, gap=2.0)
+        sim.run(until=60.0)
+        assert fp.profile(1).rate_hz == pytest.approx(0.5, rel=0.4)
+
+    def test_observed_nodes_threshold(self, net_and_fp):
+        sim, net, fp = net_and_fp
+        drive_traffic(sim, net, 1, n=2, size=500)
+        sim.run(until=30.0)
+        assert 1 not in fp.observed_nodes()
+
+
+class TestClassification:
+    def _train(self, sim, net, fp):
+        # Two behavioral classes: chatty-small (sensors), bulky-slow (cameras).
+        for nid in (1, 2, 3):
+            drive_traffic(sim, net, nid, n=20, size=200, gap=0.5)
+        for nid in (4, 5, 6):
+            drive_traffic(sim, net, nid, n=5, size=20000, gap=5.0)
+        sim.run(until=60.0)
+        fp.fit({1: "sensor", 2: "sensor", 3: "sensor", 4: "camera", 5: "camera", 6: "camera"})
+
+    def test_classify_matches_behavior(self, net_and_fp):
+        sim, net, fp = net_and_fp
+        self._train(sim, net, fp)
+        drive_traffic(sim, net, 7, n=20, size=200, gap=0.5)   # behaves like sensor
+        drive_traffic(sim, net, 8, n=5, size=20000, gap=5.0)  # behaves like camera
+        sim.run(until=120.0)
+        assert fp.classify(7)[0] == "sensor"
+        assert fp.classify(8)[0] == "camera"
+
+    def test_unfitted_raises(self, net_and_fp):
+        sim, net, fp = net_and_fp
+        with pytest.raises(DiscoveryError):
+            fp.classify(1)
+
+    def test_fit_without_examples_raises(self, net_and_fp):
+        sim, net, fp = net_and_fp
+        with pytest.raises(DiscoveryError):
+            fp.fit({1: "sensor"})  # node 1 has no traffic yet
+
+    def test_sybil_flagging(self, net_and_fp):
+        sim, net, fp = net_and_fp
+        self._train(sim, net, fp)
+        # Node 7 claims to be a camera but emits sensor-like traffic.
+        drive_traffic(sim, net, 7, n=20, size=200, gap=0.5)
+        # Node 8 claims camera and behaves like one.
+        drive_traffic(sim, net, 8, n=5, size=20000, gap=5.0)
+        sim.run(until=120.0)
+        flagged = fp.flag_sybils({7: "camera", 8: "camera"}, threshold=2.0)
+        assert 7 in flagged
+        assert 8 not in flagged
+
+    def test_unknown_claimed_class_scores_none(self, net_and_fp):
+        sim, net, fp = net_and_fp
+        self._train(sim, net, fp)
+        assert fp.anomaly_score(1, "submarine") is None

@@ -1,0 +1,158 @@
+"""Tests for functional (service-pipeline) composition."""
+
+import pytest
+
+from repro import ScenarioBuilder, Simulator
+from repro.core.synthesis.functional import (
+    PipelinePlacer,
+    ServiceGraph,
+    Stage,
+)
+from repro.errors import CompositionError
+from repro.net.topology import build_topology
+
+
+def tracking_pipeline(source_node=None, heavy=1e9):
+    return ServiceGraph.linear_pipeline(
+        [
+            Stage("capture", 1e6, output_bits_per_unit=64_000,
+                  pinned_node=source_node),
+            Stage("detect", heavy, output_bits_per_unit=4_000),
+            Stage("associate", 1e8, output_bits_per_unit=1_000),
+            Stage("report", 1e5, output_bits_per_unit=512),
+        ]
+    )
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=61)
+    scenario = (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=5, block_size_m=90.0, density=0.3)
+        .population(n_blue=60, n_red=0, n_gray=0)
+        .build()
+    )
+    hosts = [a for a in scenario.inventory.blue() if a.profile.compute_flops > 0]
+    topology = build_topology(scenario.network)
+    return scenario, hosts, topology
+
+
+class TestServiceGraph:
+    def test_duplicate_stage_rejected(self):
+        graph = ServiceGraph()
+        graph.add_stage(Stage("a", 1.0))
+        with pytest.raises(CompositionError):
+            graph.add_stage(Stage("a", 2.0))
+
+    def test_unknown_stage_in_connect(self):
+        graph = ServiceGraph()
+        graph.add_stage(Stage("a", 1.0))
+        with pytest.raises(CompositionError):
+            graph.connect("a", "missing")
+
+    def test_cycle_rejected(self):
+        graph = ServiceGraph()
+        graph.add_stage(Stage("a", 1.0))
+        graph.add_stage(Stage("b", 1.0))
+        graph.connect("a", "b")
+        with pytest.raises(CompositionError):
+            graph.connect("b", "a")
+
+    def test_topological_order_respects_edges(self):
+        graph = tracking_pipeline()
+        names = [s.name for s in graph.topological_order()]
+        assert names.index("capture") < names.index("detect")
+        assert names.index("detect") < names.index("report")
+
+    def test_fan_in_graph(self):
+        graph = ServiceGraph()
+        for name in ("cam", "acoustic", "fuse"):
+            graph.add_stage(Stage(name, 1e6))
+        graph.connect("cam", "fuse")
+        graph.connect("acoustic", "fuse")
+        assert graph.upstream_of("fuse") == ["acoustic", "cam"]
+
+
+class TestPlacement:
+    def test_requires_compute_hosts(self, world):
+        scenario, hosts, topology = world
+        with pytest.raises(CompositionError):
+            PipelinePlacer([], topology)
+
+    def test_all_stages_assigned(self, world):
+        scenario, hosts, topology = world
+        placer = PipelinePlacer(hosts, topology)
+        placement = placer.place(tracking_pipeline())
+        assert set(placement.assignment) == {
+            "capture", "detect", "associate", "report"
+        }
+        host_nodes = {a.node_id for a in hosts}
+        assert set(placement.assignment.values()) <= host_nodes
+
+    def test_pinned_stage_honored(self, world):
+        scenario, hosts, topology = world
+        pinned = hosts[3].node_id
+        placer = PipelinePlacer(hosts, topology)
+        placement = placer.place(tracking_pipeline(source_node=pinned))
+        assert placement.node_of("capture") == pinned
+
+    def test_heavy_stage_lands_on_big_host(self, world):
+        scenario, hosts, topology = world
+        placer = PipelinePlacer(hosts, topology, data_rate_hz=1.0)
+        placement = placer.place(tracking_pipeline(heavy=5e11))
+        detect_host = next(
+            a for a in hosts if a.node_id == placement.node_of("detect")
+        )
+        median_flops = sorted(a.profile.compute_flops for a in hosts)[
+            len(hosts) // 2
+        ]
+        assert detect_host.profile.compute_flops >= median_flops
+
+    def test_latency_decomposition_consistent(self, world):
+        scenario, hosts, topology = world
+        placer = PipelinePlacer(hosts, topology)
+        placement = placer.place(tracking_pipeline())
+        assert placement.end_to_end_latency_s == pytest.approx(
+            placement.compute_latency_s + placement.transfer_latency_s
+        )
+        assert placement.end_to_end_latency_s > 0
+
+    def test_capacity_constraint_spreads_load(self, world):
+        scenario, hosts, topology = world
+        # Mid-size hosts only (no edge cloud to absorb everything); each
+        # stage's load is sized so one host can carry at most one stage.
+        mid = [
+            h for h in hosts if 1e10 <= h.profile.compute_flops <= 1e11
+        ]
+        if len(mid) < 3:
+            pytest.skip("not enough mid-size hosts in draw")
+        # Stage load ~3e10 flops/s: only the biggest mid-size hosts can
+        # carry one stage each, so two stages must land on two hosts.
+        placer = PipelinePlacer(mid, topology, data_rate_hz=100.0)
+        graph = ServiceGraph.linear_pipeline(
+            [Stage(f"s{i}", 3e8) for i in range(2)]
+        )
+        placement = placer.place(graph)
+        assert placement.feasible
+        assert len(set(placement.assignment.values())) == 2
+
+    def test_greedy_no_worse_than_colocated_baseline(self, world):
+        scenario, hosts, topology = world
+        placer = PipelinePlacer(hosts, topology)
+        graph = tracking_pipeline(source_node=hosts[5].node_id)
+        greedy = placer.place(graph)
+        baseline = placer.colocated_baseline(graph)
+        assert greedy.end_to_end_latency_s <= baseline.end_to_end_latency_s + 1e-9
+
+    def test_infeasible_marked_but_best_effort(self, world):
+        scenario, hosts, topology = world
+        tiny = [h for h in hosts if h.profile.compute_flops < 1e9][:3]
+        if not tiny:
+            pytest.skip("no tiny hosts in draw")
+        placer = PipelinePlacer(tiny, topology, data_rate_hz=100.0)
+        placement = placer.place(
+            ServiceGraph.linear_pipeline([Stage("x", 1e12)])
+        )
+        assert not placement.feasible
+        assert placement.assignment  # still produced a best-effort mapping

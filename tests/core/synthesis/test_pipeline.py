@@ -1,0 +1,97 @@
+"""Integration test: the full synthesis pipeline from discovery to assurance."""
+
+import pytest
+
+from repro import ScenarioBuilder, Simulator
+from repro.core.mission import MissionGoal, MissionType
+from repro.core.synthesis import (
+    AssetCharacterizer,
+    DiscoveryService,
+    GreedyComposer,
+    Recruiter,
+    assess,
+    compile_goal,
+)
+from repro.net.topology import build_topology
+from repro.security.trust import TrustLedger
+from repro.things.asset import Affiliation
+from repro.things.capabilities import SensingModality
+
+
+@pytest.fixture
+def pipeline():
+    sim = Simulator(seed=31)
+    scenario = (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=6, block_size_m=100.0, density=0.3)
+        .population(n_blue=100, n_red=15, n_gray=20)
+        .build()
+    )
+    discovery = DiscoveryService(
+        scenario, scenario.blue_node_ids()[:15], emission_rate=0.6
+    )
+    discovery.start()
+    sim.run(until=60.0)
+    trust = TrustLedger()
+    characterizer = AssetCharacterizer(
+        scenario.inventory, discovery, trust=trust
+    )
+    recruiter = Recruiter(scenario.inventory, characterizer)
+    return scenario, discovery, characterizer, recruiter, trust
+
+
+class TestPipeline:
+    def test_characterizations_only_for_discovered(self, pipeline):
+        scenario, discovery, characterizer, recruiter, trust = pipeline
+        chars = characterizer.characterize_all()
+        discovered = set(discovery.records)
+        assert {c.asset_id for c in chars} <= discovered
+        assert chars  # something was discovered
+
+    def test_recruiter_excludes_suspected_hostiles(self, pipeline):
+        scenario, discovery, characterizer, recruiter, trust = pipeline
+        pool = recruiter.recruit()
+        suspected = discovery.suspected_hostiles
+        assert not ({a.id for a in pool} & suspected)
+
+    def test_rejection_report_sums_to_characterized(self, pipeline):
+        scenario, discovery, characterizer, recruiter, trust = pipeline
+        report = recruiter.rejection_report()
+        total = sum(report.values())
+        assert total == len(characterizer.characterize_all())
+
+    def test_low_trust_blocks_recruitment(self, pipeline):
+        scenario, discovery, characterizer, recruiter, trust = pipeline
+        pool_before = recruiter.recruit()
+        assert pool_before
+        victim = pool_before[0]
+        for _ in range(20):
+            trust.observe(victim.id, False)
+        pool_after = recruiter.recruit()
+        assert victim.id not in {a.id for a in pool_after}
+
+    def test_end_to_end_composition_from_recruited_pool(self, pipeline):
+        scenario, discovery, characterizer, recruiter, trust = pipeline
+        goal = MissionGoal(
+            MissionType.SURVEIL,
+            scenario.region,
+            min_coverage=0.5,
+            modalities=frozenset(
+                {SensingModality.SEISMIC, SensingModality.ACOUSTIC,
+                 SensingModality.CAMERA}
+            ),
+        )
+        requirements = compile_goal(goal)
+        pool = recruiter.recruit()
+        topology = build_topology(scenario.network)
+        composite = GreedyComposer().compose(requirements, pool, topology)
+        report = assess(composite, scenario.inventory, trust=trust)
+        assert composite.sensors
+        assert 0.0 <= report.coverage <= 1.0
+        # Recruited-only membership: nothing outside the pool.
+        pool_ids = {a.id for a in pool}
+        assert set(composite.members) <= pool_ids
+
+    def test_limit_caps_pool(self, pipeline):
+        scenario, discovery, characterizer, recruiter, trust = pipeline
+        assert len(recruiter.recruit(limit=5)) <= 5

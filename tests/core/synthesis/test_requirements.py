@@ -1,0 +1,60 @@
+"""Tests for goals-to-means requirement compilation."""
+
+import pytest
+
+from repro.core.mission import MissionGoal, MissionType
+from repro.core.synthesis.requirements import compile_goal
+from repro.errors import RequirementError
+from repro.util.geometry import Region
+
+
+def goal(**kw):
+    defaults = dict(mission_type=MissionType.SURVEIL, area=Region(0, 0, 1000, 1000))
+    defaults.update(kw)
+    return MissionGoal(**defaults)
+
+
+class TestCompileGoal:
+    def test_more_coverage_needs_more_sensors(self):
+        low = compile_goal(goal(min_coverage=0.3, min_confidence=0.8))
+        high = compile_goal(goal(min_coverage=0.95, min_confidence=0.8))
+        assert high.n_sensors > low.n_sensors
+
+    def test_bigger_area_needs_more_sensors(self):
+        small = compile_goal(goal(area=Region(0, 0, 500, 500)))
+        big = compile_goal(goal(area=Region(0, 0, 2000, 2000)))
+        assert big.n_sensors > small.n_sensors
+
+    def test_longer_range_needs_fewer_sensors(self):
+        short = compile_goal(goal(), sensing_range_m=100.0)
+        long = compile_goal(goal(), sensing_range_m=400.0)
+        assert long.n_sensors < short.n_sensors
+
+    def test_confidence_drives_redundancy(self):
+        lax = compile_goal(goal(min_confidence=0.6))
+        strict = compile_goal(goal(min_confidence=0.97))
+        assert strict.redundancy > lax.redundancy
+
+    def test_tracking_adds_redundancy(self):
+        surveil = compile_goal(goal(min_confidence=0.8))
+        track = compile_goal(goal(mission_type=MissionType.TRACK, min_confidence=0.8))
+        assert track.redundancy > surveil.redundancy
+
+    def test_tighter_latency_fewer_hops(self):
+        slow = compile_goal(goal(max_latency_s=60.0))
+        fast = compile_goal(goal(max_latency_s=1.0))
+        assert fast.max_hops < slow.max_hops
+        assert fast.max_hops >= 1
+
+    def test_compute_scales_with_sensors(self):
+        small = compile_goal(goal(area=Region(0, 0, 400, 400)))
+        big = compile_goal(goal(area=Region(0, 0, 3000, 3000)))
+        assert big.compute_flops > small.compute_flops
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(RequirementError):
+            compile_goal(goal(), sensing_range_m=0.0)
+
+    def test_describe_mentions_counts(self):
+        req = compile_goal(goal())
+        assert "sensors" in req.describe()

@@ -1,0 +1,115 @@
+"""Tests for mission goals and command-by-intent decomposition."""
+
+import pytest
+
+from repro.core.intent import (
+    CommanderIntent,
+    InitiativeEnvelope,
+    aggregate_compliance,
+    decompose_spatial,
+)
+from repro.core.mission import MissionGoal, MissionType
+from repro.errors import ConfigurationError
+from repro.util.geometry import Region
+
+AREA = Region(0, 0, 1000, 800)
+
+
+def goal(**kw):
+    defaults = dict(mission_type=MissionType.SURVEIL, area=AREA)
+    defaults.update(kw)
+    return MissionGoal(**defaults)
+
+
+class TestMissionGoal:
+    def test_valid_goal(self):
+        g = goal(min_coverage=0.9)
+        assert g.min_coverage == 0.9
+        assert "surveil" in g.describe()
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ConfigurationError):
+            goal(min_coverage=0.0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ConfigurationError):
+            goal(max_latency_s=-1.0)
+
+    def test_empty_modalities(self):
+        with pytest.raises(ConfigurationError):
+            goal(modalities=frozenset())
+
+
+class TestInitiativeEnvelope:
+    def test_permits(self):
+        env = InitiativeEnvelope(allowed_knobs=frozenset({"a"}))
+        assert env.permits("a")
+        assert not env.permits("b")
+
+    def test_risk_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            InitiativeEnvelope(risk_budget=1.5)
+
+
+class TestDecomposition:
+    def test_sector_count(self):
+        intent = CommanderIntent(goal=goal())
+        objectives = decompose_spatial(intent, 4, 2)
+        assert len(objectives) == 8
+
+    def test_sectors_tile_the_area(self):
+        intent = CommanderIntent(goal=goal())
+        objectives = decompose_spatial(intent, 5, 4)
+        total = sum(o.sector.area for o in objectives)
+        assert total == pytest.approx(AREA.area)
+
+    def test_weights_sum_to_one(self):
+        intent = CommanderIntent(goal=goal())
+        objectives = decompose_spatial(intent, 3, 3)
+        assert sum(o.weight for o in objectives) == pytest.approx(1.0)
+
+    def test_sector_goals_inherit_parameters(self):
+        intent = CommanderIntent(goal=goal(min_coverage=0.77))
+        objectives = decompose_spatial(intent, 2, 2)
+        assert all(o.goal.min_coverage == 0.77 for o in objectives)
+        assert all(o.goal.area.area < AREA.area for o in objectives)
+
+    def test_invalid_grid(self):
+        intent = CommanderIntent(goal=goal())
+        with pytest.raises(ConfigurationError):
+            decompose_spatial(intent, 0, 2)
+
+    def test_objective_ids_unique(self):
+        intent = CommanderIntent(goal=goal())
+        ids = [o.objective_id for o in decompose_spatial(intent, 3, 2)]
+        assert len(set(ids)) == len(ids)
+
+
+class TestAggregateCompliance:
+    def _objectives(self, n=4):
+        intent = CommanderIntent(goal=goal())
+        return decompose_spatial(intent, n, 1)
+
+    def test_all_satisfied(self):
+        objectives = self._objectives()
+        assert aggregate_compliance([(o, 1.0) for o in objectives]) == pytest.approx(
+            1.0
+        )
+
+    def test_none_satisfied(self):
+        objectives = self._objectives()
+        assert aggregate_compliance([(o, 0.0) for o in objectives]) == 0.0
+
+    def test_weighted_mixture(self):
+        objectives = self._objectives(2)  # equal halves
+        value = aggregate_compliance(
+            [(objectives[0], 1.0), (objectives[1], 0.0)]
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_satisfaction_clamped(self):
+        objectives = self._objectives(1)
+        assert aggregate_compliance([(objectives[0], 5.0)]) == 1.0
+
+    def test_empty_results(self):
+        assert aggregate_compliance([]) == 0.0

@@ -1,0 +1,52 @@
+"""Tests for the contention MAC model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.mac import ContentionMac
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestContentionMac:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ContentionMac(slot_time_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ContentionMac(collision_rho=1.0)
+
+    def test_access_delay_positive(self, rng):
+        mac = ContentionMac()
+        for busy in (0, 1, 10, 100):
+            assert mac.access_delay(busy, rng) >= 0.0
+
+    def test_mean_delay_grows_with_contention(self, rng):
+        mac = ContentionMac()
+        idle = np.mean([mac.access_delay(0, rng) for _ in range(2000)])
+        busy = np.mean([mac.access_delay(20, rng) for _ in range(2000)])
+        assert busy > idle
+
+    def test_idle_mean_matches_configuration(self, rng):
+        mac = ContentionMac(slot_time_s=0.001, mean_backoff_slots=4.0)
+        mean = np.mean([mac.access_delay(0, rng) for _ in range(5000)])
+        assert mean == pytest.approx(0.004, rel=0.1)
+
+    def test_collision_survival_decays_with_neighbors(self):
+        mac = ContentionMac(collision_rho=0.05)
+        survivals = [mac.collision_survival(k) for k in (0, 1, 5, 20)]
+        assert survivals[0] == 1.0
+        assert survivals == sorted(survivals, reverse=True)
+        assert all(0.0 < s <= 1.0 for s in survivals)
+
+    def test_negative_neighbors_clamped(self, rng):
+        mac = ContentionMac()
+        assert mac.collision_survival(-3) == 1.0
+        assert mac.access_delay(-3, rng) >= 0.0
+
+    def test_zero_rho_never_collides(self):
+        mac = ContentionMac(collision_rho=0.0)
+        assert mac.collision_survival(1000) == 1.0

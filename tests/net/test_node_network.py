@@ -1,0 +1,177 @@
+"""Tests for NetNode / Network: membership, neighbors, transmit path."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.channel import Channel
+from repro.net.node import Network, NetNode
+from repro.net.packet import Packet, PacketKind
+from repro.sim import Simulator
+from repro.util.geometry import Point
+
+
+def quiet_channel(seed=1):
+    return Channel(shadowing_sigma_db=0.0, fading_sigma_db=0.0, seed=seed)
+
+
+def make_net(positions, seed=1, **node_kw):
+    sim = Simulator(seed=seed)
+    net = Network(sim, quiet_channel(seed))
+    for i, pos in enumerate(positions, start=1):
+        net.create_node(i, Point(*pos), **node_kw)
+    return sim, net
+
+
+class TestMembership:
+    def test_duplicate_id_rejected(self):
+        sim, net = make_net([(0, 0)])
+        with pytest.raises(NetworkError):
+            net.create_node(1, Point(1, 1))
+
+    def test_unknown_node_raises(self):
+        sim, net = make_net([(0, 0)])
+        with pytest.raises(NetworkError):
+            net.node(99)
+
+    def test_fail_and_restore(self):
+        sim, net = make_net([(0, 0), (10, 0)])
+        net.fail_node(2)
+        assert not net.node(2).up
+        assert len(net.up_nodes()) == 1
+        net.restore_node(2)
+        assert net.node(2).up
+
+
+class TestNeighbors:
+    def test_close_nodes_are_neighbors(self):
+        sim, net = make_net([(0, 0), (30, 0), (5000, 0)])
+        assert net.neighbors(1) == [2]
+        assert net.neighbors(3) == []
+
+    def test_neighbors_exclude_down(self):
+        sim, net = make_net([(0, 0), (30, 0)])
+        net.fail_node(2)
+        assert net.neighbors(1) == []
+        assert net.neighbors(1, include_down=True) == [2]
+
+    def test_position_update_changes_neighbors(self):
+        sim, net = make_net([(0, 0), (5000, 0)])
+        assert net.neighbors(1) == []
+        net.set_position(2, Point(20, 0))
+        assert net.neighbors(1) == [2]
+
+    def test_neighbors_symmetric_for_equal_power(self):
+        sim, net = make_net([(0, 0), (40, 0), (80, 0)])
+        for a in (1, 2, 3):
+            for b in net.neighbors(a):
+                assert a in net.neighbors(b)
+
+    def test_grid_handles_many_nodes(self):
+        positions = [(x * 25.0, y * 25.0) for x in range(20) for y in range(20)]
+        sim, net = make_net(positions)
+        n = net.neighbors(1)
+        assert len(n) > 0
+        assert all(isinstance(i, int) for i in n)
+
+
+class TestUnicast:
+    def test_successful_delivery_invokes_handler(self):
+        sim, net = make_net([(0, 0), (20, 0)])
+        got = []
+        net.node(2).on(PacketKind.DATA, lambda n, p, f: got.append((p.uid, f)))
+        pkt = Packet(src=1, dst=2)
+        results = []
+        net.send(1, 2, pkt, on_result=results.append)
+        sim.run(until=5.0)
+        assert results == [True]
+        assert got and got[0][1] == 1
+
+    def test_down_sender_fails_immediately(self):
+        sim, net = make_net([(0, 0), (20, 0)])
+        net.fail_node(1)
+        results = []
+        net.send(1, 2, Packet(src=1, dst=2), on_result=results.append)
+        sim.run(until=5.0)
+        assert results == [False]
+
+    def test_down_receiver_fails(self):
+        sim, net = make_net([(0, 0), (20, 0)])
+        net.fail_node(2)
+        results = []
+        net.send(1, 2, Packet(src=1, dst=2), on_result=results.append)
+        sim.run(until=5.0)
+        assert results == [False]
+
+    def test_out_of_range_usually_fails(self):
+        sim, net = make_net([(0, 0), (10000, 0)])
+        results = []
+        for _ in range(20):
+            net.send(1, 2, Packet(src=1, dst=2), on_result=results.append)
+        sim.run(until=60.0)
+        assert results.count(False) == 20
+
+    def test_delivery_has_positive_latency(self):
+        sim, net = make_net([(0, 0), (20, 0)])
+        times = []
+        net.node(2).on(PacketKind.DATA, lambda n, p, f: times.append(sim.now))
+        net.send(1, 2, Packet(src=1, dst=2))
+        sim.run(until=5.0)
+        assert times and times[0] > 0.0
+
+    def test_energy_hook_charged(self):
+        sim, net = make_net([(0, 0), (20, 0)])
+        charges = []
+        net.node(1).energy_hook = lambda tx, rx: charges.append((tx, rx))
+        net.send(1, 2, Packet(src=1, dst=2, size_bits=512))
+        sim.run(until=5.0)
+        assert (512, 0.0) in charges
+
+    def test_metrics_counters(self):
+        sim, net = make_net([(0, 0), (20, 0)])
+        net.send(1, 2, Packet(src=1, dst=2))
+        sim.run(until=5.0)
+        assert sim.metrics.counter("net.tx_attempts") == 1
+        assert sim.metrics.counter("net.tx_success") == 1
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_neighbors(self):
+        sim, net = make_net([(0, 0), (20, 0), (0, 20), (5000, 5000)])
+        got = []
+        for i in (2, 3, 4):
+            net.node(i).on(PacketKind.DATA, lambda n, p, f: got.append(n.id))
+        count = net.broadcast(1, Packet(src=1, dst=None))
+        sim.run(until=5.0)
+        assert count == 2
+        assert set(got) == {2, 3}
+
+    def test_down_sender_broadcasts_nothing(self):
+        sim, net = make_net([(0, 0), (20, 0)])
+        net.fail_node(1)
+        assert net.broadcast(1, Packet(src=1, dst=None)) == 0
+
+    def test_sniffer_sees_deliveries(self):
+        sim, net = make_net([(0, 0), (20, 0)])
+        sniffed = []
+        net.add_sniffer(lambda p, f, t: sniffed.append((p.uid, f, t)))
+        pkt = Packet(src=1, dst=2)
+        net.send(1, 2, pkt)
+        sim.run(until=5.0)
+        assert sniffed == [(pkt.uid, 1, 2)]
+
+
+class TestPacket:
+    def test_forwarding_copy_independent_path(self):
+        pkt = Packet(src=1, dst=2, ttl=5)
+        pkt.path.append(1)
+        fwd = pkt.copy_for_forwarding()
+        fwd.path.append(99)
+        assert pkt.path == [1]
+        assert fwd.ttl == 4
+        assert fwd.uid == pkt.uid
+
+    def test_hops(self):
+        pkt = Packet(src=1, dst=2)
+        assert pkt.hops == 0
+        pkt.path.extend([1, 5, 2])
+        assert pkt.hops == 2

@@ -1,0 +1,115 @@
+"""Property-based tests for network-layer invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.channel import Channel, Jammer
+from repro.net.node import Network
+from repro.net.packet import Packet
+from repro.net.topology import build_topology
+from repro.sim import Simulator
+from repro.util.geometry import Point
+
+coords = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False)
+powers = st.floats(min_value=-10.0, max_value=33.0)
+
+
+class TestChannelProperties:
+    @given(powers, coords, coords, coords, coords)
+    @settings(max_examples=60, deadline=None)
+    def test_delivery_probability_valid(self, power, x1, y1, x2, y2):
+        channel = Channel(seed=1)
+        p = channel.delivery_probability(power, Point(x1, y1), Point(x2, y2), 1, 2)
+        assert 0.0 <= p <= 1.0
+
+    @given(powers)
+    @settings(max_examples=30, deadline=None)
+    def test_comm_range_positive_and_monotone(self, power):
+        channel = Channel(seed=1)
+        r = channel.comm_range_m(power)
+        assert r >= channel.reference_distance_m
+        assert channel.comm_range_m(power + 3.0) >= r
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_shadowing_symmetric(self, a, b):
+        channel = Channel(shadowing_sigma_db=6.0, seed=5)
+        assert channel.shadowing_db(a, b) == channel.shadowing_db(b, a)
+
+    @given(
+        st.lists(
+            st.tuples(coords, coords), min_size=1, max_size=6, unique=True
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_jammers_never_increase_delivery(self, jammer_positions):
+        clean = Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=1)
+        jammed = Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=1)
+        for jx, jy in jammer_positions:
+            jammed.add_jammer(Jammer(position=Point(jx, jy), power_dbm=30.0))
+        tx, rx = Point(100, 100), Point(180, 100)
+        assert jammed.delivery_probability(20.0, tx, rx) <= (
+            clean.delivery_probability(20.0, tx, rx) + 1e-12
+        )
+
+
+class TestTopologyProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=800),
+                st.floats(min_value=0, max_value=800),
+            ),
+            min_size=2,
+            max_size=25,
+            unique=True,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_snapshot_consistency(self, positions):
+        sim = Simulator(seed=3)
+        net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=3))
+        for i, (x, y) in enumerate(positions, start=1):
+            net.create_node(i, Point(x, y))
+        topo = build_topology(net)
+        # All nodes present; all edges valid and annotated.
+        assert topo.node_count == len(positions)
+        for a, b, data in topo.graph.edges(data=True):
+            assert 0.0 < data["p"] <= 1.0
+            assert data["etx"] == pytest.approx(1.0 / data["p"])
+        # Components partition the node set.
+        comps = topo.components()
+        all_nodes = set()
+        for comp in comps:
+            assert not (comp & all_nodes)
+            all_nodes |= comp
+        assert all_nodes == set(topo.graph.nodes)
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_neighbor_symmetry_equal_power(self, n):
+        sim = Simulator(seed=4)
+        net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=4))
+        rng = np.random.default_rng(n)
+        for i in range(1, n + 1):
+            net.create_node(
+                i, Point(float(rng.uniform(0, 500)), float(rng.uniform(0, 500)))
+            )
+        for i in range(1, n + 1):
+            for j in net.neighbors(i):
+                assert i in net.neighbors(j)
+
+
+class TestPacketProperties:
+    @given(st.integers(min_value=0, max_value=64), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_forward_chain_ttl(self, ttl, hops):
+        pkt = Packet(src=1, dst=2, ttl=ttl)
+        current = pkt
+        for _ in range(hops):
+            current = current.copy_for_forwarding()
+        assert current.ttl == ttl - hops
+        assert current.uid == pkt.uid

@@ -1,0 +1,364 @@
+"""Tests for the routing protocol family.
+
+Uses small deterministic line/grid topologies with a quiet channel so the
+protocol logic (not channel randomness) is what is being verified.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.channel import Channel
+from repro.net.node import Network
+from repro.net.packet import Packet, PacketKind
+from repro.net.routing import (
+    AodvRouter,
+    EpidemicRouter,
+    FloodingRouter,
+    GossipRouter,
+    GreedyGeoRouter,
+    SprayAndWaitRouter,
+)
+from repro.net.transport import MessageService
+from repro.sim import Simulator
+from repro.util.geometry import Point
+
+
+def line_network(n, spacing=30.0, seed=1):
+    """n nodes in a line; adjacent nodes are solidly in range."""
+    sim = Simulator(seed=seed)
+    channel = Channel(shadowing_sigma_db=0.0, fading_sigma_db=0.0, seed=seed)
+    net = Network(sim, channel)
+    for i in range(1, n + 1):
+        net.create_node(i, Point(i * spacing, 0.0))
+    return sim, net
+
+
+def run_unicast(router, sim, src, dst, until=30.0):
+    svc = MessageService(router)
+    receipt = svc.send(src, dst, payload="hello")
+    sim.run(until=until)
+    return receipt
+
+
+class TestFlooding:
+    def test_delivers_multi_hop(self):
+        sim, net = line_network(6)
+        router = FloodingRouter(net)
+        router.attach_all(range(1, 7))
+        receipt = run_unicast(router, sim, 1, 6)
+        assert receipt.delivered
+        assert receipt.hops >= 2
+
+    def test_broadcast_reaches_everyone(self):
+        sim, net = line_network(6)
+        router = FloodingRouter(net)
+        router.attach_all(range(1, 7))
+        svc = MessageService(router)
+        got = []
+        for i in range(2, 7):
+            svc.on_message(i, lambda p, i=i: got.append(i))
+        svc.send(1, None, payload="all")
+        sim.run(until=30.0)
+        assert set(got) == {2, 3, 4, 5, 6}
+
+    def test_duplicate_suppression(self):
+        sim, net = line_network(4)
+        router = FloodingRouter(net)
+        router.attach_all(range(1, 5))
+        svc = MessageService(router)
+        hits = []
+        svc.on_message(4, lambda p: hits.append(1))
+        svc.send(1, 4)
+        sim.run(until=30.0)
+        assert len(hits) == 1
+
+    def test_ttl_limits_reach(self):
+        # 100 m spacing: only adjacent nodes are in range, so 1 -> 8 needs
+        # 7 hops and a TTL of 2 cannot get there.
+        sim, net = line_network(8, spacing=100.0)
+        router = FloodingRouter(net)
+        router.attach_all(range(1, 9))
+        svc = MessageService(router)
+        receipt = svc.send(1, 8, ttl=2)
+        sim.run(until=30.0)
+        assert not receipt.delivered
+
+
+class TestGossip:
+    def test_p1_equals_flooding_reach(self):
+        sim, net = line_network(5)
+        router = GossipRouter(net, forward_probability=1.0)
+        router.attach_all(range(1, 6))
+        receipt = run_unicast(router, sim, 1, 5)
+        assert receipt.delivered
+
+    def test_invalid_probability(self):
+        sim, net = line_network(2)
+        with pytest.raises(ConfigurationError):
+            GossipRouter(net, forward_probability=0.0)
+
+    def test_low_p_fewer_transmissions(self):
+        def tx_count(p, seed):
+            sim, net = line_network(12, seed=seed)
+            router = GossipRouter(net, forward_probability=p)
+            router.attach_all(range(1, 13))
+            svc = MessageService(router)
+            for _ in range(5):
+                svc.send(1, None)
+            sim.run(until=60.0)
+            return sim.metrics.counter("net.tx_attempts")
+
+        assert tx_count(0.3, 2) < tx_count(1.0, 2)
+
+
+class TestGreedyGeo:
+    def test_delivers_along_line(self):
+        sim, net = line_network(6)
+        router = GreedyGeoRouter(net)
+        router.attach_all(range(1, 7))
+        receipt = run_unicast(router, sim, 1, 6)
+        assert receipt.delivered
+        # Greedy on a line should take near-minimal hops.
+        assert receipt.hops <= 6
+
+    def test_unknown_destination_location(self):
+        sim, net = line_network(3)
+        router = GreedyGeoRouter(net, location_service=lambda nid: None)
+        router.attach_all(range(1, 4))
+        receipt = run_unicast(router, sim, 1, 3)
+        assert not receipt.delivered
+        assert sim.metrics.counter("route.geo.no_location") > 0
+
+    def test_void_drop_counted(self):
+        # Two clusters far apart: greedy cannot cross the gap.
+        sim = Simulator(seed=1)
+        net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=1))
+        net.create_node(1, Point(0, 0))
+        net.create_node(2, Point(30, 0))
+        net.create_node(3, Point(5000, 0))
+        router = GreedyGeoRouter(net)
+        router.attach_all([1, 2, 3])
+        receipt = run_unicast(router, sim, 1, 3)
+        assert not receipt.delivered
+
+
+class TestAodv:
+    def test_discovery_then_delivery(self):
+        sim, net = line_network(6)
+        router = AodvRouter(net)
+        router.attach_all(range(1, 7))
+        receipt = run_unicast(router, sim, 1, 6, until=60.0)
+        assert receipt.delivered
+        assert sim.metrics.counter("route.aodv.rreq") >= 1
+        assert sim.metrics.counter("route.aodv.rrep") >= 1
+
+    def test_route_reuse_skips_second_discovery(self):
+        sim, net = line_network(5)
+        router = AodvRouter(net)
+        router.attach_all(range(1, 6))
+        svc = MessageService(router)
+        r1 = svc.send(1, 5)
+        sim.run(until=30.0)
+        rreq_after_first = sim.metrics.counter("route.aodv.rreq")
+        r2 = svc.send(1, 5)
+        sim.run(until=60.0)
+        assert r1.delivered and r2.delivered
+        assert sim.metrics.counter("route.aodv.rreq") == rreq_after_first
+
+    def test_cached_route_faster_than_discovery(self):
+        sim, net = line_network(5)
+        router = AodvRouter(net)
+        router.attach_all(range(1, 6))
+        svc = MessageService(router)
+        r1 = svc.send(1, 5)
+        sim.run(until=30.0)
+        r2 = svc.send(1, 5)
+        sim.run(until=60.0)
+        assert r2.latency_s < r1.latency_s
+
+    def test_reroutes_after_node_failure(self):
+        # Grid so an alternate path exists.
+        sim = Simulator(seed=3)
+        net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=3))
+        coords = {
+            1: (0, 0), 2: (30, 0), 3: (60, 0),
+            4: (0, 30), 5: (30, 30), 6: (60, 30),
+        }
+        for nid, (x, y) in coords.items():
+            net.create_node(nid, Point(x, y))
+        router = AodvRouter(net)
+        router.attach_all(coords)
+        svc = MessageService(router)
+        r1 = svc.send(1, 3)
+        sim.run(until=30.0)
+        assert r1.delivered
+        net.fail_node(2)
+        r2 = svc.send(1, 3)
+        sim.run(until=90.0)
+        assert r2.delivered
+
+    def test_unreachable_destination_fails_discovery(self):
+        sim = Simulator(seed=1)
+        net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=1))
+        net.create_node(1, Point(0, 0))
+        net.create_node(2, Point(9000, 0))
+        router = AodvRouter(net)
+        router.attach_all([1, 2])
+        receipt = run_unicast(router, sim, 1, 2, until=120.0)
+        assert not receipt.delivered
+        assert sim.metrics.counter("route.aodv.discovery_failed") >= 1
+
+
+class TestDtn:
+    def _partitioned(self, seed=5):
+        """Two islands bridged only by a ferry node that moves between them."""
+        sim = Simulator(seed=seed)
+        net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=seed))
+        net.create_node(1, Point(0, 0))        # island A
+        net.create_node(2, Point(5000, 0))     # island B
+        net.create_node(3, Point(0, 20))       # ferry starts at A
+        return sim, net
+
+    def _ferry(self, sim, net, period=20.0):
+        def shuttle():
+            pos = net.node(3).position
+            new_x = 5000.0 - pos.x + 20.0 if pos.x < 2500 else 20.0
+            net.set_position(3, Point(new_x - 20.0, 20.0))
+
+        sim.every(period, shuttle)
+
+    def test_epidemic_crosses_partition(self):
+        sim, net = self._partitioned()
+        router = EpidemicRouter(net, contact_period_s=2.0)
+        router.attach_all([1, 2, 3])
+        self._ferry(sim, net)
+        svc = MessageService(router)
+        receipt = svc.send(1, 2)
+        sim.run(until=300.0)
+        assert receipt.delivered
+        assert receipt.latency_s > 10.0  # had to wait for the ferry
+
+    def test_spray_and_wait_crosses_partition(self):
+        sim, net = self._partitioned()
+        router = SprayAndWaitRouter(net, copies=4, contact_period_s=2.0)
+        router.attach_all([1, 2, 3])
+        self._ferry(sim, net)
+        svc = MessageService(router)
+        receipt = svc.send(1, 2)
+        sim.run(until=300.0)
+        assert receipt.delivered
+
+    def test_spray_respects_copy_budget(self):
+        sim, net = line_network(10)
+        epidemic = EpidemicRouter(net, contact_period_s=2.0)
+        epidemic.attach_all(range(1, 11))
+        svc = MessageService(epidemic)
+        svc.send(1, 10)
+        sim.run(until=100.0)
+        epidemic_tx = sim.metrics.counter("net.tx_attempts")
+
+        sim2, net2 = line_network(10, seed=2)
+        spray = SprayAndWaitRouter(net2, copies=2, contact_period_s=2.0)
+        spray.attach_all(range(1, 11))
+        svc2 = MessageService(spray)
+        svc2.send(1, 10)
+        sim2.run(until=100.0)
+        spray_tx = sim2.metrics.counter("net.tx_attempts")
+        assert spray_tx < epidemic_tx
+
+    def test_bundle_expiry(self):
+        sim, net = self._partitioned()
+        router = EpidemicRouter(net, contact_period_s=2.0, bundle_lifetime_s=5.0)
+        router.attach_all([1, 2, 3])
+        svc = MessageService(router)
+        receipt = svc.send(1, 2)
+        sim.run(until=100.0)  # no ferry: bundle should expire, not deliver
+        assert not receipt.delivered
+        assert sim.metrics.counter("route.epidemic.expired") >= 1
+
+    def test_invalid_copies(self):
+        sim, net = line_network(2)
+        with pytest.raises(ConfigurationError):
+            SprayAndWaitRouter(net, copies=0)
+
+
+class TestMessageService:
+    def test_delivery_ratio_nan_when_no_sends(self):
+        import math
+
+        sim, net = line_network(2)
+        router = FloodingRouter(net)
+        router.attach_all([1, 2])
+        svc = MessageService(router)
+        assert math.isnan(svc.delivery_ratio())
+
+    def test_transmissions_per_delivery(self):
+        sim, net = line_network(3)
+        router = FloodingRouter(net)
+        router.attach_all([1, 2, 3])
+        svc = MessageService(router)
+        svc.send(1, 3)
+        sim.run(until=30.0)
+        assert svc.transmissions_per_delivery() >= 1.0
+
+
+class TestSprayCopyAccounting:
+    def test_failed_transfer_does_not_burn_copies(self):
+        # Receiver far out of range: the contact sweep tries (the neighbor
+        # table is stale by construction) but the radio transfer fails, so
+        # the copy budget must stay intact.
+        sim = Simulator(seed=9)
+        net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=9))
+        net.create_node(1, Point(0, 0))
+        net.create_node(2, Point(30, 0))
+        router = SprayAndWaitRouter(net, copies=8, contact_period_s=2.0)
+        router.attach_all([1, 2])
+        svc = MessageService(router)
+        svc.send(1, 99) if False else None
+        # Destination 3 is unknown to the network; bundle just sits at 1
+        # and sprays copies to 2 on contact.
+        net.create_node(3, Point(9000, 0))
+        router.attach(3)
+        receipt = svc.send(1, 3)
+        # Force the radio to fail by moving node 2 away after neighbor
+        # discovery has run once (store sweep uses current neighbors, so
+        # instead we verify conservation: total copies across custodians
+        # never exceeds the initial budget).
+        sim.run(until=60.0)
+        total_copies = sum(
+            b.copies
+            for store in router._stores.values()
+            for b in store.values()
+        )
+        assert total_copies <= 8
+
+    def test_copies_conserved_on_quiet_channel(self):
+        sim, net = line_network(6)
+        router = SprayAndWaitRouter(net, copies=8, contact_period_s=2.0)
+        router.attach_all(range(1, 7))
+        svc = MessageService(router)
+        receipt = svc.send(1, 99_999)  # unreachable destination id
+        sim.run(until=40.0)
+        total_copies = sum(
+            b.copies
+            for store in router._stores.values()
+            for b in store.values()
+        )
+        # Binary spray conserves the total copy count across custodians.
+        assert total_copies == 8
+
+
+class TestMessageServiceMulticast:
+    def test_multiple_handlers_on_one_node_all_fire(self):
+        sim, net = line_network(3)
+        router = FloodingRouter(net)
+        router.attach_all(range(1, 4))
+        svc = MessageService(router)
+        got_a, got_b = [], []
+        svc.on_message(3, lambda p: got_a.append(p.payload))
+        svc.on_message(3, lambda p: got_b.append(p.payload))
+        svc.send(1, 3, payload="both")
+        sim.run(until=30.0)
+        assert got_a == ["both"]
+        assert got_b == ["both"]

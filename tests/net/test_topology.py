@@ -1,0 +1,80 @@
+"""Tests for topology snapshots."""
+
+import pytest
+
+from repro.net.channel import Channel
+from repro.net.node import Network
+from repro.net.topology import build_topology
+from repro.sim import Simulator
+from repro.util.geometry import Point
+
+
+def make_net(positions, seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=seed))
+    for i, pos in enumerate(positions, start=1):
+        net.create_node(i, Point(*pos))
+    return sim, net
+
+
+class TestBuildTopology:
+    def test_line_is_connected(self):
+        sim, net = make_net([(i * 30, 0) for i in range(5)])
+        topo = build_topology(net)
+        assert topo.is_connected()
+        assert topo.node_count == 5
+
+    def test_islands_disconnect(self):
+        sim, net = make_net([(0, 0), (30, 0), (5000, 0), (5030, 0)])
+        topo = build_topology(net)
+        assert not topo.is_connected()
+        comps = topo.components()
+        assert sorted(len(c) for c in comps) == [2, 2]
+        assert topo.giant_component_fraction() == pytest.approx(0.5)
+
+    def test_down_nodes_excluded(self):
+        # 100 m spacing: endpoints are out of direct range, so losing the
+        # middle node disconnects the line.
+        sim, net = make_net([(0, 0), (100, 0), (200, 0)])
+        net.fail_node(2)
+        topo = build_topology(net)
+        assert topo.node_count == 2
+        assert not topo.is_connected()
+
+    def test_edges_have_p_and_etx(self):
+        sim, net = make_net([(0, 0), (25, 0)])
+        topo = build_topology(net)
+        data = topo.graph.edges[1, 2]
+        assert 0 < data["p"] <= 1
+        assert data["etx"] == pytest.approx(1.0 / data["p"])
+
+    def test_min_probability_filters_weak_links(self):
+        sim, net = make_net([(0, 0), (30, 0)])
+        strict = build_topology(net, min_delivery_probability=0.999999)
+        assert strict.edge_count == 0
+
+    def test_shortest_path_prefers_quality(self):
+        sim, net = make_net([(0, 0), (30, 0), (60, 0)])
+        topo = build_topology(net)
+        path = topo.shortest_path(1, 3)
+        assert path is not None
+        assert path[0] == 1 and path[-1] == 3
+        assert topo.path_etx(path) >= 1.0
+
+    def test_shortest_path_none_when_disconnected(self):
+        sim, net = make_net([(0, 0), (5000, 0)])
+        topo = build_topology(net)
+        assert topo.shortest_path(1, 2) is None
+
+    def test_empty_network(self):
+        sim = Simulator()
+        net = Network(sim, Channel(seed=0))
+        topo = build_topology(net)
+        assert topo.node_count == 0
+        assert not topo.is_connected()
+        assert topo.giant_component_fraction() == 0.0
+
+    def test_degree_stats(self):
+        sim, net = make_net([(0, 0), (30, 0), (60, 0)])
+        stats = build_topology(net).degree_stats()
+        assert stats["max"] >= stats["mean"] >= stats["min"]

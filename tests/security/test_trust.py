@@ -1,0 +1,99 @@
+"""Tests for beta reputation and the trust ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.security.trust import BetaReputation, TrustLedger
+
+
+class TestBetaReputation:
+    def test_prior_is_half(self):
+        assert BetaReputation().trust == pytest.approx(0.5)
+
+    def test_positive_evidence_raises_trust(self):
+        rep = BetaReputation()
+        for _ in range(10):
+            rep.observe(True)
+        assert rep.trust > 0.9
+
+    def test_negative_evidence_lowers_trust(self):
+        rep = BetaReputation()
+        for _ in range(10):
+            rep.observe(False)
+        assert rep.trust < 0.1
+
+    def test_weighted_observation(self):
+        a, b = BetaReputation(), BetaReputation()
+        a.observe(True, weight=5.0)
+        for _ in range(5):
+            b.observe(True)
+        assert a.trust == pytest.approx(b.trust)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BetaReputation().observe(True, weight=-1.0)
+
+    def test_aging_moves_toward_prior(self):
+        rep = BetaReputation()
+        for _ in range(20):
+            rep.observe(True)
+        high = rep.trust
+        for _ in range(50):
+            rep.age(0.9)
+        assert 0.5 <= rep.trust < high
+
+    def test_aging_factor_validated(self):
+        with pytest.raises(ConfigurationError):
+            BetaReputation().age(0.0)
+
+    def test_confidence_grows_with_evidence(self):
+        rep = BetaReputation()
+        c0 = rep.confidence
+        rep.observe(True)
+        rep.observe(False)
+        assert rep.confidence > c0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=50))
+    def test_trust_always_in_unit_interval(self, outcomes):
+        rep = BetaReputation()
+        for o in outcomes:
+            rep.observe(o)
+        assert 0.0 < rep.trust < 1.0
+
+
+class TestTrustLedger:
+    def test_unknown_subject_gets_prior(self):
+        assert TrustLedger().trust(42) == pytest.approx(0.5)
+
+    def test_observe_updates_subject_only(self):
+        ledger = TrustLedger()
+        ledger.observe(1, True)
+        assert ledger.trust(1) > ledger.trust(2)
+
+    def test_trusted_and_suspicious_partition(self):
+        ledger = TrustLedger()
+        for _ in range(10):
+            ledger.observe(1, True)
+            ledger.observe(2, False)
+        assert list(ledger.trusted(0.6)) == [1]
+        assert list(ledger.suspicious(0.4)) == [2]
+
+    def test_age_all(self):
+        ledger = TrustLedger(aging_factor=0.5)
+        for _ in range(10):
+            ledger.observe(1, True)
+        before = ledger.trust(1)
+        for _ in range(20):
+            ledger.age_all()
+        assert ledger.trust(1) < before
+
+    def test_snapshot(self):
+        ledger = TrustLedger()
+        ledger.observe(7, True)
+        snap = ledger.snapshot()
+        assert set(snap) == {7}
+
+    def test_invalid_aging_factor(self):
+        with pytest.raises(ConfigurationError):
+            TrustLedger(aging_factor=1.5)

@@ -1,0 +1,176 @@
+"""Tests for the DES kernel: scheduling, ordering, determinism."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_call_in_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+
+    def test_call_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(1.0, lambda: sim.call_at(5.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_call_at_past_raises(self):
+        sim = Simulator()
+        sim.call_in(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0)
+
+    def test_fifo_order_for_simultaneous_events(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.call_in(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        ev_low = sim.schedule(1.0, priority=5)
+        ev_high = sim.schedule(1.0, priority=-5)
+        ev_low.add_callback(lambda e: order.append("low"))
+        ev_high.add_callback(lambda e: order.append("high"))
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(1.0, lambda: seen.append("a"))
+        sim.call_in(10.0, lambda: seen.append("b"))
+        sim.run(until=5.0)
+        assert seen == ["a"]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_with_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(10.0, lambda: seen.append(sim.now))
+        sim.run(until=5.0)
+        sim.run(until=20.0)
+        assert seen == [10.0]
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        ev = sim.schedule(1.0)
+        ev.add_callback(lambda e: seen.append(1))
+        ev.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_event_budget_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.call_in(0.1, rearm)
+
+        sim.call_in(0.1, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestEvery:
+    def test_periodic_until_horizon(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(2.0, lambda: ticks.append(sim.now))
+        sim.run(until=9.0)
+        assert ticks == [2.0, 4.0, 6.0, 8.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(5.0, lambda: ticks.append(sim.now), start_delay=1.0)
+        sim.run(until=12.0)
+        assert ticks == [1.0, 6.0, 11.0]
+
+    def test_until_bound(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), until=3.5)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_bad_interval(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)
+
+
+class TestEvents:
+    def test_succeed_fires_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed("v")
+        assert got == ["v"]
+        assert ev.fired
+
+    def test_callback_after_fired_runs_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(7)
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == [7]
+
+    def test_cannot_schedule_fired_event(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, ev)
+
+    def test_cancel_then_succeed_noop(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.cancel()
+        ev.succeed(1)
+        assert not ev.fired
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        sim = Simulator(seed=seed)
+        trail = []
+        rng = sim.rng.get("test")
+
+        def tick():
+            trail.append((round(sim.now, 6), float(rng.random())))
+            sim.call_in(float(rng.exponential(1.0)), tick)
+
+        sim.call_in(0.5, tick)
+        sim.run(until=50.0)
+        return trail
+
+    def test_same_seed_identical(self):
+        assert self._run(11) == self._run(11)
+
+    def test_different_seed_differs(self):
+        assert self._run(11) != self._run(12)

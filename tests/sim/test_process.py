@@ -1,0 +1,144 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, Process, Simulator, Timeout, Waiting
+
+
+class TestProcessBasics:
+    def test_timeout_resumes_at_right_time(self):
+        sim = Simulator()
+        times = []
+
+        def proc(sim):
+            yield sim.timeout(2.0)
+            times.append(sim.now)
+            yield Timeout(3.0)
+            times.append(sim.now)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert times == [2.0, 5.0]
+
+    def test_result_and_done_event(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.done
+        assert p.result == 42
+        assert p.done_event.value == 42
+
+    def test_wait_on_another_process(self):
+        sim = Simulator()
+        order = []
+
+        def worker():
+            yield Timeout(5.0)
+            order.append("worker")
+            return "payload"
+
+        def boss(sim, w):
+            value = yield w
+            order.append(f"boss:{value}")
+
+        w = sim.spawn(worker())
+        sim.spawn(boss(sim, w))
+        sim.run()
+        assert order == ["worker", "boss:payload"]
+
+    def test_wait_on_event_value(self):
+        sim = Simulator()
+        got = []
+        ev = sim.event()
+
+        def proc():
+            value = yield ev
+            got.append(value)
+
+        sim.spawn(proc())
+        sim.call_in(2.0, lambda: ev.succeed("hello"))
+        sim.run()
+        assert got == ["hello"]
+
+    def test_yield_bad_object_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield 123
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        sim = Simulator()
+        got = []
+
+        def proc(sim):
+            values = yield AllOf([sim.timeout(1.0, "a"), sim.timeout(4.0, "b")])
+            got.append((sim.now, values))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert got == [(4.0, ["a", "b"])]
+
+    def test_all_already_fired(self):
+        sim = Simulator()
+        got = []
+        e1, e2 = sim.event(), sim.event()
+        e1.succeed(1)
+        e2.succeed(2)
+
+        def proc():
+            values = yield AllOf([e1, e2])
+            got.append(values)
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == [[1, 2]]
+
+
+class TestParking:
+    def test_interrupt_resumes_parked(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            value = yield Waiting()
+            got.append(value)
+
+        p = sim.spawn(proc())
+        sim.call_in(3.0, lambda: p.interrupt("wake"))
+        sim.run()
+        assert got == ["wake"]
+        assert p.done
+
+    def test_interrupt_unparked_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10.0)
+
+        p = sim.spawn(proc())
+        sim.run(until=1.0)
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupt_done_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+
+        p = sim.spawn(proc())
+        sim.run()
+        p.interrupt()  # no exception
+        assert p.done

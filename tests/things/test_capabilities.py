@@ -1,0 +1,53 @@
+"""Tests for capability profiles and device classes."""
+
+import pytest
+
+from repro.things.capabilities import (
+    DEVICE_CLASSES,
+    ActuationType,
+    CapabilityProfile,
+    SensingModality,
+    make_profile,
+)
+
+
+class TestDeviceClasses:
+    def test_all_classes_well_formed(self):
+        for name, profile in DEVICE_CLASSES.items():
+            assert profile.device_class == name
+            assert profile.battery_j > 0
+            assert profile.bandwidth_bps > 0
+
+    def test_heterogeneity_spans_orders_of_magnitude(self):
+        flops = [p.compute_flops for p in DEVICE_CLASSES.values() if p.compute_flops]
+        assert max(flops) / min(flops) >= 1e6  # "many orders of magnitude"
+
+    def test_sensing_span(self):
+        tag = DEVICE_CLASSES["occupancy_tag"]
+        drone = DEVICE_CLASSES["drone"]
+        assert drone.sensing_range_m > 10 * tag.sensing_range_m
+
+    def test_make_profile_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_profile("tank")
+
+    def test_make_profile_overrides(self):
+        p = make_profile("drone", tx_power_dbm=30.0)
+        assert p.tx_power_dbm == 30.0
+        assert p.device_class == "drone"
+        # Base class untouched (profiles are frozen/immutable).
+        assert DEVICE_CLASSES["drone"].tx_power_dbm != 30.0
+
+    def test_can_sense(self):
+        p = make_profile("ground_sensor")
+        assert p.can_sense(SensingModality.SEISMIC)
+        assert not p.can_sense(SensingModality.CAMERA)
+
+    def test_can_actuate(self):
+        p = make_profile("demolition_charge")
+        assert p.can_actuate(ActuationType.DEMOLITION)
+        assert not p.can_actuate(ActuationType.VEHICLE)
+
+    def test_disposable_flags(self):
+        assert DEVICE_CLASSES["occupancy_tag"].disposable
+        assert not DEVICE_CLASSES["edge_cloud"].disposable

@@ -1,0 +1,117 @@
+"""Tests for sensor and environment models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.things.capabilities import SensingModality
+from repro.things.sensors import Detection, Environment, Sensor
+from repro.util.geometry import Point
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def cam(range_m=300.0, **kw):
+    return Sensor(1, SensingModality.CAMERA, range_m, **kw)
+
+
+class TestDetectionProbability:
+    def test_zero_beyond_range(self):
+        s = cam()
+        assert s.detection_probability(Point(0, 0), Point(301, 0), Environment()) == 0
+
+    def test_max_at_zero_distance(self):
+        s = cam(p_detect_max=0.9)
+        p = s.detection_probability(Point(0, 0), Point(0, 0), Environment())
+        assert p == pytest.approx(0.9)
+
+    def test_decays_with_distance(self):
+        s = cam()
+        env = Environment()
+        ps = [
+            s.detection_probability(Point(0, 0), Point(d, 0), env)
+            for d in (0, 100, 200, 290)
+        ]
+        assert ps == sorted(ps, reverse=True)
+
+    def test_disabled_sensor_detects_nothing(self):
+        s = cam()
+        s.enabled = False
+        assert s.detection_probability(Point(0, 0), Point(10, 0), Environment()) == 0
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            Sensor(1, SensingModality.CAMERA, 0.0)
+
+    def test_invalid_p_detect(self):
+        with pytest.raises(ConfigurationError):
+            Sensor(1, SensingModality.CAMERA, 10.0, p_detect_max=1.5)
+
+
+class TestEnvironmentModulation:
+    def test_smoke_blinds_camera_not_seismic(self):
+        env = Environment(smoke=1.0)
+        assert env.modality_factor(SensingModality.CAMERA) == 0.0
+        assert env.modality_factor(SensingModality.SEISMIC) == 1.0
+
+    def test_rf_interference_degrades_radar(self):
+        env = Environment(rf_interference=1.0)
+        assert env.modality_factor(SensingModality.RADAR) < 0.5
+
+    def test_night_partially_degrades_camera(self):
+        day = Environment().modality_factor(SensingModality.CAMERA)
+        night = Environment(night=1.0).modality_factor(SensingModality.CAMERA)
+        assert 0 < night < day
+
+    def test_rain_damps_acoustic(self):
+        env = Environment(rain=1.0)
+        assert env.modality_factor(SensingModality.ACOUSTIC) < 1.0
+
+
+class TestScan:
+    def test_scan_detects_close_target(self, rng):
+        s = cam(p_detect_max=1.0)
+        detections = s.scan(
+            Point(0, 0), {7: Point(10, 0)}, Environment(), rng, time=5.0
+        )
+        assert len(detections) == 1
+        d = detections[0]
+        assert d.target_id == 7
+        assert d.time == 5.0
+        assert d.modality is SensingModality.CAMERA
+
+    def _errors(self, sensor, truth, rng, trials=400):
+        """Collect position errors over detections (misses are skipped)."""
+        errors = []
+        for _ in range(trials):
+            hits = sensor.scan(Point(0, 0), {1: truth}, Environment(), rng, 0)
+            errors.extend(d.error_m(truth) for d in hits)
+        return errors
+
+    def test_measurement_noise_grows_with_distance(self, rng):
+        s = cam(p_detect_max=1.0)
+        near_err = self._errors(s, Point(20, 0), rng)
+        far_err = self._errors(s, Point(250, 0), rng)
+        assert len(near_err) > 50 and len(far_err) > 50
+        assert np.mean(far_err) > np.mean(near_err)
+
+    def test_lidar_more_precise_than_acoustic(self, rng):
+        lidar = Sensor(1, SensingModality.LIDAR, 200.0, p_detect_max=1.0)
+        acoustic = Sensor(1, SensingModality.ACOUSTIC, 200.0, p_detect_max=1.0)
+        truth = Point(100, 0)
+        l_err = self._errors(lidar, truth, rng)
+        a_err = self._errors(acoustic, truth, rng)
+        assert len(l_err) > 50 and len(a_err) > 50
+        assert np.mean(l_err) < np.mean(a_err)
+
+    def test_out_of_range_targets_skipped(self, rng):
+        s = cam()
+        assert s.scan(Point(0, 0), {1: Point(9999, 0)}, Environment(), rng, 0) == []
+
+    def test_smoke_blocks_camera_scan(self, rng):
+        s = cam(p_detect_max=1.0)
+        out = s.scan(Point(0, 0), {1: Point(10, 0)}, Environment(smoke=1.0), rng, 0)
+        assert out == []
