@@ -13,12 +13,21 @@ run in two modes:
 
 from __future__ import annotations
 
-from typing import Callable
+import json
+import math
+import os
+from typing import Any, Callable
 
 from repro import ScenarioBuilder, Simulator
 from repro.util.tables import ResultTable
 
-__all__ = ["ResultTable", "standard_scenario", "run_and_print"]
+__all__ = [
+    "ResultTable",
+    "standard_scenario",
+    "run_and_print",
+    "json_safe",
+    "write_table_json",
+]
 
 
 def standard_scenario(
@@ -49,9 +58,44 @@ def standard_scenario(
     return builder.build()
 
 
+def json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats (nan/inf) with ``None``.
+
+    Metrics use NaN as the "no data" convention (e.g. delivery ratio with
+    zero sends); raw NaN/Infinity is not valid JSON and silently breaks
+    downstream parsers, so JSON output is guarded through this filter.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
+
+
+def write_table_json(table: ResultTable, path: str) -> None:
+    """Write a table as a JSON document with non-finite values nulled."""
+    document = {"title": table.title, "rows": json_safe(table.to_dicts())}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, allow_nan=False)
+        fh.write("\n")
+
+
 def run_and_print(benchmark, fn: Callable[[], ResultTable]) -> ResultTable:
-    """Benchmark ``fn`` once (pedantic single round) and print its table."""
+    """Benchmark ``fn`` once (pedantic single round) and print its table.
+
+    When ``REPRO_BENCH_JSON_DIR`` is set, the table is also written there
+    as ``<title-slug>.json`` (non-finite values nulled via json_safe).
+    """
     table = benchmark.pedantic(fn, rounds=1, iterations=1)
     print()
     table.print()
+    out_dir = os.environ.get("REPRO_BENCH_JSON_DIR")
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        slug = "".join(
+            ch if ch.isalnum() else "-" for ch in table.title.lower()
+        ).strip("-")
+        write_table_json(table, os.path.join(out_dir, f"{slug[:60]}.json"))
     return table

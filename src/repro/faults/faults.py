@@ -1,0 +1,291 @@
+"""Fault primitives: scheduled perturbations of the network substrate.
+
+The paper's §III treats "failure or removal of assets as a normal operating
+regime" — churn is the baseline, not the exception.  Faults mirror the
+:mod:`repro.security.attacks` design: each has a ``launch``/``cease`` pair,
+draws exclusively from named ``sim.rng`` streams (so runs stay reproducible
+from the seed), and emits ``fault.*`` trace records aligned with the
+``attack.*`` family so recovery metrics (MTTR, availability, windowed
+delivery ratios — see :mod:`repro.faults.metrics`) can be computed from the
+trace alone.
+
+Fault families:
+
+* :class:`NodeChurnFault` — crash/restart churn with exponential up/down
+  times (the crash-recovery lifecycle).
+* :class:`LinkFlapFault` — individual radio links flap down and up.
+* :class:`PartitionFault` — the network splits into non-communicating groups.
+* :class:`~repro.faults.gremlin.PacketGremlin` — packet-level drop /
+  duplicate / reorder / delay / corrupt gremlins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.node import Network
+
+__all__ = ["Fault", "NodeChurnFault", "LinkFlapFault", "PartitionFault"]
+
+
+class Fault:
+    """Base fault: subclasses implement :meth:`_apply` / :meth:`_revert`.
+
+    Unlike attacks (which act on a full :class:`~repro.scenarios.builder.Scenario`),
+    faults bind directly to a :class:`~repro.net.node.Network`, so they work
+    on bare test topologies as well as built scenarios.
+    """
+
+    name = "fault"
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.sim = network.sim
+        self.active = False
+
+    def launch(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self.sim.trace.emit("fault.launch", fault=self.name)
+        self._apply()
+
+    def cease(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        self.sim.trace.emit("fault.cease", fault=self.name)
+        self._revert()
+
+    def schedule(self, start_s: float, duration_s: Optional[float] = None) -> None:
+        """Launch at ``start_s`` and optionally cease after ``duration_s``."""
+        self.sim.call_at(start_s, self.launch)
+        if duration_s is not None:
+            self.sim.call_at(start_s + duration_s, self.cease)
+
+    def _apply(self) -> None:
+        raise NotImplementedError
+
+    def _revert(self) -> None:
+        """Default: faults are irreversible unless overridden."""
+
+
+class NodeChurnFault(Fault):
+    """Crash/restart churn: exponential time-to-crash and down-time.
+
+    While active, each targeted node independently crashes after
+    ``Exp(mtbf_s)`` and restarts after ``Exp(mean_downtime_s)``, then the
+    cycle repeats — the normal operating regime of a contested battlefield.
+    Ceasing the fault restores every node it took down, so availability
+    recovers at the window edge and MTTR is measurable from the trace.
+    """
+
+    name = "node_churn"
+
+    def __init__(
+        self,
+        network: Network,
+        node_ids: Optional[Sequence[int]] = None,
+        *,
+        mtbf_s: float = 300.0,
+        mean_downtime_s: float = 60.0,
+    ):
+        super().__init__(network)
+        if mtbf_s <= 0 or mean_downtime_s <= 0:
+            raise ConfigurationError("mtbf_s and mean_downtime_s must be positive")
+        self.mtbf_s = mtbf_s
+        self.mean_downtime_s = mean_downtime_s
+        self.node_ids = list(node_ids) if node_ids is not None else None
+        self.crashes = 0
+        self.restarts = 0
+        self._downed: Set[int] = set()
+        self._rng = self.sim.rng.get("faults.churn")
+
+    def _apply(self) -> None:
+        targets = (
+            self.node_ids if self.node_ids is not None else sorted(self.network.nodes)
+        )
+        for node_id in targets:
+            self._schedule_crash(node_id)
+
+    def _schedule_crash(self, node_id: int) -> None:
+        delay = float(self._rng.exponential(self.mtbf_s))
+        self.sim.call_in(delay, lambda: self._crash(node_id))
+
+    def _crash(self, node_id: int) -> None:
+        if not self.active or node_id not in self.network.nodes:
+            return
+        if not self.network.nodes[node_id].up:
+            # Already down via an attack or another injector; retry later.
+            self._schedule_crash(node_id)
+            return
+        self.network.fail_node(node_id)
+        self._downed.add(node_id)
+        self.crashes += 1
+        self.sim.trace.emit("fault.crash", node=node_id)
+        self.sim.metrics.incr("faults.crashes")
+        delay = float(self._rng.exponential(self.mean_downtime_s))
+        self.sim.call_in(delay, lambda: self._restart(node_id))
+
+    def _restart(self, node_id: int) -> None:
+        if node_id not in self._downed:
+            return  # restored by _revert (or externally) in the meantime
+        self._downed.discard(node_id)
+        if node_id not in self.network.nodes:
+            return
+        self.network.restore_node(node_id)
+        self.restarts += 1
+        self.sim.trace.emit("fault.restart", node=node_id)
+        self.sim.metrics.incr("faults.restarts")
+        if self.active:
+            self._schedule_crash(node_id)
+
+    def _revert(self) -> None:
+        for node_id in sorted(self._downed):
+            if node_id in self.network.nodes:
+                self.network.restore_node(node_id)
+                self.restarts += 1
+                self.sim.trace.emit("fault.restart", node=node_id)
+        self._downed.clear()
+
+
+class LinkFlapFault(Fault):
+    """Individual radio links flap: down for ``Exp(mean_downtime_s)``, up
+    for ``Exp(mtbf_s)``, repeatedly, while the fault is active.
+
+    ``links`` may be given explicitly as ``(a, b)`` pairs; otherwise
+    ``n_links`` links are sampled (from the ``faults.links`` RNG stream)
+    among neighbor pairs of up nodes at launch time.
+    """
+
+    name = "link_flap"
+
+    def __init__(
+        self,
+        network: Network,
+        links: Optional[Sequence[Tuple[int, int]]] = None,
+        *,
+        n_links: int = 5,
+        mtbf_s: float = 120.0,
+        mean_downtime_s: float = 30.0,
+    ):
+        super().__init__(network)
+        if mtbf_s <= 0 or mean_downtime_s <= 0:
+            raise ConfigurationError("mtbf_s and mean_downtime_s must be positive")
+        if links is None and n_links < 1:
+            raise ConfigurationError("need at least one link to flap")
+        self.links = (
+            [Network._link_key(a, b) for a, b in links] if links is not None else None
+        )
+        self.n_links = n_links
+        self.mtbf_s = mtbf_s
+        self.mean_downtime_s = mean_downtime_s
+        self.flaps = 0
+        self._cut: Set[Tuple[int, int]] = set()
+        self._targets: List[Tuple[int, int]] = []
+        self._rng = self.sim.rng.get("faults.links")
+
+    def _candidate_links(self) -> List[Tuple[int, int]]:
+        pairs: Set[Tuple[int, int]] = set()
+        for node in self.network.up_nodes():
+            for neighbor_id in self.network.neighbors(node.id):
+                pairs.add(Network._link_key(node.id, neighbor_id))
+        return sorted(pairs)
+
+    def _apply(self) -> None:
+        if self.links is not None:
+            self._targets = list(self.links)
+        else:
+            candidates = self._candidate_links()
+            if not candidates:
+                self._targets = []
+                return
+            count = min(self.n_links, len(candidates))
+            picks = self._rng.choice(len(candidates), size=count, replace=False)
+            self._targets = [candidates[i] for i in sorted(int(p) for p in picks)]
+        for link in self._targets:
+            self._schedule_cut(link)
+
+    def _schedule_cut(self, link: Tuple[int, int]) -> None:
+        delay = float(self._rng.exponential(self.mtbf_s))
+        self.sim.call_in(delay, lambda: self._cut_link(link))
+
+    def _cut_link(self, link: Tuple[int, int]) -> None:
+        if not self.active or link in self._cut:
+            return
+        self._cut.add(link)
+        self.flaps += 1
+        self.network.block_link(*link)
+        self.sim.trace.emit("fault.link_cut", a=link[0], b=link[1])
+        self.sim.metrics.incr("faults.link_cuts")
+        delay = float(self._rng.exponential(self.mean_downtime_s))
+        self.sim.call_in(delay, lambda: self._heal_link(link))
+
+    def _heal_link(self, link: Tuple[int, int]) -> None:
+        if link not in self._cut:
+            return
+        self._cut.discard(link)
+        self.network.unblock_link(*link)
+        self.sim.trace.emit("fault.link_heal", a=link[0], b=link[1])
+        if self.active:
+            self._schedule_cut(link)
+
+    def _revert(self) -> None:
+        for link in sorted(self._cut):
+            self.network.unblock_link(*link)
+            self.sim.trace.emit("fault.link_heal", a=link[0], b=link[1])
+        self._cut.clear()
+
+
+class PartitionFault(Fault):
+    """Split the network into non-communicating groups.
+
+    Nodes listed in different groups cannot exchange packets while the
+    fault is active; unlisted nodes are unconstrained.  Multiple partition
+    faults compose (a pair must be allowed by every active partition).
+    """
+
+    name = "partition"
+
+    def __init__(self, network: Network, groups: Sequence[Sequence[int]]):
+        super().__init__(network)
+        if len(groups) < 2:
+            raise ConfigurationError("a partition needs at least two groups")
+        self.mapping: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                if node_id in self.mapping:
+                    raise ConfigurationError(
+                        f"node {node_id} appears in more than one group"
+                    )
+                if node_id not in network.nodes:
+                    raise ConfigurationError(
+                        f"partition lists unknown node {node_id}"
+                    )
+                self.mapping[node_id] = index
+        self.n_groups = len(groups)
+
+    @classmethod
+    def split_spatial(
+        cls, network: Network, *, axis: str = "x"
+    ) -> "PartitionFault":
+        """Convenience: split the current population at the median coordinate."""
+        nodes = sorted(
+            network.nodes.values(),
+            key=lambda n: (n.position.x if axis == "x" else n.position.y, n.id),
+        )
+        half = len(nodes) // 2
+        return cls(
+            network,
+            [[n.id for n in nodes[:half]], [n.id for n in nodes[half:]]],
+        )
+
+    def _apply(self) -> None:
+        self.network.add_partition(self.mapping)
+        self.sim.trace.emit("fault.partition", groups=self.n_groups)
+        self.sim.metrics.incr("faults.partitions")
+
+    def _revert(self) -> None:
+        self.network.remove_partition(self.mapping)
+        self.sim.trace.emit("fault.partition_heal")

@@ -1,0 +1,161 @@
+"""Packet-level gremlins: drop, duplicate, reorder, delay, corrupt.
+
+A :class:`PacketGremlin` is a fault that installs itself as a wrapper on the
+network's transmit path.  For every hop that the channel model *would* have
+delivered, the gremlin renders a verdict — drop the frame, duplicate it,
+corrupt it (discarded at the receiver as a checksum failure), or add latency
+(``delay`` draws an exponential holding time; ``reorder`` adds uniform
+jitter large enough that later frames can overtake).  All draws come from
+the named ``faults.gremlin`` RNG stream, so gremlin runs are reproducible
+from the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.faults import Fault
+from repro.net.node import Network
+from repro.net.packet import Packet, PacketKind
+
+__all__ = ["GremlinVerdict", "PacketGremlin"]
+
+
+@dataclass
+class GremlinVerdict:
+    """What one gremlin decided for one hop of one packet."""
+
+    drop: bool = False
+    duplicate: bool = False
+    corrupt: bool = False
+    extra_delay_s: float = 0.0
+
+
+@dataclass
+class _GremlinCounts:
+    """Per-mischief tallies, for degradation reporting."""
+
+    judged: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    delayed: int = 0
+    reordered: int = 0
+
+
+class PacketGremlin(Fault):
+    """Probabilistic per-hop packet mischief, scoped by kind and link.
+
+    Parameters are per-hop probabilities in ``[0, 1]``.  ``kinds`` restricts
+    mischief to particular :class:`~repro.net.packet.PacketKind` values
+    (``None`` targets all traffic); ``links`` restricts it to particular
+    node pairs.
+    """
+
+    name = "gremlin"
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        drop_p: float = 0.0,
+        duplicate_p: float = 0.0,
+        corrupt_p: float = 0.0,
+        delay_p: float = 0.0,
+        delay_mean_s: float = 0.05,
+        reorder_p: float = 0.0,
+        reorder_jitter_s: float = 0.25,
+        kinds: Optional[Sequence[PacketKind]] = None,
+        links: Optional[Sequence[Tuple[int, int]]] = None,
+    ):
+        super().__init__(network)
+        for label, p in (
+            ("drop_p", drop_p),
+            ("duplicate_p", duplicate_p),
+            ("corrupt_p", corrupt_p),
+            ("delay_p", delay_p),
+            ("reorder_p", reorder_p),
+        ):
+            if not (0.0 <= p <= 1.0):
+                raise ConfigurationError(f"{label} must be in [0, 1], got {p}")
+        if delay_mean_s < 0 or reorder_jitter_s < 0:
+            raise ConfigurationError("delay/jitter magnitudes must be >= 0")
+        self.drop_p = drop_p
+        self.duplicate_p = duplicate_p
+        self.corrupt_p = corrupt_p
+        self.delay_p = delay_p
+        self.delay_mean_s = delay_mean_s
+        self.reorder_p = reorder_p
+        self.reorder_jitter_s = reorder_jitter_s
+        self.kinds: Optional[Set[PacketKind]] = set(kinds) if kinds else None
+        self.links: Optional[Set[Tuple[int, int]]] = (
+            {Network._link_key(a, b) for a, b in links} if links else None
+        )
+        self.counts = _GremlinCounts()
+        self._rng = self.sim.rng.get("faults.gremlin")
+
+    def _apply(self) -> None:
+        self.network.add_gremlin(self)
+
+    def _revert(self) -> None:
+        self.network.remove_gremlin(self)
+
+    # --------------------------------------------------------------- verdicts
+
+    def judge(
+        self, sender_id: int, receiver_id: int, packet: Packet
+    ) -> Optional[GremlinVerdict]:
+        """Verdict for one hop, or ``None`` when out of scope / no mischief."""
+        if not self.active:
+            return None
+        if self.kinds is not None and packet.kind not in self.kinds:
+            return None
+        if (
+            self.links is not None
+            and Network._link_key(sender_id, receiver_id) not in self.links
+        ):
+            return None
+        self.counts.judged += 1
+        verdict = GremlinVerdict()
+        if self.drop_p and self._rng.random() < self.drop_p:
+            verdict.drop = True
+            self.counts.dropped += 1
+            self.sim.metrics.incr("faults.gremlin.dropped")
+            return verdict  # dropped frames need no further mischief
+        if self.duplicate_p and self._rng.random() < self.duplicate_p:
+            verdict.duplicate = True
+            self.counts.duplicated += 1
+            self.sim.metrics.incr("faults.gremlin.duplicated")
+        if self.corrupt_p and self._rng.random() < self.corrupt_p:
+            verdict.corrupt = True
+            self.counts.corrupted += 1
+            self.sim.metrics.incr("faults.gremlin.corrupted")
+        if self.delay_p and self._rng.random() < self.delay_p:
+            verdict.extra_delay_s += float(self._rng.exponential(self.delay_mean_s))
+            self.counts.delayed += 1
+            self.sim.metrics.incr("faults.gremlin.delayed")
+        if self.reorder_p and self._rng.random() < self.reorder_p:
+            verdict.extra_delay_s += float(self._rng.uniform(0.0, self.reorder_jitter_s))
+            self.counts.reordered += 1
+            self.sim.metrics.incr("faults.gremlin.reordered")
+        if not (
+            verdict.drop
+            or verdict.duplicate
+            or verdict.corrupt
+            or verdict.extra_delay_s > 0.0
+        ):
+            return None
+        return verdict
+
+    def mischief_summary(self) -> Dict[str, int]:
+        c = self.counts
+        return {
+            "judged": c.judged,
+            "dropped": c.dropped,
+            "duplicated": c.duplicated,
+            "corrupted": c.corrupted,
+            "delayed": c.delayed,
+            "reordered": c.reordered,
+        }

@@ -18,7 +18,12 @@ from repro.net.mobility import (
     MobilityManager,
 )
 from repro.net.topology import TopologySnapshot, build_topology
-from repro.net.transport import MessageService, DeliveryReceipt
+from repro.net.transport import (
+    MessageService,
+    DeliveryReceipt,
+    MessageFate,
+    ReliableMessageService,
+)
 
 __all__ = [
     "Packet",
@@ -37,4 +42,6 @@ __all__ = [
     "build_topology",
     "MessageService",
     "DeliveryReceipt",
+    "MessageFate",
+    "ReliableMessageService",
 ]

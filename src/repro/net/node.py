@@ -11,7 +11,6 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-import numpy as np
 
 from repro.errors import NetworkError
 from repro.net.channel import Channel
@@ -26,6 +25,8 @@ SPEED_OF_LIGHT_M_S = 3.0e8
 
 PacketHandler = Callable[["NetNode", Packet, int], None]
 SendResult = Callable[[bool], None]
+# Invoked as (node_id, up) on every liveness transition.
+NodeStateListener = Callable[[int, bool], None]
 
 
 class NetNode:
@@ -98,6 +99,14 @@ class Network:
         # Listeners observing every successful delivery (promiscuous taps,
         # used by fingerprinting / side-channel discovery).
         self._sniffers: List[Callable[[Packet, int, int], None]] = []
+        # Listeners observing node liveness transitions (routers invalidate
+        # stale state, services re-plan around losses).
+        self._node_state_listeners: List[NodeStateListener] = []
+        # Fault-injection state: individually blocked links, partition
+        # constraints, and packet-level gremlins (see repro.faults).
+        self._blocked_links: Set[Tuple[int, int]] = set()
+        self._partitions: List[Dict[int, int]] = []
+        self._gremlins: List[Any] = []
 
     # ------------------------------------------------------------- membership
 
@@ -126,16 +135,93 @@ class Network:
         self._grid_dirty = True
 
     def fail_node(self, node_id: int) -> None:
-        """Take a node down (battlefield loss, capture, battery death)."""
-        self.node(node_id).up = False
+        """Take a node down (battlefield loss, capture, battery death).
+
+        Idempotent: re-failing an already-down node is a no-op, so attack
+        and fault injectors compose without double-counting transitions.
+        """
+        node = self.node(node_id)
+        if not node.up:
+            return
+        node.up = False
         self.sim.trace.emit("net.node_down", node=node_id)
+        self._notify_node_state(node_id, False)
 
     def restore_node(self, node_id: int) -> None:
-        self.node(node_id).up = True
+        """Bring a failed node back (repair, redeploy, battery swap)."""
+        node = self.node(node_id)
+        if node.up:
+            return
+        node.up = True
         self.sim.trace.emit("net.node_up", node=node_id)
+        self._notify_node_state(node_id, True)
+
+    def on_node_state(self, listener: NodeStateListener) -> None:
+        """Subscribe to liveness transitions as ``(node_id, up)`` calls.
+
+        Routers use this to invalidate stale state the instant a node dies
+        (AODV purges routes through it, DTN stores lose custody); services
+        can use it to trigger re-synthesis.
+        """
+        self._node_state_listeners.append(listener)
+
+    def _notify_node_state(self, node_id: int, up: bool) -> None:
+        for listener in self._node_state_listeners:
+            listener(node_id, up)
 
     def up_nodes(self) -> List[NetNode]:
         return [n for n in self.nodes.values() if n.up]
+
+    # ------------------------------------------------------------ fault hooks
+
+    @staticmethod
+    def _link_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def block_link(self, a: int, b: int) -> None:
+        """Sever the (bidirectional) radio link between two nodes."""
+        key = self._link_key(a, b)
+        if key not in self._blocked_links:
+            self._blocked_links.add(key)
+            self.sim.trace.emit("net.link_down", a=key[0], b=key[1])
+
+    def unblock_link(self, a: int, b: int) -> None:
+        key = self._link_key(a, b)
+        if key in self._blocked_links:
+            self._blocked_links.discard(key)
+            self.sim.trace.emit("net.link_up", a=key[0], b=key[1])
+
+    def add_partition(self, groups: Dict[int, int]) -> None:
+        """Add a partition constraint: nodes mapped to different groups
+        cannot exchange packets.  Nodes absent from the mapping are
+        unconstrained.  Multiple constraints compose (all must allow)."""
+        self._partitions.append(groups)
+        self.sim.trace.emit("net.partition_on", groups=len(set(groups.values())))
+
+    def remove_partition(self, groups: Dict[int, int]) -> None:
+        if groups in self._partitions:
+            self._partitions.remove(groups)
+            self.sim.trace.emit("net.partition_off")
+
+    def link_blocked(self, a: int, b: int) -> bool:
+        """True when a fault (link cut or partition) severs the pair."""
+        if self._blocked_links and self._link_key(a, b) in self._blocked_links:
+            return True
+        for groups in self._partitions:
+            ga = groups.get(a)
+            gb = groups.get(b)
+            if ga is not None and gb is not None and ga != gb:
+                return True
+        return False
+
+    def add_gremlin(self, gremlin: Any) -> None:
+        """Install a packet-level gremlin (see :mod:`repro.faults.gremlin`)."""
+        if gremlin not in self._gremlins:
+            self._gremlins.append(gremlin)
+
+    def remove_gremlin(self, gremlin: Any) -> None:
+        if gremlin in self._gremlins:
+            self._gremlins.remove(gremlin)
 
     # ------------------------------------------------------------ spatial grid
 
@@ -195,6 +281,28 @@ class Network:
     def transmission_delay_s(self, node: NetNode, packet: Packet) -> float:
         return packet.size_bits / max(node.bitrate_bps, 1.0)
 
+    def _gremlin_verdict(self, sender_id: int, receiver_id: int, packet: Packet):
+        """Combined packet-gremlin verdict for one hop, or ``None``.
+
+        Drop/corrupt/duplicate OR together across installed gremlins; extra
+        delays add.  Returns ``(drop, duplicate, corrupt, extra_delay_s)``.
+        """
+        if not self._gremlins:
+            return None
+        drop = duplicate = corrupt = False
+        extra_delay = 0.0
+        for gremlin in self._gremlins:
+            verdict = gremlin.judge(sender_id, receiver_id, packet)
+            if verdict is None:
+                continue
+            drop = drop or verdict.drop
+            duplicate = duplicate or verdict.duplicate
+            corrupt = corrupt or verdict.corrupt
+            extra_delay += verdict.extra_delay_s
+        if not (drop or duplicate or corrupt or extra_delay > 0.0):
+            return None
+        return drop, duplicate, corrupt, extra_delay
+
     def send(
         self,
         sender_id: int,
@@ -228,6 +336,17 @@ class Network:
             receiver.id,
         ) * self.mac.collision_survival(busy)
         success = bool(receiver.up) and (self._rng.random() < p_ok)
+        if success and self.link_blocked(sender_id, receiver_id):
+            success = False
+            self.sim.metrics.incr("net.link_blocked")
+        duplicate = corrupt = False
+        if success:
+            verdict = self._gremlin_verdict(sender_id, receiver_id, packet)
+            if verdict is not None:
+                drop, duplicate, corrupt, extra_delay = verdict
+                delay += extra_delay
+                if drop:
+                    success = False
         self.sim.metrics.incr("net.tx_attempts")
         if sender.energy_hook:
             sender.energy_hook(packet.size_bits, 0.0)
@@ -236,8 +355,19 @@ class Network:
         def complete() -> None:
             sender.busy_tx = max(0, sender.busy_tx - 1)
             if success and receiver.up:
+                if corrupt:
+                    # Failed checksum: airtime was spent but the frame is
+                    # discarded at the receiver, and the link-layer ack fails.
+                    self.sim.metrics.incr("net.rx_corrupt")
+                    if on_result:
+                        on_result(False)
+                    return
                 self.sim.metrics.incr("net.tx_success")
                 self._deliver(receiver, packet, sender_id)
+                if duplicate:
+                    self.sim.metrics.incr("net.rx_duplicated")
+                    if receiver.up:
+                        self._deliver(receiver, packet, sender_id)
                 if on_result:
                     on_result(True)
             else:
@@ -266,7 +396,8 @@ class Network:
             sender.energy_hook(packet.size_bits, 0.0)
         sender.busy_tx += 1
         survival = self.mac.collision_survival(busy)
-        deliveries: List[int] = []
+        # Per receiver: (node_id, corrupt, duplicate, extra_delay_s).
+        deliveries: List[Tuple[int, bool, bool, float]] = []
         for nid in neighbor_ids:
             receiver = self.nodes[nid]
             p_ok = (
@@ -279,16 +410,45 @@ class Network:
                 )
                 * survival
             )
-            if self._rng.random() < p_ok:
-                deliveries.append(nid)
+            if self._rng.random() >= p_ok:
+                continue
+            if self.link_blocked(sender_id, nid):
+                self.sim.metrics.incr("net.link_blocked")
+                continue
+            corrupt = duplicate = False
+            extra_delay = 0.0
+            verdict = self._gremlin_verdict(sender_id, nid, packet)
+            if verdict is not None:
+                drop, duplicate, corrupt, extra_delay = verdict
+                if drop:
+                    continue
+            deliveries.append((nid, corrupt, duplicate, extra_delay))
+
+        def deliver_one(nid: int, corrupt: bool, duplicate: bool) -> None:
+            receiver = self.nodes.get(nid)
+            if receiver is None or not receiver.up:
+                return
+            if corrupt:
+                self.sim.metrics.incr("net.rx_corrupt")
+                return
+            self.sim.metrics.incr("net.tx_success")
+            self._deliver(receiver, packet, sender_id)
+            if duplicate:
+                self.sim.metrics.incr("net.rx_duplicated")
+                receiver = self.nodes.get(nid)
+                if receiver is not None and receiver.up:
+                    self._deliver(receiver, packet, sender_id)
 
         def complete() -> None:
             sender.busy_tx = max(0, sender.busy_tx - 1)
-            for nid in deliveries:
-                receiver = self.nodes.get(nid)
-                if receiver is not None and receiver.up:
-                    self.sim.metrics.incr("net.tx_success")
-                    self._deliver(receiver, packet, sender_id)
+            for nid, corrupt, duplicate, extra_delay in deliveries:
+                if extra_delay > 0.0:
+                    self.sim.call_in(
+                        extra_delay,
+                        lambda n=nid, c=corrupt, d=duplicate: deliver_one(n, c, d),
+                    )
+                else:
+                    deliver_one(nid, corrupt, duplicate)
 
         self.sim.call_in(base_delay, complete)
         return len(neighbor_ids)

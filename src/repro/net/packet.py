@@ -21,6 +21,7 @@ class PacketKind(Enum):
     """Coarse traffic classes; fingerprinting keys off these."""
 
     DATA = "data"
+    ACK = "ack"
     BEACON = "beacon"
     PROBE = "probe"
     PROBE_REPLY = "probe_reply"

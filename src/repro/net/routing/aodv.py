@@ -65,6 +65,40 @@ class AodvRouter(Router):
 
     # --------------------------------------------------------------- plumbing
 
+    def on_node_state(self, node_id: int, up: bool) -> None:
+        """Purge state a crash invalidated: the dead node's own table and
+        RREQ cache (RAM is lost), every route through or to it, and any
+        packets it had queued awaiting discovery."""
+        if up:
+            return
+        self._tables.pop(node_id, None)
+        self._seen_rreq.pop(node_id, None)
+        purged = 0
+        stale_dsts = {node_id}
+        for table in self._tables.values():
+            stale = [
+                dst
+                for dst, entry in table.items()
+                if entry.next_hop == node_id or dst == node_id
+            ]
+            for dst in stale:
+                del table[dst]
+            stale_dsts.update(stale)
+            purged += len(stale)
+        # Sequence-number invalidation (the RERR analogue): destinations
+        # whose routes broke get a bumped sequence, so surviving stale
+        # cached routes elsewhere cannot answer rediscovery RREQs and seed
+        # routing loops toward the dead hop.
+        for dst in stale_dsts:
+            self._seq[dst] = self._seq.get(dst, 0) + 1
+        if purged:
+            self.sim.metrics.incr(f"route.{self.name}.routes_purged", purged)
+        for key in [k for k in self._pending if k[0] == node_id]:
+            dropped = self._pending.pop(key, [])
+            self._discovery_tries.pop(key, None)
+            if dropped:
+                self.sim.metrics.incr(f"route.{self.name}.dropped", len(dropped))
+
     def _table(self, node_id: int) -> Dict[int, RouteEntry]:
         return self._tables.setdefault(node_id, {})
 

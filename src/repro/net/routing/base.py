@@ -26,6 +26,13 @@ class Router:
         self.network = network
         self.sim = network.sim
         self.attached: Dict[int, NetNode] = {}
+        # Liveness transitions invalidate stale protocol state (routes
+        # through dead nodes, caches a crashed node held in RAM).
+        network.on_node_state(self.on_node_state)
+
+    def on_node_state(self, node_id: int, up: bool) -> None:
+        """Hook: a node's liveness changed.  Default is a no-op; protocols
+        override it to purge state the transition invalidated."""
 
     # ------------------------------------------------------------- attachment
 

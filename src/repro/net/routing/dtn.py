@@ -59,6 +59,15 @@ class _StoreCarryForwardRouter(Router):
             self._started = True
             self.sim.every(self.contact_period_s, self._sweep)
 
+    def on_node_state(self, node_id: int, up: bool) -> None:
+        # A crash loses custody of every bundle the node was carrying
+        # (volatile store); the delivered-ledger is kept, modelling
+        # application-level dedup on stable storage.
+        if not up:
+            lost = len(self._stores.pop(node_id, ()) or ())
+            if lost:
+                self.sim.metrics.incr(f"route.{self.name}.custody_lost", lost)
+
     def _store(self, node_id: int) -> Dict[int, _Bundle]:
         return self._stores.setdefault(node_id, {})
 

@@ -23,6 +23,12 @@ class FloodingRouter(Router):
         super().__init__(network)
         self._seen: Dict[int, Set[int]] = {}
 
+    def on_node_state(self, node_id: int, up: bool) -> None:
+        # A crash loses the in-RAM duplicate cache; the restarted node will
+        # treat still-circulating packets as new (and may re-forward them).
+        if not up:
+            self._seen.pop(node_id, None)
+
     def _already_seen(self, node_id: int, uid: int) -> bool:
         seen = self._seen.setdefault(node_id, set())
         if uid in seen:

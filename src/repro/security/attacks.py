@@ -182,7 +182,10 @@ class SybilAttack(Attack):
             self.sim.trace.emit("attack.sybil", asset=asset.id)
 
     def _revert(self) -> None:
-        for asset in self.created:
+        # Drain the roster so a relaunch mints fresh identities instead of
+        # duplicating (and re-failing) the ones from the previous wave.
+        created, self.created = self.created, []
+        for asset in created:
             self.scenario.network.fail_node(asset.node_id)
 
 

@@ -8,6 +8,7 @@ across runs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -81,12 +82,18 @@ class TraceLog:
     def count(self, category: str) -> int:
         return sum(1 for rec in self.records if rec.category == category)
 
-    def fingerprint(self) -> int:
-        """A stable hash of the whole trace; equal across identical runs."""
-        acc = 0
+    def fingerprint(self) -> str:
+        """A stable digest of the whole trace; equal across identical runs.
+
+        Built on :mod:`hashlib` rather than :func:`hash`, which is salted
+        per process — identical runs in *separate* executions must agree.
+        """
+        digest = hashlib.blake2b(digest_size=16)
         for rec in self.records:
-            acc = hash((acc, round(rec.time, 9), rec.category, rec.fields))
-        return acc
+            digest.update(
+                repr((round(rec.time, 9), rec.category, rec.fields)).encode()
+            )
+        return digest.hexdigest()
 
     def clear(self) -> None:
         self.records.clear()

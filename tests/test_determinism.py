@@ -6,12 +6,15 @@ from distinct named streams never perturb each other.
 """
 
 import numpy as np
-import pytest
 
 from repro import ScenarioBuilder, Simulator
-from repro.net.routing import AodvRouter, FloodingRouter
-from repro.net.transport import MessageService
+from repro.faults import FaultInjector
+from repro.net.channel import Channel
+from repro.net.node import Network
+from repro.net.routing import AodvRouter
+from repro.net.transport import MessageService, ReliableMessageService
 from repro.security.attacks import JammingAttack, NodeDestructionAttack
+from repro.util.geometry import Point
 
 
 def run_full_stack(seed: int):
@@ -49,12 +52,53 @@ def run_full_stack(seed: int):
     }
 
 
+def run_chaos_stack(seed: int):
+    """A run where every fault class and the reliable transport are live."""
+    sim = Simulator(seed=seed)
+    channel = Channel(shadowing_sigma_db=0.0, fading_sigma_db=0.0, seed=seed)
+    net = Network(sim, channel)
+    for i in range(1, 13):
+        net.create_node(i, Point(i * 75.0, 0.0))
+    injector = FaultInjector(net)
+    injector.node_churn(mtbf_s=60.0, mean_downtime_s=15.0)
+    injector.link_flaps(n_links=2, mtbf_s=40.0, mean_downtime_s=10.0)
+    injector.partition_spatial(start_s=60.0, duration_s=30.0)
+    injector.gremlin(drop_p=0.05, duplicate_p=0.02, delay_p=0.05)
+    router = AodvRouter(net)
+    router.attach_all(range(1, 13))
+    service = ReliableMessageService(router, base_rto_s=2.0, max_retries=4)
+    rng = sim.rng.get("workload")
+    for _ in range(25):
+        a, b = rng.choice(range(1, 13), size=2, replace=False)
+        service.send(int(a), int(b))
+    sim.run(until=240.0)
+    return {
+        "trace": sim.trace.fingerprint(),
+        "counters": tuple(sorted(sim.metrics.counters().items())),
+        "fates": tuple(sorted(service.fate_counts().items())),
+        "mttr": injector.mttr(),
+        "windows": tuple(
+            (name, tuple(spans)) for name, spans in sorted(injector.fault_windows().items())
+        ),
+    }
+
+
 class TestDeterminism:
     def test_identical_seed_identical_run(self):
         assert run_full_stack(101) == run_full_stack(101)
 
     def test_different_seed_different_run(self):
         assert run_full_stack(101) != run_full_stack(102)
+
+    def test_fault_schedule_identical_seed_identical_trace(self):
+        """Same seed + same FaultSchedule => bit-identical traces and stats."""
+        first = run_chaos_stack(31)
+        second = run_chaos_stack(31)
+        assert first["trace"] == second["trace"]
+        assert first == second
+
+    def test_fault_schedule_seed_sensitivity(self):
+        assert run_chaos_stack(31) != run_chaos_stack(32)
 
     def test_stream_isolation(self):
         """Consuming an unrelated stream must not perturb others."""
