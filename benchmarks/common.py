@@ -1,6 +1,6 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark regenerates one experiment from DESIGN.md §2 (E1..E15) and
+Every benchmark regenerates one experiment from DESIGN.md §2 (E1..E20) and
 prints its series as a :class:`~repro.util.tables.ResultTable`.  Benchmarks
 run in two modes:
 
@@ -9,24 +9,35 @@ run in two modes:
   pytest-benchmark.
 * ``python benchmarks/bench_*.py`` — *full* mode: the complete sweep for
   the experiment writeup (EXPERIMENTS.md numbers come from these).
+
+Sweep-shaped benchmarks run through :mod:`repro.campaign`;
+:func:`campaign_runner` wires a runner to the benchmark environment:
+
+* ``REPRO_BENCH_WORKERS`` — process-pool width (default 1, i.e. serial;
+  parallel and serial runs aggregate to identical tables by construction);
+* ``REPRO_CAMPAIGN_CACHE`` — result-cache directory (default: no cache).
+  With a cache, an interrupted sweep resumes where it stopped and a warm
+  rerun executes nothing.
 """
 
 from __future__ import annotations
 
-import json
-import math
 import os
-from typing import Any, Callable
+import re
+from typing import Any, Callable, Dict, Optional
 
 from repro import ScenarioBuilder, Simulator
-from repro.util.tables import ResultTable
+from repro.campaign import CampaignRunner, ResultCache
+from repro.util.tables import ResultTable, json_safe
 
 __all__ = [
     "ResultTable",
     "standard_scenario",
     "run_and_print",
     "json_safe",
+    "table_slug",
     "write_table_json",
+    "campaign_runner",
 ]
 
 
@@ -58,28 +69,46 @@ def standard_scenario(
     return builder.build()
 
 
-def json_safe(value: Any) -> Any:
-    """Recursively replace non-finite floats (nan/inf) with ``None``.
+def campaign_runner(
+    fn: Callable[[Dict[str, Any], int], Dict[str, Any]],
+    *,
+    workers: Optional[int] = None,
+    **overrides: Any,
+) -> CampaignRunner:
+    """A :class:`CampaignRunner` wired to the benchmark environment.
 
-    Metrics use NaN as the "no data" convention (e.g. delivery ratio with
-    zero sends); raw NaN/Infinity is not valid JSON and silently breaks
-    downstream parsers, so JSON output is guarded through this filter.
+    ``fn`` must be a module-level ``(params, seed) -> dict`` function (the
+    picklability contract for pool workers).
     """
-    if isinstance(value, float):
-        return value if math.isfinite(value) else None
-    if isinstance(value, dict):
-        return {k: json_safe(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [json_safe(v) for v in value]
-    return value
+    if workers is None:
+        workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    cache_dir = os.environ.get("REPRO_CAMPAIGN_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return CampaignRunner(fn, workers=workers, cache=cache, **overrides)
 
 
 def write_table_json(table: ResultTable, path: str) -> None:
     """Write a table as a JSON document with non-finite values nulled."""
-    document = {"title": table.title, "rows": json_safe(table.to_dicts())}
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(document, fh, indent=2, allow_nan=False)
-        fh.write("\n")
+    table.to_json(path)
+
+
+def table_slug(title: str) -> str:
+    """Filename slug for a table title: lowercase, dash-separated, bounded.
+
+    Consecutive non-alphanumeric runs collapse to a single dash (so
+    "E2 / Fig.2 — x" and "E2   Fig 2 - x" cannot silently collide on a
+    dash-count difference), and an empty slug is an error rather than a
+    file named ``.json``.
+    """
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    slug = slug[:60].rstrip("-")
+    if not slug:
+        raise ValueError(f"table title {title!r} produces an empty JSON slug")
+    return slug
+
+
+#: Slugs written by this process, mapping slug -> title that claimed it.
+_WRITTEN_SLUGS: Dict[str, str] = {}
 
 
 def run_and_print(benchmark, fn: Callable[[], ResultTable]) -> ResultTable:
@@ -87,6 +116,8 @@ def run_and_print(benchmark, fn: Callable[[], ResultTable]) -> ResultTable:
 
     When ``REPRO_BENCH_JSON_DIR`` is set, the table is also written there
     as ``<title-slug>.json`` (non-finite values nulled via json_safe).
+    Two distinct titles mapping to one slug raise instead of silently
+    overwriting each other's JSON output.
     """
     table = benchmark.pedantic(fn, rounds=1, iterations=1)
     print()
@@ -94,8 +125,12 @@ def run_and_print(benchmark, fn: Callable[[], ResultTable]) -> ResultTable:
     out_dir = os.environ.get("REPRO_BENCH_JSON_DIR")
     if out_dir:
         os.makedirs(out_dir, exist_ok=True)
-        slug = "".join(
-            ch if ch.isalnum() else "-" for ch in table.title.lower()
-        ).strip("-")
-        write_table_json(table, os.path.join(out_dir, f"{slug[:60]}.json"))
+        slug = table_slug(table.title)
+        claimed_by = _WRITTEN_SLUGS.setdefault(slug, table.title)
+        if claimed_by != table.title:
+            raise RuntimeError(
+                f"JSON slug collision: {table.title!r} and {claimed_by!r} "
+                f"both map to {slug!r}"
+            )
+        write_table_json(table, os.path.join(out_dir, f"{slug}.json"))
     return table

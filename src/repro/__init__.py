@@ -34,9 +34,13 @@ from repro.things import (
     make_profile,
 )
 from repro.scenarios import ScenarioBuilder, Scenario, UrbanGrid
+from repro.campaign import CampaignRunner, ResultCache, SweepSpec
 
 __all__ = [
     "__version__",
+    "CampaignRunner",
+    "ResultCache",
+    "SweepSpec",
     "Simulator",
     "Network",
     "Channel",

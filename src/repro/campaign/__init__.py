@@ -1,0 +1,55 @@
+"""repro.campaign — parallel experiment-campaign runner with result caching.
+
+Every experiment in DESIGN.md §2 is a parameter sweep × seed replication;
+this package runs those grids declaratively, in parallel, resumably:
+
+* :class:`SweepSpec` / :class:`TaskSpec` — declarative grid expansion with
+  content-derived deterministic seeds (:mod:`repro.campaign.spec`);
+* :class:`CampaignRunner` — serial or process-pool execution with per-task
+  timeouts and bounded retries on worker crash
+  (:mod:`repro.campaign.runner`);
+* :class:`ResultCache` — content-addressed on-disk results keyed by
+  (repro version, config hash), for resume-after-interrupt and zero-cost
+  warm re-runs (:mod:`repro.campaign.cache`);
+* :func:`aggregate` — replicate collapse to mean/CI
+  :class:`~repro.util.tables.ResultTable` rows
+  (:mod:`repro.campaign.aggregate`).
+
+Minimal use::
+
+    from repro.campaign import CampaignRunner, ResultCache, SweepSpec
+
+    def my_task(params, seed):            # module-level => picklable
+        ...run one simulation...
+        return {"delivery": 0.93}
+
+    spec = SweepSpec("demo", grid={"n_nodes": (10, 20)}, replicates=5)
+    runner = CampaignRunner(my_task, workers=4, cache=ResultCache(".cache"))
+    table = runner.run(spec).table(ci=True)
+
+``python -m repro.campaign`` runs a small built-in smoke campaign (used by
+CI) — see :mod:`repro.campaign.cli`.
+"""
+
+from repro.campaign.aggregate import aggregate
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import (
+    CampaignError,
+    CampaignResult,
+    CampaignRunner,
+    TaskOutcome,
+)
+from repro.campaign.spec import SweepSpec, TaskSpec, canonical_json, config_key
+
+__all__ = [
+    "SweepSpec",
+    "TaskSpec",
+    "canonical_json",
+    "config_key",
+    "ResultCache",
+    "CampaignRunner",
+    "CampaignResult",
+    "CampaignError",
+    "TaskOutcome",
+    "aggregate",
+]

@@ -1,0 +1,118 @@
+"""Aggregation of campaign outcomes into result tables.
+
+Groups task outcomes by sweep point (all replicates of one parameter
+combination), reduces each metric across replicates — mean, optionally with
+a 95% confidence half-width via
+:func:`repro.util.stats.mean_confidence_interval` — and emits a
+:class:`~repro.util.tables.ResultTable` whose row order follows the spec's
+deterministic point enumeration.  Because grouping keys on task *content*
+(params), the table is identical whether the campaign ran serially, on any
+number of workers, or straight out of the cache.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.util.stats import mean_confidence_interval
+from repro.util.tables import ResultTable
+
+__all__ = ["aggregate"]
+
+
+def _reduce(values: List[Any], ci: bool) -> Tuple[Any, Optional[float]]:
+    """Reduce one metric's replicate values to a cell (and CI half-width).
+
+    Identical non-float values (labels, bools, ints that never varied) pass
+    through unchanged so single-replicate tables keep their original look;
+    anything else is averaged, NaN replicates omitted.
+    """
+    first = values[0]
+    if not isinstance(first, float) and all(v == first for v in values[1:]):
+        return first, 0.0 if ci else None
+    mean, half = mean_confidence_interval(
+        [float(v) for v in values], nan_policy="omit"
+    )
+    return mean, half if ci else None
+
+
+def aggregate(
+    campaign_result,
+    *,
+    title: Optional[str] = None,
+    param_cols: Optional[Sequence[str]] = None,
+    metrics: Optional[Sequence[str]] = None,
+    ci: bool = False,
+) -> ResultTable:
+    """Collapse replicates into one table row per sweep point.
+
+    Parameters
+    ----------
+    campaign_result:
+        A :class:`~repro.campaign.runner.CampaignResult` (or anything with
+        an ``outcomes`` list of :class:`TaskOutcome`).
+    title:
+        Table title; defaults to the campaign name.
+    param_cols:
+        Parameter columns, in display order.  Defaults to the sorted
+        parameter names of the first task.
+    metrics:
+        Metric columns, in display order.  Defaults to every key of the
+        first successful result whose value is numeric, in result-dict
+        insertion order.  Non-numeric metrics (e.g. trace fingerprints)
+        must be listed explicitly to appear — and then only pass through
+        when constant within a group.
+    ci:
+        Add a ``<metric>_ci95`` half-width column per metric plus an ``n``
+        replicate-count column.
+    """
+    outcomes = [o for o in campaign_result.outcomes if o.ok]
+    if not outcomes:
+        raise ValueError("no successful outcomes to aggregate")
+
+    if title is None:
+        title = getattr(getattr(campaign_result, "spec", None), "name", "campaign")
+    if param_cols is None:
+        param_cols = [k for k, _ in outcomes[0].task.params]
+    if metrics is None:
+        metrics = [
+            k
+            for k, v in outcomes[0].result.items()
+            if isinstance(v, (bool, int, float))
+        ]
+    if not metrics:
+        raise ValueError("no numeric metrics found; pass metrics= explicitly")
+
+    # Group replicates by sweep point, preserving spec enumeration order.
+    groups: Dict[Tuple[Tuple[str, Any], ...], List[Any]] = {}
+    for outcome in outcomes:
+        groups.setdefault(outcome.task.params, []).append(outcome)
+
+    columns: List[str] = list(param_cols)
+    for metric in metrics:
+        columns.append(metric)
+        if ci:
+            columns.append(f"{metric}_ci95")
+    if ci:
+        columns.append("n")
+
+    table = ResultTable(title, columns)
+    for params, members in groups.items():
+        config = dict(params)
+        row: Dict[str, Any] = {c: config.get(c, "") for c in param_cols}
+        for metric in metrics:
+            values = [m.result[metric] for m in members if metric in m.result]
+            if not values:
+                row[metric] = math.nan
+                if ci:
+                    row[f"{metric}_ci95"] = math.nan
+                continue
+            value, half = _reduce(values, ci)
+            row[metric] = value
+            if ci:
+                row[f"{metric}_ci95"] = half
+        if ci:
+            row["n"] = len(members)
+        table.add_row(**row)
+    return table

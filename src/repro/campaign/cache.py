@@ -1,0 +1,125 @@
+"""Content-addressed on-disk result cache for campaigns.
+
+Each task result is stored under its :func:`~repro.campaign.spec.config_key`
+— a hash of the repro version and the task's full configuration — in a
+two-level fan-out directory (``<root>/<key[:2]>/<key>.json``).  That gives:
+
+* **resume-after-interrupt**: a killed campaign rerun skips every task that
+  already completed;
+* **zero-cost re-runs**: a warm rerun of an unchanged spec executes nothing;
+* **automatic invalidation**: any change to a config field, the seed, the
+  campaign name, or the library version changes the key, so stale entries
+  are simply never looked up again.
+
+Entries are JSON with ``allow_nan`` enabled (the cache is an internal
+store, not an export format), so NaN metric values survive the round-trip
+and a warm read is bit-identical to the cold computation.  Corrupt or
+truncated entries — e.g. from a kill mid-write, although writes are atomic
+via ``os.replace`` — are treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro._version import __version__
+from repro.campaign.spec import TaskSpec
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of content-addressed task results."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, task: TaskSpec) -> Optional[Dict[str, Any]]:
+        """Return the cached result for ``task``, or ``None`` on a miss."""
+        path = self.path_for(task.key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            # A corrupt entry must never poison a campaign: drop it and recompute.
+            self.misses += 1
+            self._discard(path)
+            return None
+        if payload.get("key") != task.key or "result" not in payload:
+            self.misses += 1
+            self._discard(path)
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(
+        self,
+        task: TaskSpec,
+        result: Mapping[str, Any],
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Store ``result`` for ``task`` atomically; returns the entry path."""
+        path = self.path_for(task.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": task.key,
+            "repro_version": __version__,
+            "campaign": task.campaign,
+            "params": task.config,
+            "replicate": task.replicate,
+            "seed": task.seed,
+            "result": dict(result),
+            "meta": dict(meta) if meta else {},
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def invalidate(self, task: TaskSpec) -> bool:
+        """Drop the entry for ``task``; returns whether one existed."""
+        path = self.path_for(task.key)
+        existed = path.exists()
+        self._discard(path)
+        return existed
+
+    def clear(self) -> int:
+        """Remove every cache entry; returns the number dropped."""
+        dropped = 0
+        if not self.root.exists():
+            return dropped
+        for path in self.root.glob("*/*.json"):
+            self._discard(path)
+            dropped += 1
+        return dropped
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

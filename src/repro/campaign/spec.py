@@ -1,0 +1,209 @@
+"""Declarative experiment-campaign specifications.
+
+A campaign is a parameter sweep crossed with seed replication: every
+quantitative claim in DESIGN.md §2 is some grid of configurations, each run
+over several seeds and aggregated.  :class:`SweepSpec` captures that shape
+declaratively and expands it into a deterministic, ordered list of picklable
+:class:`TaskSpec` objects that :class:`~repro.campaign.runner.CampaignRunner`
+can execute serially or in parallel with identical results.
+
+Determinism rules:
+
+* Task seeds derive from the *content* of each sweep point (via
+  :func:`repro.util.rng.derive_seed`), never from its position in the grid,
+  so adding or removing points does not perturb the seeds of the others.
+* Grid expansion iterates parameters in sorted-key order, so the task list —
+  and therefore every aggregated table — is independent of dict insertion
+  order.
+* :func:`config_key` hashes the repro version together with the canonical
+  JSON of a task's full configuration; it is the content address used by
+  :class:`~repro.campaign.cache.ResultCache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+from repro.util.rng import derive_seed
+
+__all__ = ["TaskSpec", "SweepSpec", "canonical_json", "config_key"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Fallback encoder for canonical JSON: sets sorted, numpy scalars unboxed."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    raise TypeError(f"not canonically serializable: {value!r} ({type(value).__name__})")
+
+
+def canonical_json(value: Any) -> str:
+    """A stable JSON encoding: sorted keys, no whitespace, sets ordered.
+
+    Equal configurations always produce equal strings, so the encoding can
+    feed hashes (cache keys, seed derivation) safely.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=_jsonify
+    )
+
+
+def config_key(config: Mapping[str, Any], *, version: Optional[str] = None) -> str:
+    """Content-address a task configuration.
+
+    The key covers the repro version and the full configuration, so a change
+    to either — a parameter value, the seed, the campaign name, or the
+    library version — yields a different key and invalidates any cached
+    result stored under the old one.  ``version`` defaults to the library
+    version at call time.
+    """
+    payload = {
+        "repro_version": __version__ if version is None else version,
+        "config": dict(config),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of campaign work: a sweep point, a replicate, a seed.
+
+    Instances are plain frozen dataclasses with JSON-able fields, so they
+    pickle cheaply across process boundaries.  ``params`` is stored as a
+    sorted item tuple to keep the spec hash-stable; use :attr:`config` for
+    the dict view handed to task functions.
+    """
+
+    campaign: str
+    index: int
+    params: Tuple[Tuple[str, Any], ...]
+    replicate: int
+    seed: int
+    key: str
+
+    @property
+    def config(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def label(self) -> str:
+        """A compact human-readable identity for logs."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.campaign}[{self.index}]({inner})#r{self.replicate}"
+
+
+@dataclass
+class SweepSpec:
+    """A declarative parameter grid × seed replication.
+
+    ``grid`` maps parameter names to the values to sweep (full cross
+    product); ``fixed`` parameters ride along unchanged in every task.
+    ``where`` optionally prunes points (evaluated at expansion time in the
+    parent process, so it need not be picklable).
+
+    Seeds: by default, replicate ``r`` of a point derives its seed from
+    ``(base_seed, name, seed-relevant params, r)``.  ``seed_params`` narrows
+    which parameters feed the derivation — listing only the scenario-shaping
+    ones pairs treatment arms on identical worlds (e.g. every ``composer``
+    at one ``n_assets`` sees the same scenario).  ``seeds`` overrides
+    derivation entirely with explicit literals (replicate ``r`` gets
+    ``seeds[r]``), which both pairs all arms and reproduces legacy
+    hand-rolled seed loops bit-for-bit.
+    """
+
+    name: str
+    grid: Mapping[str, Sequence[Any]]
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    replicates: int = 1
+    base_seed: int = 0
+    seeds: Optional[Sequence[int]] = None
+    seed_params: Optional[Sequence[str]] = None
+    where: Optional[Callable[[Dict[str, Any]], bool]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a sweep needs a non-empty name")
+        overlap = set(self.grid) & set(self.fixed)
+        if overlap:
+            raise ConfigurationError(
+                f"parameters both swept and fixed: {sorted(overlap)}"
+            )
+        if self.seeds is not None and len(self.seeds) == 0:
+            raise ConfigurationError("explicit seeds list must be non-empty")
+        if self.seeds is None and self.replicates < 1:
+            raise ConfigurationError("replicates must be >= 1")
+        unknown = set(self.seed_params or ()) - set(self.grid) - set(self.fixed)
+        if unknown:
+            raise ConfigurationError(f"unknown seed_params: {sorted(unknown)}")
+
+    @property
+    def n_replicates(self) -> int:
+        return len(self.seeds) if self.seeds is not None else self.replicates
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Sweep points in deterministic (sorted-key, row-major) order."""
+        keys = sorted(self.grid)
+        for combo in itertools.product(*(self.grid[k] for k in keys)):
+            params = dict(self.fixed)
+            params.update(zip(keys, combo))
+            if self.where is not None and not self.where(params):
+                continue
+            yield params
+
+    def _seed_for(self, params: Mapping[str, Any], replicate: int) -> int:
+        if self.seeds is not None:
+            return int(self.seeds[replicate])
+        if self.seed_params is None:
+            relevant = dict(params)
+        else:
+            relevant = {k: params[k] for k in self.seed_params if k in params}
+        return derive_seed(
+            self.base_seed, self.name, canonical_json(relevant), f"rep{replicate}"
+        )
+
+    def tasks(self) -> List[TaskSpec]:
+        """Expand into the full ordered task list (points × replicates)."""
+        out: List[TaskSpec] = []
+        for params in self.points():
+            for rep in range(self.n_replicates):
+                seed = self._seed_for(params, rep)
+                key = config_key(
+                    {
+                        "campaign": self.name,
+                        "params": params,
+                        "replicate": rep,
+                        "seed": seed,
+                    }
+                )
+                out.append(
+                    TaskSpec(
+                        campaign=self.name,
+                        index=len(out),
+                        params=tuple(sorted(params.items())),
+                        replicate=rep,
+                        seed=seed,
+                        key=key,
+                    )
+                )
+        if not out:
+            raise ConfigurationError(f"sweep {self.name!r} expands to zero tasks")
+        return out
+
+    def __len__(self) -> int:
+        return len(self.tasks())

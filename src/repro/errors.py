@@ -45,3 +45,7 @@ class SecurityError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when a component is constructed with invalid parameters."""
+
+
+class CampaignError(ReproError):
+    """Raised by the campaign runner when tasks exhaust their retry budget."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["TraceRecord", "TraceLog"]
 
@@ -82,14 +82,24 @@ class TraceLog:
     def count(self, category: str) -> int:
         return sum(1 for rec in self.records if rec.category == category)
 
-    def fingerprint(self) -> str:
-        """A stable digest of the whole trace; equal across identical runs.
+    def fingerprint(self, categories: Optional[Iterable[str]] = None) -> str:
+        """A stable digest of the trace; equal across identical runs.
 
         Built on :mod:`hashlib` rather than :func:`hash`, which is salted
         per process — identical runs in *separate* executions must agree.
+        That process-independence is what lets fingerprints serve as cache
+        and determinism keys for :mod:`repro.campaign`: a worker process
+        and a serial rerun of the same task produce the same digest.
+
+        ``categories`` restricts the digest to a subset of record
+        categories (e.g. only ``msg.*`` events), so callers can fingerprint
+        the behaviour they care about while ignoring incidental records.
         """
+        wanted = None if categories is None else set(categories)
         digest = hashlib.blake2b(digest_size=16)
         for rec in self.records:
+            if wanted is not None and rec.category not in wanted:
+                continue
             digest.update(
                 repr((round(rec.time, 9), rec.category, rec.fields)).encode()
             )

@@ -92,14 +92,26 @@ class RunningStats:
 
 
 def mean_confidence_interval(
-    values: Sequence[float], confidence: float = 0.95
+    values: Sequence[float],
+    confidence: float = 0.95,
+    *,
+    nan_policy: str = "propagate",
 ) -> Tuple[float, float]:
     """Return ``(mean, half_width)`` of a normal-approximation CI.
 
     Uses the t-quantile from scipy when available; falls back to 1.96 for the
     95% level with large samples.
+
+    ``nan_policy="omit"`` drops NaN samples before computing — the campaign
+    aggregator uses it so one "no data" replicate (e.g. a delivery ratio
+    with zero sends) does not blank the whole cell; ``"propagate"`` (the
+    default) keeps the usual contract that any NaN input yields NaN.
     """
+    if nan_policy not in ("propagate", "omit"):
+        raise ValueError(f"nan_policy must be 'propagate' or 'omit': {nan_policy!r}")
     arr = np.asarray(list(values), dtype=float)
+    if nan_policy == "omit":
+        arr = arr[~np.isnan(arr)]
     if arr.size == 0:
         return math.nan, math.nan
     if arr.size == 1:

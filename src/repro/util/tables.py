@@ -7,9 +7,27 @@ uniform, diff-friendly format.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+import json
+import math
+from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["ResultTable"]
+__all__ = ["ResultTable", "json_safe"]
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats (nan/inf) with ``None``.
+
+    Metrics use NaN as the "no data" convention (e.g. delivery ratio with
+    zero sends); raw NaN/Infinity is not valid JSON and silently breaks
+    downstream parsers, so exported JSON is guarded through this filter.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
 
 
 def _fmt(value: Any) -> str:
@@ -72,6 +90,65 @@ class ResultTable:
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         return [dict(row) for row in self.rows]
+
+    @classmethod
+    def from_dicts(
+        cls,
+        title: str,
+        rows: Sequence[Dict[str, Any]],
+        columns: Optional[Sequence[str]] = None,
+    ) -> "ResultTable":
+        """Rebuild a table from row dicts (e.g. a parsed JSON export).
+
+        Column order defaults to first-seen key order across the rows.
+        """
+        if columns is None:
+            columns = []
+            for row in rows:
+                for key in row:
+                    if key not in columns:
+                        columns.append(key)
+        table = cls(title, columns)
+        for row in rows:
+            table.add_row(**row)
+        return table
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        """Serialize as a JSON document with non-finite values nulled.
+
+        Returns the document text; when ``path`` is given, also writes it
+        there.
+        """
+        document = {"title": self.title, "rows": json_safe(self.to_dicts())}
+        text = json.dumps(document, indent=2, allow_nan=False) + "\n"
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text
+
+    def __eq__(self, other: object) -> bool:
+        """Tables are equal when title, columns, and all rows match.
+
+        NaN cells compare equal to NaN (two identical runs that both say
+        "no data" are the same table), unlike raw float comparison.
+        """
+        if not isinstance(other, ResultTable):
+            return NotImplemented
+        if self.title != other.title or self.columns != other.columns:
+            return False
+        if len(self.rows) != len(other.rows):
+            return False
+
+        def same(a: Any, b: Any) -> bool:
+            if isinstance(a, float) and isinstance(b, float):
+                return a == b or (a != a and b != b)
+            return a == b
+
+        return all(
+            same(ra[c], rb[c])
+            for ra, rb in zip(self.rows, other.rows)
+            for c in self.columns
+        )
 
     def to_csv(self) -> str:
         out = [",".join(self.columns)]

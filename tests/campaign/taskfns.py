@@ -1,0 +1,83 @@
+"""Module-level task functions for campaign tests.
+
+Worker processes reach task functions by pickling them *by reference*
+(module + qualname), so every function the runner executes in a pool must
+live at module level — hence this helper module rather than closures inside
+the tests.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+
+
+def affine_noise_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Deterministic function of (params, seed): value + seeded noise."""
+    rng = np.random.default_rng(seed)
+    noise = float(rng.normal())
+    return {
+        "value": params["gain"] * params["offset"] + noise,
+        "noise": noise,
+    }
+
+
+def counting_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Like affine_noise_task, but leaves a per-execution marker file.
+
+    Execution counting must survive process boundaries, so it is done on
+    the filesystem: each *execution* (not cache hit) touches one file named
+    by the task's identity in ``params["marker_dir"]``.
+    """
+    marker_dir = Path(params["marker_dir"])
+    marker_dir.mkdir(parents=True, exist_ok=True)
+    stamp = f"{params['gain']}-{params['offset']}-{seed}-{time.monotonic_ns()}"
+    (marker_dir / f"{stamp}.ran").touch()
+    rng = np.random.default_rng(seed)
+    return {"value": params["gain"] * params["offset"] + float(rng.normal())}
+
+
+def crash_once_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Hard-kills its worker process on first execution of the marked index.
+
+    ``os._exit`` (not an exception) models a real worker death — segfault,
+    OOM-kill — which surfaces to the runner as a broken process pool.  The
+    marker file makes the crash one-shot so a retry succeeds.
+    """
+    if params["i"] == params.get("crash_i", -1):
+        marker = Path(params["marker_dir"]) / f"crashed-{params['i']}"
+        if not marker.exists():
+            marker.write_bytes(b"x")
+            os._exit(17)
+    return {"value": float(params["i"])}
+
+
+def flaky_exception_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Raises (cleanly) on first execution of the marked index."""
+    if params["i"] == params.get("fail_i", -1):
+        marker = Path(params["marker_dir"]) / f"raised-{params['i']}"
+        if not marker.exists():
+            marker.write_bytes(b"x")
+            raise ValueError("transient task failure")
+    return {"value": float(params["i"])}
+
+
+def always_raises_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    raise RuntimeError("unconditional failure")
+
+
+def hang_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Hangs far past any test timeout on the marked index."""
+    if params["i"] == params.get("hang_i", -1):
+        time.sleep(600.0)
+    return {"value": float(params["i"])}
+
+
+def sleep_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Sleeps a fixed budget — wall-clock-bound work for speedup tests."""
+    time.sleep(params["sleep_s"])
+    return {"value": float(params["i"]) + float(seed % 97)}

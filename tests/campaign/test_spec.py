@@ -1,0 +1,112 @@
+"""Spec expansion: ordering, seeds, filtering, content keys."""
+
+import pytest
+
+from repro.campaign import SweepSpec, canonical_json, config_key
+from repro.errors import ConfigurationError
+
+
+class TestExpansion:
+    def test_grid_cross_product_times_replicates(self):
+        spec = SweepSpec("t", grid={"a": (1, 2), "b": ("x", "y", "z")}, replicates=2)
+        tasks = spec.tasks()
+        assert len(tasks) == 2 * 3 * 2
+        assert [t.index for t in tasks] == list(range(12))
+
+    def test_point_order_independent_of_dict_insertion(self):
+        one = SweepSpec("t", grid={"a": (1, 2), "b": (3, 4)}).tasks()
+        two = SweepSpec("t", grid={"b": (3, 4), "a": (1, 2)}).tasks()
+        assert [t.params for t in one] == [t.params for t in two]
+        assert [t.key for t in one] == [t.key for t in two]
+
+    def test_fixed_params_ride_along(self):
+        spec = SweepSpec("t", grid={"a": (1,)}, fixed={"c": 9})
+        assert spec.tasks()[0].config == {"a": 1, "c": 9}
+
+    def test_where_prunes_points(self):
+        spec = SweepSpec(
+            "t", grid={"a": (1, 2, 3)}, where=lambda p: p["a"] != 2
+        )
+        assert [t.config["a"] for t in spec.tasks()] == [1, 3]
+
+    def test_empty_expansion_rejected(self):
+        spec = SweepSpec("t", grid={"a": (1,)}, where=lambda p: False)
+        with pytest.raises(ConfigurationError):
+            spec.tasks()
+
+    def test_swept_and_fixed_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec("t", grid={"a": (1,)}, fixed={"a": 2})
+
+
+class TestSeeds:
+    def test_seeds_derive_from_point_content_not_position(self):
+        """Adding a grid value must not perturb existing points' seeds."""
+        small = SweepSpec("t", grid={"a": (1, 2)}, replicates=2, base_seed=5)
+        large = SweepSpec("t", grid={"a": (0, 1, 2)}, replicates=2, base_seed=5)
+        by_identity = {
+            (t.params, t.replicate): t.seed for t in large.tasks()
+        }
+        for t in small.tasks():
+            assert by_identity[(t.params, t.replicate)] == t.seed
+
+    def test_replicates_get_distinct_seeds(self):
+        spec = SweepSpec("t", grid={"a": (1,)}, replicates=4)
+        seeds = [t.seed for t in spec.tasks()]
+        assert len(set(seeds)) == 4
+
+    def test_base_seed_changes_all_seeds(self):
+        a = SweepSpec("t", grid={"a": (1,)}, base_seed=1).tasks()[0].seed
+        b = SweepSpec("t", grid={"a": (1,)}, base_seed=2).tasks()[0].seed
+        assert a != b
+
+    def test_seed_params_pairs_treatment_arms(self):
+        """Seeds ignore params outside seed_params, pairing arms on worlds."""
+        spec = SweepSpec(
+            "t",
+            grid={"n": (10, 20), "algo": ("x", "y")},
+            replicates=2,
+            seed_params=("n",),
+        )
+        seeds = {}
+        for t in spec.tasks():
+            seeds.setdefault((t.config["n"], t.replicate), set()).add(t.seed)
+        # Both algos share a seed at each (n, replicate)...
+        assert all(len(s) == 1 for s in seeds.values())
+        # ...but distinct (n, replicate) pairs do not.
+        assert len({next(iter(s)) for s in seeds.values()}) == 4
+
+    def test_explicit_seeds_are_literal_and_shared_across_points(self):
+        spec = SweepSpec("t", grid={"a": (1, 2)}, seeds=(7, 13))
+        tasks = spec.tasks()
+        assert [t.seed for t in tasks if t.config["a"] == 1] == [7, 13]
+        assert [t.seed for t in tasks if t.config["a"] == 2] == [7, 13]
+
+    def test_unknown_seed_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec("t", grid={"a": (1,)}, seed_params=("nope",))
+
+
+class TestContentKeys:
+    def test_key_stable_for_equal_config(self):
+        assert config_key({"a": 1, "b": 2}) == config_key({"b": 2, "a": 1})
+
+    def test_key_changes_with_any_field(self):
+        base = SweepSpec("t", grid={"a": (1,)}, base_seed=3).tasks()[0].key
+        assert SweepSpec("t", grid={"a": (2,)}, base_seed=3).tasks()[0].key != base
+        assert SweepSpec("u", grid={"a": (1,)}, base_seed=3).tasks()[0].key != base
+        assert SweepSpec("t", grid={"a": (1,)}, base_seed=4).tasks()[0].key != base
+
+    def test_key_changes_with_version(self):
+        cfg = {"a": 1}
+        assert config_key(cfg, version="1.0.0") != config_key(cfg, version="1.0.1")
+
+    def test_canonical_json_sorts_and_handles_sets(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+        assert canonical_json({"s": {3, 1, 2}}) == '{"s":[1,2,3]}'
+
+    def test_tasks_pickle(self):
+        import pickle
+
+        task = SweepSpec("t", grid={"a": (1,)}).tasks()[0]
+        assert pickle.loads(pickle.dumps(task)) == task
