@@ -28,7 +28,7 @@ cells across runs.
 """
 
 import numpy as np
-from common import ResultTable, campaign_runner, run_and_print
+from common import ResultTable, campaign_runner, run_and_print, sim_rate
 
 from repro.campaign import SweepSpec
 
@@ -38,6 +38,7 @@ from repro.net.channel import Channel
 from repro.net.node import Network
 from repro.net.routing import AodvRouter
 from repro.net.transport import MessageService, ReliableMessageService
+from repro.obs import wire_from_env
 from repro.util.geometry import Point
 
 N_NODES = 28
@@ -48,7 +49,7 @@ MEAN_IAT_S = 5.0
 
 
 def _build(seed):
-    sim = Simulator(seed=seed)
+    sim = wire_from_env(Simulator(seed=seed))
     net = Network(sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=seed))
     for i in range(1, N_NODES + 1):
         net.create_node(i, Point(i * SPACING_M, 0.0))
@@ -86,6 +87,8 @@ def _run(transport: str, seed: int):
         service = MessageService(router)
     _workload(sim, lambda a, b: service.send(a, b), sim.rng.get("workload"))
     sim.run(until=HORIZON)
+    if sim.trace.sinks:  # profiler rows/metrics reach the export, if any
+        sim.export_obs()
 
     population = (
         service.fates.values()
@@ -111,12 +114,17 @@ def _run(transport: str, seed: int):
         "availability": injector.availability(HORIZON),
         "fingerprint": sim.trace.fingerprint(),
     }
-    return out
+    return out, sim
 
 
 def chaos_task(params, seed):
-    """Campaign task: one (transport, seed) chaos run, table-named metrics."""
-    out = _run(params["transport"], seed)
+    """Campaign task: one (transport, seed) chaos run, table-named metrics.
+
+    Kernel throughput (``sim_rate``) rides along in the result dict —
+    wall-clock figures, so they stay out of the deterministic metric
+    columns the table selects.
+    """
+    out, sim = _run(params["transport"], seed)
     return {
         "delivery_ratio": out["delivery"],
         "delivery_in_fault": out["in_fault"],
@@ -127,6 +135,7 @@ def chaos_task(params, seed):
         "mttr_s": out["mttr_s"],
         "availability": out["availability"],
         "trace_fingerprint": out["fingerprint"],
+        **sim_rate(sim),
     }
 
 
@@ -172,10 +181,10 @@ def test_chaos_run_is_deterministic(benchmark):
     """Same seed + same chaos schedule => bit-identical runs."""
 
     def both():
-        return _run("reliable", 7), _run("fire_forget", 7)
+        return _run("reliable", 7)[0], _run("fire_forget", 7)[0]
 
     (rel_a, ff_a) = benchmark.pedantic(both, rounds=1, iterations=1)
-    rel_b, ff_b = _run("reliable", 7), _run("fire_forget", 7)
+    rel_b, ff_b = _run("reliable", 7)[0], _run("fire_forget", 7)[0]
     assert rel_a == rel_b
     assert ff_a == ff_b
     assert rel_a["fingerprint"] == rel_b["fingerprint"]

@@ -51,18 +51,20 @@ def _compose_at_scale(n_assets: int, composer_name: str, seed: int = 3):
     )
     requirements = compile_goal(goal)
     pool = [a for a in scenario.inventory.blue() if a.alive]
+    sim = scenario.network.sim
     t0 = time.perf_counter()
-    topology = build_topology(scenario.network)
-    if composer_name == "greedy":
-        composite = GreedyComposer().compose(requirements, pool, topology)
-    elif composer_name == "annealing":
-        composite = AnnealingComposer(
-            np.random.default_rng(seed), iterations=30
-        ).compose(requirements, pool, topology)
-    else:
-        composite = RandomComposer(np.random.default_rng(seed)).compose(
-            requirements, pool, topology
-        )
+    with sim.span("synthesis", composer=composer_name, n_assets=n_assets):
+        topology = build_topology(scenario.network)
+        if composer_name == "greedy":
+            composite = GreedyComposer().compose(requirements, pool, topology)
+        elif composer_name == "annealing":
+            composite = AnnealingComposer(
+                np.random.default_rng(seed), iterations=30
+            ).compose(requirements, pool, topology)
+        else:
+            composite = RandomComposer(np.random.default_rng(seed)).compose(
+                requirements, pool, topology
+            )
     elapsed = time.perf_counter() - t0
     return composite, elapsed
 

@@ -24,10 +24,12 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from typing import Any, Callable, Dict, Optional
 
 from repro import ScenarioBuilder, Simulator
 from repro.campaign import CampaignRunner, ResultCache
+from repro.obs import wire_from_env
 from repro.util.tables import ResultTable, json_safe
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "table_slug",
     "write_table_json",
     "campaign_runner",
+    "sim_rate",
 ]
 
 
@@ -53,8 +56,14 @@ def standard_scenario(
     jammers: int = 0,
     events: int = 0,
 ):
-    """The default urban world used across experiments."""
-    sim = Simulator(seed=seed)
+    """The default urban world used across experiments.
+
+    Honors the ``REPRO_OBS_*`` environment (``REPRO_OBS_NDJSON`` streams
+    the trace to an NDJSON export, ``REPRO_OBS_PROFILE`` turns on the
+    kernel profiler), so any benchmark can run fully instrumented with no
+    code change; both default off and cost nothing when unset.
+    """
+    sim = wire_from_env(Simulator(seed=seed))
     builder = (
         ScenarioBuilder(sim)
         .urban_grid(blocks=blocks, block_size_m=100.0, density=density)
@@ -85,6 +94,20 @@ def campaign_runner(
     cache_dir = os.environ.get("REPRO_CAMPAIGN_CACHE")
     cache = ResultCache(cache_dir) if cache_dir else None
     return CampaignRunner(fn, workers=workers, cache=cache, **overrides)
+
+
+def sim_rate(sim: Simulator) -> Dict[str, float]:
+    """Kernel throughput counters for a task's result dict.
+
+    ``Simulator.run`` accumulates events fired and wall seconds spent, so
+    every benchmark can report events/sec for free by merging this into
+    its metrics (``result.update(sim_rate(sim))``).
+    """
+    return {
+        "events_processed": float(sim.events_processed),
+        "sim_wall_s": sim.wall_elapsed,
+        "events_per_sec": sim.events_per_sec,
+    }
 
 
 def write_table_json(table: ResultTable, path: str) -> None:
@@ -119,9 +142,25 @@ def run_and_print(benchmark, fn: Callable[[], ResultTable]) -> ResultTable:
     Two distinct titles mapping to one slug raise instead of silently
     overwriting each other's JSON output.
     """
+    t0 = time.perf_counter()
     table = benchmark.pedantic(fn, rounds=1, iterations=1)
+    harness_wall_s = time.perf_counter() - t0
     print()
     table.print()
+    print(f"[obs] harness wall={harness_wall_s:.2f}s")
+    telemetry = table.meta.get("telemetry") if isinstance(table.meta, dict) else None
+    if telemetry:
+        print(
+            "[obs] campaign tasks={n_tasks} cached={n_cached} "
+            "executed={n_executed} retried={n_retried} wall={wall_s:.2f}s".format(
+                **{
+                    k: telemetry.get(k, 0)
+                    for k in (
+                        "n_tasks", "n_cached", "n_executed", "n_retried", "wall_s"
+                    )
+                }
+            )
+        )
     out_dir = os.environ.get("REPRO_BENCH_JSON_DIR")
     if out_dir:
         os.makedirs(out_dir, exist_ok=True)

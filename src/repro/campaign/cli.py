@@ -24,20 +24,26 @@ __all__ = ["smoke_task", "smoke_spec", "main"]
 
 
 def smoke_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
-    """One smoke run: periodic unicasts across an ``n_nodes`` line network."""
+    """One smoke run: periodic unicasts across an ``n_nodes`` line network.
+
+    Honors the ``REPRO_OBS_*`` environment (NDJSON sink / profiler — see
+    :func:`repro.obs.wire_from_env`); CI's obs-smoke job uses that to
+    produce a telemetry export it then feeds to ``repro.obs report``.
+    """
     # Imports stay local so ``--help`` costs nothing.
     from repro import Simulator
     from repro.net.channel import Channel
     from repro.net.node import Network
     from repro.net.routing import AodvRouter, FloodingRouter
     from repro.net.transport import MessageService
+    from repro.obs import wire_from_env
     from repro.util.geometry import Point
 
     n_nodes = int(params["n_nodes"])
     spacing = float(params["spacing_m"])
     horizon = float(params["horizon_s"])
 
-    sim = Simulator(seed=seed)
+    sim = wire_from_env(Simulator(seed=seed))
     net = Network(
         sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=seed)
     )
@@ -58,11 +64,14 @@ def smoke_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         sim.call_in(float(rng.exponential(3.0)), tick)
 
     sim.call_in(0.5, tick)
-    sim.run(until=horizon)
+    with sim.span("smoke-run", router=params["router"], n_nodes=n_nodes):
+        sim.run(until=horizon)
+    sim.export_obs()
 
     return {
         "delivery_ratio": service.delivery_ratio(),
         "tx_attempts": float(sim.metrics.counter("net.tx_attempts")),
+        "events_per_sec": sim.events_per_sec,
         "trace_fingerprint": sim.trace.fingerprint(),
     }
 
@@ -108,7 +117,7 @@ def main(argv=None) -> int:
     table = result.table(
         "Smoke — line-network delivery by router",
         param_cols=["router", "n_nodes"],
-        metrics=["delivery_ratio", "tx_attempts"],
+        metrics=["delivery_ratio", "tx_attempts", "events_per_sec"],
         ci=True,
     )
     table.print()

@@ -45,14 +45,40 @@ logger = logging.getLogger("repro.campaign")
 TaskFn = Callable[[Dict[str, Any], int], Dict[str, Any]]
 
 
-def _call_task(fn: TaskFn, params: Dict[str, Any], seed: int) -> Dict[str, Any]:
-    """Worker-side entry point; module-level so it pickles by reference."""
+def _peak_rss_kb() -> float:
+    """Peak resident set size of this process in KiB (NaN if unavailable).
+
+    In a pool worker this is the worker's lifetime peak, not the single
+    task's — workers are reused — so it bounds the task from above.
+    """
+    try:
+        import resource
+
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-POSIX platforms
+        return float("nan")
+
+
+def _call_task(
+    fn: TaskFn, params: Dict[str, Any], seed: int
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Worker-side entry point; module-level so it pickles by reference.
+
+    Returns ``(result, telemetry)``: the task's metric dict plus the
+    worker-side accounting (wall time inside the worker — i.e. excluding
+    pool queueing — and peak RSS) the campaign report aggregates.
+    """
+    t0 = time.monotonic()
     result = fn(params, seed)
     if not isinstance(result, dict):
         raise TypeError(
             f"task functions must return a dict of metrics, got {type(result).__name__}"
         )
-    return result
+    telemetry = {
+        "wall_s": time.monotonic() - t0,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return result, telemetry
 
 
 @dataclass
@@ -65,10 +91,16 @@ class TaskOutcome:
     attempts: int
     elapsed_s: float
     error: Optional[str] = None
+    #: Worker-side accounting (wall_s, peak_rss_kb); None for cache hits.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return self.result is not None
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
 
 
 @dataclass
@@ -107,6 +139,43 @@ class CampaignResult:
     def failures(self) -> List[TaskOutcome]:
         return [o for o in self.outcomes if not o.ok]
 
+    def telemetry(self) -> Dict[str, Any]:
+        """Per-task run telemetry plus campaign totals, JSON-able.
+
+        Each task entry carries its wall time (runner-side ``wall_s``,
+        worker-side ``worker_wall_s`` when it executed), retry count,
+        cache-hit flag, and peak RSS — the accounting
+        ``repro.obs``-era reports aggregate across a campaign.
+        """
+        tasks = []
+        for o in self.outcomes:
+            entry: Dict[str, Any] = {
+                "task": o.task.label(),
+                "seed": o.task.seed,
+                "ok": o.ok,
+                "cached": o.cached,
+                "attempts": o.attempts,
+                "retries": o.retries,
+                "wall_s": o.elapsed_s,
+            }
+            if o.error is not None:
+                entry["error"] = o.error
+            if o.telemetry:
+                entry["worker_wall_s"] = o.telemetry.get("wall_s")
+                entry["peak_rss_kb"] = o.telemetry.get("peak_rss_kb")
+            tasks.append(entry)
+        return {
+            "campaign": self.spec.name,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "n_tasks": self.n_tasks,
+            "n_cached": self.n_cached,
+            "n_executed": self.n_executed,
+            "n_retried": self.n_retried,
+            "n_failed": self.n_failed,
+            "tasks": tasks,
+        }
+
     def table(
         self,
         title: Optional[str] = None,
@@ -117,15 +186,21 @@ class CampaignResult:
     ) -> ResultTable:
         """Aggregate across replicates into a :class:`ResultTable`.
 
-        See :func:`repro.campaign.aggregate.aggregate`.
+        See :func:`repro.campaign.aggregate.aggregate`.  The run's
+        :meth:`telemetry` rides along as ``table.meta["telemetry"]``, so
+        every exported aggregate JSON carries per-task wall time, retry,
+        and cache-hit accounting.  (Table equality ignores ``meta``, so
+        serial/parallel determinism checks are unaffected.)
         """
-        return aggregate(
+        table = aggregate(
             self,
             title=title if title is not None else self.spec.name,
             param_cols=param_cols,
             metrics=metrics,
             ci=ci,
         )
+        table.meta["telemetry"] = self.telemetry()
+        return table
 
 
 class CampaignRunner:
@@ -214,6 +289,7 @@ class CampaignRunner:
                         meta={
                             "elapsed_s": outcome.elapsed_s,
                             "attempts": outcome.attempts,
+                            "telemetry": outcome.telemetry,
                         },
                     )
 
@@ -248,7 +324,7 @@ class CampaignRunner:
             while True:
                 t0 = time.monotonic()
                 try:
-                    result = _call_task(self._fn, task.config, task.seed)
+                    result, telemetry = _call_task(self._fn, task.config, task.seed)
                 except Exception as exc:  # noqa: BLE001 - retry boundary
                     elapsed = time.monotonic() - t0
                     if attempt < self.max_retries:
@@ -261,7 +337,12 @@ class CampaignRunner:
                     self._log(task, f"failed ({exc!r})", attempt + 1, elapsed)
                     break
                 elapsed = time.monotonic() - t0
-                out.append(TaskOutcome(task, result, False, attempt + 1, elapsed))
+                out.append(
+                    TaskOutcome(
+                        task, result, False, attempt + 1, elapsed,
+                        telemetry=telemetry,
+                    )
+                )
                 self._log(task, "done", attempt + 1, elapsed)
                 break
         return out
@@ -304,8 +385,10 @@ class CampaignRunner:
                     elapsed = time.monotonic() - t0
                     error = future.exception()
                     if error is None:
+                        result, telemetry = future.result()
                         done[task.index] = TaskOutcome(
-                            task, future.result(), False, attempt + 1, elapsed
+                            task, result, False, attempt + 1, elapsed,
+                            telemetry=telemetry,
                         )
                         self._log(task, "done", attempt + 1, elapsed)
                     else:

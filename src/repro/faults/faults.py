@@ -49,6 +49,8 @@ class Fault:
             return
         self.active = True
         self.sim.trace.emit("fault.launch", fault=self.name)
+        self.sim.registry.counter("faults.injections").inc()
+        self.sim.registry.counter(f"faults.{self.name}.injections").inc()
         self._apply()
 
     def cease(self) -> None:
@@ -56,6 +58,8 @@ class Fault:
             return
         self.active = False
         self.sim.trace.emit("fault.cease", fault=self.name)
+        self.sim.registry.counter("faults.recoveries").inc()
+        self.sim.registry.counter(f"faults.{self.name}.recoveries").inc()
         self._revert()
 
     def schedule(self, start_s: float, duration_s: Optional[float] = None) -> None:
@@ -125,6 +129,7 @@ class NodeChurnFault(Fault):
         self.crashes += 1
         self.sim.trace.emit("fault.crash", node=node_id)
         self.sim.metrics.incr("faults.crashes")
+        self.sim.registry.counter("faults.crashes").inc()
         delay = float(self._rng.exponential(self.mean_downtime_s))
         self.sim.call_in(delay, lambda: self._restart(node_id))
 
@@ -138,6 +143,7 @@ class NodeChurnFault(Fault):
         self.restarts += 1
         self.sim.trace.emit("fault.restart", node=node_id)
         self.sim.metrics.incr("faults.restarts")
+        self.sim.registry.counter("faults.restarts").inc()
         if self.active:
             self._schedule_crash(node_id)
 

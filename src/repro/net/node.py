@@ -107,6 +107,15 @@ class Network:
         self._blocked_links: Set[Tuple[int, int]] = set()
         self._partitions: List[Dict[int, int]] = []
         self._gremlins: List[Any] = []
+        # Registry instruments, cached so the transmit path pays one
+        # attribute update per event (see repro.obs.registry).
+        registry = sim.registry
+        self._c_tx = registry.counter("net.tx")
+        self._c_rx = registry.counter("net.rx")
+        self._c_dropped = registry.counter("net.dropped")
+        self._h_backoff = registry.histogram("net.mac_backoff_s")
+        # (control_tx counter, control_bits counter) per router name.
+        self._control_counters: Dict[str, Tuple[Any, Any]] = {}
 
     # ------------------------------------------------------------- membership
 
@@ -281,6 +290,22 @@ class Network:
     def transmission_delay_s(self, node: NetNode, packet: Packet) -> float:
         return packet.size_bits / max(node.bitrate_bps, 1.0)
 
+    def _count_control(self, sender: NetNode, packet: Packet) -> None:
+        """Charge a non-DATA transmission to its router's control budget."""
+        if packet.kind is PacketKind.DATA:
+            return
+        name = sender.router.name if sender.router is not None else "none"
+        pair = self._control_counters.get(name)
+        if pair is None:
+            registry = self.sim.registry
+            pair = (
+                registry.counter(f"route.{name}.control_tx"),
+                registry.counter(f"route.{name}.control_bits"),
+            )
+            self._control_counters[name] = pair
+        pair[0].inc()
+        pair[1].inc(packet.size_bits)
+
     def _gremlin_verdict(self, sender_id: int, receiver_id: int, packet: Packet):
         """Combined packet-gremlin verdict for one hop, or ``None``.
 
@@ -323,8 +348,10 @@ class Network:
                 on_result(False)
             return
         busy = self._busy_neighbors(sender)
+        backoff = self.mac.access_delay(busy, self._rng)
+        self._h_backoff.observe(backoff)
         delay = (
-            self.mac.access_delay(busy, self._rng)
+            backoff
             + self.transmission_delay_s(sender, packet)
             + distance(sender.position, receiver.position) / SPEED_OF_LIGHT_M_S
         )
@@ -348,6 +375,8 @@ class Network:
                 if drop:
                     success = False
         self.sim.metrics.incr("net.tx_attempts")
+        self._c_tx.inc()
+        self._count_control(sender, packet)
         if sender.energy_hook:
             sender.energy_hook(packet.size_bits, 0.0)
         sender.busy_tx += 1
@@ -359,10 +388,12 @@ class Network:
                     # Failed checksum: airtime was spent but the frame is
                     # discarded at the receiver, and the link-layer ack fails.
                     self.sim.metrics.incr("net.rx_corrupt")
+                    self._c_dropped.inc()
                     if on_result:
                         on_result(False)
                     return
                 self.sim.metrics.incr("net.tx_success")
+                self._c_rx.inc()
                 self._deliver(receiver, packet, sender_id)
                 if duplicate:
                     self.sim.metrics.incr("net.rx_duplicated")
@@ -372,6 +403,7 @@ class Network:
                     on_result(True)
             else:
                 self.sim.metrics.incr("net.tx_failed")
+                self._c_dropped.inc()
                 if on_result:
                     on_result(False)
 
@@ -388,10 +420,12 @@ class Network:
             return 0
         neighbor_ids = self.neighbors(sender_id)
         busy = self._busy_neighbors(sender)
-        base_delay = self.mac.access_delay(busy, self._rng) + self.transmission_delay_s(
-            sender, packet
-        )
+        backoff = self.mac.access_delay(busy, self._rng)
+        self._h_backoff.observe(backoff)
+        base_delay = backoff + self.transmission_delay_s(sender, packet)
         self.sim.metrics.incr("net.tx_attempts")
+        self._c_tx.inc()
+        self._count_control(sender, packet)
         if sender.energy_hook:
             sender.energy_hook(packet.size_bits, 0.0)
         sender.busy_tx += 1
@@ -411,9 +445,11 @@ class Network:
                 * survival
             )
             if self._rng.random() >= p_ok:
+                self._c_dropped.inc()
                 continue
             if self.link_blocked(sender_id, nid):
                 self.sim.metrics.incr("net.link_blocked")
+                self._c_dropped.inc()
                 continue
             corrupt = duplicate = False
             extra_delay = 0.0
@@ -421,6 +457,7 @@ class Network:
             if verdict is not None:
                 drop, duplicate, corrupt, extra_delay = verdict
                 if drop:
+                    self._c_dropped.inc()
                     continue
             deliveries.append((nid, corrupt, duplicate, extra_delay))
 
@@ -430,8 +467,10 @@ class Network:
                 return
             if corrupt:
                 self.sim.metrics.incr("net.rx_corrupt")
+                self._c_dropped.inc()
                 return
             self.sim.metrics.incr("net.tx_success")
+            self._c_rx.inc()
             self._deliver(receiver, packet, sender_id)
             if duplicate:
                 self.sim.metrics.incr("net.rx_duplicated")

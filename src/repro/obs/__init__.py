@@ -1,0 +1,83 @@
+"""Observability: spans, kernel profiling, streaming telemetry, reports.
+
+The self-monitoring substrate the paper's adaptive IoBT loop assumes
+(Fig. 3: systems that observe their own behavior), and the measurement
+layer every performance PR reports against:
+
+* :mod:`repro.obs.spans` — hierarchical spans recording virtual *and*
+  wall-clock durations (``with sim.span("synthesis"): ...``);
+* :mod:`repro.obs.profiler` — opt-in per-event-callback wall-clock
+  attribution with hot-path tables and collapsed stacks for flamegraphs;
+* :mod:`repro.obs.sinks` — streaming NDJSON (size-rotated) and in-memory
+  ring sinks, so traces stop silently truncating at ``max_records``;
+* :mod:`repro.obs.registry` — fixed-size counter/gauge/histogram
+  instruments fed by :mod:`repro.net` and :mod:`repro.faults`;
+* :mod:`repro.obs.report` — ``python -m repro.obs report run.ndjson``.
+
+:func:`wire_from_env` turns the whole stack on from the environment
+(``REPRO_OBS_NDJSON=<path>``, ``REPRO_OBS_PROFILE=1``), which is how the
+benchmark harness and CI's obs-smoke job opt in without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.profiler import KernelProfiler
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import main as report_main
+from repro.obs.report import render_report, summarize_run
+from repro.obs.sinks import (
+    NdjsonSink,
+    RingSink,
+    Sink,
+    iter_ndjson,
+    ndjson_parts,
+    read_ndjson,
+)
+from repro.obs.spans import Span, SpanTracker
+
+__all__ = [
+    "Span",
+    "SpanTracker",
+    "KernelProfiler",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sink",
+    "NdjsonSink",
+    "RingSink",
+    "iter_ndjson",
+    "ndjson_parts",
+    "read_ndjson",
+    "summarize_run",
+    "render_report",
+    "report_main",
+    "wire_from_env",
+]
+
+#: Default rotation size for env-wired NDJSON sinks (64 MiB).
+ENV_ROTATE_BYTES = 64 * 1024 * 1024
+
+
+def wire_from_env(sim, env: Optional[dict] = None):
+    """Attach sinks/profiler to ``sim`` per ``REPRO_OBS_*`` variables.
+
+    * ``REPRO_OBS_NDJSON`` — stream the trace to this NDJSON path
+      (append mode, so sequential tasks of one run share the export);
+    * ``REPRO_OBS_ROTATE_BYTES`` — rotation threshold (default 64 MiB);
+    * ``REPRO_OBS_PROFILE`` — any non-empty value enables the kernel
+      profiler; its rows reach the sink when ``sim.export_obs()`` runs.
+
+    Returns ``sim`` so builders can chain it.
+    """
+    env = env if env is not None else os.environ
+    path = env.get("REPRO_OBS_NDJSON")
+    if path:
+        max_bytes = int(env.get("REPRO_OBS_ROTATE_BYTES", ENV_ROTATE_BYTES))
+        sim.trace.add_sink(NdjsonSink(path, max_bytes=max_bytes, append=True))
+    if env.get("REPRO_OBS_PROFILE"):
+        sim.enable_profiling()
+    return sim

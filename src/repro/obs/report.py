@@ -1,0 +1,188 @@
+"""Run reports: summarize an NDJSON telemetry export.
+
+``python -m repro.obs report run.ndjson`` digests the record stream a
+:class:`~repro.obs.sinks.NdjsonSink` captured — trace events, spans,
+metric snapshots, profiler rows — into one run summary: per-category trace
+counts, span aggregates, the top-N wall-clock hot paths, and final metric
+values.  ``--json`` writes the summary machine-readably so CI can assert
+on it; the text rendering is for humans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.sinks import ndjson_parts, read_ndjson
+from repro.util.tables import json_safe
+
+__all__ = ["summarize_run", "render_report", "main"]
+
+
+def summarize_run(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold a telemetry record stream into one summary dict.
+
+    Profiler rows are cumulative snapshots — a run that exports twice
+    reports each label's *latest* (largest) totals, not their sum.
+    """
+    trace_counts: Dict[str, int] = {}
+    span_agg: Dict[str, Dict[str, float]] = {}
+    profile: Dict[str, Dict[str, float]] = {}
+    metrics: Dict[str, Dict[str, Any]] = {}
+    meta_events: List[Dict[str, Any]] = []
+    n_records = 0
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+
+    for record in records:
+        n_records += 1
+        rtype = record.get("type", "trace")
+        if rtype == "trace":
+            category = record.get("category", "?")
+            trace_counts[category] = trace_counts.get(category, 0) + 1
+            t = record.get("time")
+            if isinstance(t, (int, float)):
+                t_min = t if t_min is None else min(t_min, t)
+                t_max = t if t_max is None else max(t_max, t)
+        elif rtype == "span":
+            path = record.get("path", record.get("name", "?"))
+            agg = span_agg.setdefault(
+                path, {"count": 0, "virtual_s": 0.0, "wall_s": 0.0}
+            )
+            agg["count"] += 1
+            agg["virtual_s"] += float(record.get("virtual_s") or 0.0)
+            agg["wall_s"] += float(record.get("wall_s") or 0.0)
+        elif rtype == "profile":
+            label = record.get("label", "?")
+            entry = profile.setdefault(label, {"calls": 0, "wall_s": 0.0})
+            entry["calls"] = max(entry["calls"], int(record.get("calls") or 0))
+            entry["wall_s"] = max(
+                entry["wall_s"], float(record.get("wall_s") or 0.0)
+            )
+        elif rtype == "metric":
+            name = record.get("name", "?")
+            metrics[name] = {
+                k: v for k, v in record.items() if k not in ("type", "name")
+            }
+        elif rtype == "meta":
+            meta_events.append(record)
+
+    hot_paths = sorted(
+        (
+            {"label": label, "calls": entry["calls"], "wall_s": entry["wall_s"]}
+            for label, entry in profile.items()
+        ),
+        key=lambda row: (-row["wall_s"], row["label"]),
+    )
+    return {
+        "n_records": n_records,
+        "virtual_time": {"min": t_min, "max": t_max},
+        "trace_counts": dict(sorted(trace_counts.items())),
+        "spans": dict(sorted(span_agg.items())),
+        "hot_paths": hot_paths,
+        "metrics": dict(sorted(metrics.items())),
+        "meta_events": meta_events,
+    }
+
+
+def render_report(summary: Dict[str, Any], *, top: int = 10) -> str:
+    """Human-readable rendering of :func:`summarize_run` output."""
+    lines: List[str] = []
+    vt = summary["virtual_time"]
+    lines.append(
+        f"records: {summary['n_records']}  "
+        f"virtual time: [{vt['min']}, {vt['max']}]"
+    )
+
+    if summary["trace_counts"]:
+        lines.append("")
+        lines.append("== trace records by category ==")
+        width = max(len(c) for c in summary["trace_counts"])
+        for category, count in summary["trace_counts"].items():
+            lines.append(f"  {category.ljust(width)}  {count}")
+
+    hot = summary["hot_paths"][:top]
+    if hot:
+        total = sum(row["wall_s"] for row in summary["hot_paths"])
+        lines.append("")
+        lines.append(f"== top {len(hot)} wall-clock hot paths ==")
+        lines.append(f"  {'wall_s':>10}  {'share':>6}  {'calls':>9}  label")
+        for row in hot:
+            share = row["wall_s"] / total if total > 0 else 0.0
+            lines.append(
+                f"  {row['wall_s']:>10.4f}  {share:>6.1%}  "
+                f"{row['calls']:>9d}  {row['label']}"
+            )
+
+    if summary["spans"]:
+        lines.append("")
+        lines.append("== spans (by path) ==")
+        for path, agg in summary["spans"].items():
+            lines.append(
+                f"  {path}: n={int(agg['count'])} "
+                f"virtual={agg['virtual_s']:.3f}s wall={agg['wall_s']:.4f}s"
+            )
+
+    if summary["metrics"]:
+        lines.append("")
+        lines.append("== metrics ==")
+        for name, body in summary["metrics"].items():
+            if body.get("kind") == "histogram":
+                lines.append(
+                    f"  {name}: n={body.get('count', 0):.0f} "
+                    f"mean={body.get('mean', float('nan')):.6g} "
+                    f"p95={body.get('p95', float('nan')):.6g}"
+                )
+            else:
+                lines.append(f"  {name}: {body.get('value')}")
+
+    for event in summary["meta_events"]:
+        if event.get("event") == "trace_capped":
+            lines.append("")
+            lines.append(
+                f"!! in-memory trace capped at {event.get('max_records')} "
+                "records (full stream preserved in this export)"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability utilities for repro runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="summarize an NDJSON telemetry export")
+    report.add_argument("path", help="run.ndjson produced by an NdjsonSink")
+    report.add_argument("--top", type=int, default=10, help="hot paths to show")
+    report.add_argument("--json", dest="json_out", default=None,
+                        help="also write the summary as JSON here")
+    args = parser.parse_args(argv)
+
+    # A rotated export spans several files (run.ndjson.N oldest first,
+    # then the live file); fold them all into one summary.
+    parts = ndjson_parts(args.path) or [args.path]
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    for part in parts:
+        part_records, part_skipped = read_ndjson(part)
+        records.extend(part_records)
+        skipped += part_skipped
+    summary = summarize_run(records)
+    summary["skipped_lines"] = skipped
+    summary["parts"] = parts
+    print(render_report(summary, top=args.top))
+    if skipped:
+        print(f"\n({skipped} unparsable line(s) skipped — truncated export?)")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(json_safe(summary), fh, indent=2, allow_nan=False)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""Streaming telemetry sinks.
+
+A *sink* receives every telemetry record — trace events, closed spans,
+metric snapshots, profiler rows — as a plain dict and persists or retains
+it.  Sinks exist so large runs stop losing data when the in-memory
+:class:`~repro.sim.trace.TraceLog` hits ``max_records``: the memory cap
+bounds RAM, the sink path keeps the full stream.
+
+* :class:`NdjsonSink` — newline-delimited JSON with size-based rotation
+  (``run.ndjson`` → ``run.ndjson.1`` → …), the export format
+  ``python -m repro.obs report`` consumes.
+* :class:`RingSink` — a bounded in-memory ring of the most recent records,
+  for always-on flight-recorder style capture with fixed memory.
+
+:func:`read_ndjson` reads an export back and tolerates a truncated final
+line (the normal artifact of a killed run), so reports survive crashes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.util.tables import json_safe
+
+__all__ = [
+    "Sink",
+    "NdjsonSink",
+    "RingSink",
+    "read_ndjson",
+    "iter_ndjson",
+    "ndjson_parts",
+]
+
+
+class Sink:
+    """Sink interface: override :meth:`write`; flush/close are optional."""
+
+    def write(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered records to durable storage (default: no-op)."""
+
+    def close(self) -> None:
+        """Release resources; the sink must not be written afterwards."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NdjsonSink(Sink):
+    """Append records to an NDJSON file, rotating by size.
+
+    Parameters
+    ----------
+    path:
+        Target file; parent directories are created.
+    max_bytes:
+        When a write would push the file past this size, the file rotates:
+        ``path`` → ``path.1`` (existing ``path.N`` shift up, the oldest
+        beyond ``max_files`` is deleted).  ``None`` disables rotation.
+    max_files:
+        How many rotated generations to keep besides the live file.
+    append:
+        Open the live file in append mode (default), so several sequential
+        runs — e.g. campaign tasks executing inline — share one export.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        max_bytes: Optional[int] = None,
+        max_files: int = 5,
+        append: bool = True,
+    ):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive or None")
+        if max_files < 1:
+            raise ValueError("max_files must be >= 1")
+        self.path = str(path)
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.rotations = 0
+        self.written = 0
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "a" if append else "w", encoding="utf-8")
+        self._size = self._fh.tell()
+
+    def write(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(json_safe(record), separators=(",", ":")) + "\n"
+        data = line.encode("utf-8")
+        if (
+            self.max_bytes is not None
+            and self._size > 0
+            and self._size + len(data) > self.max_bytes
+        ):
+            self._rotate()
+        self._fh.write(line)
+        self._size += len(data)
+        self.written += 1
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        oldest = f"{self.path}.{self.max_files}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for i in range(self.max_files - 1, 0, -1):
+            src = f"{self.path}.{i}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{i + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
+    def rotated_paths(self) -> List[str]:
+        """Existing rotated generations, oldest first."""
+        out = []
+        for i in range(self.max_files, 0, -1):
+            candidate = f"{self.path}.{i}"
+            if os.path.exists(candidate):
+                out.append(candidate)
+        return out
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class RingSink(Sink):
+    """Keep the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.total = 0
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self._ring.append(record)
+        self.total += 1
+
+    @property
+    def evicted(self) -> int:
+        """Records pushed out of the ring by newer ones."""
+        return self.total - len(self._ring)
+
+    def records(self) -> List[Dict[str, Any]]:
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+def ndjson_parts(path: Union[str, os.PathLike], max_files: int = 99) -> List[str]:
+    """All on-disk parts of a (possibly rotated) export, oldest first.
+
+    Returns existing ``path.N`` generations from highest N down, then the
+    live ``path`` — the read-back counterpart of :class:`NdjsonSink`
+    rotation, so a report covers the whole run, not just the newest file.
+    """
+    base = str(path)
+    parts = [
+        f"{base}.{i}"
+        for i in range(max_files, 0, -1)
+        if os.path.exists(f"{base}.{i}")
+    ]
+    if os.path.exists(base):
+        parts.append(base)
+    return parts
+
+
+def iter_ndjson(path: Union[str, os.PathLike]) -> Iterator[Dict[str, Any]]:
+    """Yield records from an NDJSON file, skipping a truncated final line.
+
+    Use :func:`read_ndjson` to also learn how many lines were skipped.
+    """
+    records, _ = read_ndjson(path)
+    return iter(records)
+
+
+def read_ndjson(
+    path: Union[str, os.PathLike]
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Read an NDJSON export; returns ``(records, skipped_lines)``.
+
+    A run killed mid-write leaves a torn final line; that line (and any
+    other unparsable line, counted so corruption is visible rather than
+    silent) is skipped instead of failing the whole report.
+    """
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                skipped += 1
+    return records, skipped

@@ -9,9 +9,13 @@ layered on top (see :mod:`repro.sim.process`).
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.profiler import KernelProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Span, SpanTracker
 from repro.sim.event import Event
 from repro.sim.metrics import MetricRecorder
 from repro.sim.trace import TraceLog
@@ -46,6 +50,13 @@ class Simulator:
         self.rng = RngStreams(seed)
         self.metrics = MetricRecorder(self)
         self.trace = TraceLog(self)
+        self.spans = SpanTracker(self)
+        self.registry = MetricsRegistry()
+        #: Opt-in kernel profiler; ``None`` keeps the hot loop unchanged.
+        self.profiler: Optional[KernelProfiler] = None
+        #: Events fired and wall-clock seconds spent across all run() calls.
+        self.events_processed = 0
+        self.wall_elapsed = 0.0
         self._queue: List[Event] = []
         self._seq = 0
         self._running = False
@@ -84,12 +95,16 @@ class Simulator:
         if time < self.now:
             raise SimulationError(f"call_at({time}) is in the past (now={self.now})")
         ev = self.schedule(time - self.now)
+        if self.profiler is not None:
+            ev.name = getattr(fn, "__qualname__", "") or repr(fn)
         ev.add_callback(lambda _ev: fn())
         return ev
 
     def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` time units."""
         ev = self.schedule(delay)
+        if self.profiler is not None:
+            ev.name = getattr(fn, "__qualname__", "") or repr(fn)
         ev.add_callback(lambda _ev: fn())
         return ev
 
@@ -143,7 +158,16 @@ class Simulator:
             if ev.time < self.now:  # pragma: no cover - guarded by schedule()
                 raise SimulationError("event queue corrupted: time went backward")
             self.now = ev.time
-            ev._fire(ev.value)
+            self.events_processed += 1
+            profiler = self.profiler
+            if profiler is not None and profiler.enabled:
+                # Label before firing: _fire clears the callback list.
+                label = profiler.label_of(ev)
+                t0 = perf_counter()
+                ev._fire(ev.value)
+                profiler.record(label, perf_counter() - t0)
+            else:
+                ev._fire(ev.value)
             return True
         return False
 
@@ -152,11 +176,14 @@ class Simulator:
 
         ``until`` is an absolute virtual time; the clock is advanced to it
         even if the queue drains earlier, so periodic metrics cover the full
-        horizon.
+        horizon.  Wall-clock spent and events fired accumulate on
+        :attr:`wall_elapsed` / :attr:`events_processed` across calls, so
+        every harness gets an events/sec figure for free.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        t_wall = perf_counter()
         try:
             fired = 0
             while self._queue:
@@ -172,11 +199,68 @@ class Simulator:
             if until is not None and self.now < until:
                 self.now = until
         finally:
+            self.wall_elapsed += perf_counter() - t_wall
             self._running = False
 
     @property
     def queue_length(self) -> int:
         return sum(1 for ev in self._queue if not ev.cancelled)
+
+    # ----------------------------------------------------------- observability
+
+    @property
+    def events_per_sec(self) -> float:
+        """Kernel throughput across all :meth:`run` calls so far."""
+        if self.wall_elapsed <= 0.0:
+            return 0.0
+        return self.events_processed / self.wall_elapsed
+
+    def span(self, name: str, *, scope: str = "main", **attrs: Any) -> Span:
+        """Open a hierarchical span (see :mod:`repro.obs.spans`):
+
+        >>> sim = Simulator()
+        >>> with sim.span("synthesis", assets=3):
+        ...     pass
+        >>> sim.spans.finished[0].name
+        'synthesis'
+        """
+        return self.spans.span(name, scope=scope, **attrs)
+
+    def enable_profiling(self) -> KernelProfiler:
+        """Attach (or return the existing) kernel profiler."""
+        if self.profiler is None:
+            self.profiler = KernelProfiler()
+        return self.profiler
+
+    def export_obs(self) -> None:
+        """Push profiler rows, registry state, and run counters to the
+        trace sinks, then flush them.
+
+        Spans and trace events stream as they happen; this exports the
+        cumulative state (safe to call more than once — reports take each
+        profile label's latest totals).
+        """
+        write = self.trace.write_record
+        write(
+            {
+                "type": "meta",
+                "event": "export",
+                "sim_now": self.now,
+                "events_processed": self.events_processed,
+                "wall_elapsed_s": self.wall_elapsed,
+                "events_per_sec": self.events_per_sec,
+            }
+        )
+        if self.profiler is not None:
+            for record in self.profiler.as_records():
+                write(record)
+        for record in self.registry.as_records():
+            write(record)
+        for name, value in self.metrics.counters().items():
+            write(
+                {"type": "metric", "kind": "counter", "name": name, "value": value}
+            )
+        self.trace.flush_sinks()
 
     def __repr__(self) -> str:
         return f"Simulator(now={self.now:.3f}, queued={self.queue_length})"

@@ -42,11 +42,25 @@ class TimeSeries:
     def last(self) -> Optional[float]:
         return self.values[-1] if self.values else None
 
-    def window(self, t_start: float, t_end: float) -> List[float]:
-        """Values sampled in ``[t_start, t_end)``."""
+    def window(
+        self, t_start: float, t_end: float, *, include_end: bool = False
+    ) -> List[float]:
+        """Values sampled in ``[t_start, t_end)`` (or ``[t_start, t_end]``).
+
+        Half-open by default, so adjacent windows tile without double
+        counting even when samples share timestamps: the end bound uses
+        ``bisect_left`` (samples *at* ``t_end`` belong to the next
+        window).  ``include_end=True`` switches the end bound to
+        ``bisect_right`` for a closed interval — the right call when the
+        window edge is the run horizon and the final samples land exactly
+        on it.  An inverted window (``t_end < t_start``) is empty.
+        """
         lo = bisect.bisect_left(self.times, t_start)
-        hi = bisect.bisect_left(self.times, t_end)
-        return self.values[lo:hi]
+        if include_end:
+            hi = bisect.bisect_right(self.times, t_end)
+        else:
+            hi = bisect.bisect_left(self.times, t_end)
+        return self.values[lo:hi] if hi > lo else []
 
     def time_average(self, horizon: Optional[float] = None) -> float:
         """Piecewise-constant time average (sample-and-hold).

@@ -72,6 +72,8 @@ class Process:
         self.done_event: Event = sim.event(name=f"{name}.done")
         # Kick off on a zero-delay event so spawning inside a callback is safe.
         start = sim.schedule(0.0)
+        if sim.profiler is not None:
+            start.name = f"proc:{name}"
         start.add_callback(lambda _ev: self._resume(None))
 
     @property
@@ -104,6 +106,9 @@ class Process:
     def _wait_on(self, target: Any) -> None:
         if isinstance(target, Timeout):
             ev = self.sim.timeout(target.delay, value=target.value)
+            if self.sim.profiler is not None and not ev.name:
+                # Attribute the wake-up to this process, not "<anonymous>".
+                ev.name = f"proc:{self.name}"
             ev.add_callback(lambda e: self._resume(e.value))
         elif isinstance(target, AllOf):
             self._wait_all(target.events)

@@ -9,10 +9,13 @@ across runs.
 from __future__ import annotations
 
 import hashlib
+import logging
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["TraceRecord", "TraceLog"]
+
+logger = logging.getLogger("repro.obs")
 
 
 @dataclass(frozen=True)
@@ -39,7 +42,12 @@ class TraceLog:
     """Append-only trace attached to a simulator.
 
     Tracing is enabled by default but can be capped or disabled for very
-    large runs (benchmarks disable it).
+    large runs (benchmarks disable it).  The in-memory ``records`` list is
+    bounded by ``max_records`` — but hitting the cap no longer loses data
+    silently: overflow is counted on :attr:`dropped`, warned about once,
+    and every record (retained or not) still reaches the live listeners
+    and any attached streaming sinks (:mod:`repro.obs.sinks`), so a
+    rotated NDJSON export keeps the full stream.
     """
 
     def __init__(self, sim: "Simulator", max_records: int = 1_000_000):  # noqa: F821
@@ -47,25 +55,81 @@ class TraceLog:
         self.enabled = True
         self.max_records = max_records
         self.records: List[TraceRecord] = []
+        #: Records not retained in memory because ``max_records`` was hit.
+        self.dropped = 0
+        self._warned_capped = False
         self._listeners: List[Callable[[TraceRecord], None]] = []
+        self._sinks: List[Any] = []
 
     def emit(self, category: str, **fields: Any) -> None:
         if not self.enabled:
-            return
-        if len(self.records) >= self.max_records:
             return
         record = TraceRecord(
             time=self._sim.now,
             category=category,
             fields=tuple(sorted(fields.items())),
         )
-        self.records.append(record)
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+        else:
+            self.dropped += 1
+            if not self._warned_capped:
+                self._warned_capped = True
+                logger.warning(
+                    "trace capped at %d in-memory records; further records "
+                    "are dropped from memory (attach a sink — e.g. "
+                    "repro.obs.NdjsonSink — to keep the full stream)",
+                    self.max_records,
+                )
+                self.write_record(
+                    {
+                        "type": "meta",
+                        "event": "trace_capped",
+                        "time": record.time,
+                        "max_records": self.max_records,
+                    }
+                )
         for listener in self._listeners:
             listener(record)
+        if self._sinks:
+            payload = {"type": "trace", **record.as_dict()}
+            for sink in self._sinks:
+                sink.write(payload)
 
     def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         """Register a live listener for each emitted record."""
         self._listeners.append(listener)
+
+    # ------------------------------------------------------------------ sinks
+
+    def add_sink(self, sink: Any) -> Any:
+        """Attach a streaming sink; every emitted record (including ones
+        past the memory cap) is written to it as a dict."""
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Any) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> Tuple[Any, ...]:
+        return tuple(self._sinks)
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Write an arbitrary (non-trace) record dict to the sinks —
+        profiler rows, metric snapshots, meta events."""
+        for sink in self._sinks:
+            sink.write(record)
+
+    def flush_sinks(self) -> None:
+        for sink in self._sinks:
+            sink.flush()
+
+    def close_sinks(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+        self._sinks.clear()
 
     def filter(
         self, category: Optional[str] = None, **field_filters: Any

@@ -58,6 +58,9 @@ class ResultTable:
         self.title = title
         self.columns = list(columns)
         self.rows: List[Dict[str, Any]] = []
+        #: Side-channel payload (e.g. campaign run telemetry) carried into
+        #: to_json() but excluded from rendering and equality.
+        self.meta: Dict[str, Any] = {}
 
     def add_row(self, **values: Any) -> None:
         unknown = set(values) - set(self.columns)
@@ -120,6 +123,8 @@ class ResultTable:
         there.
         """
         document = {"title": self.title, "rows": json_safe(self.to_dicts())}
+        if self.meta:
+            document["meta"] = json_safe(self.meta)
         text = json.dumps(document, indent=2, allow_nan=False) + "\n"
         if path is not None:
             with open(path, "w", encoding="utf-8") as fh:

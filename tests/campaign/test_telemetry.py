@@ -1,0 +1,105 @@
+"""Tests for campaign run telemetry: per-task accounting and table.meta."""
+
+import json
+import math
+
+from tests.campaign.taskfns import affine_noise_task, flaky_exception_task
+
+from repro.campaign import CampaignRunner, ResultCache, SweepSpec
+
+
+def _spec(**overrides):
+    base = dict(
+        name="telemetry-spec",
+        grid={"gain": (1.0, 2.0)},
+        fixed={"offset": 3.0},
+        replicates=2,
+        base_seed=42,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestTaskTelemetry:
+    def test_executed_tasks_carry_worker_accounting(self):
+        result = CampaignRunner(affine_noise_task).run(_spec())
+        for outcome in result.outcomes:
+            assert outcome.telemetry is not None
+            assert outcome.telemetry["wall_s"] >= 0.0
+            rss = outcome.telemetry["peak_rss_kb"]
+            assert rss > 0 or math.isnan(rss)
+            assert outcome.retries == 0
+
+    def test_parallel_tasks_carry_worker_accounting(self):
+        result = CampaignRunner(affine_noise_task, workers=2).run(_spec())
+        assert all(o.telemetry is not None for o in result.outcomes)
+        assert all(o.telemetry["wall_s"] >= 0.0 for o in result.outcomes)
+
+    def test_cache_hits_have_no_worker_telemetry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(affine_noise_task, cache=cache)
+        runner.run(_spec())
+        warm = runner.run(_spec())
+        assert warm.n_cached == warm.n_tasks
+        assert all(o.telemetry is None for o in warm.outcomes)
+
+    def test_retries_surface_in_telemetry(self, tmp_path):
+        spec = _spec(
+            name="retry-spec",
+            grid={"i": (0, 1)},
+            fixed={"fail_i": 1, "marker_dir": str(tmp_path)},
+            replicates=1,
+        )
+        result = CampaignRunner(flaky_exception_task).run(spec)
+        telemetry = result.telemetry()
+        assert telemetry["n_retried"] == 1
+        retried = [t for t in telemetry["tasks"] if t["retries"] > 0]
+        assert len(retried) == 1
+        assert retried[0]["attempts"] == 2
+
+
+class TestCampaignTelemetry:
+    def test_aggregate_shape(self):
+        result = CampaignRunner(affine_noise_task, workers=2).run(_spec())
+        telemetry = result.telemetry()
+        assert telemetry["campaign"] == "telemetry-spec"
+        assert telemetry["workers"] == 2
+        assert telemetry["wall_s"] > 0.0
+        assert telemetry["n_tasks"] == 4
+        assert telemetry["n_executed"] == 4
+        assert telemetry["n_cached"] == 0
+        assert len(telemetry["tasks"]) == 4
+        for entry in telemetry["tasks"]:
+            assert entry["ok"] is True
+            assert entry["wall_s"] >= 0.0
+            assert "worker_wall_s" in entry
+            assert "peak_rss_kb" in entry
+            assert "seed" in entry
+
+    def test_table_meta_carries_telemetry_and_serializes(self, tmp_path):
+        result = CampaignRunner(affine_noise_task).run(_spec())
+        table = result.table("t", param_cols=["gain"], metrics=["value"])
+        assert table.meta["telemetry"]["n_tasks"] == 4
+        out = tmp_path / "table.json"
+        table.to_json(str(out))
+        document = json.loads(out.read_text())
+        assert document["meta"]["telemetry"]["campaign"] == "telemetry-spec"
+        assert len(document["meta"]["telemetry"]["tasks"]) == 4
+
+    def test_meta_excluded_from_equality(self):
+        a = CampaignRunner(affine_noise_task).run(_spec())
+        b = CampaignRunner(affine_noise_task, workers=2).run(_spec())
+        ta = a.table("t", param_cols=["gain"], metrics=["value"])
+        tb = b.table("t", param_cols=["gain"], metrics=["value"])
+        # Telemetry differs (wall times, worker counts) but the tables —
+        # the determinism contract — compare equal.
+        assert ta.meta != tb.meta
+        assert ta == tb
+
+    def test_cached_tasks_marked_in_telemetry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        CampaignRunner(affine_noise_task, cache=cache).run(_spec())
+        warm = CampaignRunner(affine_noise_task, cache=cache).run(_spec())
+        telemetry = warm.telemetry()
+        assert telemetry["n_cached"] == 4
+        assert all(t["cached"] for t in telemetry["tasks"])

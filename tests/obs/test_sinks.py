@@ -1,0 +1,170 @@
+"""Tests for streaming sinks: NDJSON rotation/recovery, ring sink, and the
+TraceLog overflow path (count drops, warn once, keep streaming)."""
+
+import json
+import logging
+import os
+
+from repro.obs.sinks import (
+    NdjsonSink,
+    RingSink,
+    ndjson_parts,
+    read_ndjson,
+)
+from repro.sim import Simulator
+
+
+class TestNdjsonSink:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        with NdjsonSink(path) as sink:
+            sink.write({"type": "trace", "i": 0})
+            sink.write({"type": "trace", "i": 1})
+        records, skipped = read_ndjson(path)
+        assert skipped == 0
+        assert [r["i"] for r in records] == [0, 1]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.ndjson"
+        with NdjsonSink(path) as sink:
+            sink.write({"a": 1})
+        assert path.exists()
+
+    def test_append_mode_accumulates_across_opens(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        with NdjsonSink(path) as sink:
+            sink.write({"run": 1})
+        with NdjsonSink(path) as sink:
+            sink.write({"run": 2})
+        records, _ = read_ndjson(path)
+        assert [r["run"] for r in records] == [1, 2]
+
+    def test_non_finite_values_serialize(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        with NdjsonSink(path) as sink:
+            sink.write({"v": float("nan")})
+        records, skipped = read_ndjson(path)
+        assert skipped == 0
+        assert records[0]["v"] is None  # json_safe nulls non-finite floats
+
+    def test_rotation_shifts_generations(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        sink = NdjsonSink(path, max_bytes=120, max_files=3, append=False)
+        for i in range(40):
+            sink.write({"i": i})
+        sink.close()
+        assert sink.rotations > 0
+        rotated = sink.rotated_paths()
+        assert rotated  # oldest-first generations exist on disk
+        assert all(os.path.exists(p) for p in rotated)
+        # No generation beyond max_files survives.
+        assert not os.path.exists(f"{path}.4")
+        # Parts (rotated oldest-first + live) hold a contiguous suffix of
+        # the stream, ending with the newest record.
+        all_records = []
+        for part in ndjson_parts(path):
+            all_records.extend(read_ndjson(part)[0])
+        seq = [r["i"] for r in all_records]
+        assert seq == sorted(seq)
+        assert seq[-1] == 39
+
+    def test_oversized_single_record_still_written(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        sink = NdjsonSink(path, max_bytes=10, append=False)
+        sink.write({"big": "x" * 100})
+        sink.close()
+        records, _ = read_ndjson(path)
+        assert len(records) == 1
+
+    def test_truncated_final_line_recovered(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        with NdjsonSink(path) as sink:
+            for i in range(5):
+                sink.write({"i": i})
+        # Simulate a killed run: tear the final record mid-line (cut back
+        # to just past the last newline, then one byte more).
+        data = path.read_bytes()
+        cut = data.rstrip(b"\n").rfind(b"\n") + 2
+        path.write_bytes(data[:cut])
+        records, skipped = read_ndjson(path)
+        assert skipped == 1
+        assert [r["i"] for r in records] == [0, 1, 2, 3]
+
+    def test_ndjson_parts_missing_file(self, tmp_path):
+        assert ndjson_parts(tmp_path / "nope.ndjson") == []
+
+
+class TestRingSink:
+    def test_keeps_most_recent(self):
+        ring = RingSink(capacity=3)
+        for i in range(10):
+            ring.write({"i": i})
+        assert [r["i"] for r in ring.records()] == [7, 8, 9]
+        assert ring.evicted == 7
+        assert ring.total == 10
+        assert len(ring) == 3
+
+
+class TestTraceLogSinks:
+    def test_sink_receives_trace_records(self, tmp_path):
+        sim = Simulator()
+        ring = sim.trace.add_sink(RingSink())
+        sim.trace.emit("evt", x=1)
+        (rec,) = ring.records()
+        assert rec["type"] == "trace"
+        assert rec["category"] == "evt"
+        assert rec["x"] == 1
+
+    def test_overflow_counts_drops_and_keeps_streaming(self):
+        sim = Simulator()
+        sim.trace.max_records = 3
+        ring = sim.trace.add_sink(RingSink())
+        for i in range(10):
+            sim.trace.emit("evt", i=i)
+        # In-memory list capped, drop count exact ...
+        assert len(sim.trace) == 3
+        assert sim.trace.dropped == 7
+        # ... but the sink saw the entire stream (plus one capped-marker).
+        traces = [r for r in ring.records() if r["type"] == "trace"]
+        assert [r["i"] for r in traces] == list(range(10))
+        capped = [r for r in ring.records() if r.get("event") == "trace_capped"]
+        assert len(capped) == 1
+        assert capped[0]["max_records"] == 3
+
+    def test_overflow_warns_exactly_once(self, caplog):
+        sim = Simulator()
+        sim.trace.max_records = 1
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            for _ in range(5):
+                sim.trace.emit("evt")
+        warnings = [r for r in caplog.records if "trace capped" in r.message]
+        assert len(warnings) == 1
+        assert sim.trace.dropped == 4
+
+    def test_remove_sink(self):
+        sim = Simulator()
+        ring = sim.trace.add_sink(RingSink())
+        sim.trace.remove_sink(ring)
+        sim.trace.emit("evt")
+        assert len(ring) == 0
+        assert sim.trace.sinks == ()
+
+    def test_ndjson_export_end_to_end(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        sim = Simulator(seed=1)
+        sim.trace.add_sink(NdjsonSink(path))
+        sim.call_in(1.0, lambda: sim.trace.emit("tick", n=1))
+        sim.run()
+        sim.export_obs()
+        sim.trace.close_sinks()
+        records, skipped = read_ndjson(path)
+        assert skipped == 0
+        types = {r["type"] for r in records}
+        assert "trace" in types
+        assert "meta" in types  # the export marker
+        tick = next(r for r in records if r["type"] == "trace")
+        assert tick["category"] == "tick"
+        assert tick["time"] == 1.0
+        # Records are valid one-object-per-line JSON.
+        for line in path.read_text().splitlines():
+            json.loads(line)

@@ -15,6 +15,44 @@ class TestTimeSeries:
             ts.add(t, v)
         assert ts.window(1, 3) == [2, 3]
 
+    def test_window_duplicate_timestamps(self):
+        # Samples sharing a timestamp: all land on one side of the bound.
+        ts = TimeSeries("x")
+        for t, v in [(0, 1), (1, 2), (1, 3), (1, 4), (2, 5)]:
+            ts.add(t, v)
+        # All duplicates at t=1 belong to the window starting at 1 ...
+        assert ts.window(1, 2) == [2, 3, 4]
+        # ... and none to the half-open window ending at 1 ...
+        assert ts.window(0, 1) == [1]
+        # ... unless the closed-interval variant is requested.
+        assert ts.window(0, 1, include_end=True) == [1, 2, 3, 4]
+
+    def test_window_tiles_without_double_counting(self):
+        ts = TimeSeries("x")
+        for t, v in [(0, 1), (1, 2), (1, 3), (2, 4), (3, 5)]:
+            ts.add(t, v)
+        tiled = ts.window(0, 1) + ts.window(1, 2) + ts.window(2, 3)
+        assert tiled == [1, 2, 3, 4]
+
+    def test_window_empty_cases(self):
+        ts = TimeSeries("x")
+        assert ts.window(0, 10) == []  # no samples at all
+        ts.add(5.0, 1.0)
+        assert ts.window(0, 5) == []       # half-open excludes the sample
+        assert ts.window(6, 10) == []      # fully after the bound
+        assert ts.window(3, 3) == []       # zero-width
+        assert ts.window(9, 2) == []       # inverted window is empty
+        assert ts.window(9, 2, include_end=True) == []
+
+    def test_window_include_end_at_horizon(self):
+        # The motivating case: final samples landing exactly on the run
+        # horizon must be countable without shifting the end bound.
+        ts = TimeSeries("x")
+        for t, v in [(99.0, 1), (100.0, 2), (100.0, 3)]:
+            ts.add(t, v)
+        assert ts.window(0.0, 100.0) == [1]
+        assert ts.window(0.0, 100.0, include_end=True) == [1, 2, 3]
+
     def test_time_average_sample_and_hold(self):
         ts = TimeSeries("x")
         ts.add(0.0, 0.0)
@@ -85,6 +123,22 @@ class TestTraceLog:
         for _ in range(10):
             sim.trace.emit("evt")
         assert len(sim.trace) == 3
+
+    def test_overflow_is_counted_not_silent(self):
+        sim = Simulator()
+        sim.trace.max_records = 3
+        for _ in range(10):
+            sim.trace.emit("evt")
+        assert sim.trace.dropped == 7
+
+    def test_listeners_see_records_past_the_cap(self):
+        sim = Simulator()
+        sim.trace.max_records = 2
+        seen = []
+        sim.trace.subscribe(seen.append)
+        for i in range(5):
+            sim.trace.emit("evt", i=i)
+        assert [r.get("i") for r in seen] == [0, 1, 2, 3, 4]
 
     def test_subscriber_sees_records(self):
         sim = Simulator()
