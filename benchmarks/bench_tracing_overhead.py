@@ -1,0 +1,196 @@
+"""Causal-tracing perf baseline: on/off kernel overhead + per-router latency.
+
+Two questions this benchmark pins down, and records in ``BENCH_pr4.json``
+for future PRs to diff against:
+
+1. **What does tracing cost?**  The same seeded AODV workload runs with
+   :class:`~repro.obs.tracing.PacketTracer` off and on; the events/sec
+   ratio is the tracing overhead.  The tracer emits trace records from
+   callbacks the kernel was already visiting (no extra events, no RNG), so
+   the disabled path must be within measurement noise and the enabled path
+   costs only record construction.
+2. **Where does delivery latency go per router?**  Delivery latency
+   percentiles (p50/p90/p99) for each routing protocol on a shared random
+   deployment, the numbers the phase-attribution reports decompose.
+
+Determinism cross-check: the traced and untraced runs of one (router,
+seed) cell must agree bit-for-bit on the non-``pkt.*`` trace fingerprint —
+the tracer observes, it never perturbs.
+"""
+
+import numpy as np
+from common import (
+    ResultTable,
+    campaign_runner,
+    run_and_print,
+    sim_rate,
+    write_bench_pr4,
+)
+
+from repro import Simulator
+from repro.campaign import SweepSpec
+from repro.net.channel import Channel
+from repro.net.node import Network
+from repro.net.routing import (
+    AodvRouter,
+    FloodingRouter,
+    GossipRouter,
+    GreedyGeoRouter,
+)
+from repro.net.transport import MessageService
+from repro.obs import wire_from_env
+from repro.obs.tracing import TRACE_CATEGORIES
+from repro.util.geometry import Point
+
+N_NODES = 24
+AREA_M = 320.0
+HORIZON = 300.0
+SEND_UNTIL = 240.0
+MEAN_IAT_S = 2.0
+
+ROUTERS = {
+    "flooding": FloodingRouter,
+    "gossip": GossipRouter,
+    "aodv": AodvRouter,
+    "geo": GreedyGeoRouter,
+}
+
+
+def tracing_task(params, seed):
+    """One cell: random deployment, Poisson unicasts, one router,
+    tracing on or off."""
+    router_name = params["router"]
+    traced = bool(params["traced"])
+
+    sim = wire_from_env(Simulator(seed=seed))
+    if traced:
+        sim.enable_packet_tracing()
+    net = Network(
+        sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=seed)
+    )
+    topo_rng = sim.rng.get("topo")
+    for i in range(1, N_NODES + 1):
+        net.create_node(
+            i,
+            Point(
+                float(topo_rng.uniform(0, AREA_M)),
+                float(topo_rng.uniform(0, AREA_M)),
+            ),
+        )
+    router = ROUTERS[router_name](net)
+    router.attach_all(range(1, N_NODES + 1))
+    service = MessageService(router)
+
+    rng = sim.rng.get("workload")
+
+    def tick():
+        if sim.now > SEND_UNTIL:
+            return
+        a, b = rng.choice(range(1, N_NODES + 1), size=2, replace=False)
+        service.send(int(a), int(b))
+        sim.call_in(float(rng.exponential(MEAN_IAT_S)), tick)
+
+    sim.call_in(0.5, tick)
+    sim.run(until=HORIZON)
+    sim.export_obs()
+
+    latencies = np.array(
+        [r.latency_s for r in service.receipts.values() if r.latency_s is not None]
+    )
+    behaviour_fp = sim.trace.fingerprint(
+        categories=sorted(
+            {r.category for r in sim.trace.records} - set(TRACE_CATEGORIES)
+        )
+    )
+    def pct(q):
+        # NaN (not None) when nothing delivered: stays a float for the
+        # aggregator; json_safe nulls it at export time.
+        return float(np.percentile(latencies, q)) if latencies.size else float("nan")
+
+    return {
+        "delivery_ratio": service.delivery_ratio(),
+        "latency_p50_s": pct(50),
+        "latency_p90_s": pct(90),
+        "latency_p99_s": pct(99),
+        "pkt_records": float(
+            sum(1 for r in sim.trace.records if r.category in TRACE_CATEGORIES)
+        ),
+        # Radio-level behaviour signature: if tracing perturbed a single
+        # transmission or RNG draw, this count would shift.
+        "tx_attempts": float(sim.metrics.counter("net.tx_attempts")),
+        "behaviour_fingerprint": behaviour_fp,
+        **sim_rate(sim),
+    }
+
+
+def run_experiment(quick: bool = True) -> ResultTable:
+    spec = SweepSpec(
+        name="tracing-overhead",
+        grid={"router": tuple(ROUTERS), "traced": (False, True)},
+        seeds=(11,) if quick else (11, 23, 47),
+        # Pair traced/untraced on identical worlds per router/seed.
+        seed_params=("router",),
+    )
+    result = campaign_runner(tracing_task).run(spec)
+    table = result.table(
+        "Tracing — on/off overhead and per-router delivery latency",
+        param_cols=["router", "traced"],
+        metrics=[
+            "delivery_ratio",
+            "latency_p50_s",
+            "latency_p90_s",
+            "latency_p99_s",
+            "pkt_records",
+            "tx_attempts",
+            "events_per_sec",
+            # Constant within each (router, traced) group in quick mode;
+            # the overhead test compares it across the traced arms.
+            "behaviour_fingerprint",
+        ],
+    )
+
+    rows = {(r["router"], bool(r["traced"])): r for r in table.to_dicts()}
+    off = [rows[(name, False)]["events_per_sec"] for name in ROUTERS]
+    on = [rows[(name, True)]["events_per_sec"] for name in ROUTERS]
+    eps_off = float(np.mean(off))
+    eps_on = float(np.mean(on))
+    write_bench_pr4(
+        events_per_sec={
+            "tracing_off": eps_off,
+            "tracing_on": eps_on,
+            "overhead_frac": (eps_off - eps_on) / eps_off if eps_off > 0 else None,
+        },
+        routers={
+            name: {
+                "delivery_ratio": rows[(name, True)]["delivery_ratio"],
+                "latency_s": {
+                    "p50": rows[(name, True)]["latency_p50_s"],
+                    "p90": rows[(name, True)]["latency_p90_s"],
+                    "p99": rows[(name, True)]["latency_p99_s"],
+                },
+            }
+            for name in ROUTERS
+        },
+    )
+    return table
+
+
+def test_tracing_overhead(benchmark):
+    table = run_and_print(benchmark, run_experiment)
+    rows = {(r["router"], bool(r["traced"])): r for r in table.to_dicts()}
+    for name in ROUTERS:
+        untraced, traced = rows[(name, False)], rows[(name, True)]
+        # The tracer must not perturb behaviour: identical delivery and
+        # identical non-pkt trace fingerprints, and pkt.* records only
+        # ever appear in the traced run.
+        assert traced["delivery_ratio"] == untraced["delivery_ratio"]
+        assert traced["tx_attempts"] == untraced["tx_attempts"]
+        assert (
+            traced["behaviour_fingerprint"] == untraced["behaviour_fingerprint"]
+        )
+        assert untraced["pkt_records"] == 0.0
+        assert traced["pkt_records"] > 0.0
+
+
+if __name__ == "__main__":
+    run_experiment(quick=False).print()

@@ -41,6 +41,8 @@ __all__ = [
     "write_table_json",
     "campaign_runner",
     "sim_rate",
+    "write_bench_pr4",
+    "BENCH_PR4_SCHEMA",
 ]
 
 
@@ -113,6 +115,45 @@ def sim_rate(sim: Simulator) -> Dict[str, float]:
 def write_table_json(table: ResultTable, path: str) -> None:
     """Write a table as a JSON document with non-finite values nulled."""
     table.to_json(path)
+
+
+#: Schema tag for the PR4 perf baseline file; bump only with a migration
+#: note so future PRs can diff against older baselines.
+BENCH_PR4_SCHEMA = "bench-pr4/1"
+
+
+def write_bench_pr4(
+    *,
+    events_per_sec: Dict[str, float],
+    routers: Dict[str, Dict[str, Any]],
+    path: Optional[str] = None,
+) -> str:
+    """Write the PR4 perf baseline (``BENCH_pr4.json``) in a stable schema.
+
+    ``events_per_sec`` carries ``{"tracing_off", "tracing_on",
+    "overhead_frac"}`` kernel-throughput numbers; ``routers`` maps router
+    name -> ``{"delivery_ratio": float, "latency_s": {"p50","p90","p99"}}``.
+    Default location is the repository root (next to ROADMAP.md), so
+    successive PRs diff one well-known file; ``REPRO_BENCH_JSON_DIR``
+    redirects it alongside the other benchmark JSON artifacts.
+    """
+    import json
+
+    if path is None:
+        out_dir = os.environ.get("REPRO_BENCH_JSON_DIR") or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "BENCH_pr4.json")
+    payload = {
+        "schema": BENCH_PR4_SCHEMA,
+        "events_per_sec": events_per_sec,
+        "routers": routers,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(json_safe(payload), fh, indent=2, allow_nan=False)
+        fh.write("\n")
+    return path
 
 
 def table_slug(title: str) -> str:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from pathlib import Path
 from typing import Any, Dict
@@ -102,11 +103,26 @@ def main(argv=None) -> int:
         "--cache", default=None, help="result-cache directory (default: no cache)"
     )
     parser.add_argument("--timeout-s", type=float, default=300.0)
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help=(
+            "enable causal packet tracing and write each task's telemetry "
+            "to its own NDJSON file in this directory (analyze with "
+            "`python -m repro.obs trace <dir>`)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     logging.basicConfig(
         level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
     )
+    if args.trace_dir:
+        # Exported via the environment so pool workers inherit it; each
+        # task's wire_from_env picks a distinct task-<pid>-<seq>.ndjson.
+        os.makedirs(args.trace_dir, exist_ok=True)
+        os.environ["REPRO_OBS_NDJSON_DIR"] = args.trace_dir
+        os.environ["REPRO_OBS_TRACE"] = "1"
     runner = CampaignRunner(
         smoke_task,
         workers=args.workers,

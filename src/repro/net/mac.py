@@ -16,7 +16,21 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ContentionMac"]
+__all__ = ["ContentionMac", "MacAccess"]
+
+
+@dataclass(frozen=True)
+class MacAccess:
+    """One channel-access grant: the backoff charged and the collision
+    survival probability at the load observed when access was requested.
+
+    Bundling the pair keeps the transmit paths (and the packet tracer's
+    per-hop latency attribution) working from a single consistent sample
+    of neighborhood load.
+    """
+
+    backoff_s: float
+    collision_survival: float
 
 
 @dataclass
@@ -58,3 +72,14 @@ class ContentionMac:
         """Probability the transmission is not destroyed by a collision."""
         k = max(0, busy_neighbors)
         return (1.0 - self.collision_rho) ** k
+
+    def access(self, busy_neighbors: int, rng: np.random.Generator) -> MacAccess:
+        """Draw one channel access: backoff plus survival, as a pair.
+
+        Exactly one RNG draw (the backoff), so substituting this for a
+        bare :meth:`access_delay` call leaves RNG streams bit-identical.
+        """
+        return MacAccess(
+            backoff_s=self.access_delay(busy_neighbors, rng),
+            collision_survival=self.collision_survival(busy_neighbors),
+        )

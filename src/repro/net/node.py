@@ -343,30 +343,44 @@ class Network:
         """
         sender = self.node(sender_id)
         receiver = self.node(receiver_id)
+        tracer = self.sim.packet_tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
         if not sender.up:
+            if tracer is not None:
+                tracer.drop_unsent(packet, sender_id, "sender_down")
             if on_result:
                 on_result(False)
             return
         busy = self._busy_neighbors(sender)
-        backoff = self.mac.access_delay(busy, self._rng)
+        access = self.mac.access(busy, self._rng)
+        backoff = access.backoff_s
         self._h_backoff.observe(backoff)
-        delay = (
-            backoff
-            + self.transmission_delay_s(sender, packet)
-            + distance(sender.position, receiver.position) / SPEED_OF_LIGHT_M_S
-        )
+        airtime = self.transmission_delay_s(sender, packet)
+        prop = distance(sender.position, receiver.position) / SPEED_OF_LIGHT_M_S
+        delay = backoff + airtime + prop
         p_ok = self.channel.delivery_probability(
             sender.tx_power_dbm,
             sender.position,
             receiver.position,
             sender.id,
             receiver.id,
-        ) * self.mac.collision_survival(busy)
-        success = bool(receiver.up) and (self._rng.random() < p_ok)
+        ) * access.collision_survival
+        drop_reason: Optional[str] = None
+        if not receiver.up:
+            success = False
+            drop_reason = "receiver_down"
+        elif self._rng.random() < p_ok:
+            success = True
+        else:
+            success = False
+            drop_reason = "loss"
         if success and self.link_blocked(sender_id, receiver_id):
             success = False
+            drop_reason = "link_blocked"
             self.sim.metrics.incr("net.link_blocked")
         duplicate = corrupt = False
+        extra_delay = 0.0
         if success:
             verdict = self._gremlin_verdict(sender_id, receiver_id, packet)
             if verdict is not None:
@@ -374,12 +388,24 @@ class Network:
                 delay += extra_delay
                 if drop:
                     success = False
+                    drop_reason = "gremlin"
         self.sim.metrics.incr("net.tx_attempts")
         self._c_tx.inc()
         self._count_control(sender, packet)
         if sender.energy_hook:
             sender.energy_hook(packet.size_bits, 0.0)
         sender.busy_tx += 1
+        token = None
+        if tracer is not None:
+            token = tracer.on_enqueue(
+                sender_id,
+                receiver_id,
+                packet,
+                backoff_s=backoff,
+                airtime_s=airtime,
+                prop_s=prop,
+                extra_s=extra_delay,
+            )
 
         def complete() -> None:
             sender.busy_tx = max(0, sender.busy_tx - 1)
@@ -389,11 +415,17 @@ class Network:
                     # discarded at the receiver, and the link-layer ack fails.
                     self.sim.metrics.incr("net.rx_corrupt")
                     self._c_dropped.inc()
+                    if token is not None:
+                        tracer.on_drop(token, sender_id, receiver_id, "corrupt")
                     if on_result:
                         on_result(False)
                     return
                 self.sim.metrics.incr("net.tx_success")
                 self._c_rx.inc()
+                if token is not None:
+                    tracer.on_rx(
+                        token, packet, sender_id, receiver_id, extra_s=extra_delay
+                    )
                 self._deliver(receiver, packet, sender_id)
                 if duplicate:
                     self.sim.metrics.incr("net.rx_duplicated")
@@ -404,6 +436,13 @@ class Network:
             else:
                 self.sim.metrics.incr("net.tx_failed")
                 self._c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(
+                        token,
+                        sender_id,
+                        receiver_id,
+                        drop_reason or "receiver_down",
+                    )
                 if on_result:
                     on_result(False)
 
@@ -416,20 +455,40 @@ class Network:
         reception is drawn independently (no acks on broadcast).
         """
         sender = self.node(sender_id)
+        tracer = self.sim.packet_tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
         if not sender.up:
+            if tracer is not None:
+                tracer.drop_unsent(packet, sender_id, "sender_down")
             return 0
         neighbor_ids = self.neighbors(sender_id)
         busy = self._busy_neighbors(sender)
-        backoff = self.mac.access_delay(busy, self._rng)
+        access = self.mac.access(busy, self._rng)
+        backoff = access.backoff_s
         self._h_backoff.observe(backoff)
-        base_delay = backoff + self.transmission_delay_s(sender, packet)
+        airtime = self.transmission_delay_s(sender, packet)
+        base_delay = backoff + airtime
         self.sim.metrics.incr("net.tx_attempts")
         self._c_tx.inc()
         self._count_control(sender, packet)
         if sender.energy_hook:
             sender.energy_hook(packet.size_bits, 0.0)
         sender.busy_tx += 1
-        survival = self.mac.collision_survival(busy)
+        survival = access.collision_survival
+        token = None
+        if tracer is not None:
+            # One hop span covers the whole broadcast; each receiver's
+            # reception (or loss) is recorded against it individually.
+            token = tracer.on_enqueue(
+                sender_id,
+                None,
+                packet,
+                backoff_s=backoff,
+                airtime_s=airtime,
+                prop_s=0.0,
+                extra_s=0.0,
+            )
         # Per receiver: (node_id, corrupt, duplicate, extra_delay_s).
         deliveries: List[Tuple[int, bool, bool, float]] = []
         for nid in neighbor_ids:
@@ -446,10 +505,14 @@ class Network:
             )
             if self._rng.random() >= p_ok:
                 self._c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "loss")
                 continue
             if self.link_blocked(sender_id, nid):
                 self.sim.metrics.incr("net.link_blocked")
                 self._c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "link_blocked")
                 continue
             corrupt = duplicate = False
             extra_delay = 0.0
@@ -458,19 +521,29 @@ class Network:
                 drop, duplicate, corrupt, extra_delay = verdict
                 if drop:
                     self._c_dropped.inc()
+                    if token is not None:
+                        tracer.on_drop(token, sender_id, nid, "gremlin")
                     continue
             deliveries.append((nid, corrupt, duplicate, extra_delay))
 
-        def deliver_one(nid: int, corrupt: bool, duplicate: bool) -> None:
+        def deliver_one(
+            nid: int, corrupt: bool, duplicate: bool, extra_delay: float
+        ) -> None:
             receiver = self.nodes.get(nid)
             if receiver is None or not receiver.up:
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "receiver_down")
                 return
             if corrupt:
                 self.sim.metrics.incr("net.rx_corrupt")
                 self._c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "corrupt")
                 return
             self.sim.metrics.incr("net.tx_success")
             self._c_rx.inc()
+            if token is not None:
+                tracer.on_rx(token, packet, sender_id, nid, extra_s=extra_delay)
             self._deliver(receiver, packet, sender_id)
             if duplicate:
                 self.sim.metrics.incr("net.rx_duplicated")
@@ -484,10 +557,12 @@ class Network:
                 if extra_delay > 0.0:
                     self.sim.call_in(
                         extra_delay,
-                        lambda n=nid, c=corrupt, d=duplicate: deliver_one(n, c, d),
+                        lambda n=nid, c=corrupt, d=duplicate, e=extra_delay: (
+                            deliver_one(n, c, d, e)
+                        ),
                     )
                 else:
-                    deliver_one(nid, corrupt, duplicate)
+                    deliver_one(nid, corrupt, duplicate, 0.0)
 
         self.sim.call_in(base_delay, complete)
         return len(neighbor_ids)

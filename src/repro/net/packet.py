@@ -53,7 +53,20 @@ class Packet:
     headers: Dict[str, Any] = field(default_factory=dict)
 
     def copy_for_forwarding(self) -> "Packet":
-        """A forwarding copy sharing uid/payload but with its own path list."""
+        """A forwarding copy sharing uid/payload but with its own path list.
+
+        Headers are copied one container level deep: a ``dict``/``list``/
+        ``set`` header value gets its own copy, so routers mutating a
+        header on a forwarded copy (geographic detour counters, trace
+        state) can never alias the copy the previous hop still holds.
+        The contract for header values is therefore: immutable scalars,
+        tuples, or *flat* mutable containers — values nested deeper than
+        one level are shared and must be treated as read-only.
+        """
+        headers = {
+            k: (v.copy() if isinstance(v, (dict, list, set)) else v)
+            for k, v in self.headers.items()
+        }
         return Packet(
             src=self.src,
             dst=self.dst,
@@ -65,7 +78,7 @@ class Packet:
             uid=self.uid,
             flow_id=self.flow_id,
             path=list(self.path),
-            headers=dict(self.headers),
+            headers=headers,
         )
 
     @property

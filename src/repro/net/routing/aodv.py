@@ -98,6 +98,8 @@ class AodvRouter(Router):
             self._discovery_tries.pop(key, None)
             if dropped:
                 self.sim.metrics.incr(f"route.{self.name}.dropped", len(dropped))
+                for packet in dropped:
+                    self._trace_drop(node_id, packet, "node_down")
 
     def _table(self, node_id: int) -> Dict[int, RouteEntry]:
         return self._tables.setdefault(node_id, {})
@@ -171,6 +173,7 @@ class AodvRouter(Router):
                 self._dispatch(node_id, packet)
             else:
                 self.sim.metrics.incr(f"route.{self.name}.dropped")
+                self._trace_drop(node_id, packet, "ttl_expired")
 
         self.send_reliable(node_id, next_hop, packet, on_result=result)
 
@@ -194,8 +197,7 @@ class AodvRouter(Router):
             ttl=self.rreq_ttl,
             headers={"rreq_key": rreq_key},
         )
-        rreq.created_at = self.sim.now
-        rreq.path.append(origin)
+        self._stamp_origin(origin, rreq)
         self._seen_rreq.setdefault(origin, set()).add(rreq_key)
         self.sim.metrics.incr(f"route.{self.name}.rreq")
         self.network.broadcast(origin, rreq)
@@ -220,6 +222,8 @@ class AodvRouter(Router):
                 f"route.{self.name}.discovery_failed", len(queue)
             )
             self._pending.pop(key, None)
+            for packet in queue:
+                self._trace_drop(origin, packet, "discovery_failed")
 
     def _flush_pending(self, origin: int, target: int) -> None:
         key = (origin, target)
@@ -243,6 +247,7 @@ class AodvRouter(Router):
             return
         if fwd.ttl <= 0:
             self.sim.metrics.incr(f"route.{self.name}.ttl_expired")
+            self._trace_drop(node.id, fwd, "ttl_expired")
             return
         self._dispatch(node.id, fwd)
 
@@ -257,13 +262,17 @@ class AodvRouter(Router):
         # Reverse route toward the originator.
         self._learn(node.id, info.origin, from_id, hops, info.origin_seq)
         if node.id == info.target:
-            self._send_rrep(node.id, info, hops=0)
+            self._send_rrep(node.id, info, hops=0, rreq=packet)
             return
         cached = self._route(node.id, info.target)
         if cached is not None and cached.dst_seq >= info.target_seq:
             # Intermediate reply from cache.
             self._send_rrep(
-                node.id, info, hops=cached.hop_count, cached_seq=cached.dst_seq
+                node.id,
+                info,
+                hops=cached.hop_count,
+                cached_seq=cached.dst_seq,
+                rreq=packet,
             )
             return
         if packet.ttl > 0:
@@ -278,6 +287,7 @@ class AodvRouter(Router):
         *,
         hops: int,
         cached_seq: Optional[int] = None,
+        rreq: Optional[Packet] = None,
     ) -> None:
         seq = cached_seq if cached_seq is not None else self._next_seq(info.target)
         rrep = Packet(
@@ -294,8 +304,11 @@ class AodvRouter(Router):
             size_bits=256,
             ttl=self.rreq_ttl,
         )
-        rrep.created_at = self.sim.now
-        rrep.path.append(replier)
+        tracer = self._tracer()
+        if tracer is not None and rreq is not None:
+            # The RREP is causally spawned by the RREQ that reached us.
+            tracer.inherit(rreq, rrep)
+        self._stamp_origin(replier, rrep)
         self.sim.metrics.incr(f"route.{self.name}.rrep")
         entry = self._route(replier, info.origin)
         if entry is not None:

@@ -64,6 +64,13 @@ class Router:
 
     # ------------------------------------------------------------ accounting
 
+    def _tracer(self):
+        """The simulator's packet tracer, or ``None`` when tracing is off."""
+        tracer = self.sim.packet_tracer
+        if tracer is not None and tracer.enabled:
+            return tracer
+        return None
+
     def _deliver_up(self, node: NetNode, packet: Packet, from_id: int) -> None:
         """Hand the packet to the application and record delivery metrics."""
         self.sim.metrics.incr(f"route.{self.name}.delivered")
@@ -71,12 +78,32 @@ class Router:
             f"route.{self.name}.latency_s", self.sim.now - packet.created_at
         )
         self.sim.metrics.sample(f"route.{self.name}.hops", packet.hops)
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.on_deliver(node.id, packet)
         node.deliver_local(packet, from_id)
 
     def _stamp_origin(self, src_id: int, packet: Packet) -> None:
+        """Originate ``packet`` at ``src_id``: timestamp it, seed its path
+        with the origin (so ``Packet.hops`` counts transmissions uniformly
+        across routers), and open its trace context when tracing is on.
+
+        Every ``send()`` implementation — including control packets like
+        AODV RREQ/RREP — must come through here rather than stamping by
+        hand; it is the single place the path/trace origin contract lives.
+        """
         packet.created_at = self.sim.now
         if not packet.path:
             packet.path.append(src_id)
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.stamp_origin(packet)
+
+    def _trace_drop(self, node_id: int, packet: Packet, reason: str) -> None:
+        """Record a routing-layer abandonment (TTL expiry, void, ...)."""
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.on_route_drop(node_id, packet, reason)
 
     def send_reliable(
         self,
@@ -99,6 +126,14 @@ class Router:
                     if on_result:
                         on_result(ok)
                 else:
+                    tracer = self._tracer()
+                    if tracer is not None:
+                        tracer.on_retransmit(
+                            packet,
+                            sender_id,
+                            attempt=retries - tries_left + 1,
+                            layer="link",
+                        )
                     attempt(tries_left - 1)
 
             self.network.send(sender_id, receiver_id, packet, on_result=result)

@@ -75,8 +75,9 @@ class _StoreCarryForwardRouter(Router):
         store = self._store(node_id)
         dead = [uid for uid, b in store.items() if b.expires_at < self.sim.now]
         for uid in dead:
-            del store[uid]
+            bundle = store.pop(uid)
             self.sim.metrics.incr(f"route.{self.name}.expired")
+            self._trace_drop(node_id, bundle.packet, "expired")
 
     def _admit(self, node_id: int, bundle: _Bundle) -> bool:
         store = self._store(node_id)
@@ -87,7 +88,11 @@ class _StoreCarryForwardRouter(Router):
             victim = min(store.values(), key=lambda b: b.expires_at)
             del store[victim.packet.uid]
             self.sim.metrics.incr(f"route.{self.name}.evicted")
+            self._trace_drop(node_id, victim.packet, "evicted")
         store[bundle.packet.uid] = bundle
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.on_custody(node_id, bundle.packet, copies=bundle.copies)
         return True
 
     def send(self, src_id: int, packet: Packet) -> None:

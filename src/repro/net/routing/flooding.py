@@ -59,3 +59,6 @@ class FloodingRouter(Router):
             return
         if fwd.ttl > 0:
             self.network.broadcast(node.id, fwd)
+        elif packet.dst is not None:
+            # This relay's copy of a unicast flood died of TTL here.
+            self._trace_drop(node.id, fwd, "ttl_expired")

@@ -47,6 +47,12 @@ class GossipRouter(Router):
     def send(self, src_id: int, packet: Packet) -> None:
         self._stamp_origin(src_id, packet)
         self._already_seen(src_id, packet.uid)
+        if packet.dst == src_id:
+            # Self-addressed: deliver locally like every other router
+            # (hops == 0, path == [src]) instead of gossiping a packet
+            # nobody else will accept.
+            self._deliver_up(self.network.node(src_id), packet, src_id)
+            return
         # The source always transmits; gossip applies to relays.
         self.network.broadcast(src_id, packet)
 

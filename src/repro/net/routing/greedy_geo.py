@@ -59,6 +59,7 @@ class GreedyGeoRouter(Router):
             return
         if fwd.ttl <= 0:
             self.sim.metrics.incr(f"route.{self.name}.ttl_expired")
+            self._trace_drop(node.id, fwd, "ttl_expired")
             return
         self._forward(node, fwd)
 
@@ -66,6 +67,7 @@ class GreedyGeoRouter(Router):
         dst_pos = self._locate(packet.dst) if packet.dst is not None else None
         if dst_pos is None:
             self.sim.metrics.incr(f"route.{self.name}.no_location")
+            self._trace_drop(node.id, packet, "no_location")
             return
         here = distance(node.position, dst_pos)
         best_id: Optional[int] = None
@@ -84,14 +86,21 @@ class GreedyGeoRouter(Router):
             candidates = [n for n in neighbor_ids if n not in packet.path]
             if detours >= self.max_detours or not candidates:
                 self.sim.metrics.incr(f"route.{self.name}.void_drop")
+                self._trace_drop(node.id, packet, "void_drop")
                 return
             best_id = candidates[int(self._rng.integers(0, len(candidates)))]
             packet.headers["geo_detours"] = detours + 1
 
         def result(ok: bool) -> None:
             if not ok and attempt < self.retries:
+                tracer = self._tracer()
+                if tracer is not None:
+                    tracer.on_retransmit(
+                        packet, node.id, attempt=attempt + 1, layer="link"
+                    )
                 self._forward(node, packet, attempt + 1)
             elif not ok:
                 self.sim.metrics.incr(f"route.{self.name}.link_drop")
+                self._trace_drop(node.id, packet, "link_drop")
 
         self.network.send(node.id, best_id, packet, on_result=result)

@@ -298,6 +298,17 @@ class ReliableMessageService:
             ttl=self._ttls.get(fate.msg_id, 32),
             headers={"rmsg": fate.msg_id},
         )
+        tracer = self.sim.packet_tracer
+        if tracer is not None and tracer.enabled and fate.attempts > 1:
+            # Each retry is a fresh packet (fresh uid, fresh trace); the
+            # shared rmsg header is what groups the attempts into one flow.
+            tracer.on_retransmit(
+                packet,
+                fate.src,
+                attempt=fate.attempts,
+                layer="transport",
+                msg_id=fate.msg_id,
+            )
         self.router.send(fate.src, packet)
         rto = self.base_rto_s * self.backoff ** (fate.attempts - 1)
         rto += self.jitter_s * float(self._rng.random())
@@ -346,6 +357,9 @@ class ReliableMessageService:
             ttl=self._ttls.get(msg_id, 32),
             headers={"rmsg": msg_id},
         )
+        tracer = self.sim.packet_tracer
+        if tracer is not None and tracer.enabled:
+            tracer.inherit(packet, ack)  # the ACK is spawned by the DATA rx
         self.sim.metrics.incr("transport.reliable.ack_tx")
         self.router.send(node.id, ack)
 

@@ -12,20 +12,35 @@ layer every performance PR reports against:
   ring sinks, so traces stop silently truncating at ``max_records``;
 * :mod:`repro.obs.registry` — fixed-size counter/gauge/histogram
   instruments fed by :mod:`repro.net` and :mod:`repro.faults`;
-* :mod:`repro.obs.report` — ``python -m repro.obs report run.ndjson``.
+* :mod:`repro.obs.tracing` — causal (Dapper-style) packet tracing:
+  per-hop ``pkt.*`` events with trace contexts carried in packet headers;
+* :mod:`repro.obs.analyze` — offline happens-before reconstruction,
+  latency phase attribution, critical paths, Chrome-trace export;
+* :mod:`repro.obs.report` — ``python -m repro.obs report run.ndjson``
+  and ``python -m repro.obs trace run.ndjson``.
 
 :func:`wire_from_env` turns the whole stack on from the environment
-(``REPRO_OBS_NDJSON=<path>``, ``REPRO_OBS_PROFILE=1``), which is how the
-benchmark harness and CI's obs-smoke job opt in without code changes.
+(``REPRO_OBS_NDJSON=<path>``, ``REPRO_OBS_PROFILE=1``,
+``REPRO_OBS_TRACE=1``), which is how the benchmark harness and CI's
+obs-smoke job opt in without code changes.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 from typing import Optional
 
+from repro.obs.analyze import (
+    TraceAnalysis,
+    analyze_trace,
+    chrome_trace,
+    render_trace_report,
+    trace_summary_json,
+)
 from repro.obs.profiler import KernelProfiler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import ReportInputError, collect_export
 from repro.obs.report import main as report_main
 from repro.obs.report import render_report, summarize_run
 from repro.obs.sinks import (
@@ -37,6 +52,7 @@ from repro.obs.sinks import (
     read_ndjson,
 )
 from repro.obs.spans import Span, SpanTracker
+from repro.obs.tracing import TRACE_CATEGORIES, TRACE_HEADER, PacketTracer, TraceContext
 
 __all__ = [
     "Span",
@@ -55,29 +71,61 @@ __all__ = [
     "summarize_run",
     "render_report",
     "report_main",
+    "collect_export",
+    "ReportInputError",
+    "PacketTracer",
+    "TraceContext",
+    "TRACE_HEADER",
+    "TRACE_CATEGORIES",
+    "TraceAnalysis",
+    "analyze_trace",
+    "chrome_trace",
+    "render_trace_report",
+    "trace_summary_json",
     "wire_from_env",
 ]
 
 #: Default rotation size for env-wired NDJSON sinks (64 MiB).
 ENV_ROTATE_BYTES = 64 * 1024 * 1024
 
+# Sequence for per-simulator export files under REPRO_OBS_NDJSON_DIR.
+_export_seq = itertools.count(1)
+
 
 def wire_from_env(sim, env: Optional[dict] = None):
-    """Attach sinks/profiler to ``sim`` per ``REPRO_OBS_*`` variables.
+    """Attach sinks/profiler/tracer to ``sim`` per ``REPRO_OBS_*`` variables.
 
     * ``REPRO_OBS_NDJSON`` — stream the trace to this NDJSON path
       (append mode, so sequential tasks of one run share the export);
+    * ``REPRO_OBS_NDJSON_DIR`` — alternative to the above: each wired
+      simulator gets its own ``task-<pid>-<seq>.ndjson`` file in this
+      directory, so parallel campaign workers never interleave writes
+      (``python -m repro.obs trace <dir>`` folds them back together);
     * ``REPRO_OBS_ROTATE_BYTES`` — rotation threshold (default 64 MiB);
     * ``REPRO_OBS_PROFILE`` — any non-empty value enables the kernel
-      profiler; its rows reach the sink when ``sim.export_obs()`` runs.
+      profiler; its rows reach the sink when ``sim.export_obs()`` runs;
+    * ``REPRO_OBS_TRACE`` — any non-empty value enables causal packet
+      tracing (:mod:`repro.obs.tracing`) on the simulator.
 
     Returns ``sim`` so builders can chain it.
     """
     env = env if env is not None else os.environ
+    max_bytes = int(env.get("REPRO_OBS_ROTATE_BYTES", ENV_ROTATE_BYTES))
     path = env.get("REPRO_OBS_NDJSON")
     if path:
-        max_bytes = int(env.get("REPRO_OBS_ROTATE_BYTES", ENV_ROTATE_BYTES))
         sim.trace.add_sink(NdjsonSink(path, max_bytes=max_bytes, append=True))
+    export_dir = env.get("REPRO_OBS_NDJSON_DIR")
+    if export_dir:
+        name = f"task-{os.getpid()}-{next(_export_seq)}.ndjson"
+        sim.trace.add_sink(
+            NdjsonSink(
+                os.path.join(export_dir, name),
+                max_bytes=max_bytes,
+                append=True,
+            )
+        )
     if env.get("REPRO_OBS_PROFILE"):
         sim.enable_profiling()
+    if env.get("REPRO_OBS_TRACE"):
+        sim.enable_packet_tracing()
     return sim

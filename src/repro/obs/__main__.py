@@ -1,4 +1,7 @@
-"""Entry point: ``python -m repro.obs report <run.ndjson>``."""
+"""Entry point: ``python -m repro.obs report <run.ndjson>`` summarizes a
+telemetry export; ``python -m repro.obs trace <run.ndjson|dir>`` runs the
+causal packet-trace analyzer (latency phases, critical path, Chrome-trace
+export)."""
 
 import sys
 

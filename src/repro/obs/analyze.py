@@ -1,0 +1,706 @@
+"""Offline causal-trace analysis: happens-before graphs, latency phases,
+critical paths.
+
+:mod:`repro.obs.tracing` emits per-hop ``pkt.*`` events as packets cross
+the radio; this module reconstructs, per traced packet, the chain of hop
+spans that actually delivered it (walking ``parent`` links backwards from
+the delivering reception) and attributes every microsecond of end-to-end
+delay to a phase:
+
+``queueing``
+    Time between becoming ready at a node (origination or reception) and
+    the delivering transmission entering the MAC, minus time explained by
+    failed attempts.  Includes routing-layer waits: AODV route discovery,
+    DTN custody between contacts.
+``contention``
+    MAC backoff of the delivering transmission at each hop.
+``airtime``
+    Serialization delay (size / bitrate) at each hop.
+``propagation``
+    Signal flight time plus fault-injected extra delay (computed as the
+    residual ``rx_time - enqueue_time - backoff - airtime``, so the phase
+    sum telescopes *exactly* to the measured end-to-end latency).
+``retransmit``
+    Time burned by failed sibling attempts of the same hop (link-layer
+    ARQ retries, rediscovered forwards) before the delivering one.
+
+The invariant ``sum(phases) == deliver_time - send_time`` holds by
+construction and is enforced by ``tests/obs/test_tracing.py``.
+
+Entry points: :func:`analyze_trace` (records from
+``TraceLog.iter_dicts()`` or an NDJSON export), :func:`chrome_trace`
+(a ``chrome://tracing`` / Perfetto-loadable JSON dict), and
+:func:`render_trace_report` (the human rendering behind
+``python -m repro.obs trace``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "PHASES",
+    "Hop",
+    "Delivery",
+    "PacketTrace",
+    "FlowSummary",
+    "TraceAnalysis",
+    "analyze_trace",
+    "chrome_trace",
+    "render_trace_report",
+    "trace_summary_json",
+]
+
+#: Phase names, in reporting order.  Per delivery they sum exactly to the
+#: measured end-to-end latency.
+PHASES = ("queueing", "contention", "airtime", "propagation", "retransmit")
+
+
+def _zero_phases() -> Dict[str, float]:
+    return {name: 0.0 for name in PHASES}
+
+
+@dataclass
+class _Enqueue:
+    """One ``pkt.enqueue`` record: a radio transmission attempt."""
+
+    span: int
+    parent: int
+    hop: int
+    src: int
+    dst: int  # -1 for broadcast
+    time: float
+    backoff_s: float
+    airtime_s: float
+    prop_s: float
+    extra_s: float
+    uid: Optional[int] = None
+    kind: Optional[str] = None
+
+    @property
+    def duration_s(self) -> float:
+        """Channel occupancy of this attempt (to its ack/observation point)."""
+        return self.backoff_s + self.airtime_s + self.prop_s + self.extra_s
+
+
+@dataclass
+class Hop:
+    """One delivering hop on a reconstructed packet chain."""
+
+    span: int
+    sender: int
+    receiver: int
+    enqueue_time: float
+    rx_time: float
+    attempts: int
+    phases: Dict[str, float]
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.phases.values())
+
+
+@dataclass
+class Delivery:
+    """One application delivery of a traced packet, with its causal chain."""
+
+    node: int
+    time: float
+    latency_s: float
+    chain: List[Hop]
+    phases: Dict[str, float]
+    #: False when the event stream is missing spans the chain walk needed
+    #: (e.g. the export started mid-run); phases are zeroed then.
+    complete: bool = True
+
+    @property
+    def hops(self) -> int:
+        return len(self.chain)
+
+    def slowest_hop(self) -> Optional[Hop]:
+        if not self.chain:
+            return None
+        return max(self.chain, key=lambda h: h.total_s)
+
+
+@dataclass
+class PacketTrace:
+    """Everything the tracer recorded about one logical packet."""
+
+    tid: int
+    uid: Optional[int] = None
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    kind: Optional[str] = None
+    size_bits: Optional[int] = None
+    flow: Optional[int] = None
+    rmsg: Optional[int] = None
+    send_time: Optional[float] = None
+    parent_tid: Optional[int] = None
+    parent_span: Optional[int] = None
+    spawn_reason: Optional[str] = None
+    enqueues: Dict[int, _Enqueue] = field(default_factory=dict)
+    rx: Dict[Tuple[int, int], Dict[str, Any]] = field(default_factory=dict)
+    drops: List[Dict[str, Any]] = field(default_factory=list)
+    route_drops: List[Dict[str, Any]] = field(default_factory=list)
+    custody: List[Dict[str, Any]] = field(default_factory=list)
+    retx: List[Dict[str, Any]] = field(default_factory=list)
+    deliver_events: List[Dict[str, Any]] = field(default_factory=list)
+    deliveries: List[Delivery] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> bool:
+        return bool(self.deliveries)
+
+    def first_delivery(self) -> Optional[Delivery]:
+        if not self.deliveries:
+            return None
+        return min(self.deliveries, key=lambda d: d.time)
+
+
+@dataclass
+class FlowSummary:
+    """DATA traffic grouped into application flows.
+
+    Transport-level retries are fresh packets (fresh trace ids) linked by
+    their shared ``rmsg`` header; a flow folds them back together.
+    """
+
+    key: str
+    tids: List[int]
+    first_send: float
+    delivered: bool
+    latency_s: Optional[float] = None
+    hops: Optional[int] = None
+    phases: Optional[Dict[str, float]] = None
+    #: Time between the flow's first send and the send of the attempt that
+    #: finally delivered (transport RTO waits); 0 for first-try deliveries.
+    transport_wait_s: float = 0.0
+    attempts: int = 1
+
+
+class TraceAnalysis:
+    """The reconstructed happens-before view of one traced run."""
+
+    def __init__(self, packets: Dict[int, PacketTrace]):
+        self.packets = packets
+
+    # ------------------------------------------------------------- summaries
+
+    def delivered(self) -> List[PacketTrace]:
+        return [p for p in self.packets.values() if p.delivered]
+
+    def drop_reasons(self) -> Dict[str, int]:
+        """Per-copy radio drop counts plus routing-layer abandonments."""
+        out: Dict[str, int] = {}
+        for pt in self.packets.values():
+            for d in pt.drops:
+                reason = d.get("reason", "?")
+                out[reason] = out.get(reason, 0) + 1
+            for d in pt.route_drops:
+                reason = f"route:{d.get('reason', '?')}"
+                out[reason] = out.get(reason, 0) + 1
+        return dict(sorted(out.items()))
+
+    def flows(self) -> List[FlowSummary]:
+        """Group DATA packets into flows (rmsg > flow_id > trace id)."""
+        groups: Dict[str, List[PacketTrace]] = {}
+        for pt in self.packets.values():
+            if pt.kind != "data":
+                continue
+            if pt.rmsg is not None:
+                key = f"rmsg:{pt.rmsg}"
+            elif pt.flow is not None:
+                key = f"flow:{pt.flow}"
+            else:
+                key = f"tid:{pt.tid}"
+            groups.setdefault(key, []).append(pt)
+        out: List[FlowSummary] = []
+        for key, members in sorted(groups.items()):
+            members.sort(key=lambda p: (p.send_time or 0.0, p.tid))
+            first_send = members[0].send_time or 0.0
+            summary = FlowSummary(
+                key=key,
+                tids=[p.tid for p in members],
+                first_send=first_send,
+                delivered=False,
+                attempts=len(members),
+            )
+            winners = [
+                (p, p.first_delivery()) for p in members if p.delivered
+            ]
+            if winners:
+                winner, delivery = min(winners, key=lambda pd: pd[1].time)
+                summary.delivered = True
+                summary.latency_s = delivery.time - first_send
+                summary.hops = delivery.hops
+                summary.phases = dict(delivery.phases)
+                summary.transport_wait_s = (winner.send_time or 0.0) - first_send
+            out.append(summary)
+        return out
+
+    def critical_delivery(self) -> Optional[Tuple[PacketTrace, Delivery]]:
+        """The slowest complete delivery of a DATA packet (the run's
+        end-to-end critical path), or ``None`` if nothing was delivered."""
+        best: Optional[Tuple[PacketTrace, Delivery]] = None
+        for pt in self.packets.values():
+            if pt.kind != "data":
+                continue
+            for delivery in pt.deliveries:
+                if not delivery.complete:
+                    continue
+                if best is None or delivery.latency_s > best[1].latency_s:
+                    best = (pt, delivery)
+        return best
+
+
+# ----------------------------------------------------------------- parsing
+
+
+def _as_int(value: Any, default: Optional[int] = None) -> Optional[int]:
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def analyze_trace(records: Iterable[Mapping[str, Any]]) -> TraceAnalysis:
+    """Reconstruct per-packet causal chains from a telemetry stream.
+
+    ``records`` are sink-shaped dicts — ``TraceLog.iter_dicts()`` output or
+    parsed NDJSON export lines; non-``pkt.*`` records are ignored, so the
+    full mixed export can be passed straight through.
+    """
+    packets: Dict[int, PacketTrace] = {}
+
+    def trace_of(tid: Optional[int]) -> Optional[PacketTrace]:
+        if tid is None:
+            return None
+        pt = packets.get(tid)
+        if pt is None:
+            pt = packets[tid] = PacketTrace(tid=tid)
+        return pt
+
+    for rec in records:
+        if rec.get("type", "trace") != "trace":
+            continue
+        category = rec.get("category", "")
+        if not category.startswith("pkt."):
+            continue
+        pt = trace_of(_as_int(rec.get("tid")))
+        if pt is None:
+            continue
+        time = float(rec.get("time", 0.0))
+        if category == "pkt.send":
+            pt.uid = _as_int(rec.get("uid"))
+            pt.src = _as_int(rec.get("src"))
+            pt.dst = _as_int(rec.get("dst"))
+            pt.kind = rec.get("kind")
+            pt.size_bits = _as_int(rec.get("size_bits"))
+            pt.flow = _as_int(rec.get("flow"))
+            pt.rmsg = _as_int(rec.get("rmsg"))
+            pt.send_time = time
+        elif category == "pkt.spawn":
+            pt.parent_tid = _as_int(rec.get("parent_tid"))
+            pt.parent_span = _as_int(rec.get("parent_span"))
+            pt.spawn_reason = rec.get("reason")
+        elif category == "pkt.enqueue":
+            enq = _Enqueue(
+                span=_as_int(rec.get("span"), 0) or 0,
+                parent=_as_int(rec.get("parent"), 0) or 0,
+                hop=_as_int(rec.get("hop"), 0) or 0,
+                src=_as_int(rec.get("src"), -1) or 0,
+                dst=_as_int(rec.get("dst"), -1) if rec.get("dst") is not None else -1,
+                time=time,
+                backoff_s=float(rec.get("backoff_s") or 0.0),
+                airtime_s=float(rec.get("airtime_s") or 0.0),
+                prop_s=float(rec.get("prop_s") or 0.0),
+                extra_s=float(rec.get("extra_s") or 0.0),
+                uid=_as_int(rec.get("uid")),
+                kind=rec.get("kind"),
+            )
+            pt.enqueues[enq.span] = enq
+        elif category == "pkt.rx":
+            span = _as_int(rec.get("span"), 0) or 0
+            dst = _as_int(rec.get("dst"), -1)
+            key = (span, dst if dst is not None else -1)
+            # A gremlin-duplicated frame delivers twice; keep the first.
+            pt.rx.setdefault(key, dict(rec))
+        elif category == "pkt.drop":
+            pt.drops.append(dict(rec))
+        elif category == "pkt.route_drop":
+            pt.route_drops.append(dict(rec))
+        elif category == "pkt.custody":
+            pt.custody.append(dict(rec))
+        elif category == "pkt.retx":
+            pt.retx.append(dict(rec))
+        elif category == "pkt.deliver":
+            pt.deliver_events.append(dict(rec))
+
+    for pt in packets.values():
+        _reconstruct(pt)
+    return TraceAnalysis(packets)
+
+
+# ---------------------------------------------------------- reconstruction
+
+
+def _reconstruct(pt: PacketTrace) -> None:
+    """Turn raw events into :class:`Delivery` chains with phase breakdowns."""
+    # Sibling index: attempts that share (sender, parent-span) are retries
+    # of the same logical hop; the delivering one is on the chain, the rest
+    # explain its ``retransmit`` phase.
+    siblings: Dict[Tuple[int, int], List[_Enqueue]] = {}
+    for enq in pt.enqueues.values():
+        siblings.setdefault((enq.src, enq.parent), []).append(enq)
+    for group in siblings.values():
+        group.sort(key=lambda e: (e.time, e.span))
+
+    for ev in pt.deliver_events:
+        node = _as_int(ev.get("node"), -1) or 0
+        time = float(ev.get("time", 0.0))
+        span = _as_int(ev.get("span"), 0) or 0
+        send_time = pt.send_time if pt.send_time is not None else time
+        if span == 0:
+            # Origin self-delivery: zero hops, zero latency.
+            pt.deliveries.append(
+                Delivery(
+                    node=node,
+                    time=time,
+                    latency_s=time - send_time,
+                    chain=[],
+                    phases=_zero_phases(),
+                )
+            )
+            continue
+
+        # Walk parent links back to the origin.
+        chain_spans: List[_Enqueue] = []
+        cursor: Optional[int] = span
+        complete = True
+        seen: set = set()
+        while cursor:
+            if cursor in seen:  # defensive: corrupt stream
+                complete = False
+                break
+            seen.add(cursor)
+            enq = pt.enqueues.get(cursor)
+            if enq is None:
+                complete = False
+                break
+            chain_spans.append(enq)
+            cursor = enq.parent
+        chain_spans.reverse()
+
+        hops: List[Hop] = []
+        phases = _zero_phases()
+        if complete:
+            ready_at = send_time
+            for idx, enq in enumerate(chain_spans):
+                if idx + 1 < len(chain_spans):
+                    receiver = chain_spans[idx + 1].src
+                else:
+                    receiver = node
+                rx = pt.rx.get((enq.span, receiver))
+                if rx is None:
+                    complete = False
+                    break
+                rx_time = float(rx.get("time", enq.time))
+                gap = enq.time - ready_at
+                retrans = 0.0
+                attempts = 1
+                for sib in siblings.get((enq.src, enq.parent), ()):
+                    if sib.span == enq.span:
+                        continue
+                    if ready_at <= sib.time < enq.time:
+                        retrans += sib.duration_s
+                        attempts += 1
+                # Cap at the gap: overlapping accounting (e.g. an attempt
+                # straddling ready_at) must never push queueing negative
+                # by more than float noise.
+                retrans = min(retrans, gap)
+                hop_phases = {
+                    "queueing": gap - retrans,
+                    "contention": enq.backoff_s,
+                    "airtime": enq.airtime_s,
+                    # Residual: flight time + fault-injected extra delay.
+                    # Computed from timestamps so the sum telescopes.
+                    "propagation": rx_time - enq.time - enq.backoff_s - enq.airtime_s,
+                    "retransmit": retrans,
+                }
+                hops.append(
+                    Hop(
+                        span=enq.span,
+                        sender=enq.src,
+                        receiver=receiver,
+                        enqueue_time=enq.time,
+                        rx_time=rx_time,
+                        attempts=attempts,
+                        phases=hop_phases,
+                    )
+                )
+                for name in PHASES:
+                    phases[name] += hop_phases[name]
+                ready_at = rx_time
+        if not complete:
+            hops = []
+            phases = _zero_phases()
+        pt.deliveries.append(
+            Delivery(
+                node=node,
+                time=time,
+                latency_s=time - send_time,
+                chain=hops,
+                phases=phases,
+                complete=complete,
+            )
+        )
+
+
+# ----------------------------------------------------------- chrome export
+
+
+def chrome_trace(analysis: TraceAnalysis) -> Dict[str, Any]:
+    """Export as Chrome Trace Event JSON (load in ``chrome://tracing`` or
+    https://ui.perfetto.dev).  Each traced packet is a *process* (pid =
+    trace id); each hop span is a duration event on the sender's *thread*
+    (tid = sender node id); drops, custody transfers, and deliveries are
+    instant events.  Timestamps are virtual-time microseconds."""
+    events: List[Dict[str, Any]] = []
+    for pt in sorted(analysis.packets.values(), key=lambda p: p.tid):
+        label = (
+            f"{pt.kind or 'pkt'} uid={pt.uid} "
+            f"{pt.src}→{pt.dst if pt.dst is not None else '*'}"
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pt.tid,
+                "args": {"name": f"trace {pt.tid}: {label}"},
+            }
+        )
+        # Index rx/drop times per span to bound each hop box.
+        span_end: Dict[int, float] = {}
+        for (span, _dst), rx in pt.rx.items():
+            t = float(rx.get("time", 0.0))
+            span_end[span] = max(span_end.get(span, t), t)
+        for enq in pt.enqueues.values():
+            end = span_end.get(enq.span, enq.time + enq.duration_s)
+            dst = "*" if enq.dst == -1 else enq.dst
+            events.append(
+                {
+                    "ph": "X",
+                    "name": f"hop {enq.hop}: {enq.src}→{dst}",
+                    "cat": enq.kind or "pkt",
+                    "pid": pt.tid,
+                    "tid": enq.src,
+                    "ts": enq.time * 1e6,
+                    "dur": max(0.0, end - enq.time) * 1e6,
+                    "args": {
+                        "span": enq.span,
+                        "uid": enq.uid,
+                        "backoff_s": enq.backoff_s,
+                        "airtime_s": enq.airtime_s,
+                        "prop_s": enq.prop_s,
+                        "extra_s": enq.extra_s,
+                    },
+                }
+            )
+        for drop in pt.drops:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": f"drop:{drop.get('reason', '?')}",
+                    "pid": pt.tid,
+                    "tid": _as_int(drop.get("src"), 0) or 0,
+                    "ts": float(drop.get("time", 0.0)) * 1e6,
+                }
+            )
+        for drop in pt.route_drops:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": f"route_drop:{drop.get('reason', '?')}",
+                    "pid": pt.tid,
+                    "tid": _as_int(drop.get("node"), 0) or 0,
+                    "ts": float(drop.get("time", 0.0)) * 1e6,
+                }
+            )
+        for cust in pt.custody:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": f"custody(copies={cust.get('copies')})",
+                    "pid": pt.tid,
+                    "tid": _as_int(cust.get("node"), 0) or 0,
+                    "ts": float(cust.get("time", 0.0)) * 1e6,
+                }
+            )
+        for delivery in pt.deliveries:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "p",
+                    "name": f"deliver@{delivery.node}",
+                    "pid": pt.tid,
+                    "tid": delivery.node,
+                    "ts": delivery.time * 1e6,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# --------------------------------------------------------------- rendering
+
+
+def _fmt_phases(phases: Mapping[str, float], total: float) -> str:
+    cells = []
+    for name in PHASES:
+        value = phases.get(name, 0.0)
+        share = value / total if total > 0 else 0.0
+        cells.append(f"{name[:5]}={value * 1e3:.3f}ms({share:.0%})")
+    return "  ".join(cells)
+
+
+def render_trace_report(analysis: TraceAnalysis, *, top: int = 10) -> str:
+    """Human rendering: run summary, per-flow breakdown, critical path."""
+    lines: List[str] = []
+    packets = analysis.packets
+    delivered = analysis.delivered()
+    lines.append(
+        f"traced packets: {len(packets)}  delivered: {len(delivered)}"
+    )
+    reasons = analysis.drop_reasons()
+    if reasons:
+        rendered = "  ".join(f"{k}={v}" for k, v in reasons.items())
+        lines.append(f"per-copy drops: {rendered}")
+
+    flows = analysis.flows()
+    if flows:
+        lines.append("")
+        lines.append("== flows (DATA) ==")
+        header = (
+            f"  {'flow':<12} {'state':<9} {'e2e_ms':>9} {'hops':>4} "
+            f"{'tries':>5}  phase breakdown"
+        )
+        lines.append(header)
+        shown = 0
+        for flow in flows:
+            if shown >= top:
+                lines.append(f"  ... ({len(flows) - shown} more)")
+                break
+            shown += 1
+            if flow.delivered and flow.latency_s is not None:
+                phases = dict(flow.phases or {})
+                if flow.transport_wait_s > 0:
+                    phases["queueing"] = (
+                        phases.get("queueing", 0.0) + flow.transport_wait_s
+                    )
+                breakdown = _fmt_phases(phases, flow.latency_s)
+                lines.append(
+                    f"  {flow.key:<12} {'delivered':<9} "
+                    f"{flow.latency_s * 1e3:>9.3f} {flow.hops or 0:>4} "
+                    f"{flow.attempts:>5}  {breakdown}"
+                )
+            else:
+                lines.append(
+                    f"  {flow.key:<12} {'lost':<9} {'-':>9} {'-':>4} "
+                    f"{flow.attempts:>5}"
+                )
+
+    critical = analysis.critical_delivery()
+    if critical is not None:
+        pt, delivery = critical
+        lines.append("")
+        lines.append("== critical path (slowest delivered DATA packet) ==")
+        lines.append(
+            f"  trace {pt.tid} uid={pt.uid} {pt.src}→{delivery.node}  "
+            f"latency={delivery.latency_s * 1e3:.3f}ms  hops={delivery.hops}"
+        )
+        for i, hop in enumerate(delivery.chain, start=1):
+            lines.append(
+                f"  hop {i}: {hop.sender}→{hop.receiver} "
+                f"span={hop.span} attempts={hop.attempts} "
+                f"total={hop.total_s * 1e3:.3f}ms"
+            )
+            lines.append(f"      {_fmt_phases(hop.phases, hop.total_s)}")
+        slowest = delivery.slowest_hop()
+        if slowest is not None:
+            share = (
+                slowest.total_s / delivery.latency_s
+                if delivery.latency_s > 0
+                else 0.0
+            )
+            dominant = max(slowest.phases, key=lambda k: slowest.phases[k])
+            lines.append(
+                f"  slowest hop: {slowest.sender}→{slowest.receiver} "
+                f"({slowest.total_s * 1e3:.3f}ms, {share:.0%} of e2e, "
+                f"dominated by {dominant})"
+            )
+    elif delivered:
+        lines.append("")
+        lines.append("(delivered packets had incomplete chains — partial export?)")
+    return "\n".join(lines)
+
+
+def trace_summary_json(analysis: TraceAnalysis) -> Dict[str, Any]:
+    """Machine-readable digest: what CI asserts on."""
+    critical = analysis.critical_delivery()
+    crit_dict: Optional[Dict[str, Any]] = None
+    if critical is not None:
+        pt, delivery = critical
+        slowest = delivery.slowest_hop()
+        crit_dict = {
+            "tid": pt.tid,
+            "uid": pt.uid,
+            "src": pt.src,
+            "dst": delivery.node,
+            "latency_s": delivery.latency_s,
+            "hops": delivery.hops,
+            "phases": delivery.phases,
+            "chain": [
+                {
+                    "span": hop.span,
+                    "sender": hop.sender,
+                    "receiver": hop.receiver,
+                    "attempts": hop.attempts,
+                    "total_s": hop.total_s,
+                    "phases": hop.phases,
+                }
+                for hop in delivery.chain
+            ],
+            "slowest_hop": (
+                None
+                if slowest is None
+                else {
+                    "sender": slowest.sender,
+                    "receiver": slowest.receiver,
+                    "total_s": slowest.total_s,
+                }
+            ),
+        }
+    return {
+        "n_packets": len(analysis.packets),
+        "n_delivered": len(analysis.delivered()),
+        "drop_reasons": analysis.drop_reasons(),
+        "flows": [
+            {
+                "key": flow.key,
+                "delivered": flow.delivered,
+                "latency_s": flow.latency_s,
+                "hops": flow.hops,
+                "attempts": flow.attempts,
+                "transport_wait_s": flow.transport_wait_s,
+                "phases": flow.phases,
+            }
+            for flow in analysis.flows()
+        ],
+        "critical_path": crit_dict,
+    }

@@ -6,19 +6,83 @@ metric snapshots, profiler rows — into one run summary: per-category trace
 counts, span aggregates, the top-N wall-clock hot paths, and final metric
 values.  ``--json`` writes the summary machine-readably so CI can assert
 on it; the text rendering is for humans.
+
+``python -m repro.obs trace run.ndjson`` runs the causal packet-trace
+analyzer (:mod:`repro.obs.analyze`) over the same export: per-flow latency
+phase breakdowns, the delivery critical path, and optional Chrome-trace
+JSON export (``--chrome out.json``).
+
+Both subcommands accept a single export file, a rotated export (the
+``path.N`` generations are folded in automatically), or a directory of
+``*.ndjson`` exports; a missing or empty input is a clear error with exit
+status 2, not a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.sinks import ndjson_parts, read_ndjson
 from repro.util.tables import json_safe
 
-__all__ = ["summarize_run", "render_report", "main"]
+__all__ = [
+    "summarize_run",
+    "render_report",
+    "collect_export",
+    "ReportInputError",
+    "main",
+]
+
+
+class ReportInputError(Exception):
+    """The CLI input path held no readable telemetry."""
+
+
+def collect_export(path: str) -> Tuple[List[Dict[str, Any]], int, List[str]]:
+    """Load every record the input path holds.
+
+    ``path`` may be an export file (rotated generations are included), or
+    a directory containing ``*.ndjson`` exports (each with its rotations).
+    Returns ``(records, skipped_lines, parts)``.  Raises
+    :class:`ReportInputError` with a human-ready message when the path is
+    missing, matches nothing, or yields zero records.
+    """
+    if os.path.isdir(path):
+        bases = sorted(
+            os.path.join(path, name)
+            for name in os.listdir(path)
+            if name.endswith(".ndjson")
+        )
+        if not bases:
+            raise ReportInputError(
+                f"no *.ndjson exports found in directory {path!r} — "
+                "was the run started with REPRO_OBS_NDJSON set?"
+            )
+        parts = [part for base in bases for part in ndjson_parts(base)]
+    else:
+        parts = ndjson_parts(path)
+        if not parts:
+            raise ReportInputError(
+                f"export not found: {path!r} (no such file and no rotated "
+                "generations next to it)"
+            )
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    for part in parts:
+        part_records, part_skipped = read_ndjson(part)
+        records.extend(part_records)
+        skipped += part_skipped
+    if not records:
+        raise ReportInputError(
+            f"export at {path!r} contains no records "
+            f"({len(parts)} file(s) read, {skipped} unparsable line(s)) — "
+            "nothing to report"
+        )
+    return records, skipped, parts
 
 
 def summarize_run(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
@@ -148,6 +212,12 @@ def render_report(summary: Dict[str, Any], *, top: int = 10) -> str:
     return "\n".join(lines)
 
 
+def _write_json(path: str, payload: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(json_safe(payload), fh, indent=2, allow_nan=False)
+        fh.write("\n")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -159,17 +229,52 @@ def main(argv: Optional[List[str]] = None) -> int:
     report.add_argument("--top", type=int, default=10, help="hot paths to show")
     report.add_argument("--json", dest="json_out", default=None,
                         help="also write the summary as JSON here")
+    trace = sub.add_parser(
+        "trace",
+        help="causal packet-trace analysis: latency phases, critical path",
+    )
+    trace.add_argument("path", help="export file or directory of *.ndjson")
+    trace.add_argument("--top", type=int, default=10, help="flows to show")
+    trace.add_argument("--json", dest="json_out", default=None,
+                       help="write the machine-readable digest here")
+    trace.add_argument("--chrome", dest="chrome_out", default=None,
+                       help="write Chrome Trace Event JSON here")
     args = parser.parse_args(argv)
 
-    # A rotated export spans several files (run.ndjson.N oldest first,
-    # then the live file); fold them all into one summary.
-    parts = ndjson_parts(args.path) or [args.path]
-    records: List[Dict[str, Any]] = []
-    skipped = 0
-    for part in parts:
-        part_records, part_skipped = read_ndjson(part)
-        records.extend(part_records)
-        skipped += part_skipped
+    try:
+        records, skipped, parts = collect_export(args.path)
+    except ReportInputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "trace":
+        from repro.obs.analyze import (
+            analyze_trace,
+            chrome_trace,
+            render_trace_report,
+            trace_summary_json,
+        )
+
+        analysis = analyze_trace(records)
+        if not analysis.packets:
+            print(
+                "error: export holds no pkt.* records — was the run started "
+                "with packet tracing enabled (REPRO_OBS_TRACE=1 or "
+                "sim.enable_packet_tracing())?",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_trace_report(analysis, top=args.top))
+        if skipped:
+            print(f"\n({skipped} unparsable line(s) skipped)")
+        if args.json_out:
+            _write_json(args.json_out, trace_summary_json(analysis))
+            print(f"wrote {args.json_out}")
+        if args.chrome_out:
+            _write_json(args.chrome_out, chrome_trace(analysis))
+            print(f"wrote {args.chrome_out}")
+        return 0
+
     summary = summarize_run(records)
     summary["skipped_lines"] = skipped
     summary["parts"] = parts
@@ -177,9 +282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if skipped:
         print(f"\n({skipped} unparsable line(s) skipped — truncated export?)")
     if args.json_out:
-        with open(args.json_out, "w", encoding="utf-8") as fh:
-            json.dump(json_safe(summary), fh, indent=2, allow_nan=False)
-            fh.write("\n")
+        _write_json(args.json_out, summary)
         print(f"wrote {args.json_out}")
     return 0
 

@@ -54,6 +54,9 @@ class Simulator:
         self.registry = MetricsRegistry()
         #: Opt-in kernel profiler; ``None`` keeps the hot loop unchanged.
         self.profiler: Optional[KernelProfiler] = None
+        #: Opt-in causal packet tracer (see :mod:`repro.obs.tracing`);
+        #: ``None`` keeps every transmit path unchanged.
+        self.packet_tracer: Optional[Any] = None
         #: Events fired and wall-clock seconds spent across all run() calls.
         self.events_processed = 0
         self.wall_elapsed = 0.0
@@ -231,6 +234,23 @@ class Simulator:
         if self.profiler is None:
             self.profiler = KernelProfiler()
         return self.profiler
+
+    def enable_packet_tracing(self):
+        """Attach (or return the existing) causal packet tracer.
+
+        Networks bound to this simulator start stamping
+        :class:`~repro.obs.tracing.TraceContext` headers and emitting
+        per-hop ``pkt.*`` events; ``python -m repro.obs trace``
+        reconstructs latency attributions from the export.
+        """
+        if self.packet_tracer is None:
+            # Imported lazily: obs.tracing is pure but keeping the kernel's
+            # import surface minimal keeps cold-start cheap.
+            from repro.obs.tracing import PacketTracer
+
+            self.packet_tracer = PacketTracer(self)
+        self.packet_tracer.enabled = True
+        return self.packet_tracer
 
     def export_obs(self) -> None:
         """Push profiler rows, registry state, and run counters to the

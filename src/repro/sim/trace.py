@@ -169,6 +169,17 @@ class TraceLog:
             )
         return digest.hexdigest()
 
+    def iter_dicts(self) -> Iterable[Dict[str, Any]]:
+        """Yield retained records as sink-shaped dicts.
+
+        The same ``{"type": "trace", "time": ..., "category": ..., ...}``
+        payloads an :class:`~repro.obs.sinks.NdjsonSink` receives, so
+        offline analyzers (``repro.obs.analyze``) consume in-memory traces
+        and NDJSON exports through one code path.
+        """
+        for rec in self.records:
+            yield {"type": "trace", **rec.as_dict()}
+
     def clear(self) -> None:
         self.records.clear()
 

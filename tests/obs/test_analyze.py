@@ -1,0 +1,201 @@
+"""Unit tests for the offline trace analyzer on synthetic record streams.
+
+Hand-built record streams with known timings exercise the happens-before
+reconstruction without running a simulation, so the expected phase values
+can be computed by hand and checked exactly.
+"""
+
+import pytest
+
+from repro.obs.analyze import (
+    PHASES,
+    analyze_trace,
+    chrome_trace,
+    render_trace_report,
+    trace_summary_json,
+)
+
+
+def R(category, time, **fields):
+    return {"type": "trace", "time": time, "category": category, **fields}
+
+
+def two_hop_records():
+    """tid 1: 1 → 2 → 3 DATA delivery; the first hop-1 attempt is lost and
+    retried (spans 10 then 11), hop 2 is span 12."""
+    return [
+        R("pkt.send", 0.0, tid=1, uid=1, src=1, dst=3, kind="data",
+          size_bits=1024, flow=7, rmsg=None),
+        # Lost first attempt: duration 0.01 + 0.02 + 0.01 = 0.04.
+        R("pkt.enqueue", 0.2, tid=1, span=10, parent=0, hop=0, src=1, dst=2,
+          backoff_s=0.01, airtime_s=0.02, prop_s=0.01, extra_s=0.0,
+          uid=1, kind="data"),
+        R("pkt.drop", 0.24, tid=1, span=10, src=1, dst=2, reason="loss"),
+        # Delivering attempt.
+        R("pkt.enqueue", 0.5, tid=1, span=11, parent=0, hop=0, src=1, dst=2,
+          backoff_s=0.01, airtime_s=0.02, prop_s=0.01, extra_s=0.0,
+          uid=1, kind="data"),
+        R("pkt.rx", 0.54, tid=1, span=11, src=1, dst=2, hop=1),
+        R("pkt.enqueue", 0.8, tid=1, span=12, parent=11, hop=1, src=2, dst=3,
+          backoff_s=0.005, airtime_s=0.02, prop_s=0.005, extra_s=0.0,
+          uid=1, kind="data"),
+        R("pkt.rx", 0.83, tid=1, span=12, src=2, dst=3, hop=2),
+        R("pkt.deliver", 0.83, tid=1, span=12, node=3, uid=1, hops=2,
+          latency_s=0.83),
+    ]
+
+
+class TestReconstruction:
+    def test_two_hop_chain_with_retry(self):
+        analysis = analyze_trace(two_hop_records())
+        pt = analysis.packets[1]
+        assert pt.src == 1 and pt.dst == 3 and pt.kind == "data"
+        assert pt.delivered
+        (delivery,) = pt.deliveries
+        assert delivery.complete
+        assert [h.sender for h in delivery.chain] == [1, 2]
+        assert [h.receiver for h in delivery.chain] == [2, 3]
+
+        hop1, hop2 = delivery.chain
+        # Hop 1: gap 0.5, lost sibling accounts 0.04 of it as retransmit.
+        assert hop1.attempts == 2
+        assert hop1.phases["retransmit"] == pytest.approx(0.04)
+        assert hop1.phases["queueing"] == pytest.approx(0.46)
+        assert hop1.phases["contention"] == pytest.approx(0.01)
+        assert hop1.phases["airtime"] == pytest.approx(0.02)
+        assert hop1.phases["propagation"] == pytest.approx(0.01)
+        # Hop 2: pure queueing gap after the hop-1 reception.
+        assert hop2.attempts == 1
+        assert hop2.phases["queueing"] == pytest.approx(0.26)
+
+        # The invariant the whole analyzer exists for.
+        assert sum(delivery.phases.values()) == pytest.approx(
+            delivery.latency_s
+        )
+        assert delivery.latency_s == pytest.approx(0.83)
+        assert delivery.slowest_hop() is hop1
+
+    def test_incomplete_chain_is_flagged_not_fabricated(self):
+        records = [
+            R("pkt.send", 0.0, tid=2, uid=2, src=4, dst=6, kind="data",
+              size_bits=512, flow=None, rmsg=None),
+            # Delivery references span 99 which never appears: the chain
+            # cannot be reconstructed (e.g. truncated/rotated export).
+            R("pkt.deliver", 1.5, tid=2, span=99, node=6, uid=2, hops=1,
+              latency_s=1.5),
+        ]
+        analysis = analyze_trace(records)
+        (delivery,) = analysis.packets[2].deliveries
+        assert not delivery.complete
+        assert delivery.chain == []
+        assert all(delivery.phases[name] == 0.0 for name in PHASES)
+        # Incomplete deliveries never become the critical path.
+        assert analysis.critical_delivery() is None
+
+    def test_origin_self_delivery_is_zero_hops(self):
+        records = [
+            R("pkt.send", 2.0, tid=3, uid=3, src=5, dst=5, kind="data",
+              size_bits=64, flow=None, rmsg=None),
+            R("pkt.deliver", 2.0, tid=3, span=0, node=5, uid=3, hops=0,
+              latency_s=0.0),
+        ]
+        (delivery,) = analyze_trace(records).packets[3].deliveries
+        assert delivery.complete
+        assert delivery.chain == []
+        assert delivery.latency_s == 0.0
+
+    def test_non_pkt_records_are_ignored(self):
+        records = [R("node.up", 0.0, node=1), *two_hop_records(),
+                   {"type": "profile", "category": "pkt.send", "tid": 9}]
+        analysis = analyze_trace(records)
+        assert set(analysis.packets) == {1}
+
+    def test_drop_reason_taxonomy(self):
+        records = two_hop_records() + [
+            R("pkt.route_drop", 0.9, tid=1, node=2, uid=1,
+              reason="ttl_expired"),
+        ]
+        reasons = analyze_trace(records).drop_reasons()
+        assert reasons == {"loss": 1, "route:ttl_expired": 1}
+
+
+class TestFlows:
+    def rmsg_records(self):
+        """rmsg 55: first attempt (tid 4) lost, retry (tid 5) delivers."""
+        return [
+            R("pkt.send", 1.0, tid=4, uid=4, src=1, dst=5, kind="data",
+              size_bits=256, flow=None, rmsg=55),
+            R("pkt.send", 4.0, tid=5, uid=5, src=1, dst=5, kind="data",
+              size_bits=256, flow=None, rmsg=55),
+            R("pkt.enqueue", 4.1, tid=5, span=40, parent=0, hop=0, src=1,
+              dst=5, backoff_s=0.01, airtime_s=0.02, prop_s=0.01,
+              extra_s=0.0, uid=5, kind="data"),
+            R("pkt.rx", 4.14, tid=5, span=40, src=1, dst=5, hop=1),
+            R("pkt.deliver", 4.14, tid=5, span=40, node=5, uid=5, hops=1,
+              latency_s=0.14),
+        ]
+
+    def test_transport_retries_fold_into_one_flow(self):
+        analysis = analyze_trace(self.rmsg_records())
+        (flow,) = analysis.flows()
+        assert flow.key == "rmsg:55"
+        assert flow.tids == [4, 5]
+        assert flow.attempts == 2
+        assert flow.delivered
+        # Latency counts from the FIRST send; the RTO wait shows up as
+        # transport_wait_s.
+        assert flow.latency_s == pytest.approx(3.14)
+        assert flow.transport_wait_s == pytest.approx(3.0)
+        assert flow.hops == 1
+
+    def test_undelivered_flow(self):
+        records = [
+            R("pkt.send", 1.0, tid=9, uid=9, src=1, dst=5, kind="data",
+              size_bits=256, flow=3, rmsg=None),
+        ]
+        (flow,) = analyze_trace(records).flows()
+        assert flow.key == "flow:3"
+        assert not flow.delivered
+        assert flow.latency_s is None
+
+    def test_control_packets_are_not_flows(self):
+        records = [
+            R("pkt.send", 0.0, tid=8, uid=8, src=1, dst=2, kind="rreq",
+              size_bits=64, flow=None, rmsg=None),
+        ]
+        assert analyze_trace(records).flows() == []
+
+
+class TestExports:
+    def test_chrome_trace_shape(self):
+        doc = chrome_trace(analyze_trace(two_hop_records()))
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        phs = {e["ph"] for e in events}
+        assert {"M", "X", "i"} <= phs
+        spans = [e for e in events if e["ph"] == "X"]
+        # Three transmissions (two hop-1 attempts + hop 2).
+        assert len(spans) == 3
+        for e in spans:
+            assert e["pid"] == 1  # pid = trace id
+            assert isinstance(e["ts"], (int, float))
+            assert e["dur"] >= 0
+        # Timestamps are microseconds of virtual time.
+        first = min(spans, key=lambda e: e["ts"])
+        assert first["ts"] == pytest.approx(0.2e6)
+
+    def test_summary_json_names_slowest_hop(self):
+        digest = trace_summary_json(analyze_trace(two_hop_records()))
+        assert digest["n_delivered"] == 1
+        cp = digest["critical_path"]
+        assert cp["hops"] == 2
+        assert len(cp["chain"]) == 2
+        assert cp["slowest_hop"]["sender"] == 1
+        assert cp["slowest_hop"]["receiver"] == 2
+        assert sum(cp["phases"].values()) == pytest.approx(cp["latency_s"])
+
+    def test_render_report_is_stable_text(self):
+        text = render_trace_report(analyze_trace(two_hop_records()))
+        assert "critical path" in text
+        assert "slowest hop: 1→2" in text
+        assert "queueing" in text

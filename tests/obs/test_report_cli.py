@@ -1,0 +1,103 @@
+"""CLI behaviour of ``python -m repro.obs`` (report + trace subcommands).
+
+The failure modes matter as much as the happy path: a missing or empty
+export must produce a clear message on stderr and exit code 2, never a
+traceback.
+"""
+
+import json
+
+from repro.obs.report import main as obs_main
+
+
+def _write_ndjson(path, records):
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec) + "\n")
+
+
+def trace_records():
+    return [
+        {"type": "trace", "time": 0.0, "category": "pkt.send", "tid": 1,
+         "uid": 1, "src": 1, "dst": 2, "kind": "data", "size_bits": 64,
+         "flow": None, "rmsg": None},
+        {"type": "trace", "time": 0.1, "category": "pkt.enqueue", "tid": 1,
+         "span": 5, "parent": 0, "hop": 0, "src": 1, "dst": 2,
+         "backoff_s": 0.01, "airtime_s": 0.02, "prop_s": 0.0,
+         "extra_s": 0.0, "uid": 1, "kind": "data"},
+        {"type": "trace", "time": 0.13, "category": "pkt.rx", "tid": 1,
+         "span": 5, "src": 1, "dst": 2, "hop": 1},
+        {"type": "trace", "time": 0.13, "category": "pkt.deliver", "tid": 1,
+         "span": 5, "node": 2, "uid": 1, "hops": 1, "latency_s": 0.13},
+    ]
+
+
+class TestGracefulErrors:
+    def test_report_missing_path_exits_2(self, tmp_path, capsys):
+        rc = obs_main(["report", str(tmp_path / "nope.ndjson")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "not found" in err
+
+    def test_trace_missing_path_exits_2(self, tmp_path, capsys):
+        rc = obs_main(["trace", str(tmp_path / "nope.ndjson")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_directory_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "exports"
+        empty.mkdir()
+        rc = obs_main(["trace", str(empty)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no *.ndjson exports" in err
+
+    def test_export_without_pkt_records_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "plain.ndjson"
+        _write_ndjson(path, [
+            {"type": "trace", "time": 0.0, "category": "node.up", "node": 1},
+        ])
+        rc = obs_main(["trace", str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "REPRO_OBS_TRACE" in err  # points at the likely fix
+
+    def test_empty_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "empty.ndjson"
+        path.write_text("")
+        rc = obs_main(["report", str(path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceSubcommand:
+    def test_renders_and_writes_artifacts(self, tmp_path, capsys):
+        export = tmp_path / "run.ndjson"
+        _write_ndjson(export, trace_records())
+        digest_path = tmp_path / "digest.json"
+        chrome_path = tmp_path / "chrome.json"
+        rc = obs_main([
+            "trace", str(export),
+            "--json", str(digest_path),
+            "--chrome", str(chrome_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+
+        digest = json.loads(digest_path.read_text())
+        assert digest["n_delivered"] == 1
+        assert digest["critical_path"]["chain"], "critical path is nonempty"
+
+        chrome = json.loads(chrome_path.read_text())
+        assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+
+    def test_reads_directory_of_exports(self, tmp_path, capsys):
+        exports = tmp_path / "exports"
+        exports.mkdir()
+        recs = trace_records()
+        _write_ndjson(exports / "task-1-1.ndjson", recs[:2])
+        _write_ndjson(exports / "task-1-2.ndjson", recs[2:])
+        rc = obs_main(["trace", str(exports)])
+        assert rc == 0
+        assert "critical path" in capsys.readouterr().out
