@@ -61,8 +61,8 @@ def run_experiment(quick: bool = True) -> ResultTable:
         if not paths:
             continue
         # Fail 3 random links that at least one path crosses.
-        crossed = sorted({l for p in paths for l in zip(p, p[1:])})
-        crossed = sorted({tuple(sorted(l)) for l in crossed})
+        crossed = sorted({link for p in paths for link in zip(p, p[1:])})
+        crossed = sorted({tuple(sorted(link)) for link in crossed})
         k = min(3, len(crossed))
         failed = {
             crossed[i]
@@ -71,15 +71,15 @@ def run_experiment(quick: bool = True) -> ResultTable:
         boolean_ms = []
         additive_ms = []
         for path in paths:
-            links = [tuple(sorted(l)) for l in zip(path, path[1:])]
-            ok = not any(l in failed for l in links)
+            links = [tuple(sorted(link)) for link in zip(path, path[1:])]
+            ok = not any(link in failed for link in links)
             boolean_ms.append(PathMeasurement(path, success=ok))
             if ok:
                 additive_ms.append(
                     PathMeasurement(
                         path,
                         success=True,
-                        delay_s=sum(delays[l] for l in links),
+                        delay_s=sum(delays[link] for link in links),
                     )
                 )
         boolean = BooleanTomography(boolean_ms)

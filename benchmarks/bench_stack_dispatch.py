@@ -1,0 +1,426 @@
+"""PR5 perf gate: layered fast-path dispatcher vs the pre-refactor path.
+
+:class:`LegacyNetwork` below is a *frozen copy* of the hand-inlined
+``Network.send`` / ``Network.broadcast`` transmit path as it stood
+immediately before the layered-stack refactor (the code the PR5 golden
+fingerprints were captured from).  Running identical workloads through the
+frozen copy and through the live :class:`repro.net.stack.FastPathDispatcher`
+gives a machine-independent before/after comparison:
+
+* behavior: both sides must produce bit-identical trace fingerprints;
+* throughput: the dispatcher must stay within 5% of the legacy events/sec
+  (``RATIO_FLOOR``).
+
+Results land in ``BENCH_pr5.json`` (schema ``bench-pr5/1``) next to the
+earlier ``BENCH_pr4.json`` baseline.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_stack_dispatch.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.channel import Channel
+from repro.net.node import SPEED_OF_LIGHT_M_S, NetNode, Network
+from repro.net.packet import Packet
+from repro.net.routing import FloodingRouter, GreedyGeoRouter
+from repro.net.transport import MessageService
+from repro.sim import Simulator
+from repro.util.geometry import Point, distance
+from repro.util.tables import json_safe
+
+BENCH_PR5_SCHEMA = "bench-pr5/1"
+
+#: The dispatcher may not fall below this fraction of legacy throughput.
+RATIO_FLOOR = 0.95
+
+#: Timing repetitions; events/sec is taken best-of to shed scheduler noise.
+REPEATS = 5
+
+
+class LegacyNetwork(Network):
+    """The pre-refactor inline transmit path, frozen for comparison.
+
+    The overridden methods reproduce the old implementation verbatim; the
+    constructor re-creates the flat attribute layout (`_h_backoff`,
+    `_c_tx`, ...) the old code read, aliasing the stack's instruments so
+    metric accounting stays shared and neither side pays extra attribute
+    hops the other does not.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        ctx = self.stack.ctx
+        self._h_backoff = ctx.h_backoff
+        self._c_tx = ctx.c_tx
+        self._c_rx = ctx.c_rx
+        self._c_dropped = ctx.c_dropped
+        self._count_control = ctx.count_control
+        self._gremlin_verdict = self.stack.faults.gremlin_verdict
+        self._sniffers = self.stack.app.sniffers
+
+    def _busy_neighbors(self, node: NetNode) -> int:
+        return sum(
+            self.nodes[nid].busy_tx
+            for nid in self.neighbors(node.id)
+            if nid in self.nodes
+        )
+
+    def send(
+        self,
+        sender_id: int,
+        receiver_id: int,
+        packet: Packet,
+        on_result: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        sender = self.node(sender_id)
+        receiver = self.node(receiver_id)
+        tracer = self.sim.packet_tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        if not sender.up:
+            if tracer is not None:
+                tracer.drop_unsent(packet, sender_id, "sender_down")
+            if on_result:
+                on_result(False)
+            return
+        busy = self._busy_neighbors(sender)
+        access = self.mac.access(busy, self._rng)
+        backoff = access.backoff_s
+        self._h_backoff.observe(backoff)
+        airtime = self.transmission_delay_s(sender, packet)
+        prop = distance(sender.position, receiver.position) / SPEED_OF_LIGHT_M_S
+        delay = backoff + airtime + prop
+        p_ok = self.channel.delivery_probability(
+            sender.tx_power_dbm,
+            sender.position,
+            receiver.position,
+            sender.id,
+            receiver.id,
+        ) * access.collision_survival
+        drop_reason: Optional[str] = None
+        if not receiver.up:
+            success = False
+            drop_reason = "receiver_down"
+        elif self._rng.random() < p_ok:
+            success = True
+        else:
+            success = False
+            drop_reason = "loss"
+        if success and self.link_blocked(sender_id, receiver_id):
+            success = False
+            drop_reason = "link_blocked"
+            self.sim.metrics.incr("net.link_blocked")
+        duplicate = corrupt = False
+        extra_delay = 0.0
+        if success:
+            verdict = self._gremlin_verdict(sender_id, receiver_id, packet)
+            if verdict is not None:
+                drop, duplicate, corrupt, extra_delay = verdict
+                delay += extra_delay
+                if drop:
+                    success = False
+                    drop_reason = "gremlin"
+        self.sim.metrics.incr("net.tx_attempts")
+        self._c_tx.inc()
+        self._count_control(sender, packet)
+        if sender.energy_hook:
+            sender.energy_hook(packet.size_bits, 0.0)
+        sender.busy_tx += 1
+        token = None
+        if tracer is not None:
+            token = tracer.on_enqueue(
+                sender_id,
+                receiver_id,
+                packet,
+                backoff_s=backoff,
+                airtime_s=airtime,
+                prop_s=prop,
+                extra_s=extra_delay,
+            )
+
+        def complete() -> None:
+            sender.busy_tx = max(0, sender.busy_tx - 1)
+            if success and receiver.up:
+                if corrupt:
+                    self.sim.metrics.incr("net.rx_corrupt")
+                    self._c_dropped.inc()
+                    if token is not None:
+                        tracer.on_drop(token, sender_id, receiver_id, "corrupt")
+                    if on_result:
+                        on_result(False)
+                    return
+                self.sim.metrics.incr("net.tx_success")
+                self._c_rx.inc()
+                if token is not None:
+                    tracer.on_rx(
+                        token, packet, sender_id, receiver_id, extra_s=extra_delay
+                    )
+                self._deliver(receiver, packet, sender_id)
+                if duplicate:
+                    self.sim.metrics.incr("net.rx_duplicated")
+                    if receiver.up:
+                        self._deliver(receiver, packet, sender_id)
+                if on_result:
+                    on_result(True)
+            else:
+                self.sim.metrics.incr("net.tx_failed")
+                self._c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(
+                        token,
+                        sender_id,
+                        receiver_id,
+                        drop_reason or "receiver_down",
+                    )
+                if on_result:
+                    on_result(False)
+
+        self.sim.call_in(delay, complete)
+
+    def broadcast(self, sender_id: int, packet: Packet) -> int:
+        sender = self.node(sender_id)
+        tracer = self.sim.packet_tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        if not sender.up:
+            if tracer is not None:
+                tracer.drop_unsent(packet, sender_id, "sender_down")
+            return 0
+        neighbor_ids = self.neighbors(sender_id)
+        busy = self._busy_neighbors(sender)
+        access = self.mac.access(busy, self._rng)
+        backoff = access.backoff_s
+        self._h_backoff.observe(backoff)
+        airtime = self.transmission_delay_s(sender, packet)
+        base_delay = backoff + airtime
+        self.sim.metrics.incr("net.tx_attempts")
+        self._c_tx.inc()
+        self._count_control(sender, packet)
+        if sender.energy_hook:
+            sender.energy_hook(packet.size_bits, 0.0)
+        sender.busy_tx += 1
+        survival = access.collision_survival
+        token = None
+        if tracer is not None:
+            token = tracer.on_enqueue(
+                sender_id,
+                None,
+                packet,
+                backoff_s=backoff,
+                airtime_s=airtime,
+                prop_s=0.0,
+                extra_s=0.0,
+            )
+        deliveries: List[Tuple[int, bool, bool, float]] = []
+        for nid in neighbor_ids:
+            receiver = self.nodes[nid]
+            p_ok = (
+                self.channel.delivery_probability(
+                    sender.tx_power_dbm,
+                    sender.position,
+                    receiver.position,
+                    sender.id,
+                    receiver.id,
+                )
+                * survival
+            )
+            if self._rng.random() >= p_ok:
+                self._c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "loss")
+                continue
+            if self.link_blocked(sender_id, nid):
+                self.sim.metrics.incr("net.link_blocked")
+                self._c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "link_blocked")
+                continue
+            corrupt = duplicate = False
+            extra_delay = 0.0
+            verdict = self._gremlin_verdict(sender_id, nid, packet)
+            if verdict is not None:
+                drop, duplicate, corrupt, extra_delay = verdict
+                if drop:
+                    self._c_dropped.inc()
+                    if token is not None:
+                        tracer.on_drop(token, sender_id, nid, "gremlin")
+                    continue
+            deliveries.append((nid, corrupt, duplicate, extra_delay))
+
+        def deliver_one(
+            nid: int, corrupt: bool, duplicate: bool, extra_delay: float
+        ) -> None:
+            receiver = self.nodes.get(nid)
+            if receiver is None or not receiver.up:
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "receiver_down")
+                return
+            if corrupt:
+                self.sim.metrics.incr("net.rx_corrupt")
+                self._c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "corrupt")
+                return
+            self.sim.metrics.incr("net.tx_success")
+            self._c_rx.inc()
+            if token is not None:
+                tracer.on_rx(token, packet, sender_id, nid, extra_s=extra_delay)
+            self._deliver(receiver, packet, sender_id)
+            if duplicate:
+                self.sim.metrics.incr("net.rx_duplicated")
+                receiver = self.nodes.get(nid)
+                if receiver is not None and receiver.up:
+                    self._deliver(receiver, packet, sender_id)
+
+        def complete() -> None:
+            sender.busy_tx = max(0, sender.busy_tx - 1)
+            for nid, corrupt, duplicate, extra_delay in deliveries:
+                if extra_delay > 0.0:
+                    self.sim.call_in(
+                        extra_delay,
+                        lambda n=nid, c=corrupt, d=duplicate, e=extra_delay: (
+                            deliver_one(n, c, d, e)
+                        ),
+                    )
+                else:
+                    deliver_one(nid, corrupt, duplicate, 0.0)
+
+        self.sim.call_in(base_delay, complete)
+        return len(neighbor_ids)
+
+    def _deliver(self, receiver: NetNode, packet: Packet, from_id: int) -> None:
+        if receiver.energy_hook:
+            receiver.energy_hook(0.0, packet.size_bits)
+        for sniffer in self._sniffers:
+            sniffer(packet, from_id, receiver.id)
+        if receiver.router is not None:
+            receiver.router.on_receive(receiver, packet, from_id)
+        else:
+            receiver.deliver_local(packet, from_id)
+
+
+# ------------------------------------------------------------------ workloads
+
+
+def _run_workload(net_cls, router_cls, seed: int, n_side: int, n_messages: int):
+    """One deterministic run; returns (fingerprint, events, wall_s)."""
+    sim = Simulator(seed=seed)
+    net = net_cls(sim, Channel(seed=sim.rng.seed))
+    node_id = 1
+    for row in range(n_side):
+        for col in range(n_side):
+            net.create_node(node_id, Point(col * 60.0, row * 60.0))
+            node_id += 1
+    ids = sorted(net.nodes)
+    router = router_cls(net)
+    router.attach_all(ids)
+    svc = MessageService(router)
+    for i in range(n_messages):
+        src = ids[(3 * i) % len(ids)]
+        dst = ids[(7 * i + 5) % len(ids)]
+        if dst == src:
+            dst = ids[(dst + 1) % len(ids)]
+        sim.call_at(
+            1.0 + i * 0.25,
+            lambda s=src, d=dst, k=i: svc.send(s, d, payload=("m", k)),
+        )
+    t0 = time.perf_counter()
+    sim.run(until=60.0)
+    wall_s = time.perf_counter() - t0
+    return sim.trace.fingerprint(), sim.events_processed, wall_s
+
+
+WORKLOADS = {
+    # Broadcast-heavy fan-out path.
+    "flooding": (FloodingRouter, 31, 8, 80),
+    # Unicast-heavy hop-by-hop path.
+    "geo": (GreedyGeoRouter, 32, 8, 160),
+}
+
+
+def bench() -> Dict[str, object]:
+    workloads: Dict[str, Dict[str, object]] = {}
+    total = {"legacy": 0.0, "stack": 0.0}
+    for name, (router_cls, seed, n_side, n_messages) in WORKLOADS.items():
+        rates = {}
+        prints = {}
+        events = {}
+        for label, net_cls in (("legacy", LegacyNetwork), ("stack", Network)):
+            best = 0.0
+            for _ in range(REPEATS):
+                fp, n_events, wall_s = _run_workload(
+                    net_cls, router_cls, seed, n_side, n_messages
+                )
+                best = max(best, n_events / max(wall_s, 1e-9))
+            rates[label] = best
+            prints[label] = fp
+            events[label] = n_events
+        ratio = rates["stack"] / rates["legacy"]
+        workloads[name] = {
+            "legacy_events_per_sec": rates["legacy"],
+            "stack_events_per_sec": rates["stack"],
+            "ratio": ratio,
+            "events": events["stack"],
+            "fingerprint_match": prints["legacy"] == prints["stack"],
+        }
+        total["legacy"] += rates["legacy"]
+        total["stack"] += rates["stack"]
+        print(
+            f"{name:>10}: legacy={rates['legacy']:,.0f} ev/s  "
+            f"stack={rates['stack']:,.0f} ev/s  ratio={ratio:.3f}  "
+            f"fingerprints {'MATCH' if workloads[name]['fingerprint_match'] else 'DIVERGE'}"
+        )
+    payload = {
+        "schema": BENCH_PR5_SCHEMA,
+        "ratio_floor": RATIO_FLOOR,
+        "events_per_sec": {
+            "legacy": total["legacy"] / len(WORKLOADS),
+            "stack": total["stack"] / len(WORKLOADS),
+            "ratio": total["stack"] / total["legacy"],
+        },
+        "workloads": workloads,
+    }
+    return payload
+
+
+def write_bench_pr5(payload: Dict[str, object], path: Optional[str] = None) -> str:
+    if path is None:
+        out_dir = os.environ.get("REPRO_BENCH_JSON_DIR") or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "BENCH_pr5.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(json_safe(payload), fh, indent=2, allow_nan=False)
+        fh.write("\n")
+    return path
+
+
+def main() -> int:
+    payload = bench()
+    path = write_bench_pr5(payload)
+    print(f"wrote {path}")
+    ok = True
+    for name, row in payload["workloads"].items():
+        if not row["fingerprint_match"]:
+            print(f"FAIL: {name}: dispatcher diverged from legacy behavior")
+            ok = False
+        if row["ratio"] < RATIO_FLOOR:
+            print(
+                f"FAIL: {name}: dispatcher at {row['ratio']:.3f}x legacy "
+                f"(floor {RATIO_FLOOR})"
+            )
+            ok = False
+    if ok:
+        print(f"OK: dispatcher within {(1 - RATIO_FLOOR):.0%} of legacy throughput")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

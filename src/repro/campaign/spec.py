@@ -22,6 +22,7 @@ Determinism rules:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import itertools
 import json
@@ -46,11 +47,21 @@ __all__ = ["TaskSpec", "SweepSpec", "canonical_json", "config_key"]
 
 
 def _jsonify(value: Any) -> Any:
-    """Fallback encoder for canonical JSON: sets sorted, numpy scalars unboxed."""
+    """Fallback encoder for canonical JSON: sets sorted, numpy scalars
+    unboxed, dataclasses (e.g. :class:`repro.net.registry.StackSpec`)
+    flattened to tagged dicts so stack compositions content-address."""
     if isinstance(value, (set, frozenset)):
         return sorted(value)
     if hasattr(value, "item"):  # numpy scalar
         return value.item()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Tag with the class name: two dataclass types with identical
+        # fields (or an equivalent plain dict) must not collide in the
+        # cache, because the task function interprets them differently.
+        return {
+            "__dataclass__": type(value).__name__,
+            **dataclasses.asdict(value),
+        }
     raise TypeError(f"not canonically serializable: {value!r} ({type(value).__name__})")
 
 

@@ -183,7 +183,7 @@ class LeaderElection:
                     candidates.append((self.leader[nb], aged))
             # Highest id wins; among equal ids prefer the freshest belief.
             best_id = max(c[0] for c in candidates)
-            best_age = min(a for l, a in candidates if l == best_id)
+            best_age = min(a for cid, a in candidates if cid == best_id)
             new_leader[node_id], new_age[node_id] = best_id, best_age
             # Age changes count as instability too: a ghost id's ages keep
             # inflating while the id looks stable, and quiescence must not

@@ -76,7 +76,7 @@ class BooleanTomography:
             for suspects in unexplained:
                 for link in suspects:
                     counts[link] = counts.get(link, 0) + 1
-            best = max(sorted(counts), key=lambda l: counts[l])
+            best = max(sorted(counts), key=lambda link: counts[link])
             failed.add(best)
             unexplained = [s for s in unexplained if best not in s]
         return failed
@@ -92,7 +92,7 @@ class BooleanTomography:
         """Precision/recall of localization vs ground truth, over
         identifiable links only (unobserved links cannot be localized)."""
         observable = self.identifiable_links()
-        truth = {_norm(l) for l in true_failed} & observable
+        truth = {_norm(link) for link in true_failed} & observable
         inferred = self.localize()
         tp = len(inferred & truth)
         precision = tp / len(inferred) if inferred else (1.0 if not truth else 0.0)
@@ -139,10 +139,10 @@ class AdditiveTomography:
     def estimation_error(self, true_delays: Dict[Link, float]) -> float:
         """Mean absolute error over links present in both maps."""
         estimates = self.estimate()
-        common = [l for l in estimates if _norm(l) in {_norm(k) for k in true_delays}]
+        common = [link for link in estimates if _norm(link) in {_norm(k) for k in true_delays}]
         truth = { _norm(k): v for k, v in true_delays.items() }
         if not common:
             return float("nan")
         return float(
-            np.mean([abs(estimates[l] - truth[_norm(l)]) for l in common])
+            np.mean([abs(estimates[link] - truth[_norm(link)]) for link in common])
         )

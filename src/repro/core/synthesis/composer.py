@@ -14,7 +14,6 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
 from repro.core.synthesis.requirements import RequirementSet
 from repro.errors import CompositionError

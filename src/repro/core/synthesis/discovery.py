@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
-import numpy as np
 
 from repro.errors import DiscoveryError
 from repro.scenarios.builder import Scenario

@@ -1,14 +1,37 @@
 """Wireless battlefield network substrate.
 
 Provides the physical/link layers (log-distance channel with shadowing,
-jamming, a contention MAC), node and network containers, mobility models,
-topology snapshots, and a family of routing/dissemination protocols under
-:mod:`repro.net.routing`.
+jamming, contention and ideal MACs), node and network containers, mobility
+models, topology snapshots, and a family of routing/dissemination protocols
+under :mod:`repro.net.routing`.
+
+Per-node protocol machinery is organized as an explicit layered pipeline
+(:mod:`repro.net.stack`: PHY/channel -> MAC -> queue -> routing ->
+transport -> app) behind a uniform :class:`~repro.net.stack.Layer`
+interface, and every swappable component (channels, MACs, routers, mobility
+models, transports) is addressable by string name through
+:mod:`repro.net.registry`, so scenario builders and campaign sweeps can
+compose stacks declaratively (``router="aodv"``, ``mac="csma"``).
 """
 
 from repro.net.packet import Packet, PacketKind
 from repro.net.channel import Channel, Jammer
 from repro.net.node import NetNode, Network
+from repro.net.mac import ContentionMac, IdealMac, MacAccess
+from repro.net.stack import (
+    Layer,
+    LayerBase,
+    NetworkStack,
+    RouterPort,
+    StackContext,
+    TransportPort,
+)
+from repro.net.registry import (
+    ComponentRegistry,
+    ComposedStack,
+    StackSpec,
+    compose,
+)
 from repro.net.mobility import (
     MobilityModel,
     StaticMobility,
@@ -32,6 +55,19 @@ __all__ = [
     "Jammer",
     "NetNode",
     "Network",
+    "ContentionMac",
+    "IdealMac",
+    "MacAccess",
+    "Layer",
+    "LayerBase",
+    "NetworkStack",
+    "RouterPort",
+    "StackContext",
+    "TransportPort",
+    "ComponentRegistry",
+    "ComposedStack",
+    "StackSpec",
+    "compose",
     "MobilityModel",
     "StaticMobility",
     "RandomWaypoint",

@@ -224,3 +224,11 @@ class Channel:
             f"Channel(n={self.path_loss_exponent}, "
             f"sigma={self.shadowing_sigma_db}dB, jammers={len(self.jammers)})"
         )
+
+
+# Registry hookup: the default propagation model, addressable by name in
+# stack compositions (StackSpec.channel="log_distance").
+from repro.net.registry import register  # noqa: E402  (registration epilogue)
+
+Channel.name = "log_distance"
+register("channel", Channel.name, Channel)

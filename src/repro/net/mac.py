@@ -11,12 +11,14 @@ local density and offered load, which is the effect the IoBT arguments need
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.net.registry import register
 
-__all__ = ["ContentionMac", "MacAccess"]
+__all__ = ["ContentionMac", "IdealMac", "MacAccess"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +51,8 @@ class ContentionMac:
         Per-neighbor probability of overlapping a given transmission;
         collision survival is ``(1 - rho)^k`` for ``k`` busy neighbors.
     """
+
+    name = "csma"
 
     slot_time_s: float = 0.001
     mean_backoff_slots: float = 4.0
@@ -83,3 +87,59 @@ class ContentionMac:
             backoff_s=self.access_delay(busy_neighbors, rng),
             collision_survival=self.collision_survival(busy_neighbors),
         )
+
+    # ------------------------------------------------------------ layer surface
+    #
+    # MAC backends occupy the mac slot of a NetworkStack; the grant logic
+    # above is the whole behavior, so the remaining Layer methods are no-ops.
+
+    def attach(self, ctx: Any) -> None:
+        """Layer-interface attachment; the MAC is stateless per-context."""
+
+    def on_send(self, node: Any, packet: Any) -> None:
+        """No per-packet send-side state (grants happen via access())."""
+
+    def on_receive(self, node: Any, packet: Any, from_id: int) -> None:
+        """No receive-side MAC state in the mean-field model."""
+
+    def on_timer(self, now: float) -> None:
+        """No periodic MAC maintenance."""
+
+
+@dataclass
+class IdealMac:
+    """A contention-free MAC: zero backoff, no collision losses.
+
+    Useful as the control arm in campaign sweeps (isolates routing effects
+    from MAC contention) and as the simplest example of an alternate
+    registry backend.  ``access`` consumes **no** RNG draws, so swapping
+    MACs changes the composition, not just parameters — cache keys and
+    fingerprints differ by design.
+    """
+
+    name = "ideal"
+
+    def access_delay(self, busy_neighbors: int, rng: np.random.Generator) -> float:
+        return 0.0
+
+    def collision_survival(self, busy_neighbors: int) -> float:
+        return 1.0
+
+    def access(self, busy_neighbors: int, rng: np.random.Generator) -> MacAccess:
+        return MacAccess(backoff_s=0.0, collision_survival=1.0)
+
+    def attach(self, ctx: Any) -> None:
+        """Layer-interface attachment; nothing to bind."""
+
+    def on_send(self, node: Any, packet: Any) -> None:
+        """No send-side state."""
+
+    def on_receive(self, node: Any, packet: Any, from_id: int) -> None:
+        """No receive-side state."""
+
+    def on_timer(self, now: float) -> None:
+        """No periodic maintenance."""
+
+
+register("mac", ContentionMac.name, ContentionMac)
+register("mac", IdealMac.name, IdealMac)

@@ -291,3 +291,15 @@ class MobilityManager:
             if node.up:
                 node.position = model.step(self.update_period_s, self._rng)
         self.network.invalidate_topology()
+
+
+# Registry hookup: mobility models addressable by name in campaign sweeps.
+from repro.net.registry import register  # noqa: E402  (registration epilogue)
+
+StaticMobility.name = "static"
+RandomWaypoint.name = "random_waypoint"
+ManhattanGrid.name = "manhattan"
+GroupMobility.name = "group"
+for _model in (StaticMobility, RandomWaypoint, ManhattanGrid, GroupMobility):
+    register("mobility", _model.name, _model)
+del _model

@@ -1,9 +1,13 @@
 """Network nodes and the network container.
 
 :class:`NetNode` is the communication endpoint (radio parameters, liveness,
-handler/router hooks).  :class:`Network` owns the channel, a spatial index
-for neighbor queries (so 10,000-node inventories stay fast), and the
-transmit path: MAC delay -> delivery draw -> scheduled reception.
+handler/router hooks).  :class:`Network` owns the spatial index for neighbor
+queries (so 10,000-node inventories stay fast) and a
+:class:`~repro.net.stack.NetworkStack` — the explicit layered pipeline
+(PHY/channel -> MAC -> queue -> routing -> transport -> app) whose
+:class:`~repro.net.stack.FastPathDispatcher` implements the transmit path.
+The historical ``send`` / ``broadcast`` / fault-injection API is preserved
+by delegation, so routers and fault injectors are unchanged callers.
 """
 
 from __future__ import annotations
@@ -11,17 +15,15 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-
 from repro.errors import NetworkError
 from repro.net.channel import Channel
 from repro.net.mac import ContentionMac
 from repro.net.packet import Packet, PacketKind
+from repro.net.stack import SPEED_OF_LIGHT_M_S, FaultLayer, NetworkStack, RouterPort
 from repro.sim.kernel import Simulator
 from repro.util.geometry import Point, distance
 
-__all__ = ["NetNode", "Network"]
-
-SPEED_OF_LIGHT_M_S = 3.0e8
+__all__ = ["NetNode", "Network", "SPEED_OF_LIGHT_M_S"]
 
 PacketHandler = Callable[["NetNode", Packet, int], None]
 SendResult = Callable[[bool], None]
@@ -49,7 +51,10 @@ class NetNode:
         self.tx_power_dbm = tx_power_dbm
         self.bitrate_bps = bitrate_bps
         self.up = True
-        self.router: Optional[Any] = None
+        #: The routing-layer occupant of this node's stack, if any.  Typed
+        #: via the :class:`~repro.net.stack.RouterPort` protocol so the
+        #: routing slot is checkable (was ``Optional[Any]``).
+        self.router: Optional[RouterPort] = None
         self.handlers: Dict[PacketKind, PacketHandler] = {}
         self.default_handler: Optional[PacketHandler] = None
         # Optional hook charged (bits_tx, bits_rx) for energy accounting.
@@ -73,10 +78,13 @@ class NetNode:
 
 
 class Network:
-    """Container for nodes + channel; implements the transmit path.
+    """Container for nodes + the layered stack; owns the spatial index.
 
     Neighbor queries use a uniform grid sized to the maximum communication
-    range, so they cost O(occupants of 9 cells) instead of O(N).
+    range, so they cost O(occupants of 9 cells) instead of O(N).  The
+    transmit path lives in the stack's dispatcher; fault state lives in the
+    stack's :class:`~repro.net.stack.FaultLayer` (both reachable through
+    :attr:`stack`, with the historical methods kept as delegations).
     """
 
     def __init__(
@@ -96,26 +104,15 @@ class Network:
         self._grid: Dict[Tuple[int, int], Set[int]] = {}
         self._cell_size = 0.0
         self._grid_dirty = True
-        # Listeners observing every successful delivery (promiscuous taps,
-        # used by fingerprinting / side-channel discovery).
-        self._sniffers: List[Callable[[Packet, int, int], None]] = []
         # Listeners observing node liveness transitions (routers invalidate
         # stale state, services re-plan around losses).
         self._node_state_listeners: List[NodeStateListener] = []
-        # Fault-injection state: individually blocked links, partition
-        # constraints, and packet-level gremlins (see repro.faults).
-        self._blocked_links: Set[Tuple[int, int]] = set()
-        self._partitions: List[Dict[int, int]] = []
-        self._gremlins: List[Any] = []
-        # Registry instruments, cached so the transmit path pays one
-        # attribute update per event (see repro.obs.registry).
-        registry = sim.registry
-        self._c_tx = registry.counter("net.tx")
-        self._c_rx = registry.counter("net.rx")
-        self._c_dropped = registry.counter("net.dropped")
-        self._h_backoff = registry.histogram("net.mac_backoff_s")
-        # (control_tx counter, control_bits counter) per router name.
-        self._control_counters: Dict[str, Tuple[Any, Any]] = {}
+        #: The layered pipeline; shares this network's channel, MAC and RNG
+        #: stream, so composing a stack by hand or via the registry is the
+        #: same object graph the legacy constructor args produce.
+        self.stack = NetworkStack(
+            sim, self, channel=self.channel, mac=self.mac, rng=self._rng
+        )
 
     # ------------------------------------------------------------- membership
 
@@ -182,55 +179,39 @@ class Network:
         return [n for n in self.nodes.values() if n.up]
 
     # ------------------------------------------------------------ fault hooks
+    #
+    # Fault state lives in the stack's FaultLayer; these delegations keep
+    # the injector-facing API (repro.faults) where it has always been.
 
-    @staticmethod
-    def _link_key(a: int, b: int) -> Tuple[int, int]:
-        return (a, b) if a <= b else (b, a)
+    # Canonical unordered link key (kept here for fault-injector callers).
+    _link_key = staticmethod(FaultLayer._link_key)
 
     def block_link(self, a: int, b: int) -> None:
         """Sever the (bidirectional) radio link between two nodes."""
-        key = self._link_key(a, b)
-        if key not in self._blocked_links:
-            self._blocked_links.add(key)
-            self.sim.trace.emit("net.link_down", a=key[0], b=key[1])
+        self.stack.faults.block_link(a, b)
 
     def unblock_link(self, a: int, b: int) -> None:
-        key = self._link_key(a, b)
-        if key in self._blocked_links:
-            self._blocked_links.discard(key)
-            self.sim.trace.emit("net.link_up", a=key[0], b=key[1])
+        self.stack.faults.unblock_link(a, b)
 
     def add_partition(self, groups: Dict[int, int]) -> None:
         """Add a partition constraint: nodes mapped to different groups
         cannot exchange packets.  Nodes absent from the mapping are
         unconstrained.  Multiple constraints compose (all must allow)."""
-        self._partitions.append(groups)
-        self.sim.trace.emit("net.partition_on", groups=len(set(groups.values())))
+        self.stack.faults.add_partition(groups)
 
     def remove_partition(self, groups: Dict[int, int]) -> None:
-        if groups in self._partitions:
-            self._partitions.remove(groups)
-            self.sim.trace.emit("net.partition_off")
+        self.stack.faults.remove_partition(groups)
 
     def link_blocked(self, a: int, b: int) -> bool:
         """True when a fault (link cut or partition) severs the pair."""
-        if self._blocked_links and self._link_key(a, b) in self._blocked_links:
-            return True
-        for groups in self._partitions:
-            ga = groups.get(a)
-            gb = groups.get(b)
-            if ga is not None and gb is not None and ga != gb:
-                return True
-        return False
+        return self.stack.faults.link_blocked(a, b)
 
     def add_gremlin(self, gremlin: Any) -> None:
         """Install a packet-level gremlin (see :mod:`repro.faults.gremlin`)."""
-        if gremlin not in self._gremlins:
-            self._gremlins.append(gremlin)
+        self.stack.faults.add_gremlin(gremlin)
 
     def remove_gremlin(self, gremlin: Any) -> None:
-        if gremlin in self._gremlins:
-            self._gremlins.remove(gremlin)
+        self.stack.faults.remove_gremlin(gremlin)
 
     # ------------------------------------------------------------ spatial grid
 
@@ -280,53 +261,8 @@ class Network:
 
     # --------------------------------------------------------------- transmit
 
-    def _busy_neighbors(self, node: NetNode) -> int:
-        return sum(
-            self.nodes[nid].busy_tx
-            for nid in self.neighbors(node.id)
-            if nid in self.nodes
-        )
-
     def transmission_delay_s(self, node: NetNode, packet: Packet) -> float:
-        return packet.size_bits / max(node.bitrate_bps, 1.0)
-
-    def _count_control(self, sender: NetNode, packet: Packet) -> None:
-        """Charge a non-DATA transmission to its router's control budget."""
-        if packet.kind is PacketKind.DATA:
-            return
-        name = sender.router.name if sender.router is not None else "none"
-        pair = self._control_counters.get(name)
-        if pair is None:
-            registry = self.sim.registry
-            pair = (
-                registry.counter(f"route.{name}.control_tx"),
-                registry.counter(f"route.{name}.control_bits"),
-            )
-            self._control_counters[name] = pair
-        pair[0].inc()
-        pair[1].inc(packet.size_bits)
-
-    def _gremlin_verdict(self, sender_id: int, receiver_id: int, packet: Packet):
-        """Combined packet-gremlin verdict for one hop, or ``None``.
-
-        Drop/corrupt/duplicate OR together across installed gremlins; extra
-        delays add.  Returns ``(drop, duplicate, corrupt, extra_delay_s)``.
-        """
-        if not self._gremlins:
-            return None
-        drop = duplicate = corrupt = False
-        extra_delay = 0.0
-        for gremlin in self._gremlins:
-            verdict = gremlin.judge(sender_id, receiver_id, packet)
-            if verdict is None:
-                continue
-            drop = drop or verdict.drop
-            duplicate = duplicate or verdict.duplicate
-            corrupt = corrupt or verdict.corrupt
-            extra_delay += verdict.extra_delay_s
-        if not (drop or duplicate or corrupt or extra_delay > 0.0):
-            return None
-        return drop, duplicate, corrupt, extra_delay
+        return packet.airtime_s(node.bitrate_bps)
 
     def send(
         self,
@@ -343,110 +279,7 @@ class Network:
         """
         sender = self.node(sender_id)
         receiver = self.node(receiver_id)
-        tracer = self.sim.packet_tracer
-        if tracer is not None and not tracer.enabled:
-            tracer = None
-        if not sender.up:
-            if tracer is not None:
-                tracer.drop_unsent(packet, sender_id, "sender_down")
-            if on_result:
-                on_result(False)
-            return
-        busy = self._busy_neighbors(sender)
-        access = self.mac.access(busy, self._rng)
-        backoff = access.backoff_s
-        self._h_backoff.observe(backoff)
-        airtime = self.transmission_delay_s(sender, packet)
-        prop = distance(sender.position, receiver.position) / SPEED_OF_LIGHT_M_S
-        delay = backoff + airtime + prop
-        p_ok = self.channel.delivery_probability(
-            sender.tx_power_dbm,
-            sender.position,
-            receiver.position,
-            sender.id,
-            receiver.id,
-        ) * access.collision_survival
-        drop_reason: Optional[str] = None
-        if not receiver.up:
-            success = False
-            drop_reason = "receiver_down"
-        elif self._rng.random() < p_ok:
-            success = True
-        else:
-            success = False
-            drop_reason = "loss"
-        if success and self.link_blocked(sender_id, receiver_id):
-            success = False
-            drop_reason = "link_blocked"
-            self.sim.metrics.incr("net.link_blocked")
-        duplicate = corrupt = False
-        extra_delay = 0.0
-        if success:
-            verdict = self._gremlin_verdict(sender_id, receiver_id, packet)
-            if verdict is not None:
-                drop, duplicate, corrupt, extra_delay = verdict
-                delay += extra_delay
-                if drop:
-                    success = False
-                    drop_reason = "gremlin"
-        self.sim.metrics.incr("net.tx_attempts")
-        self._c_tx.inc()
-        self._count_control(sender, packet)
-        if sender.energy_hook:
-            sender.energy_hook(packet.size_bits, 0.0)
-        sender.busy_tx += 1
-        token = None
-        if tracer is not None:
-            token = tracer.on_enqueue(
-                sender_id,
-                receiver_id,
-                packet,
-                backoff_s=backoff,
-                airtime_s=airtime,
-                prop_s=prop,
-                extra_s=extra_delay,
-            )
-
-        def complete() -> None:
-            sender.busy_tx = max(0, sender.busy_tx - 1)
-            if success and receiver.up:
-                if corrupt:
-                    # Failed checksum: airtime was spent but the frame is
-                    # discarded at the receiver, and the link-layer ack fails.
-                    self.sim.metrics.incr("net.rx_corrupt")
-                    self._c_dropped.inc()
-                    if token is not None:
-                        tracer.on_drop(token, sender_id, receiver_id, "corrupt")
-                    if on_result:
-                        on_result(False)
-                    return
-                self.sim.metrics.incr("net.tx_success")
-                self._c_rx.inc()
-                if token is not None:
-                    tracer.on_rx(
-                        token, packet, sender_id, receiver_id, extra_s=extra_delay
-                    )
-                self._deliver(receiver, packet, sender_id)
-                if duplicate:
-                    self.sim.metrics.incr("net.rx_duplicated")
-                    if receiver.up:
-                        self._deliver(receiver, packet, sender_id)
-                if on_result:
-                    on_result(True)
-            else:
-                self.sim.metrics.incr("net.tx_failed")
-                self._c_dropped.inc()
-                if token is not None:
-                    tracer.on_drop(
-                        token,
-                        sender_id,
-                        receiver_id,
-                        drop_reason or "receiver_down",
-                    )
-                if on_result:
-                    on_result(False)
-
-        self.sim.call_in(delay, complete)
+        self.stack.dispatcher.unicast(sender, receiver, packet, on_result)
 
     def broadcast(self, sender_id: int, packet: Packet) -> int:
         """Link-local broadcast to every in-range neighbor.
@@ -455,131 +288,14 @@ class Network:
         reception is drawn independently (no acks on broadcast).
         """
         sender = self.node(sender_id)
-        tracer = self.sim.packet_tracer
-        if tracer is not None and not tracer.enabled:
-            tracer = None
         if not sender.up:
-            if tracer is not None:
-                tracer.drop_unsent(packet, sender_id, "sender_down")
-            return 0
-        neighbor_ids = self.neighbors(sender_id)
-        busy = self._busy_neighbors(sender)
-        access = self.mac.access(busy, self._rng)
-        backoff = access.backoff_s
-        self._h_backoff.observe(backoff)
-        airtime = self.transmission_delay_s(sender, packet)
-        base_delay = backoff + airtime
-        self.sim.metrics.incr("net.tx_attempts")
-        self._c_tx.inc()
-        self._count_control(sender, packet)
-        if sender.energy_hook:
-            sender.energy_hook(packet.size_bits, 0.0)
-        sender.busy_tx += 1
-        survival = access.collision_survival
-        token = None
-        if tracer is not None:
-            # One hop span covers the whole broadcast; each receiver's
-            # reception (or loss) is recorded against it individually.
-            token = tracer.on_enqueue(
-                sender_id,
-                None,
-                packet,
-                backoff_s=backoff,
-                airtime_s=airtime,
-                prop_s=0.0,
-                extra_s=0.0,
-            )
-        # Per receiver: (node_id, corrupt, duplicate, extra_delay_s).
-        deliveries: List[Tuple[int, bool, bool, float]] = []
-        for nid in neighbor_ids:
-            receiver = self.nodes[nid]
-            p_ok = (
-                self.channel.delivery_probability(
-                    sender.tx_power_dbm,
-                    sender.position,
-                    receiver.position,
-                    sender.id,
-                    receiver.id,
-                )
-                * survival
-            )
-            if self._rng.random() >= p_ok:
-                self._c_dropped.inc()
-                if token is not None:
-                    tracer.on_drop(token, sender_id, nid, "loss")
-                continue
-            if self.link_blocked(sender_id, nid):
-                self.sim.metrics.incr("net.link_blocked")
-                self._c_dropped.inc()
-                if token is not None:
-                    tracer.on_drop(token, sender_id, nid, "link_blocked")
-                continue
-            corrupt = duplicate = False
-            extra_delay = 0.0
-            verdict = self._gremlin_verdict(sender_id, nid, packet)
-            if verdict is not None:
-                drop, duplicate, corrupt, extra_delay = verdict
-                if drop:
-                    self._c_dropped.inc()
-                    if token is not None:
-                        tracer.on_drop(token, sender_id, nid, "gremlin")
-                    continue
-            deliveries.append((nid, corrupt, duplicate, extra_delay))
-
-        def deliver_one(
-            nid: int, corrupt: bool, duplicate: bool, extra_delay: float
-        ) -> None:
-            receiver = self.nodes.get(nid)
-            if receiver is None or not receiver.up:
-                if token is not None:
-                    tracer.on_drop(token, sender_id, nid, "receiver_down")
-                return
-            if corrupt:
-                self.sim.metrics.incr("net.rx_corrupt")
-                self._c_dropped.inc()
-                if token is not None:
-                    tracer.on_drop(token, sender_id, nid, "corrupt")
-                return
-            self.sim.metrics.incr("net.tx_success")
-            self._c_rx.inc()
-            if token is not None:
-                tracer.on_rx(token, packet, sender_id, nid, extra_s=extra_delay)
-            self._deliver(receiver, packet, sender_id)
-            if duplicate:
-                self.sim.metrics.incr("net.rx_duplicated")
-                receiver = self.nodes.get(nid)
-                if receiver is not None and receiver.up:
-                    self._deliver(receiver, packet, sender_id)
-
-        def complete() -> None:
-            sender.busy_tx = max(0, sender.busy_tx - 1)
-            for nid, corrupt, duplicate, extra_delay in deliveries:
-                if extra_delay > 0.0:
-                    self.sim.call_in(
-                        extra_delay,
-                        lambda n=nid, c=corrupt, d=duplicate, e=extra_delay: (
-                            deliver_one(n, c, d, e)
-                        ),
-                    )
-                else:
-                    deliver_one(nid, corrupt, duplicate, 0.0)
-
-        self.sim.call_in(base_delay, complete)
-        return len(neighbor_ids)
-
-    def _deliver(self, receiver: NetNode, packet: Packet, from_id: int) -> None:
-        if receiver.energy_hook:
-            receiver.energy_hook(0.0, packet.size_bits)
-        for sniffer in self._sniffers:
-            sniffer(packet, from_id, receiver.id)
-        if receiver.router is not None:
-            receiver.router.on_receive(receiver, packet, from_id)
-        else:
-            receiver.deliver_local(packet, from_id)
+            # Let the dispatcher record the unsent drop uniformly.
+            return self.stack.dispatcher.broadcast(sender, (), packet)
+        return self.stack.dispatcher.broadcast(sender, self.neighbors(sender_id), packet)
 
     def add_sniffer(self, fn: Callable[[Packet, int, int], None]) -> None:
         """Observe every successful delivery as ``(packet, from, to)``."""
-        self._sniffers.append(fn)
+        self.stack.app.add_sniffer(fn)
 
     def __repr__(self) -> str:
         return f"Network(nodes={len(self.nodes)}, jammers={len(self.channel.jammers)})"

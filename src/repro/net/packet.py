@@ -82,6 +82,26 @@ class Packet:
         )
 
     @property
+    def size_bytes(self) -> float:
+        """Size in octets, derived from the canonical :attr:`size_bits`.
+
+        ``size_bits`` is the single source of truth for packet size:
+        airtime (:meth:`airtime_s`), energy charges
+        (:attr:`NetNode.energy_hook`), and control-overhead accounting all
+        read it, so the bits-vs-bytes unit can never diverge between the
+        channel, MAC, and transport layers.
+        """
+        return self.size_bits / 8.0
+
+    def airtime_s(self, bitrate_bps: float) -> float:
+        """Serialization delay of this packet at ``bitrate_bps``.
+
+        The one place bits are converted to seconds; the PHY layer and any
+        energy model must use this so airtime and energy charges agree.
+        """
+        return self.size_bits / max(bitrate_bps, 1.0)
+
+    @property
     def hops(self) -> int:
         """Number of transmissions so far (path entries minus origin)."""
         return max(0, len(self.path) - 1)

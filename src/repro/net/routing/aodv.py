@@ -327,3 +327,9 @@ class AodvRouter(Router):
             fwd.path.append(node.id)
             if fwd.ttl > 0:
                 self.send_reliable(node.id, entry.next_hop, fwd)
+
+
+# Registry hookup: addressable by name in stack compositions.
+from repro.net.registry import register  # noqa: E402  (registration epilogue)
+
+register("router", AodvRouter.name, AodvRouter)

@@ -57,7 +57,13 @@ class _StoreCarryForwardRouter(Router):
         """Begin periodic contact sweeps (idempotent)."""
         if not self._started:
             self._started = True
-            self.sim.every(self.contact_period_s, self._sweep)
+            self.sim.every(
+                self.contact_period_s, lambda: self.on_timer(self.sim.now)
+            )
+
+    def on_timer(self, now: float) -> None:
+        """Contact sweeps run through the stack's timer surface."""
+        self._sweep()
 
     def on_node_state(self, node_id: int, up: bool) -> None:
         # A crash loses custody of every bundle the node was carrying
@@ -212,3 +218,10 @@ class SprayAndWaitRouter(_StoreCarryForwardRouter):
                         bundle.copies -= give
 
                 self._transfer(a, b, bundle, copies=give, on_result=settle)
+
+
+# Registry hookup: addressable by name in stack compositions.
+from repro.net.registry import register  # noqa: E402  (registration epilogue)
+
+register("router", EpidemicRouter.name, EpidemicRouter)
+register("router", SprayAndWaitRouter.name, SprayAndWaitRouter)

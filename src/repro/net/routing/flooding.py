@@ -62,3 +62,9 @@ class FloodingRouter(Router):
         elif packet.dst is not None:
             # This relay's copy of a unicast flood died of TTL here.
             self._trace_drop(node.id, fwd, "ttl_expired")
+
+
+# Registry hookup: addressable by name in stack compositions.
+from repro.net.registry import register  # noqa: E402  (registration epilogue)
+
+register("router", FloodingRouter.name, FloodingRouter)

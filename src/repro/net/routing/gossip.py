@@ -67,3 +67,9 @@ class GossipRouter(Router):
                 return
         if fwd.ttl > 0 and self._rng.random() < self.forward_probability:
             self.network.broadcast(node.id, fwd)
+
+
+# Registry hookup: addressable by name in stack compositions.
+from repro.net.registry import register  # noqa: E402  (registration epilogue)
+
+register("router", GossipRouter.name, GossipRouter)

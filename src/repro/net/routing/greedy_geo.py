@@ -104,3 +104,9 @@ class GreedyGeoRouter(Router):
                 self._trace_drop(node.id, packet, "link_drop")
 
         self.network.send(node.id, best_id, packet, on_result=result)
+
+
+# Registry hookup: addressable by name in stack compositions.
+from repro.net.registry import register  # noqa: E402  (registration epilogue)
+
+register("router", GreedyGeoRouter.name, GreedyGeoRouter)

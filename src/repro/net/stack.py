@@ -1,0 +1,849 @@
+"""The layered per-node network stack.
+
+The paper's Fig. 2 synthesis argument needs heterogeneous communication
+stacks assembled on demand; Farooq & Zhu's multi-layer IoBT network design
+(arXiv:1801.09986) models exactly that per-layer composability.  This module
+makes the stack explicit: an ordered pipeline
+
+    PHY/channel -> MAC -> queue -> routing -> transport -> app
+
+behind one :class:`Layer` protocol (``on_send`` / ``on_receive`` /
+``on_timer`` / ``attach(ctx)``).  A :class:`StackContext` owns the clock,
+the RNG stream, and the emit hooks, so tracing (:mod:`repro.obs.tracing`),
+fault callbacks (:mod:`repro.faults`), and metrics
+(:mod:`repro.obs.registry`) plug in at layer boundaries exactly once instead
+of being re-implemented per router.
+
+The per-packet hot path is :class:`FastPathDispatcher`: one batched dispatch
+loop over the layers that :class:`~repro.net.node.Network` delegates to.  It
+is **bit-identical** to the pre-refactor hand-inlined transmit path for the
+default composition — same RNG draw order, same scheduled delays, same
+trace records — which ``tests/net/test_stack_fingerprint.py`` pins with
+golden fingerprints recorded before the refactor.
+
+Import discipline: this module must not import :mod:`repro.net.node` at
+runtime (node imports the stack); layers receive ``NetNode`` instances
+through the context and type them via ``TYPE_CHECKING`` only.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.net.mac import ContentionMac, MacAccess
+from repro.net.packet import Packet, PacketKind
+from repro.util.geometry import distance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.net.channel import Channel
+    from repro.net.node import NetNode, Network
+    from repro.sim.kernel import Simulator
+
+__all__ = [
+    "Layer",
+    "RouterPort",
+    "TransportPort",
+    "LayerBase",
+    "StackContext",
+    "PhyLayer",
+    "MacLayer",
+    "QueueLayer",
+    "FaultLayer",
+    "RoutingLayer",
+    "TransportLayer",
+    "AppLayer",
+    "NetworkStack",
+    "FastPathDispatcher",
+    "SPEED_OF_LIGHT_M_S",
+    "LAYER_ORDER",
+]
+
+SPEED_OF_LIGHT_M_S = 3.0e8
+
+#: Canonical bottom-up layer order of the pipeline.
+LAYER_ORDER: Tuple[str, ...] = ("phy", "mac", "queue", "routing", "transport", "app")
+
+SendResult = Callable[[bool], None]
+Sniffer = Callable[[Packet, int, int], None]
+
+
+# --------------------------------------------------------------- protocols
+
+
+@runtime_checkable
+class Layer(Protocol):
+    """The uniform interface every stack layer implements.
+
+    ``attach(ctx)`` binds the layer to its stack's shared context;
+    ``on_send`` / ``on_receive`` are the downward/upward data-path hooks;
+    ``on_timer`` is the periodic maintenance hook (DTN contact sweeps, MAC
+    housekeeping).  Layers that do not participate in a direction simply
+    inherit the no-op from :class:`LayerBase`.
+    """
+
+    name: str
+
+    def attach(self, ctx: "StackContext") -> None: ...
+
+    def on_send(self, node: "NetNode", packet: Packet) -> None: ...
+
+    def on_receive(self, node: "NetNode", packet: Packet, from_id: int) -> None: ...
+
+    def on_timer(self, now: float) -> None: ...
+
+
+@runtime_checkable
+class RouterPort(Protocol):
+    """What the network requires of anything plugged in as a node's router.
+
+    This is the typed replacement for the old ``NetNode.router:
+    Optional[Any]`` — mypy/pyright can now check the routing slot of the
+    stack.  All of :mod:`repro.net.routing` satisfies it structurally.
+    """
+
+    name: str
+
+    def send(self, src_id: int, packet: Packet) -> None: ...
+
+    def on_receive(self, node: "NetNode", packet: Packet, from_id: int) -> None: ...
+
+    def attach_all(self, node_ids: Iterable[int]) -> None: ...
+
+
+@runtime_checkable
+class TransportPort(Protocol):
+    """What the stack requires of a transport service (see
+    :mod:`repro.net.transport`): originate application messages and expose
+    per-node subscription."""
+
+    def send(self, src: int, dst: Optional[int], payload: Any = None) -> Any: ...
+
+    def on_message(self, node_id: int, handler: Callable[[Packet], None]) -> None: ...
+
+    def attach(self, node_id: int) -> None: ...
+
+
+class LayerBase:
+    """Default no-op implementation of the :class:`Layer` protocol."""
+
+    name = "layer"
+
+    def __init__(self) -> None:
+        self.ctx: Optional[StackContext] = None
+
+    def attach(self, ctx: "StackContext") -> None:
+        self.ctx = ctx
+
+    def on_send(self, node: "NetNode", packet: Packet) -> None:
+        pass
+
+    def on_receive(self, node: "NetNode", packet: Packet, from_id: int) -> None:
+        pass
+
+    def on_timer(self, now: float) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------- context
+
+
+class StackContext:
+    """Shared state every layer sees: clock, RNG stream, and emit hooks.
+
+    The context is the single place where cross-cutting concerns plug into
+    the stack.  Tracing hooks come from :attr:`tracer` (``None`` while
+    disabled, so the hot path stays branch-cheap), metric instruments are
+    created once here and cached, and fault verdicts are reached through
+    the stack's :class:`FaultLayer`.
+    """
+
+    def __init__(self, sim: "Simulator", network: "Network", rng: "np.random.Generator"):
+        self.sim = sim
+        self.network = network
+        #: The stack's RNG stream (the historical ``net`` stream).
+        self.rng = rng
+        # Registry instruments, cached so the transmit path pays one
+        # attribute update per event (see repro.obs.registry).
+        registry = sim.registry
+        self.c_tx = registry.counter("net.tx")
+        self.c_rx = registry.counter("net.rx")
+        self.c_dropped = registry.counter("net.dropped")
+        self.h_backoff = registry.histogram("net.mac_backoff_s")
+        # (control_tx counter, control_bits counter) per router name.
+        self._control_counters: Dict[str, Tuple[Any, Any]] = {}
+
+    # ------------------------------------------------------------- clock/rng
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> Any:
+        return self.sim.call_in(delay, fn)
+
+    # ----------------------------------------------------------- emit hooks
+
+    @property
+    def tracer(self):
+        """The active packet tracer, or ``None`` when tracing is off."""
+        tracer = self.sim.packet_tracer
+        if tracer is not None and not tracer.enabled:
+            return None
+        return tracer
+
+    def emit(self, category: str, **fields: Any) -> None:
+        self.sim.trace.emit(category, **fields)
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self.sim.metrics.incr(name, amount)
+
+    def count_control(self, sender: "NetNode", packet: Packet) -> None:
+        """Charge a non-DATA transmission to its router's control budget."""
+        if packet.kind is PacketKind.DATA:
+            return
+        name = sender.router.name if sender.router is not None else "none"
+        pair = self._control_counters.get(name)
+        if pair is None:
+            registry = self.sim.registry
+            pair = (
+                registry.counter(f"route.{name}.control_tx"),
+                registry.counter(f"route.{name}.control_bits"),
+            )
+            self._control_counters[name] = pair
+        pair[0].inc()
+        pair[1].inc(packet.size_bits)
+
+
+# ------------------------------------------------------------------- layers
+
+
+class PhyLayer(LayerBase):
+    """PHY/channel layer: propagation, airtime, and delivery probability.
+
+    Wraps a :class:`~repro.net.channel.Channel`; the per-bit timing comes
+    from :meth:`Packet.airtime_s` so bits-vs-seconds conversion lives in
+    exactly one place.
+    """
+
+    name = "phy"
+
+    def __init__(self, channel: "Channel"):
+        super().__init__()
+        self.channel = channel
+
+    def airtime_s(self, node: "NetNode", packet: Packet) -> float:
+        return packet.airtime_s(node.bitrate_bps)
+
+    def propagation_s(self, sender: "NetNode", receiver: "NetNode") -> float:
+        return distance(sender.position, receiver.position) / SPEED_OF_LIGHT_M_S
+
+    def delivery_probability(self, sender: "NetNode", receiver: "NetNode") -> float:
+        return self.channel.delivery_probability(
+            sender.tx_power_dbm,
+            sender.position,
+            receiver.position,
+            sender.id,
+            receiver.id,
+        )
+
+
+class MacLayer(LayerBase):
+    """Medium-access layer: channel-access grants against local load.
+
+    Wraps a :class:`~repro.net.mac.ContentionMac` (or any object with its
+    ``access(busy, rng) -> MacAccess`` surface) and feeds the backoff
+    histogram at the boundary — one draw per grant, observed exactly once.
+    """
+
+    name = "mac"
+
+    def __init__(self, mac: ContentionMac):
+        super().__init__()
+        self.mac = mac
+
+    def grant(self, busy_neighbors: int) -> MacAccess:
+        assert self.ctx is not None
+        access = self.mac.access(busy_neighbors, self.ctx.rng)
+        self.ctx.h_backoff.observe(access.backoff_s)
+        return access
+
+
+class QueueLayer(LayerBase):
+    """Transmit-queue layer: in-flight occupancy used for load estimates.
+
+    ``busy_tx`` on each node counts concurrent in-flight transmissions;
+    neighbors' occupancy is what the mean-field MAC charges contention
+    against.
+    """
+
+    name = "queue"
+
+    def busy_neighbors(self, sender: "NetNode") -> int:
+        assert self.ctx is not None
+        network = self.ctx.network
+        nodes = network.nodes
+        return sum(
+            nodes[nid].busy_tx for nid in network.neighbors(sender.id) if nid in nodes
+        )
+
+    def begin_tx(self, sender: "NetNode") -> None:
+        sender.busy_tx += 1
+
+    def end_tx(self, sender: "NetNode") -> None:
+        sender.busy_tx = max(0, sender.busy_tx - 1)
+
+
+class FaultLayer(LayerBase):
+    """Fault plug-in point: link cuts, partitions, and packet gremlins.
+
+    This is where :mod:`repro.faults` hooks into the stack — exactly once,
+    at the PHY/MAC boundary — instead of each transmit path re-implementing
+    blocked-link and gremlin checks.  State lives here; the network exposes
+    its historical ``block_link`` / ``add_gremlin`` API by delegation.
+    """
+
+    name = "faults"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.blocked_links: set[Tuple[int, int]] = set()
+        self.partitions: List[Dict[int, int]] = []
+        self.gremlins: List[Any] = []
+
+    @staticmethod
+    def _link_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def block_link(self, a: int, b: int) -> None:
+        assert self.ctx is not None
+        key = self._link_key(a, b)
+        if key not in self.blocked_links:
+            self.blocked_links.add(key)
+            self.ctx.emit("net.link_down", a=key[0], b=key[1])
+
+    def unblock_link(self, a: int, b: int) -> None:
+        assert self.ctx is not None
+        key = self._link_key(a, b)
+        if key in self.blocked_links:
+            self.blocked_links.discard(key)
+            self.ctx.emit("net.link_up", a=key[0], b=key[1])
+
+    def add_partition(self, groups: Dict[int, int]) -> None:
+        assert self.ctx is not None
+        self.partitions.append(groups)
+        self.ctx.emit("net.partition_on", groups=len(set(groups.values())))
+
+    def remove_partition(self, groups: Dict[int, int]) -> None:
+        assert self.ctx is not None
+        if groups in self.partitions:
+            self.partitions.remove(groups)
+            self.ctx.emit("net.partition_off")
+
+    def link_blocked(self, a: int, b: int) -> bool:
+        """True when a fault (link cut or partition) severs the pair."""
+        if self.blocked_links and self._link_key(a, b) in self.blocked_links:
+            return True
+        for groups in self.partitions:
+            ga = groups.get(a)
+            gb = groups.get(b)
+            if ga is not None and gb is not None and ga != gb:
+                return True
+        return False
+
+    def add_gremlin(self, gremlin: Any) -> None:
+        if gremlin not in self.gremlins:
+            self.gremlins.append(gremlin)
+
+    def remove_gremlin(self, gremlin: Any) -> None:
+        if gremlin in self.gremlins:
+            self.gremlins.remove(gremlin)
+
+    def gremlin_verdict(
+        self, sender_id: int, receiver_id: int, packet: Packet
+    ) -> Optional[Tuple[bool, bool, bool, float]]:
+        """Combined packet-gremlin verdict for one hop, or ``None``.
+
+        Drop/corrupt/duplicate OR together across installed gremlins; extra
+        delays add.  Returns ``(drop, duplicate, corrupt, extra_delay_s)``.
+        """
+        if not self.gremlins:
+            return None
+        drop = duplicate = corrupt = False
+        extra_delay = 0.0
+        for gremlin in self.gremlins:
+            verdict = gremlin.judge(sender_id, receiver_id, packet)
+            if verdict is None:
+                continue
+            drop = drop or verdict.drop
+            duplicate = duplicate or verdict.duplicate
+            corrupt = corrupt or verdict.corrupt
+            extra_delay += verdict.extra_delay_s
+        if not (drop or duplicate or corrupt or extra_delay > 0.0):
+            return None
+        return drop, duplicate, corrupt, extra_delay
+
+
+class RoutingLayer(LayerBase):
+    """Adapter putting a :class:`~repro.net.routing.base.Router` in the
+    stack's routing slot.  Down-calls map ``on_send`` to the router's
+    ``send``; up-calls go to the router's own ``on_receive``."""
+
+    name = "routing"
+
+    def __init__(self, router: RouterPort):
+        super().__init__()
+        self.router = router
+
+    def on_send(self, node: "NetNode", packet: Packet) -> None:
+        self.router.send(node.id, packet)
+
+    def on_receive(self, node: "NetNode", packet: Packet, from_id: int) -> None:
+        self.router.on_receive(node, packet, from_id)
+
+    def on_timer(self, now: float) -> None:
+        timer = getattr(self.router, "on_timer", None)
+        if timer is not None:
+            timer(now)
+
+
+class TransportLayer(LayerBase):
+    """Adapter putting a transport service (:class:`MessageService` /
+    :class:`ReliableMessageService`) in the stack's transport slot."""
+
+    name = "transport"
+
+    def __init__(self, service: TransportPort):
+        super().__init__()
+        self.service = service
+
+    def on_send(self, node: "NetNode", packet: Packet) -> None:
+        self.service.send(node.id, packet.dst, packet.payload)
+
+    def on_receive(self, node: "NetNode", packet: Packet, from_id: int) -> None:
+        # Transports register per-kind node handlers; delivery reaches them
+        # through the app layer.  Nothing extra to do on the adapter.
+        pass
+
+
+class AppLayer(LayerBase):
+    """Top of the stack: sniffer taps, router up-call, local handlers.
+
+    A delivery climbs the stack here: energy is charged, promiscuous
+    sniffers observe the frame, then the receiving node's router (or, for
+    router-less nodes, the local handler table) takes over.
+    """
+
+    name = "app"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sniffers: List[Sniffer] = []
+
+    def add_sniffer(self, fn: Sniffer) -> None:
+        self.sniffers.append(fn)
+
+    def deliver(self, receiver: "NetNode", packet: Packet, from_id: int) -> None:
+        if receiver.energy_hook:
+            receiver.energy_hook(0.0, packet.size_bits)
+        for sniffer in self.sniffers:
+            sniffer(packet, from_id, receiver.id)
+        if receiver.router is not None:
+            receiver.router.on_receive(receiver, packet, from_id)
+        else:
+            receiver.deliver_local(packet, from_id)
+
+    def on_receive(self, node: "NetNode", packet: Packet, from_id: int) -> None:
+        self.deliver(node, packet, from_id)
+
+
+# --------------------------------------------------------------- dispatcher
+
+
+class FastPathDispatcher:
+    """The batched per-packet hot path over the stack's layers.
+
+    One dispatch loop implements both transmit entry points: ``unicast``
+    (link-layer-acked single receiver) and ``broadcast`` (a batch of
+    independent receiver draws under one channel-access grant).  The layer
+    hooks fire in fixed bottom-up/top-down order — queue -> MAC -> PHY ->
+    faults on the way down, PHY -> app on the way up — with tracing and
+    metrics at the boundaries.
+
+    Every branch, RNG draw, and scheduled delay mirrors the pre-refactor
+    ``Network.send`` / ``Network.broadcast`` exactly; the golden-fingerprint
+    regression test holds this dispatcher to bit-identical traces.
+    """
+
+    def __init__(
+        self,
+        ctx: StackContext,
+        phy: PhyLayer,
+        mac: MacLayer,
+        queue: QueueLayer,
+        faults: FaultLayer,
+        app: AppLayer,
+    ):
+        self.ctx = ctx
+        self.phy = phy
+        self.mac = mac
+        self.queue = queue
+        self.faults = faults
+        self.app = app
+
+    # ---------------------------------------------------------- shared core
+
+    def _hop_verdict(
+        self,
+        sender: "NetNode",
+        receiver: "NetNode",
+        packet: Packet,
+        survival: float,
+    ) -> Tuple[bool, Optional[str], bool, bool, float]:
+        """One receiver's delivery draw plus the fault-layer verdicts.
+
+        Returns ``(success, drop_reason, duplicate, corrupt, extra_delay)``.
+        Exactly one RNG draw (the delivery Bernoulli) unless gremlins add
+        their own from their named stream.
+        """
+        ctx = self.ctx
+        p_ok = self.phy.delivery_probability(sender, receiver) * survival
+        if ctx.rng.random() >= p_ok:
+            return False, "loss", False, False, 0.0
+        if self.faults.link_blocked(sender.id, receiver.id):
+            ctx.incr("net.link_blocked")
+            return False, "link_blocked", False, False, 0.0
+        verdict = self.faults.gremlin_verdict(sender.id, receiver.id, packet)
+        if verdict is not None:
+            drop, duplicate, corrupt, extra_delay = verdict
+            if drop:
+                return False, "gremlin", duplicate, corrupt, extra_delay
+            return True, None, duplicate, corrupt, extra_delay
+        return True, None, False, False, 0.0
+
+    def _charge_tx(self, sender: "NetNode", packet: Packet) -> None:
+        """Per-transmission accounting at the queue/MAC boundary."""
+        ctx = self.ctx
+        ctx.incr("net.tx_attempts")
+        ctx.c_tx.inc()
+        ctx.count_control(sender, packet)
+        if sender.energy_hook:
+            sender.energy_hook(packet.size_bits, 0.0)
+        self.queue.begin_tx(sender)
+
+    def _deliver_up(
+        self,
+        receiver: "NetNode",
+        packet: Packet,
+        sender_id: int,
+        duplicate: bool,
+    ) -> None:
+        """Successful reception: PHY -> app climb, duplicate fan-in."""
+        ctx = self.ctx
+        ctx.incr("net.tx_success")
+        ctx.c_rx.inc()
+        self.app.deliver(receiver, packet, sender_id)
+        if duplicate:
+            ctx.incr("net.rx_duplicated")
+            if receiver.up:
+                self.app.deliver(receiver, packet, sender_id)
+
+    # -------------------------------------------------------------- unicast
+
+    def unicast(
+        self,
+        sender: "NetNode",
+        receiver: "NetNode",
+        packet: Packet,
+        on_result: Optional[SendResult] = None,
+    ) -> None:
+        """Acked single-receiver dispatch (the batch-of-one fast path)."""
+        ctx = self.ctx
+        tracer = ctx.tracer
+        if not sender.up:
+            if tracer is not None:
+                tracer.drop_unsent(packet, sender.id, "sender_down")
+            if on_result:
+                on_result(False)
+            return
+        sender_id = sender.id
+        receiver_id = receiver.id
+        # Down the stack: queue load -> MAC grant -> PHY timing.
+        busy = self.queue.busy_neighbors(sender)
+        access = self.mac.grant(busy)
+        backoff = access.backoff_s
+        airtime = self.phy.airtime_s(sender, packet)
+        prop = self.phy.propagation_s(sender, receiver)
+        delay = backoff + airtime + prop
+        # Delivery draw + fault verdicts (order matches the legacy path:
+        # the draw is skipped entirely when the receiver is already down).
+        p_ok = self.phy.delivery_probability(sender, receiver) * access.collision_survival
+        drop_reason: Optional[str] = None
+        if not receiver.up:
+            success = False
+            drop_reason = "receiver_down"
+        elif ctx.rng.random() < p_ok:
+            success = True
+        else:
+            success = False
+            drop_reason = "loss"
+        if success and self.faults.link_blocked(sender_id, receiver_id):
+            success = False
+            drop_reason = "link_blocked"
+            ctx.incr("net.link_blocked")
+        duplicate = corrupt = False
+        extra_delay = 0.0
+        if success:
+            verdict = self.faults.gremlin_verdict(sender_id, receiver_id, packet)
+            if verdict is not None:
+                drop, duplicate, corrupt, extra_delay = verdict
+                delay += extra_delay
+                if drop:
+                    success = False
+                    drop_reason = "gremlin"
+        self._charge_tx(sender, packet)
+        token = None
+        if tracer is not None:
+            token = tracer.on_enqueue(
+                sender_id,
+                receiver_id,
+                packet,
+                backoff_s=backoff,
+                airtime_s=airtime,
+                prop_s=prop,
+                extra_s=extra_delay,
+            )
+
+        def complete() -> None:
+            self.queue.end_tx(sender)
+            if success and receiver.up:
+                if corrupt:
+                    # Failed checksum: airtime was spent but the frame is
+                    # discarded at the receiver, and the link-layer ack fails.
+                    ctx.incr("net.rx_corrupt")
+                    ctx.c_dropped.inc()
+                    if token is not None:
+                        tracer.on_drop(token, sender_id, receiver_id, "corrupt")
+                    if on_result:
+                        on_result(False)
+                    return
+                if token is not None:
+                    tracer.on_rx(
+                        token, packet, sender_id, receiver_id, extra_s=extra_delay
+                    )
+                self._deliver_up(receiver, packet, sender_id, duplicate)
+                if on_result:
+                    on_result(True)
+            else:
+                ctx.incr("net.tx_failed")
+                ctx.c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(
+                        token,
+                        sender_id,
+                        receiver_id,
+                        drop_reason or "receiver_down",
+                    )
+                if on_result:
+                    on_result(False)
+
+        ctx.call_in(delay, complete)
+
+    # ------------------------------------------------------------ broadcast
+
+    def broadcast(self, sender: "NetNode", neighbor_ids: Sequence[int], packet: Packet) -> int:
+        """Batched fan-out under one channel-access grant (no acks).
+
+        Each receiver's reception is drawn independently inside one loop;
+        the whole batch shares the sender's backoff and airtime.
+        """
+        ctx = self.ctx
+        tracer = ctx.tracer
+        if not sender.up:
+            if tracer is not None:
+                tracer.drop_unsent(packet, sender.id, "sender_down")
+            return 0
+        sender_id = sender.id
+        busy = self.queue.busy_neighbors(sender)
+        access = self.mac.grant(busy)
+        backoff = access.backoff_s
+        airtime = self.phy.airtime_s(sender, packet)
+        base_delay = backoff + airtime
+        self._charge_tx(sender, packet)
+        survival = access.collision_survival
+        token = None
+        if tracer is not None:
+            # One hop span covers the whole broadcast; each receiver's
+            # reception (or loss) is recorded against it individually.
+            token = tracer.on_enqueue(
+                sender_id,
+                None,
+                packet,
+                backoff_s=backoff,
+                airtime_s=airtime,
+                prop_s=0.0,
+                extra_s=0.0,
+            )
+        # The batch: per receiver (node_id, corrupt, duplicate, extra_delay_s).
+        # This loop is the dispatch hot path at scale (every flood rebroad-
+        # cast walks it once per neighbor), so the per-receiver verdict is
+        # inlined with the callables hoisted to locals; the draw order is
+        # identical to _hop_verdict and must stay that way.
+        nodes = ctx.network.nodes
+        rng_random = ctx.rng.random
+        delivery_probability = self.phy.delivery_probability
+        link_blocked = self.faults.link_blocked
+        gremlin_verdict = (
+            self.faults.gremlin_verdict if self.faults.gremlins else None
+        )
+        c_dropped = ctx.c_dropped
+        deliveries: List[Tuple[int, bool, bool, float]] = []
+        for nid in neighbor_ids:
+            receiver = nodes[nid]
+            p_ok = delivery_probability(sender, receiver) * survival
+            if rng_random() >= p_ok:
+                c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "loss")
+                continue
+            if link_blocked(sender_id, nid):
+                ctx.incr("net.link_blocked")
+                c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "link_blocked")
+                continue
+            corrupt = duplicate = False
+            extra_delay = 0.0
+            if gremlin_verdict is not None:
+                verdict = gremlin_verdict(sender_id, nid, packet)
+                if verdict is not None:
+                    drop, duplicate, corrupt, extra_delay = verdict
+                    if drop:
+                        c_dropped.inc()
+                        if token is not None:
+                            tracer.on_drop(token, sender_id, nid, "gremlin")
+                        continue
+            deliveries.append((nid, corrupt, duplicate, extra_delay))
+
+        def deliver_one(
+            nid: int, corrupt: bool, duplicate: bool, extra_delay: float
+        ) -> None:
+            receiver = nodes.get(nid)
+            if receiver is None or not receiver.up:
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "receiver_down")
+                return
+            if corrupt:
+                ctx.incr("net.rx_corrupt")
+                ctx.c_dropped.inc()
+                if token is not None:
+                    tracer.on_drop(token, sender_id, nid, "corrupt")
+                return
+            if token is not None:
+                tracer.on_rx(token, packet, sender_id, nid, extra_s=extra_delay)
+            self._deliver_up(receiver, packet, sender_id, duplicate)
+
+        def complete() -> None:
+            self.queue.end_tx(sender)
+            for nid, corrupt, duplicate, extra_delay in deliveries:
+                if extra_delay > 0.0:
+                    ctx.call_in(
+                        extra_delay,
+                        lambda n=nid, c=corrupt, d=duplicate, e=extra_delay: (
+                            deliver_one(n, c, d, e)
+                        ),
+                    )
+                else:
+                    deliver_one(nid, corrupt, duplicate, 0.0)
+
+        ctx.call_in(base_delay, complete)
+        return len(neighbor_ids)
+
+
+# -------------------------------------------------------------------- stack
+
+
+class NetworkStack:
+    """The assembled layered pipeline of one network.
+
+    Owns the context, the mandatory bottom layers (PHY, MAC, queue, faults,
+    app), the optional routing/transport slots, and the fast-path
+    dispatcher.  :class:`~repro.net.node.Network` builds a default stack at
+    construction and delegates its transmit and fault APIs here.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        network: "Network",
+        *,
+        channel: "Channel",
+        mac: ContentionMac,
+        rng: "np.random.Generator",
+    ):
+        self.ctx = StackContext(sim, network, rng)
+        self.phy = PhyLayer(channel)
+        self.mac = MacLayer(mac)
+        self.queue = QueueLayer()
+        self.faults = FaultLayer()
+        self.app = AppLayer()
+        #: Optional slots filled by composition (registry / builder).
+        self.routing: Optional[RoutingLayer] = None
+        self.transport: Optional[TransportLayer] = None
+        for layer in (self.phy, self.mac, self.queue, self.faults, self.app):
+            layer.attach(self.ctx)
+        self.dispatcher = FastPathDispatcher(
+            self.ctx, self.phy, self.mac, self.queue, self.faults, self.app
+        )
+
+    # ------------------------------------------------------------- pipeline
+
+    @property
+    def layers(self) -> List[Layer]:
+        """Bottom-up pipeline view (only filled slots appear)."""
+        out: List[Layer] = [self.phy, self.mac, self.queue]
+        if self.routing is not None:
+            out.append(self.routing)
+        if self.transport is not None:
+            out.append(self.transport)
+        out.append(self.app)
+        return out
+
+    def set_router(self, router: RouterPort) -> RoutingLayer:
+        """Fill the routing slot with an adapter around ``router``."""
+        layer = RoutingLayer(router)
+        layer.attach(self.ctx)
+        self.routing = layer
+        return layer
+
+    def set_transport(self, service: TransportPort) -> TransportLayer:
+        """Fill the transport slot with an adapter around ``service``."""
+        layer = TransportLayer(service)
+        layer.attach(self.ctx)
+        self.transport = layer
+        return layer
+
+    def on_timer(self, now: float) -> None:
+        """Propagate a maintenance tick through every layer, bottom-up."""
+        for layer in self.layers:
+            layer.on_timer(now)
+
+    def __repr__(self) -> str:
+        names = "->".join(layer.name for layer in self.layers)
+        return f"NetworkStack({names})"

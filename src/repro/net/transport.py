@@ -413,3 +413,13 @@ class ReliableMessageService:
         if delivered == 0:
             return float("nan")
         return self.sim.metrics.counter("net.tx_attempts") / delivered
+
+
+# Registry hookup: transports addressable by name in stack compositions
+# (StackSpec.transport="basic" / "reliable").
+from repro.net.registry import register  # noqa: E402  (registration epilogue)
+
+MessageService.name = "basic"
+ReliableMessageService.name = "reliable"
+register("transport", MessageService.name, MessageService)
+register("transport", ReliableMessageService.name, ReliableMessageService)

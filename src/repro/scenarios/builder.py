@@ -21,6 +21,8 @@ from repro.net.mobility import (
     StaticMobility,
 )
 from repro.net.node import Network
+from repro.net.registry import StackSpec, compose, create as registry_create
+from repro.net.stack import RouterPort, TransportPort
 from repro.scenarios.urban import UrbanGrid
 from repro.scenarios.workloads import EventField, TargetGroup
 from repro.sim.kernel import Simulator
@@ -72,6 +74,11 @@ class Scenario:
     targets: Optional[TargetGroup] = None
     events: Optional[EventField] = None
     jammers: List[Jammer] = field(default_factory=list)
+    #: Present when the builder composed a stack from the registry
+    #: (``ScenarioBuilder.stack``); the spec is what campaign sweeps hash.
+    router: Optional[RouterPort] = None
+    transport: Optional[TransportPort] = None
+    stack_spec: Optional[StackSpec] = None
 
     @property
     def region(self) -> Region:
@@ -115,6 +122,7 @@ class ScenarioBuilder:
         self._human_reliability = (0.6, 0.95)
         self._red_duty_cycle = 0.7
         self._mobility_period_s = 1.0
+        self._stack_spec: Optional[StackSpec] = None
 
     # ----------------------------------------------------------------- world
 
@@ -179,6 +187,45 @@ class ScenarioBuilder:
         self._jammer_power_dbm = power_dbm
         return self
 
+    # ----------------------------------------------------------------- stack
+
+    def stack(
+        self,
+        spec: Optional[StackSpec] = None,
+        *,
+        router: str = "flooding",
+        mac: str = "csma",
+        transport: Optional[str] = None,
+        router_params: Optional[Dict[str, object]] = None,
+        mac_params: Optional[Dict[str, object]] = None,
+        transport_params: Optional[Dict[str, object]] = None,
+    ) -> "ScenarioBuilder":
+        """Compose the per-node protocol stack from registry names.
+
+        Either pass a full :class:`~repro.net.registry.StackSpec` or name
+        the pieces directly (``.stack(router="aodv", transport="reliable")``).
+        The scenario's channel stays the urban grid's calibrated channel;
+        router and transport are built from the registry and attached to
+        every node at :meth:`build` time, exposed as ``scenario.router`` /
+        ``scenario.transport`` alongside the spec itself.
+        """
+        if spec is None:
+            spec = StackSpec(
+                router=router,
+                mac=mac,
+                transport=transport,
+                router_params=dict(router_params or {}),
+                mac_params=dict(mac_params or {}),
+                transport_params=dict(transport_params or {}),
+            )
+        if spec.channel is not None:
+            raise ConfigurationError(
+                "scenario stacks use the urban grid's channel; "
+                "leave StackSpec.channel unset"
+            )
+        self._stack_spec = spec
+        return self
+
     # ----------------------------------------------------------------- build
 
     def _sample_class(self, mix: Dict[str, float]) -> str:
@@ -189,7 +236,12 @@ class ScenarioBuilder:
 
     def build(self) -> Scenario:
         channel = self._grid.channel(seed=self.sim.rng.seed, density=self._density)
-        network = Network(self.sim, channel)
+        mac = None
+        if self._stack_spec is not None:
+            mac = registry_create(
+                "mac", self._stack_spec.mac, **self._stack_spec.mac_params
+            )
+        network = Network(self.sim, channel, mac)
         inventory = AssetInventory(network)
         mobility = MobilityManager(
             self.sim, network, update_period_s=self._mobility_period_s
@@ -250,6 +302,17 @@ class ScenarioBuilder:
             )
             channel.add_jammer(jammer)
             scenario.jammers.append(jammer)
+        if self._stack_spec is not None:
+            # MAC already installed above; compose fills routing/transport.
+            composed = compose(
+                self.sim,
+                self._stack_spec,
+                network=network,
+                attach=sorted(network.nodes),
+            )
+            scenario.router = composed.router
+            scenario.transport = composed.transport
+            scenario.stack_spec = self._stack_spec
         return scenario
 
     def _attach_mobility(

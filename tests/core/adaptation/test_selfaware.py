@@ -1,6 +1,5 @@
 """Tests for the unified self-aware adaptation abstraction."""
 
-import numpy as np
 import pytest
 
 from repro.core.adaptation.selfaware import (

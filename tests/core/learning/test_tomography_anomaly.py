@@ -1,6 +1,5 @@
 """Tests for network tomography and attention allocation."""
 
-import numpy as np
 import pytest
 
 from repro.core.learning.anomaly import AttentionManager, Report
@@ -14,7 +13,7 @@ from repro.security.trust import TrustLedger
 
 
 def measure(path, failed_links):
-    normalized = {tuple(sorted(l)) for l in failed_links}
+    normalized = {tuple(sorted(link)) for link in failed_links}
     ok = not any(
         tuple(sorted(link)) in normalized for link in zip(path, path[1:])
     )
@@ -77,7 +76,7 @@ class TestAdditiveTomography:
 
         def path_delay(path):
             return sum(
-                delays[tuple(sorted(l))] for l in zip(path, path[1:])
+                delays[tuple(sorted(link))] for link in zip(path, path[1:])
             )
 
         paths = [(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 2, 3), (2, 3, 4), (1, 3, 4)]

@@ -3,13 +3,11 @@
 import pytest
 
 from repro import ScenarioBuilder, Simulator
-from repro.core.adaptation.perception import ModalityManager
 from repro.core.services.surveillance import SurveillanceService
 from repro.core.services.tracking import TrackingService
 from repro.errors import ConfigurationError
 from repro.net.routing import FloodingRouter
 from repro.net.transport import MessageService
-from repro.things.sensors import Environment
 
 
 @pytest.fixture

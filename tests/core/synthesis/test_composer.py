@@ -17,7 +17,6 @@ from repro.core.synthesis.composer import coverage_fraction
 from repro.errors import CompositionError
 from repro.net.topology import build_topology
 from repro.things.capabilities import SensingModality
-from repro.util.geometry import Region
 
 
 @pytest.fixture

@@ -14,7 +14,6 @@ from repro.core.synthesis import (
 )
 from repro.net.topology import build_topology
 from repro.security.trust import TrustLedger
-from repro.things.asset import Affiliation
 from repro.things.capabilities import SensingModality
 
 

@@ -1,6 +1,5 @@
 """Tests for the wireless channel model."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

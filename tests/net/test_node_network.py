@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import NetworkError
 from repro.net.channel import Channel
-from repro.net.node import Network, NetNode
+from repro.net.node import Network
 from repro.net.packet import Packet, PacketKind
 from repro.sim import Simulator
 from repro.util.geometry import Point

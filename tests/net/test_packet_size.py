@@ -1,0 +1,82 @@
+"""Bits-vs-bytes audit: ``Packet.size_bits`` is the single size authority.
+
+The channel charges airtime, the energy hook charges bits, and the MAC's
+backoff rides on top — all three must read the same quantity.  These tests
+pin the contract: airtime x bitrate recovers exactly the bits the energy
+hook was charged, and the byte view is derived (never stored separately).
+"""
+
+import pytest
+
+from repro.net.channel import Channel
+from repro.net.node import Network
+from repro.net.packet import Packet
+from repro.sim import Simulator
+from repro.util.geometry import Point
+
+
+class TestSizeProperties:
+    def test_size_bytes_derived_from_bits(self):
+        pkt = Packet(src=1, dst=2, size_bits=1024)
+        assert pkt.size_bytes == 128.0
+        pkt.size_bits = 12
+        assert pkt.size_bytes == 1.5  # fractional bytes: bits stay canonical
+
+    def test_airtime_scales_with_bits_and_bitrate(self):
+        pkt = Packet(src=1, dst=2, size_bits=2048)
+        assert pkt.airtime_s(1.0e6) == pytest.approx(2048e-6)
+        assert pkt.airtime_s(2.0e6) == pytest.approx(1024e-6)
+        double = Packet(src=1, dst=2, size_bits=4096)
+        assert double.airtime_s(1.0e6) == pytest.approx(2 * pkt.airtime_s(1.0e6))
+
+    def test_airtime_guards_zero_bitrate(self):
+        pkt = Packet(src=1, dst=2, size_bits=100)
+        assert pkt.airtime_s(0.0) == 100.0  # clamped to 1 bps, never div/0
+
+    def test_forwarding_copy_preserves_size(self):
+        pkt = Packet(src=1, dst=2, size_bits=777)
+        assert pkt.copy_for_forwarding().size_bits == 777
+
+
+class TestAirtimeEnergyAgreement:
+    """One transmission: energy bits, airtime, and trace must agree."""
+
+    def _run(self, size_bits, bitrate_bps=1.0e6):
+        sim = Simulator(seed=9)
+        net = Network(
+            sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=9)
+        )
+        sender = net.create_node(1, Point(0, 0), bitrate_bps=bitrate_bps)
+        net.create_node(2, Point(30, 0), bitrate_bps=bitrate_bps)
+        charges = {}
+        sender.energy_hook = lambda tx, rx: charges.__setitem__("tx", tx)
+        pkt = Packet(src=1, dst=2, size_bits=size_bits)
+        done = {}
+
+        def on_result(ok):
+            done["ok"] = ok
+            done["at"] = sim.now
+
+        sim.call_at(1.0, lambda: net.send(1, 2, pkt, on_result=on_result))
+        sim.run(until=10.0)
+        return charges["tx"], done["at"] - 1.0, pkt, sender
+
+    @pytest.mark.parametrize("size_bits", [128, 1024, 65536])
+    def test_energy_bits_equal_airtime_times_bitrate(self, size_bits):
+        charged_bits, elapsed_s, pkt, node = self._run(size_bits)
+        # The energy hook is charged exactly the packet's bits...
+        assert charged_bits == size_bits
+        # ...and the completion delay contains exactly that airtime
+        # (elapsed = backoff + airtime + propagation; subtract airtime and
+        # what remains must be non-negative and smaller than one airtime).
+        airtime = pkt.airtime_s(node.bitrate_bps)
+        assert charged_bits == pytest.approx(airtime * node.bitrate_bps)
+        assert elapsed_s >= airtime
+
+    def test_halving_bitrate_doubles_airtime_not_energy_bits(self):
+        fast_bits, fast_elapsed, pkt_f, node_f = self._run(4096, bitrate_bps=2.0e6)
+        slow_bits, slow_elapsed, pkt_s, node_s = self._run(4096, bitrate_bps=1.0e6)
+        assert fast_bits == slow_bits == 4096  # energy charge is bits, not time
+        assert pkt_s.airtime_s(node_s.bitrate_bps) == pytest.approx(
+            2 * pkt_f.airtime_s(node_f.bitrate_bps)
+        )

@@ -1,6 +1,5 @@
 """Property-based tests for network-layer invariants."""
 
-import math
 
 import numpy as np
 import pytest

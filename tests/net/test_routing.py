@@ -4,13 +4,11 @@ Uses small deterministic line/grid topologies with a quiet channel so the
 protocol logic (not channel randomness) is what is being verified.
 """
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.net.channel import Channel
 from repro.net.node import Network
-from repro.net.packet import Packet, PacketKind
 from repro.net.routing import (
     AodvRouter,
     EpidemicRouter,

@@ -5,7 +5,6 @@ import pytest
 from repro import ScenarioBuilder, Simulator
 from repro.errors import ConfigurationError
 from repro.scenarios.urban import UrbanGrid
-from repro.things.asset import Affiliation
 
 
 class TestUrbanGrid:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ScenarioBuilder, Simulator
+from repro import ScenarioBuilder
 from repro.errors import SecurityError
 from repro.security.attacks import (
     AttackSchedule,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import AllOf, Process, Simulator, Timeout, Waiting
+from repro.sim import AllOf, Simulator, Timeout, Waiting
 
 
 class TestProcessBasics:

@@ -5,7 +5,6 @@ import pytest
 from repro.things.capabilities import (
     DEVICE_CLASSES,
     ActuationType,
-    CapabilityProfile,
     SensingModality,
     make_profile,
 )

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.things.capabilities import SensingModality
-from repro.things.sensors import Detection, Environment, Sensor
+from repro.things.sensors import Environment, Sensor
 from repro.util.geometry import Point
 
 

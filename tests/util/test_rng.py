@@ -1,7 +1,6 @@
 """Tests for deterministic RNG streams."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.util.rng import RngStreams, derive_seed
