@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Chaos soak for the synthesis service: sustained load, injected faults.
+
+Runs the resilient :class:`~repro.service.SynthesisService` against a live
+urban inventory while chaos is in force — a flaky, occasionally stalling
+composer backend plus continuous node churn that advances inventory
+epochs mid-flight — then heals the backend for a recovery phase and
+checks the service-level objectives:
+
+* every query reached a terminal outcome within deadline + grace
+  (a hung query fails the soak, and the whole run sits under a watchdog);
+* rejections are typed, degraded answers carry staleness metadata;
+* the circuit breaker provably opened under chaos *and* re-closed after
+  the backend healed.
+
+CI runs this (the ``service-soak`` job) for 30 s; exit status is the SLO
+verdict.  Run:  PYTHONPATH=src python examples/service_soak.py [--duration 30]
+"""
+
+import argparse
+import asyncio
+import sys
+import time
+
+from repro import ScenarioBuilder, Simulator
+from repro.core.mission import MissionGoal, MissionType
+from repro.core.synthesis import GreedyComposer
+from repro.service import SnapshotHub, SynthesisQuery, SynthesisService
+from repro.service.chaos import (
+    ChaosBackend,
+    ChaosConfig,
+    InventoryChurner,
+    check_slos,
+)
+from repro.things.capabilities import SensingModality
+from repro.util.backoff import BackoffPolicy
+from repro.util.geometry import Region
+
+
+def build_world(seed: int):
+    sim = Simulator(seed=seed)
+    scenario = (
+        ScenarioBuilder(sim)
+        .urban_grid(blocks=6, block_size_m=100.0, density=0.4)
+        .population(n_blue=150, n_red=0, n_gray=0)
+        .build()
+    )
+    return scenario, SnapshotHub(scenario.inventory, min_refresh_s=0.1)
+
+
+def goal_ring(region: Region, n: int = 6):
+    span = region.width * 0.5
+    return [
+        MissionGoal(
+            MissionType.SURVEIL,
+            Region(
+                region.x_min + (region.width - span) * (i / max(1, n - 1)),
+                region.y_min,
+                region.x_min + (region.width - span) * (i / max(1, n - 1)) + span,
+                region.y_min + span,
+            ),
+            min_coverage=0.3,
+            modalities=frozenset(
+                {SensingModality.SEISMIC, SensingModality.ACOUSTIC}
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+SICK = ChaosConfig(error_prob=0.6, slow_prob=0.2, slow_s=0.05,
+                   stall_prob=0.05, stall_s=1.0, seed=7)
+HEALED = ChaosConfig()
+
+
+async def soak(duration_s: float, clients: int, seed: int) -> int:
+    scenario, hub = build_world(seed)
+    goals = goal_ring(scenario.region)
+    chaos = ChaosBackend(GreedyComposer(), SICK, name="soak")
+    service = SynthesisService(
+        hub,
+        backends={"greedy": chaos},
+        backoff=BackoffPolicy(base_s=0.01, max_s=0.1),
+        max_retries=1,
+        max_concurrent=6,
+        breaker_min_calls=4,
+        breaker_window=10,
+        breaker_open_s=0.5,
+    )
+    churner = InventoryChurner(
+        hub, kill_fraction=0.05, downtime_ticks=3, interval_s=0.25, seed=seed
+    )
+    outcomes = []
+    sick_until = time.monotonic() + duration_s * 0.75
+    stop_at = time.monotonic() + duration_s
+
+    async def client(idx: int):
+        k = 0
+        while time.monotonic() < stop_at:
+            if time.monotonic() >= sick_until and chaos.config is not HEALED:
+                chaos.config = HEALED   # the backend recovers
+                await churner.stop()    # and the churn storm passes
+            query = SynthesisQuery(
+                goal=goals[(idx + k) % len(goals)],
+                deadline_s=0.5,
+                max_stale_s=120.0,
+            )
+            outcomes.append(await service.submit(query))
+            k += 1
+            await asyncio.sleep(0.005)
+
+    async with service:
+        churner.start(duration_s=duration_s * 0.75)
+        # Watchdog: a single hung query would hold its client forever; the
+        # timeout turns that into a loud soak failure instead.
+        await asyncio.wait_for(
+            asyncio.gather(*(client(i) for i in range(clients))),
+            timeout=duration_s + 60.0,
+        )
+        await churner.stop()
+        report = check_slos(outcomes, service, require_breaker_cycle=True)
+
+    by_reason = {}
+    for o in outcomes:
+        if o.status.value == "rejected":
+            by_reason[o.reason] = by_reason.get(o.reason, 0) + 1
+    print(f"soak: {report.describe()}")
+    print(
+        f"  churn: kills={churner.kills} restores={churner.restores} "
+        f"epochs={hub.epoch}  backend: calls={chaos.calls} faults={chaos.faults}"
+    )
+    print(
+        f"  breaker cycle: opened={report.breaker_opened} "
+        f"reclosed={report.breaker_reclosed}  rejects by reason: {by_reason}"
+    )
+    if not report.ok:
+        for violation in report.violations[:10]:
+            print(f"  SLO VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="soak length in seconds (default 30)")
+    parser.add_argument("--clients", type=int, default=24,
+                        help="concurrent query clients (default 24)")
+    parser.add_argument("--seed", type=int, default=2018)
+    args = parser.parse_args()
+    return asyncio.run(soak(args.duration, args.clients, args.seed))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ from repro.campaign.aggregate import aggregate
 from repro.campaign.cache import ResultCache
 from repro.campaign.runner import (
     CampaignError,
+    CampaignInterrupted,
     CampaignResult,
     CampaignRunner,
     TaskOutcome,
@@ -50,6 +51,7 @@ __all__ = [
     "CampaignRunner",
     "CampaignResult",
     "CampaignError",
+    "CampaignInterrupted",
     "TaskOutcome",
     "aggregate",
 ]

@@ -21,9 +21,12 @@ via ``os.replace`` — are treated as misses and deleted.
 from __future__ import annotations
 
 import json
+import math
 import os
+import threading
+import time
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro._version import __version__
 from repro.campaign.spec import TaskSpec
@@ -63,6 +66,39 @@ class ResultCache:
         self.hits += 1
         return payload["result"]
 
+    def get_stale(
+        self, key: str, *, max_age_s: Optional[float] = None
+    ) -> Optional[Tuple[Dict[str, Any], float]]:
+        """Entry for a raw ``key`` with its age: ``(result, age_s)`` or None.
+
+        This is the degraded-mode lookup: unlike :meth:`get` it is keyed
+        directly (no :class:`TaskSpec` needed) and reports how old the
+        entry is, so callers can distinguish *fresh*, *stale-but-usable*,
+        and *absent*.  Entries written before timestamps existed stay
+        readable: their age is ``inf``, which any finite ``max_age_s``
+        rejects but ``max_age_s=None`` accepts.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if payload.get("key") != key or "result" not in payload:
+            return None
+        stored_at = payload.get("stored_at")
+        age_s = (
+            max(0.0, time.time() - float(stored_at))
+            if stored_at is not None
+            else math.inf
+        )
+        if max_age_s is not None and age_s > max_age_s:
+            return None
+        return payload["result"], age_s
+
     def put(
         self,
         task: TaskSpec,
@@ -79,10 +115,13 @@ class ResultCache:
             "params": task.config,
             "replicate": task.replicate,
             "seed": task.seed,
+            "stored_at": time.time(),
             "result": dict(result),
             "meta": dict(meta) if meta else {},
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        # pid + thread id: the synthesis service writes through from worker
+        # threads, and two threads storing the same key must not share a tmp.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")

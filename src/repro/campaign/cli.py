@@ -18,7 +18,7 @@ from pathlib import Path
 from typing import Any, Dict
 
 from repro.campaign.cache import ResultCache
-from repro.campaign.runner import CampaignRunner
+from repro.campaign.runner import CampaignInterrupted, CampaignRunner
 from repro.campaign.spec import SweepSpec
 
 __all__ = ["smoke_task", "smoke_spec", "main"]
@@ -129,7 +129,21 @@ def main(argv=None) -> int:
         cache=ResultCache(args.cache) if args.cache else None,
         timeout_s=args.timeout_s,
     )
-    result = runner.run(smoke_spec(args.replicates))
+    try:
+        result = runner.run(smoke_spec(args.replicates))
+    except CampaignInterrupted as interrupt:
+        # Ctrl-C is a clean stop, not a crash: completed entries were
+        # flushed to the cache already, so a rerun resumes where this one
+        # stopped.  Summarize what settled and exit zero.
+        partial = interrupt.partial
+        print(
+            f"\ninterrupted: settled={partial.n_tasks} "
+            f"cached={partial.n_cached} executed={partial.n_executed} "
+            f"failed={partial.n_failed} wall={partial.wall_s:.2f}s "
+            f"(completed results flushed"
+            + (f" to {args.cache})" if args.cache else "; no cache configured)")
+        )
+        return 0
     table = result.table(
         "Smoke — line-network delivery by router",
         param_cols=["router", "n_nodes"],

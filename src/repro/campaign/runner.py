@@ -35,10 +35,17 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from repro.campaign.aggregate import aggregate
 from repro.campaign.cache import ResultCache
 from repro.campaign.spec import SweepSpec, TaskSpec
-from repro.errors import CampaignError
+from repro.errors import CampaignError, CampaignInterrupted
+from repro.util.backoff import BackoffPolicy
 from repro.util.tables import ResultTable
 
-__all__ = ["CampaignError", "TaskOutcome", "CampaignResult", "CampaignRunner"]
+__all__ = [
+    "CampaignError",
+    "CampaignInterrupted",
+    "TaskOutcome",
+    "CampaignResult",
+    "CampaignRunner",
+]
 
 logger = logging.getLogger("repro.campaign")
 
@@ -224,10 +231,22 @@ class CampaignRunner:
         exception.  When a worker crash breaks the pool, every task in
         flight at that moment consumes an attempt — the runner cannot tell
         the guilty task from its neighbours.
+    backoff:
+        Retry pacing (the same :class:`~repro.util.backoff.BackoffPolicy`
+        the synthesis service uses): retry ``k`` of a task waits
+        ``backoff.delay_for(k, seed=backoff_seed, key=task.key)`` first —
+        exponential, capped, jittered, and deterministic per (seed, task,
+        attempt) regardless of worker count or completion order.  ``None``
+        restores immediate retries.
     on_error:
         ``"raise"`` (default) raises :class:`CampaignError` after the run
         if any task exhausted its budget; ``"skip"`` records the failure in
         the outcome list and carries on.
+
+    Completed results are flushed to the cache as each task settles, so an
+    interrupt (Ctrl-C) never loses finished work: :meth:`run` traps
+    :class:`KeyboardInterrupt` and raises :class:`CampaignInterrupted`
+    carrying the partial :class:`CampaignResult`.
     """
 
     def __init__(
@@ -238,6 +257,10 @@ class CampaignRunner:
         workers: int = 1,
         timeout_s: Optional[float] = None,
         max_retries: int = 2,
+        backoff: Optional[BackoffPolicy] = BackoffPolicy(
+            base_s=0.05, factor=2.0, max_s=2.0, jitter=0.5
+        ),
+        backoff_seed: int = 0,
         on_error: str = "raise",
         poll_s: float = 0.1,
     ):
@@ -250,6 +273,8 @@ class CampaignRunner:
         self.workers = max(1, int(workers))
         self.timeout_s = timeout_s
         self.max_retries = max(0, int(max_retries))
+        self.backoff = backoff
+        self.backoff_seed = backoff_seed
         self.on_error = on_error
         self._poll_s = poll_s
 
@@ -275,30 +300,35 @@ class CampaignRunner:
             spec.name, len(tasks), len(outcomes), len(todo), self.workers,
         )
 
+        interrupted = False
         if todo:
-            if self.workers <= 1:
-                executed = self._run_serial(todo)
-            else:
-                executed = self._run_parallel(todo)
-            for outcome in executed:
-                outcomes[outcome.task.index] = outcome
-                if self.cache is not None and outcome.ok and not outcome.cached:
-                    self.cache.put(
-                        outcome.task,
-                        outcome.result,
-                        meta={
-                            "elapsed_s": outcome.elapsed_s,
-                            "attempts": outcome.attempts,
-                            "telemetry": outcome.telemetry,
-                        },
-                    )
+            try:
+                if self.workers <= 1:
+                    self._run_serial(todo, outcomes)
+                else:
+                    self._run_parallel(todo, outcomes)
+            except KeyboardInterrupt:
+                # Completed results were flushed to the cache as they
+                # settled; report the partial run instead of losing it.
+                interrupted = True
 
         result = CampaignResult(
             spec=spec,
-            outcomes=[outcomes[t.index] for t in tasks],
+            outcomes=[outcomes[t.index] for t in tasks if t.index in outcomes],
             wall_s=time.monotonic() - t_start,
             workers=self.workers,
         )
+        if interrupted:
+            logger.warning(
+                "campaign=%s interrupted: %d/%d tasks settled (flushed to cache)",
+                spec.name, result.n_tasks, len(tasks),
+            )
+            raise CampaignInterrupted(
+                f"campaign {spec.name!r} interrupted: {result.n_tasks}/"
+                f"{len(tasks)} task(s) settled; completed results are in the "
+                f"cache",
+                partial=result,
+            )
         logger.info(
             "campaign=%s done tasks=%d cached=%d executed=%d retried=%d "
             "failed=%d wall=%.2fs",
@@ -315,10 +345,36 @@ class CampaignRunner:
             )
         return result
 
+    # -- shared plumbing ---------------------------------------------------
+
+    def _retry_delay_s(self, task: TaskSpec, attempt: int) -> float:
+        """Pre-retry delay for attempt number ``attempt`` (1-based retry)."""
+        if self.backoff is None:
+            return 0.0
+        return self.backoff.delay_for(
+            attempt, seed=self.backoff_seed, key=task.key
+        )
+
+    def _settle(self, outcomes: Dict[int, TaskOutcome], outcome: TaskOutcome) -> None:
+        """Record an outcome and flush it to the cache immediately, so an
+        interrupt a moment later cannot lose completed work."""
+        outcomes[outcome.task.index] = outcome
+        if self.cache is not None and outcome.ok and not outcome.cached:
+            self.cache.put(
+                outcome.task,
+                outcome.result,
+                meta={
+                    "elapsed_s": outcome.elapsed_s,
+                    "attempts": outcome.attempts,
+                    "telemetry": outcome.telemetry,
+                },
+            )
+
     # -- serial path -------------------------------------------------------
 
-    def _run_serial(self, todo: List[TaskSpec]) -> List[TaskOutcome]:
-        out = []
+    def _run_serial(
+        self, todo: List[TaskSpec], outcomes: Dict[int, TaskOutcome]
+    ) -> None:
         for task in todo:
             attempt = 0
             while True:
@@ -330,35 +386,56 @@ class CampaignRunner:
                     if attempt < self.max_retries:
                         self._log(task, f"retry ({exc!r})", attempt + 1, elapsed)
                         attempt += 1
+                        delay = self._retry_delay_s(task, attempt)
+                        if delay > 0:
+                            time.sleep(delay)
                         continue
-                    out.append(
-                        TaskOutcome(task, None, False, attempt + 1, elapsed, repr(exc))
+                    self._settle(
+                        outcomes,
+                        TaskOutcome(task, None, False, attempt + 1, elapsed, repr(exc)),
                     )
                     self._log(task, f"failed ({exc!r})", attempt + 1, elapsed)
                     break
                 elapsed = time.monotonic() - t0
-                out.append(
+                self._settle(
+                    outcomes,
                     TaskOutcome(
                         task, result, False, attempt + 1, elapsed,
                         telemetry=telemetry,
-                    )
+                    ),
                 )
                 self._log(task, "done", attempt + 1, elapsed)
                 break
-        return out
 
     # -- parallel path -----------------------------------------------------
 
-    def _run_parallel(self, todo: List[TaskSpec]) -> List[TaskOutcome]:
-        pending: Deque[Tuple[TaskSpec, int]] = deque((t, 0) for t in todo)
-        done: Dict[int, TaskOutcome] = {}
+    def _run_parallel(
+        self, todo: List[TaskSpec], done: Dict[int, TaskOutcome]
+    ) -> None:
+        # (task, attempt, ready_at): retries wait out their backoff delay
+        # in the queue, so a healthy pool keeps draining other tasks.
+        pending: Deque[Tuple[TaskSpec, int, float]] = deque(
+            (t, 0, 0.0) for t in todo
+        )
         executor = self._new_pool()
         # future -> (task, attempt, deadline, start time)
         in_flight: Dict[Any, Tuple[TaskSpec, int, float, float]] = {}
         try:
             while pending or in_flight:
                 while pending and len(in_flight) < self.workers:
-                    task, attempt = pending.popleft()
+                    now = time.monotonic()
+                    ready_idx = next(
+                        (
+                            i
+                            for i, (_t, _a, ready_at) in enumerate(pending)
+                            if ready_at <= now
+                        ),
+                        None,
+                    )
+                    if ready_idx is None:
+                        break
+                    task, attempt, _ = pending[ready_idx]
+                    del pending[ready_idx]
                     t0 = time.monotonic()
                     try:
                         future = executor.submit(
@@ -366,7 +443,7 @@ class CampaignRunner:
                         )
                     except BrokenProcessPool:
                         # Pool died between rebuilds; put the task back and heal.
-                        pending.appendleft((task, attempt))
+                        pending.appendleft((task, attempt, 0.0))
                         executor = self._heal(executor, in_flight, pending)
                         continue
                     deadline = (
@@ -374,6 +451,13 @@ class CampaignRunner:
                     )
                     in_flight[future] = (task, attempt, deadline, t0)
                 if not in_flight:
+                    if pending:
+                        # Everything queued is backing off; nap until the
+                        # earliest becomes ready (bounded by the poll tick).
+                        earliest = min(ready_at for _t, _a, ready_at in pending)
+                        time.sleep(
+                            min(self._poll_s, max(0.0, earliest - time.monotonic()))
+                        )
                     continue
 
                 completed, _ = wait(
@@ -386,9 +470,12 @@ class CampaignRunner:
                     error = future.exception()
                     if error is None:
                         result, telemetry = future.result()
-                        done[task.index] = TaskOutcome(
-                            task, result, False, attempt + 1, elapsed,
-                            telemetry=telemetry,
+                        self._settle(
+                            done,
+                            TaskOutcome(
+                                task, result, False, attempt + 1, elapsed,
+                                telemetry=telemetry,
+                            ),
                         )
                         self._log(task, "done", attempt + 1, elapsed)
                     else:
@@ -417,11 +504,10 @@ class CampaignRunner:
                     executor = self._heal(executor, in_flight, pending)
         finally:
             self._kill_pool(executor)
-        return [done[t.index] for t in todo if t.index in done]
 
     def _settle_failure(
         self,
-        pending: Deque[Tuple[TaskSpec, int]],
+        pending: Deque[Tuple[TaskSpec, int, float]],
         done: Dict[int, TaskOutcome],
         task: TaskSpec,
         attempt: int,
@@ -429,11 +515,13 @@ class CampaignRunner:
         reason: str,
     ) -> None:
         if attempt < self.max_retries:
-            pending.append((task, attempt + 1))
-            self._log(task, f"retry ({reason})", attempt + 1, elapsed)
+            delay = self._retry_delay_s(task, attempt + 1)
+            pending.append((task, attempt + 1, time.monotonic() + delay))
+            self._log(task, f"retry in {delay:.2f}s ({reason})", attempt + 1, elapsed)
         else:
-            done[task.index] = TaskOutcome(
-                task, None, False, attempt + 1, elapsed, reason
+            self._settle(
+                done,
+                TaskOutcome(task, None, False, attempt + 1, elapsed, reason),
             )
             self._log(task, f"failed ({reason})", attempt + 1, elapsed)
 
@@ -441,16 +529,17 @@ class CampaignRunner:
         self,
         executor: ProcessPoolExecutor,
         in_flight: Dict[Any, Tuple[TaskSpec, int, float, float]],
-        pending: Deque[Tuple[TaskSpec, int]],
+        pending: Deque[Tuple[TaskSpec, int, float]],
     ) -> ProcessPoolExecutor:
         """Kill a broken/hung pool, re-queue in-flight tasks, start fresh.
 
         Tasks still in flight when the pool dies ride back to the front of
-        the queue *without* consuming an attempt — their futures never
-        resolved, so they were casualties of the rebuild, not failures.
+        the queue *without* consuming an attempt (or a backoff delay) —
+        their futures never resolved, so they were casualties of the
+        rebuild, not failures.
         """
         for task, attempt, _, _ in in_flight.values():
-            pending.appendleft((task, attempt))
+            pending.appendleft((task, attempt, 0.0))
             self._log(task, "requeued (pool rebuild)", attempt, 0.0)
         in_flight.clear()
         self._kill_pool(executor)

@@ -49,3 +49,20 @@ class ConfigurationError(ReproError):
 
 class CampaignError(ReproError):
     """Raised by the campaign runner when tasks exhaust their retry budget."""
+
+
+class CampaignInterrupted(CampaignError):
+    """Raised when a campaign is stopped by the user mid-run.
+
+    Completed task results have already been flushed to the result cache;
+    ``partial`` carries the outcomes settled before the interrupt so CLIs
+    can print an honest summary and exit cleanly.
+    """
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class ServiceError(ReproError):
+    """Raised by the synthesis-service layer (admission, breakers, queries)."""

@@ -1,0 +1,51 @@
+"""Synthesis-as-a-service: a resilient concurrent front-end (§ROADMAP).
+
+``repro.service`` turns the composer/recruiter machinery into a
+long-running asyncio service answering thousands of concurrent
+mission-synthesis queries against a shared, churning asset inventory.
+Robustness is the first-class design axis: per-query deadlines, bounded
+retries with exponential backoff + jitter, per-backend circuit breakers,
+bulkhead admission control with typed load shedding, snapshot-isolated
+inventory epochs, and graceful degradation to stale cached answers.
+
+See DESIGN.md §3.6 for the architecture and :mod:`repro.service.chaos`
+for the fault-injection harness that enforces the SLOs.
+"""
+
+from repro.service.admission import Bulkhead, QueryRejected, RejectReason
+from repro.service.breaker import BreakerOpen, BreakerState, CircuitBreaker
+from repro.service.service import (
+    BackendTimeout,
+    OutcomeStatus,
+    QueryOutcome,
+    SynthesisQuery,
+    SynthesisService,
+    query_config,
+)
+from repro.service.snapshot import (
+    InventorySnapshot,
+    SnapshotAsset,
+    SnapshotBattery,
+    SnapshotHub,
+)
+from repro.util.backoff import BackoffPolicy
+
+__all__ = [
+    "BackoffPolicy",
+    "BackendTimeout",
+    "BreakerOpen",
+    "BreakerState",
+    "Bulkhead",
+    "CircuitBreaker",
+    "InventorySnapshot",
+    "OutcomeStatus",
+    "QueryOutcome",
+    "QueryRejected",
+    "RejectReason",
+    "SnapshotAsset",
+    "SnapshotBattery",
+    "SnapshotHub",
+    "SynthesisQuery",
+    "SynthesisService",
+    "query_config",
+]

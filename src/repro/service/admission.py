@@ -1,0 +1,112 @@
+"""Admission control for the synthesis service: bulkheads and load shedding.
+
+The live compose path runs on a bounded thread pool; the :class:`Bulkhead`
+is the asyncio-side guard in front of it — at most ``max_concurrent``
+queries hold a slot, at most ``max_waiting`` queries wait for one, and
+everything beyond that is *shed immediately* with a typed reason.  A shed
+query is a terminal outcome the client can act on (back off, try another
+service), never a silent drop or an unbounded queue.
+
+Slots are released when the backend call actually finishes, not when the
+caller gives up on it: a stalled backend thread keeps its slot until it
+returns, so the bulkhead honestly bounds threads, and admission pressure
+(not hidden queueing) is what the caller observes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ConfigurationError, ServiceError
+
+__all__ = ["RejectReason", "QueryRejected", "Bulkhead"]
+
+
+class RejectReason(Enum):
+    """Why admission control refused a query (always reported, never silent)."""
+
+    QUEUE_FULL = "queue_full"          # waiting room at capacity
+    BREAKER_OPEN = "breaker_open"      # backend breaker open, no stale answer
+    DEADLINE = "deadline"              # budget exhausted before an answer
+    SHUTDOWN = "shutdown"              # service draining / stopped
+    NO_BACKEND = "no_backend"          # unknown composer name
+    NO_SNAPSHOT = "no_snapshot"        # no inventory epoch published yet
+
+
+class QueryRejected(ServiceError):
+    """Typed rejection: the query's terminal outcome when it is shed."""
+
+    def __init__(self, reason: RejectReason, detail: str = ""):
+        super().__init__(
+            f"query rejected ({reason.value})" + (f": {detail}" if detail else "")
+        )
+        self.reason = reason
+        self.detail = detail
+
+
+class Bulkhead:
+    """Bounded concurrency plus a bounded waiting room, shedding the rest."""
+
+    def __init__(self, max_concurrent: int = 8, max_waiting: int = 64):
+        if max_concurrent < 1:
+            raise ConfigurationError("max_concurrent must be >= 1")
+        if max_waiting < 0:
+            raise ConfigurationError("max_waiting must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.max_waiting = max_waiting
+        self._sem = asyncio.Semaphore(max_concurrent)
+        self._waiting = 0
+        self._held = 0
+        self.shed_count = 0
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    @property
+    def held(self) -> int:
+        return self._held
+
+    async def acquire(self, *, timeout_s: Optional[float] = None) -> None:
+        """Take a slot, waiting in the bounded room; shed when it is full.
+
+        Raises :class:`QueryRejected` with ``QUEUE_FULL`` when the waiting
+        room is at capacity, or ``DEADLINE`` when ``timeout_s`` elapses
+        before a slot frees up.
+        """
+        if self._held + self._waiting >= self.max_concurrent + self.max_waiting:
+            self.shed_count += 1
+            raise QueryRejected(
+                RejectReason.QUEUE_FULL,
+                f"{self._waiting} queries already waiting (max {self.max_waiting})",
+            )
+        self._waiting += 1
+        try:
+            if timeout_s is None:
+                await self._sem.acquire()
+            else:
+                try:
+                    await asyncio.wait_for(self._sem.acquire(), timeout=timeout_s)
+                except asyncio.TimeoutError:
+                    raise QueryRejected(
+                        RejectReason.DEADLINE,
+                        f"no bulkhead slot within {timeout_s:.3f}s",
+                    ) from None
+        finally:
+            self._waiting -= 1
+        self._held += 1
+
+    def release(self) -> None:
+        self._held = max(0, self._held - 1)
+        self._sem.release()
+
+    def snapshot(self) -> dict:
+        return {
+            "max_concurrent": self.max_concurrent,
+            "max_waiting": self.max_waiting,
+            "held": self._held,
+            "waiting": self._waiting,
+            "shed": self.shed_count,
+        }

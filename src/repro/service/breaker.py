@@ -1,0 +1,196 @@
+"""Per-backend circuit breaker: closed / open / half-open.
+
+The breaker sits between the synthesis service and one backend (a composer
+or the inventory path).  It watches a sliding window of call outcomes;
+when the windowed failure rate crosses the threshold the breaker *opens*
+and the service stops sending live traffic to that backend (queries fall
+through to the degraded path instead of queueing behind a sick backend).
+After ``open_s`` the breaker moves to *half-open* and admits a bounded
+number of probe calls: enough consecutive successes re-close it, any
+probe failure re-opens it and restarts the cooldown.
+
+The clock is injectable so tests drive state transitions without real
+sleeping; transitions are counted and optionally reported through
+``on_transition`` (the service feeds them into its metrics registry).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from enum import Enum
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ServiceError
+
+__all__ = ["BreakerState", "BreakerOpen", "CircuitBreaker"]
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class BreakerOpen(ServiceError):
+    """Raised (or reported) when a call is refused by an open breaker."""
+
+    def __init__(self, name: str, retry_in_s: float):
+        super().__init__(f"circuit breaker {name!r} is open (retry in {retry_in_s:.2f}s)")
+        self.name = name
+        self.retry_in_s = retry_in_s
+
+
+class CircuitBreaker:
+    """Failure-rate-windowed breaker guarding one backend.
+
+    Parameters
+    ----------
+    window:
+        Number of most-recent call outcomes considered.
+    failure_threshold:
+        Open when ``failures / len(window) >= failure_threshold`` (and at
+        least ``min_calls`` outcomes have been observed).
+    min_calls:
+        Minimum outcomes in the window before the rate is trusted — a
+        single failed first call must not open the breaker.
+    open_s:
+        Cooldown before an open breaker lets probes through.
+    half_open_probes:
+        Probes admitted in half-open; that many consecutive successes
+        close the breaker, any failure re-opens it.
+    """
+
+    def __init__(
+        self,
+        name: str = "backend",
+        *,
+        window: int = 20,
+        failure_threshold: float = 0.5,
+        min_calls: int = 5,
+        open_s: float = 1.0,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, BreakerState, BreakerState], None]] = None,
+    ):
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if not (0.0 < failure_threshold <= 1.0):
+            raise ConfigurationError("failure_threshold must be in (0, 1]")
+        if min_calls < 1:
+            raise ConfigurationError("min_calls must be >= 1")
+        if open_s <= 0:
+            raise ConfigurationError("open_s must be positive")
+        if half_open_probes < 1:
+            raise ConfigurationError("half_open_probes must be >= 1")
+        self.name = name
+        self.window = window
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.open_s = open_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._state = BreakerState.CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=window)  # True = failure
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def state(self) -> BreakerState:
+        self._maybe_half_open()
+        return self._state
+
+    def failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    def retry_in_s(self) -> float:
+        """Seconds until an open breaker will admit probes (0 otherwise)."""
+        if self._state is not BreakerState.OPEN:
+            return 0.0
+        return max(0.0, self._opened_at + self.open_s - self._clock())
+
+    def _transition(self, new: BreakerState) -> None:
+        old = self._state
+        if old is new:
+            return
+        self._state = new
+        self.transitions.append((self._clock(), old.value, new.value))
+        if self._on_transition is not None:
+            self._on_transition(self.name, old, new)
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.open_s
+        ):
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+            self._transition(BreakerState.HALF_OPEN)
+
+    # ------------------------------------------------------------------ calls
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (May transition open → half-open.)"""
+        self._maybe_half_open()
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.HALF_OPEN:
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+        return False
+
+    def record_success(self) -> None:
+        self._maybe_half_open()
+        if self._state is BreakerState.HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_probes:
+                self._outcomes.clear()
+                self._transition(BreakerState.CLOSED)
+            return
+        self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        self._maybe_half_open()
+        now = self._clock()
+        if self._state is BreakerState.HALF_OPEN:
+            # A failed probe re-opens immediately and restarts the cooldown.
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._opened_at = now
+            self._transition(BreakerState.OPEN)
+            return
+        self._outcomes.append(True)
+        if (
+            self._state is BreakerState.CLOSED
+            and len(self._outcomes) >= self.min_calls
+            and self.failure_rate() >= self.failure_threshold
+        ):
+            self._opened_at = now
+            self._transition(BreakerState.OPEN)
+
+    # -------------------------------------------------------------- reporting
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "state": self.state.value,
+            "failure_rate": self.failure_rate(),
+            "window_fill": len(self._outcomes),
+            "transitions": len(self.transitions),
+            "retry_in_s": self.retry_in_s(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self._state.value}, "
+            f"rate={self.failure_rate():.2f})"
+        )

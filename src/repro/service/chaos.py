@@ -1,0 +1,276 @@
+"""Chaos harness for the synthesis service.
+
+Injects the failure modes the resilience stack exists to absorb —
+*without* touching the service's own code paths:
+
+* :class:`ChaosBackend` wraps a composer and, per call, raises
+  (:class:`ChaosError`), stalls (sleeps past any reasonable deadline), or
+  slows (adds latency) according to seeded probabilities.  It stands in
+  for a sick backend; the breaker and deadline machinery must contain it.
+* :class:`InventoryChurner` kills and restores random asset nodes on the
+  *live* inventory while queries are in flight, publishing fresh epochs
+  through the hub — the snapshot-isolation stress.
+* :func:`run_query_load` drives a concurrent query stream and collects
+  outcomes; :func:`check_slos` turns the outcomes plus service state into
+  a pass/fail verdict (every query terminal, breaker re-closed, degraded
+  answers carry staleness metadata).
+
+All randomness is seeded, so a chaos run that finds a bug is replayable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.service.breaker import BreakerState
+from repro.service.service import (
+    OutcomeStatus,
+    QueryOutcome,
+    SynthesisQuery,
+    SynthesisService,
+)
+from repro.service.snapshot import SnapshotHub
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "ChaosError",
+    "ChaosConfig",
+    "ChaosBackend",
+    "InventoryChurner",
+    "run_query_load",
+    "check_slos",
+    "SloReport",
+]
+
+
+class ChaosError(ServiceError):
+    """The injected backend exception (distinguishable from real bugs)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-call fault probabilities for one wrapped backend."""
+
+    error_prob: float = 0.0     # raise ChaosError instead of composing
+    slow_prob: float = 0.0      # add slow_s of latency, then compose
+    slow_s: float = 0.05
+    stall_prob: float = 0.0     # hold the worker thread for stall_s
+    stall_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("error_prob", "slow_prob", "stall_prob"):
+            p = getattr(self, name)
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+class ChaosBackend:
+    """A composer wrapper that misbehaves on a seeded schedule.
+
+    Draw order per call is fixed (error, stall, slow), so a given seed
+    produces the same fault sequence regardless of which query triggers
+    which call.  ``calls``/``faults`` expose what actually happened.
+    """
+
+    def __init__(self, inner: Any, config: ChaosConfig, *, name: str = "chaos"):
+        self.inner = inner
+        self.config = config
+        self.name = name
+        self._rng = np.random.default_rng(derive_seed(config.seed, "chaos", name))
+        self.calls = 0
+        self.faults: Dict[str, int] = {"error": 0, "stall": 0, "slow": 0}
+
+    def compose(self, requirements, candidates, topology):
+        self.calls += 1
+        cfg = self.config
+        if cfg.error_prob and self._rng.random() < cfg.error_prob:
+            self.faults["error"] += 1
+            raise ChaosError(f"injected failure in {self.name} (call {self.calls})")
+        if cfg.stall_prob and self._rng.random() < cfg.stall_prob:
+            self.faults["stall"] += 1
+            time.sleep(cfg.stall_s)
+        elif cfg.slow_prob and self._rng.random() < cfg.slow_prob:
+            self.faults["slow"] += 1
+            time.sleep(cfg.slow_s)
+        compose = self.inner.compose if hasattr(self.inner, "compose") else self.inner
+        return compose(requirements, candidates, topology)
+
+
+class InventoryChurner:
+    """Background node churn against the live inventory, epoch by epoch.
+
+    Each tick fails ``kill_fraction`` of the currently-up asset nodes,
+    restores previously-failed ones after ``downtime_ticks`` ticks, and
+    publishes a fresh snapshot epoch — queries admitted before the tick
+    keep composing against their old epoch (that is the point).
+    """
+
+    def __init__(
+        self,
+        hub: SnapshotHub,
+        *,
+        kill_fraction: float = 0.05,
+        downtime_ticks: int = 2,
+        interval_s: float = 0.05,
+        seed: int = 0,
+    ):
+        self.hub = hub
+        self.kill_fraction = kill_fraction
+        self.downtime_ticks = downtime_ticks
+        self.interval_s = interval_s
+        self._rng = np.random.default_rng(derive_seed(seed, "chaos", "churn"))
+        self._downed: List[tuple] = []  # (node_id, restore_at_tick)
+        self.ticks = 0
+        self.kills = 0
+        self.restores = 0
+        self._task: Optional[asyncio.Task] = None
+        self._stop = asyncio.Event()
+
+    def tick(self) -> None:
+        """One churn step (usable synchronously from tests)."""
+        self.ticks += 1
+        network = self.hub.network
+        due = [entry for entry in self._downed if entry[1] <= self.ticks]
+        self._downed = [e for e in self._downed if e[1] > self.ticks]
+        for node_id, _ in due:
+            network.restore_node(node_id)
+            self.restores += 1
+        up = [n.id for n in network.up_nodes()]
+        n_kill = max(1, int(len(up) * self.kill_fraction)) if up else 0
+        if n_kill and len(up) > n_kill:
+            victims = self._rng.choice(up, size=n_kill, replace=False)
+            for node_id in victims:
+                network.fail_node(int(node_id))
+                self.kills += 1
+                self._downed.append((int(node_id), self.ticks + self.downtime_ticks))
+        self.hub.publish()
+
+    async def run(self, duration_s: float) -> None:
+        deadline = time.monotonic() + duration_s
+        while time.monotonic() < deadline and not self._stop.is_set():
+            self.tick()
+            try:
+                await asyncio.wait_for(self._stop.wait(), timeout=self.interval_s)
+            except asyncio.TimeoutError:
+                pass
+        # Leave the world healed so later assertions see a recovered system.
+        for node_id, _ in self._downed:
+            self.hub.network.restore_node(node_id)
+            self.restores += 1
+        self._downed = []
+        self.hub.publish()
+
+    def start(self, duration_s: float) -> asyncio.Task:
+        self._stop.clear()
+        self._task = asyncio.get_running_loop().create_task(self.run(duration_s))
+        return self._task
+
+    async def stop(self) -> None:
+        self._stop.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+
+async def run_query_load(
+    service: SynthesisService,
+    queries: Sequence[SynthesisQuery],
+    *,
+    concurrency: int = 64,
+    hang_timeout_s: float = 30.0,
+) -> List[QueryOutcome]:
+    """Drive ``queries`` through the service, ``concurrency`` at a time.
+
+    The gather itself runs under ``hang_timeout_s``: if the service ever
+    hangs a query past deadline + grace, this raises instead of waiting
+    forever — the chaos suite's no-hang backstop.
+    """
+    sem = asyncio.Semaphore(concurrency)
+
+    async def one(q: SynthesisQuery) -> QueryOutcome:
+        async with sem:
+            return await service.submit(q)
+
+    return await asyncio.wait_for(
+        asyncio.gather(*(one(q) for q in queries)), timeout=hang_timeout_s
+    )
+
+
+@dataclass
+class SloReport:
+    """Verdict of one chaos run against the service-level objectives."""
+
+    total: int = 0
+    by_status: Dict[str, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+    breaker_opened: bool = False
+    breaker_reclosed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        status = " ".join(f"{k}={v}" for k, v in sorted(self.by_status.items()))
+        verdict = "PASS" if self.ok else "FAIL: " + "; ".join(self.violations)
+        return f"queries={self.total} {status} [{verdict}]"
+
+
+def check_slos(
+    outcomes: Sequence[QueryOutcome],
+    service: SynthesisService,
+    *,
+    require_breaker_cycle: bool = False,
+    deadline_grace_s: Optional[float] = None,
+) -> SloReport:
+    """Assert the chaos-suite SLOs over a finished run.
+
+    * every query reached a terminal outcome within deadline + grace;
+    * rejections are typed (a reason string is always present);
+    * degraded answers are flagged and carry staleness metadata;
+    * optionally, some breaker provably opened *and* re-closed.
+    """
+    report = SloReport(total=len(outcomes))
+    grace = (
+        deadline_grace_s if deadline_grace_s is not None
+        else service.deadline_grace_s
+    )
+    for i, out in enumerate(outcomes):
+        report.by_status[out.status.value] = (
+            report.by_status.get(out.status.value, 0) + 1
+        )
+        budget = out.query.deadline_s + grace + 0.5  # scheduling slop
+        if out.elapsed_s > budget:
+            report.violations.append(
+                f"query {i}: elapsed {out.elapsed_s:.3f}s > budget {budget:.3f}s"
+            )
+        if out.status in (OutcomeStatus.REJECTED, OutcomeStatus.FAILED):
+            if not out.reason:
+                report.violations.append(f"query {i}: untyped {out.status.value}")
+        if out.status is OutcomeStatus.DEGRADED:
+            if not out.degraded:
+                report.violations.append(f"query {i}: degraded answer not flagged")
+            if out.stale_age_s is None:
+                report.violations.append(f"query {i}: degraded without stale age")
+        if out.ok and out.answer is None:
+            report.violations.append(f"query {i}: ok outcome without an answer")
+    for breaker in service.breakers.values():
+        states = [new for _t, _old, new in breaker.transitions]
+        if BreakerState.OPEN.value in states:
+            report.breaker_opened = True
+            after_open = states[states.index(BreakerState.OPEN.value):]
+            if BreakerState.CLOSED.value in after_open:
+                report.breaker_reclosed = True
+    if require_breaker_cycle:
+        if not report.breaker_opened:
+            report.violations.append("no breaker ever opened under chaos")
+        elif not report.breaker_reclosed:
+            report.violations.append("breaker opened but never re-closed")
+    return report

@@ -1,0 +1,94 @@
+"""Exponential backoff with seeded jitter.
+
+One :class:`BackoffPolicy` describes the retry pacing shared by every
+retrying component in the library — the synthesis service's live-path
+retries (:mod:`repro.service`) and the campaign runner's task re-attempts
+(:class:`repro.campaign.runner.CampaignRunner`) use the same class, so a
+"retry storm" tuned in one place behaves identically in the other.
+
+Delays are ``base_s * factor**(attempt-1)``, capped at ``max_s``, then
+scaled by a jitter draw in ``[1 - jitter, 1]`` (full-jitter-toward-zero
+spreads retries without ever exceeding the deterministic envelope).  All
+randomness comes from a caller-supplied generator, so a seeded caller gets
+bit-identical delay schedules — :func:`delays_for` derives a per-key
+generator from a root seed, making the schedule independent of call order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+
+__all__ = ["BackoffPolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff: ``base_s * factor**(attempt-1)``, capped, jittered.
+
+    Parameters
+    ----------
+    base_s:
+        Delay before the first retry (attempt 1).
+    factor:
+        Multiplier per subsequent attempt (``>= 1``).
+    max_s:
+        Hard cap on any single delay, applied before jitter — so the cap
+        is also the worst-case delay.
+    jitter:
+        Fraction of each delay that is randomized: the delay is scaled by
+        a uniform draw in ``[1 - jitter, 1]``.  ``0`` disables jitter.
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    max_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ValueError("base_s must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if self.max_s < 0:
+            raise ValueError("max_s must be >= 0")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_s(
+        self, attempt: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Delay before retry number ``attempt`` (1-based).
+
+        Without an ``rng`` the deterministic envelope (no jitter) is
+        returned; with one, the jittered value — reproducible from the
+        generator's state.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.max_s, self.base_s * self.factor ** (attempt - 1))
+        if self.jitter and rng is not None:
+            raw *= (1.0 - self.jitter) + self.jitter * float(rng.random())
+        return raw
+
+    def delay_for(self, attempt: int, *, seed: int, key: str = "") -> float:
+        """Jittered delay addressed by ``(seed, key, attempt)``.
+
+        Independent of call order or interleaving: every caller asking for
+        the same (seed, key, attempt) gets the same delay, which is what
+        keeps parallel campaign runs deterministic under a seed.
+        """
+        rng = np.random.default_rng(
+            derive_seed(seed, "backoff", key, str(attempt))
+        )
+        return self.delay_s(attempt, rng)
+
+    def schedule(
+        self, attempts: int, rng: Optional[np.random.Generator] = None
+    ) -> List[float]:
+        """The first ``attempts`` delays as a list (for tests and docs)."""
+        return [self.delay_s(i, rng) for i in range(1, attempts + 1)]

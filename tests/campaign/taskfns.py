@@ -77,6 +77,17 @@ def hang_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     return {"value": float(params["i"])}
 
 
+def interrupt_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Raises KeyboardInterrupt on the marked index (a Ctrl-C stand-in).
+
+    Serial mode only: in a pool the interrupt would surface as a plain
+    task exception, not as the operator pressing Ctrl-C in the runner.
+    """
+    if params["i"] == params.get("interrupt_i", -1):
+        raise KeyboardInterrupt
+    return {"value": float(params["i"])}
+
+
 def sleep_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """Sleeps a fixed budget — wall-clock-bound work for speedup tests."""
     time.sleep(params["sleep_s"])

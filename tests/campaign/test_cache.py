@@ -2,6 +2,7 @@
 
 import json
 import math
+import time
 
 from repro.campaign import CampaignRunner, ResultCache, SweepSpec
 
@@ -152,3 +153,62 @@ class TestRobustness:
         assert len(cache) == 6
         assert cache.clear() == 6
         assert len(cache) == 0
+
+
+class TestStaleLookup:
+    """get_stale: the degraded-mode raw-key read with age reporting."""
+
+    def _primed(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        task = _spec(tmp_path / "m").tasks()[0]
+        cache.put(task, {"metric": 7.0})
+        return cache, task
+
+    def test_fresh_entry_has_small_age(self, tmp_path):
+        cache, task = self._primed(tmp_path)
+        hit = cache.get_stale(task.key, max_age_s=60.0)
+        assert hit is not None
+        result, age = hit
+        assert result == {"metric": 7.0}
+        assert 0.0 <= age < 5.0
+
+    def test_entry_older_than_budget_is_a_miss(self, tmp_path):
+        cache, task = self._primed(tmp_path)
+        path = cache.path_for(task.key)
+        payload = json.loads(path.read_text())
+        payload["stored_at"] = time.time() - 120.0
+        path.write_text(json.dumps(payload))
+        assert cache.get_stale(task.key, max_age_s=60.0) is None
+        # But a looser budget (or none) still reads it, with honest age.
+        result, age = cache.get_stale(task.key, max_age_s=None)
+        assert result == {"metric": 7.0}
+        assert age > 100.0
+
+    def test_absent_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get_stale("0" * 64, max_age_s=None) is None
+
+    def test_legacy_entry_without_timestamp(self, tmp_path):
+        """Pre-timestamp entries: readable unbounded, rejected by any
+        finite budget (their age is unknown, reported as inf)."""
+        cache, task = self._primed(tmp_path)
+        path = cache.path_for(task.key)
+        payload = json.loads(path.read_text())
+        del payload["stored_at"]
+        path.write_text(json.dumps(payload))
+        assert cache.get_stale(task.key, max_age_s=1e9) is None
+        result, age = cache.get_stale(task.key, max_age_s=None)
+        assert result == {"metric": 7.0}
+        assert age == math.inf
+
+    def test_corrupt_entry_is_discarded(self, tmp_path):
+        cache, task = self._primed(tmp_path)
+        path = cache.path_for(task.key)
+        path.write_text("{ truncated")
+        assert cache.get_stale(task.key, max_age_s=None) is None
+        assert not path.exists()
+
+    def test_existing_entries_remain_readable_via_get(self, tmp_path):
+        """The timestamp addition must not invalidate normal reads."""
+        cache, task = self._primed(tmp_path)
+        assert cache.get(task) == {"metric": 7.0}

@@ -1,0 +1,46 @@
+"""The smoke CLI exits cleanly (code 0, summary line) on Ctrl-C."""
+
+from repro.campaign import cli
+from repro.campaign.runner import (
+    CampaignInterrupted,
+    CampaignResult,
+    TaskOutcome,
+)
+
+
+class InterruptingRunner:
+    """Stands in for CampaignRunner: settles two tasks, then 'Ctrl-C'."""
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def run(self, spec):
+        tasks = spec.tasks()
+        outcomes = [
+            TaskOutcome(t, {"value": float(i)}, False, 1, 0.1)
+            for i, t in enumerate(tasks[:2])
+        ]
+        partial = CampaignResult(
+            spec=spec, outcomes=outcomes, wall_s=0.5, workers=1
+        )
+        raise CampaignInterrupted("interrupted", partial=partial)
+
+
+class TestCliInterrupt:
+    def test_exit_zero_with_summary(self, monkeypatch, capsys, tmp_path):
+        monkeypatch.setattr(cli, "CampaignRunner", InterruptingRunner)
+        code = cli.main(
+            ["--workers", "1", "--cache", str(tmp_path / "cache")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "interrupted: settled=2" in out
+        assert "executed=2" in out
+        assert str(tmp_path / "cache") in out
+
+    def test_summary_notes_missing_cache(self, monkeypatch, capsys):
+        monkeypatch.setattr(cli, "CampaignRunner", InterruptingRunner)
+        code = cli.main(["--workers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no cache configured" in out

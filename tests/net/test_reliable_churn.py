@@ -1,0 +1,110 @@
+"""ReliableMessageService under node churn mid-flight.
+
+The ARQ layer's job in an IoBT network is exactly this: a message is
+issued, a node on its path (destination or relay) dies before delivery,
+and comes back before the retry budget runs out — the message must still
+land, exactly once, with honest fate accounting.
+"""
+
+from repro.net.channel import Channel
+from repro.net.node import Network
+from repro.net.routing import FloodingRouter
+from repro.net.transport import ReliableMessageService
+from repro.sim import Simulator
+from repro.util.geometry import Point
+
+
+def line_network(n, spacing=100.0, seed=1):
+    sim = Simulator(seed=seed)
+    channel = Channel(shadowing_sigma_db=0.0, fading_sigma_db=0.0, seed=seed)
+    net = Network(sim, channel)
+    for i in range(1, n + 1):
+        net.create_node(i, Point(i * spacing, 0.0))
+    return sim, net
+
+
+def reliable(net, **kwargs):
+    router = FloodingRouter(net)
+    router.attach_all(sorted(net.nodes))
+    return ReliableMessageService(router, **kwargs)
+
+
+class TestDestinationChurn:
+    def test_destination_crashes_after_send_restarts_in_budget(self):
+        """Issued before the crash; destination restarts before give-up."""
+        sim, net = line_network(3)
+        svc = reliable(net, base_rto_s=2.0, max_retries=5)
+        fate = svc.send(1, 3, payload="orders")
+        net.fail_node(3)  # crash lands before any copy can be processed
+        sim.call_at(8.0, lambda: net.restore_node(3))
+        sim.run(until=120.0)
+        assert fate.state == "delivered"
+        assert fate.attempts > 1
+        assert fate.retransmits >= 1
+
+    def test_delivered_exactly_once_across_restart(self):
+        sim, net = line_network(3)
+        svc = reliable(net, base_rto_s=2.0, max_retries=5)
+        got = []
+        svc.on_message(3, lambda p: got.append(p.payload))
+        svc.send(1, 3, payload="sitrep")
+        net.fail_node(3)
+        sim.call_at(8.0, lambda: net.restore_node(3))
+        sim.run(until=120.0)
+        assert got == ["sitrep"]
+
+    def test_destination_flaps_twice_still_delivered(self):
+        sim, net = line_network(3)
+        svc = reliable(net, base_rto_s=1.0, backoff=2.0, max_retries=6)
+        fate = svc.send(1, 3)
+        net.fail_node(3)
+        sim.call_at(2.5, lambda: net.restore_node(3))
+        sim.call_at(2.6, lambda: net.fail_node(3))   # back down immediately
+        sim.call_at(10.0, lambda: net.restore_node(3))
+        sim.run(until=240.0)
+        assert fate.state == "delivered"
+        assert fate.attempts > 2
+
+
+class TestRelayChurn:
+    def test_relay_crashes_mid_flight_and_restarts(self):
+        """1 -> 3 needs relay 2; 2 dies after the send and comes back."""
+        sim, net = line_network(3)
+        svc = reliable(net, base_rto_s=2.0, max_retries=5)
+        fate = svc.send(1, 3)
+        net.fail_node(2)
+        sim.call_at(6.0, lambda: net.restore_node(2))
+        sim.run(until=120.0)
+        assert fate.state == "delivered"
+        assert fate.attempts > 1
+        assert sim.metrics.counter("transport.reliable.retransmit") >= 1
+
+    def test_restart_after_budget_is_too_late(self):
+        """The bound is honest: a node that returns after the budget is
+        exhausted cannot resurrect the message — typed give-up instead."""
+        sim, net = line_network(3)
+        svc = reliable(net, base_rto_s=1.0, backoff=2.0, jitter_s=0.0, max_retries=2)
+        fate = svc.send(1, 3)
+        net.fail_node(2)
+        # Give-up fires after 1 + 2 + 4 = 7 s; restore at 30 s is too late.
+        sim.call_at(30.0, lambda: net.restore_node(2))
+        sim.run(until=240.0)
+        assert fate.state == "gave_up"
+        assert fate.attempts == 3
+        assert not fate.delivered
+
+
+class TestChurnAccounting:
+    def test_fate_counts_stay_partitioned_under_churn(self):
+        sim, net = line_network(4)
+        svc = reliable(net, base_rto_s=1.0, max_retries=3)
+        svc.send(1, 2)
+        svc.send(1, 3)
+        svc.send(1, 4)
+        net.fail_node(3)
+        sim.call_at(4.0, lambda: net.restore_node(3))
+        sim.run(until=120.0)
+        counts = svc.fate_counts()
+        assert counts["in_flight"] == 0
+        assert counts["delivered"] == 3
+        assert sum(counts.values()) == len(svc.fates)

@@ -1,0 +1,60 @@
+"""Shared fixtures for the synthesis-service suite.
+
+``small_world`` builds a compact live world — a grid of ground sensors
+plus a few compute-heavy nodes around a 400x400 m area — dense enough
+that the real :class:`GreedyComposer` produces connected composites, and
+small enough that a live compose takes milliseconds.
+"""
+
+import pytest
+
+from repro.core.mission import MissionGoal, MissionType
+from repro.net.channel import Channel
+from repro.net.node import Network
+from repro.service import SnapshotHub, SynthesisQuery
+from repro.sim import Simulator
+from repro.things.asset import AssetInventory
+from repro.things.capabilities import SensingModality, make_profile
+from repro.util.geometry import Point, Region
+
+
+class SmallWorld:
+    def __init__(self, seed: int = 7, side: int = 6, spacing: float = 80.0):
+        self.sim = Simulator(seed=seed)
+        self.network = Network(
+            self.sim, Channel(shadowing_sigma_db=0, fading_sigma_db=0, seed=seed)
+        )
+        self.inventory = AssetInventory(self.network)
+        sensor = make_profile("ground_sensor", sensing_range_m=120.0)
+        ugv = make_profile("ugv")
+        for i in range(side):
+            for j in range(side):
+                profile = ugv if (i + j) % 5 == 0 else sensor
+                self.inventory.create(
+                    profile, Point(i * spacing, j * spacing), with_battery=True
+                )
+        self.region = Region(0.0, 0.0, (side - 1) * spacing, (side - 1) * spacing)
+        self.hub = SnapshotHub(self.inventory, min_refresh_s=0.0)
+
+    def goal(self, *, frac: float = 0.5, index: int = 0) -> MissionGoal:
+        """A small surveillance goal; ``index`` varies the area for
+        distinct cache keys."""
+        span = self.region.x_max * frac
+        x0 = min(index * 20.0, self.region.x_max - span)
+        return MissionGoal(
+            MissionType.SURVEIL,
+            Region(x0, 0.0, x0 + span, span),
+            min_coverage=0.5,
+            modalities=frozenset(
+                {SensingModality.SEISMIC, SensingModality.ACOUSTIC}
+            ),
+        )
+
+    def query(self, **kwargs) -> SynthesisQuery:
+        kwargs.setdefault("goal", self.goal())
+        return SynthesisQuery(**kwargs)
+
+
+@pytest.fixture
+def small_world():
+    return SmallWorld()

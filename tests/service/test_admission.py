@@ -1,0 +1,83 @@
+"""Bulkhead semantics: bounded concurrency, bounded waiting, typed shed."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import Bulkhead, QueryRejected, RejectReason
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBulkhead:
+    def test_concurrency_is_bounded(self):
+        async def scenario():
+            bh = Bulkhead(max_concurrent=2, max_waiting=10)
+            await bh.acquire()
+            await bh.acquire()
+            assert bh.held == 2
+            waiter = asyncio.ensure_future(bh.acquire())
+            await asyncio.sleep(0.01)
+            assert not waiter.done()
+            assert bh.waiting == 1
+            bh.release()
+            await waiter
+            assert bh.held == 2
+
+        run(scenario())
+
+    def test_waiting_room_sheds_with_reason(self):
+        async def scenario():
+            bh = Bulkhead(max_concurrent=1, max_waiting=1)
+            await bh.acquire()
+            waiter = asyncio.ensure_future(bh.acquire())
+            await asyncio.sleep(0.01)
+            with pytest.raises(QueryRejected) as err:
+                await bh.acquire()
+            assert err.value.reason is RejectReason.QUEUE_FULL
+            assert bh.shed_count == 1
+            bh.release()
+            await waiter
+
+        run(scenario())
+
+    def test_zero_waiting_room_sheds_immediately(self):
+        async def scenario():
+            bh = Bulkhead(max_concurrent=1, max_waiting=0)
+            await bh.acquire()
+            with pytest.raises(QueryRejected) as err:
+                await bh.acquire()
+            assert err.value.reason is RejectReason.QUEUE_FULL
+
+        run(scenario())
+
+    def test_timeout_rejects_as_deadline(self):
+        async def scenario():
+            bh = Bulkhead(max_concurrent=1, max_waiting=4)
+            await bh.acquire()
+            with pytest.raises(QueryRejected) as err:
+                await bh.acquire(timeout_s=0.02)
+            assert err.value.reason is RejectReason.DEADLINE
+            assert bh.waiting == 0  # the waiter cleaned up after itself
+
+        run(scenario())
+
+    def test_snapshot_reports_pressure(self):
+        async def scenario():
+            bh = Bulkhead(max_concurrent=2, max_waiting=3)
+            await bh.acquire()
+            snap = bh.snapshot()
+            assert snap["held"] == 1
+            assert snap["max_concurrent"] == 2
+            assert snap["shed"] == 0
+
+        run(scenario())
+
+    def test_invalid_sizing_raises(self):
+        with pytest.raises(ConfigurationError):
+            Bulkhead(max_concurrent=0)
+        with pytest.raises(ConfigurationError):
+            Bulkhead(max_concurrent=1, max_waiting=-1)

@@ -1,0 +1,67 @@
+"""BackoffPolicy: envelope, cap, jitter bounds, determinism under seed."""
+
+import numpy as np
+import pytest
+
+from repro.util.backoff import BackoffPolicy
+
+
+class TestEnvelope:
+    def test_exponential_growth_without_rng(self):
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, max_s=100.0, jitter=0.5)
+        assert policy.schedule(4) == [0.1, 0.2, 0.4, 0.8]
+
+    def test_cap_is_hard(self):
+        policy = BackoffPolicy(base_s=1.0, factor=10.0, max_s=3.0, jitter=0.5)
+        rng = np.random.default_rng(0)
+        for attempt in range(1, 10):
+            assert policy.delay_s(attempt, rng) <= 3.0
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay_s(0)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=-1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+
+
+class TestJitter:
+    def test_jitter_stays_inside_band(self):
+        policy = BackoffPolicy(base_s=1.0, factor=1.0, max_s=10.0, jitter=0.4)
+        rng = np.random.default_rng(42)
+        draws = [policy.delay_s(1, rng) for _ in range(200)]
+        assert all(0.6 <= d <= 1.0 for d in draws)
+        # The band is actually exercised, not collapsed to one value.
+        assert max(draws) - min(draws) > 0.2
+
+    def test_zero_jitter_is_deterministic(self):
+        policy = BackoffPolicy(base_s=0.5, factor=3.0, max_s=10.0, jitter=0.0)
+        rng = np.random.default_rng(1)
+        assert policy.delay_s(2, rng) == pytest.approx(1.5)
+
+
+class TestDeterminismUnderSeed:
+    def test_same_seed_same_schedule(self):
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, max_s=5.0, jitter=0.5)
+        a = [policy.delay_for(k, seed=99, key="task-a") for k in range(1, 6)]
+        b = [policy.delay_for(k, seed=99, key="task-a") for k in range(1, 6)]
+        assert a == b
+
+    def test_key_and_seed_decorrelate(self):
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, max_s=5.0, jitter=0.5)
+        a = policy.delay_for(1, seed=99, key="task-a")
+        b = policy.delay_for(1, seed=99, key="task-b")
+        c = policy.delay_for(1, seed=100, key="task-a")
+        assert a != b
+        assert a != c
+
+    def test_call_order_does_not_matter(self):
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, max_s=5.0, jitter=0.5)
+        forward = [policy.delay_for(k, seed=7, key="t") for k in (1, 2, 3)]
+        backward = [policy.delay_for(k, seed=7, key="t") for k in (3, 2, 1)]
+        assert forward == backward[::-1]

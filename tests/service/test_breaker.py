@@ -1,0 +1,147 @@
+"""CircuitBreaker state machine under a fake clock (no real sleeping)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, **kwargs):
+    defaults = dict(
+        window=10, failure_threshold=0.5, min_calls=4, open_s=1.0,
+        half_open_probes=2,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker("composer", clock=clock, **defaults)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_too_few_calls_never_open(self, clock):
+        breaker = make_breaker(clock, min_calls=4)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_opens_at_windowed_failure_rate(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_success()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()  # 2/4 = 0.5 >= threshold
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_old_outcomes_slide_out_of_window(self, clock):
+        breaker = make_breaker(clock, window=4)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        # A fresh breaker with the same window but successes drowning the
+        # failures never opens.
+        healthy = make_breaker(clock, window=4)
+        healthy.record_failure()
+        for _ in range(4):
+            healthy.record_success()
+        healthy.record_failure()  # window is [s, s, s, f] -> rate 0.25
+        assert healthy.state is BreakerState.CLOSED
+
+
+class TestOpenAndRecovery:
+    def open_breaker(self, clock, **kwargs):
+        breaker = make_breaker(clock, **kwargs)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        return breaker
+
+    def test_retry_in_counts_down(self, clock):
+        breaker = self.open_breaker(clock)
+        assert breaker.retry_in_s() == pytest.approx(1.0)
+        clock.advance(0.6)
+        assert breaker.retry_in_s() == pytest.approx(0.4)
+
+    def test_half_open_after_cooldown(self, clock):
+        breaker = self.open_breaker(clock)
+        clock.advance(1.01)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_bounds_probes(self, clock):
+        breaker = self.open_breaker(clock)
+        clock.advance(1.01)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # only 2 probes at a time
+
+    def test_probe_successes_reclose(self, clock):
+        breaker = self.open_breaker(clock)
+        clock.advance(1.01)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.failure_rate() == 0.0  # window cleared on close
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker = self.open_breaker(clock)
+        clock.advance(1.01)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.retry_in_s() == pytest.approx(1.0)
+
+    def test_transition_log_names_full_cycle(self, clock):
+        breaker = self.open_breaker(clock)
+        clock.advance(1.01)
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_success()
+        states = [(old, new) for _t, old, new in breaker.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_transition_callback_fires(self, clock):
+        seen = []
+        breaker = CircuitBreaker(
+            "b", clock=clock, window=4, min_calls=2, failure_threshold=0.5,
+            open_s=1.0,
+            on_transition=lambda name, old, new: seen.append((name, new)),
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert seen == [("b", BreakerState.OPEN)]
+
+
+class TestValidation:
+    def test_bad_parameters_raise(self, clock):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("x", window=0, clock=clock)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("x", failure_threshold=0.0, clock=clock)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("x", open_s=0.0, clock=clock)

@@ -1,0 +1,368 @@
+"""SynthesisService end-to-end: deadlines, retries, breaker, degradation.
+
+Every test drives the real asyncio service over the ``small_world``
+fixture; faulty backends are plain objects with a ``compose`` method so
+the failures exercise the production retry/breaker/degraded machinery.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.core.synthesis.composer import GreedyComposer
+from repro.service import (
+    OutcomeStatus,
+    SynthesisService,
+)
+from repro.util.backoff import BackoffPolicy
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service(world, **kwargs):
+    kwargs.setdefault("backoff", BackoffPolicy(base_s=0.001, max_s=0.01))
+    return SynthesisService(world.hub, **kwargs)
+
+
+class FailingBackend:
+    """Fails the first ``fail_first`` calls, then delegates to greedy."""
+
+    def __init__(self, fail_first: int = 10**9):
+        self.fail_first = fail_first
+        self.calls = 0
+        self.inner = GreedyComposer()
+
+    def compose(self, requirements, candidates, topology):
+        self.calls += 1
+        if self.calls <= self.fail_first:
+            raise RuntimeError("backend down")
+        return self.inner.compose(requirements, candidates, topology)
+
+
+class SlowBackend:
+    def __init__(self, delay_s: float):
+        self.delay_s = delay_s
+        self.inner = GreedyComposer()
+
+    def compose(self, requirements, candidates, topology):
+        time.sleep(self.delay_s)
+        return self.inner.compose(requirements, candidates, topology)
+
+
+class TestHappyPath:
+    def test_live_answer_then_fresh_cache_hit(self, small_world):
+        async def scenario():
+            async with make_service(small_world) as svc:
+                first = await svc.submit(small_world.query())
+                second = await svc.submit(small_world.query())
+            return first, second
+
+        first, second = run(scenario())
+        assert first.status is OutcomeStatus.OK
+        assert not first.cached
+        assert first.answer["members"] >= 1
+        assert first.answer["coverage"] >= 0.5
+        assert second.status is OutcomeStatus.OK
+        assert second.cached
+        assert second.answer == first.answer
+
+    def test_fresh_cache_is_per_epoch(self, small_world):
+        async def scenario():
+            async with make_service(small_world) as svc:
+                first = await svc.submit(small_world.query())
+                small_world.hub.publish()  # world moved on
+                second = await svc.submit(small_world.query())
+            return first, second
+
+        first, second = run(scenario())
+        assert not first.cached
+        assert not second.cached  # recomposed at the new epoch
+        assert second.epoch == first.epoch + 1
+
+    def test_concurrent_queries_all_terminal(self, small_world):
+        async def scenario():
+            async with make_service(small_world) as svc:
+                queries = [
+                    small_world.query(goal=small_world.goal(index=i % 4))
+                    for i in range(32)
+                ]
+                return await asyncio.gather(*(svc.submit(q) for q in queries))
+
+        outcomes = run(scenario())
+        assert len(outcomes) == 32
+        assert all(o.status is OutcomeStatus.OK for o in outcomes)
+
+
+class TestRejection:
+    def test_unknown_composer_rejected(self, small_world):
+        async def scenario():
+            async with make_service(small_world) as svc:
+                return await svc.submit(small_world.query(composer="quantum"))
+
+        outcome = run(scenario())
+        assert outcome.status is OutcomeStatus.REJECTED
+        assert outcome.reason == "no_backend"
+
+    def test_submit_before_start_rejected(self, small_world):
+        async def scenario():
+            svc = make_service(small_world)
+            return await svc.submit(small_world.query())
+
+        outcome = run(scenario())
+        assert outcome.status is OutcomeStatus.REJECTED
+        assert outcome.reason == "shutdown"
+
+    def test_overload_sheds_typed(self, small_world):
+        async def scenario():
+            svc = make_service(
+                small_world,
+                backends={"greedy": SlowBackend(0.3)},
+                max_concurrent=1,
+                max_waiting=0,
+                max_retries=0,
+            )
+            async with svc:
+                slow = asyncio.ensure_future(
+                    svc.submit(small_world.query(deadline_s=2.0))
+                )
+                await asyncio.sleep(0.05)  # let it occupy the only slot
+                shed = await svc.submit(
+                    small_world.query(
+                        goal=small_world.goal(index=1), max_stale_s=None
+                    )
+                )
+                first = await slow
+            return first, shed
+
+        first, shed = run(scenario())
+        assert first.status is OutcomeStatus.OK
+        assert shed.status is OutcomeStatus.REJECTED
+        assert shed.reason == "queue_full"
+
+
+class TestFailureAndDegradation:
+    def test_all_attempts_fail_then_failed(self, small_world):
+        backend = FailingBackend()
+
+        async def scenario():
+            svc = make_service(
+                small_world, backends={"greedy": backend}, max_retries=2
+            )
+            async with svc:
+                return await svc.submit(small_world.query(max_stale_s=None))
+
+        outcome = run(scenario())
+        assert outcome.status is OutcomeStatus.FAILED
+        assert outcome.attempts == 3
+        assert "backend down" in outcome.reason
+        assert backend.calls == 3
+
+    def test_transient_failure_retried_to_success(self, small_world):
+        backend = FailingBackend(fail_first=1)
+
+        async def scenario():
+            svc = make_service(
+                small_world, backends={"greedy": backend}, max_retries=2
+            )
+            async with svc:
+                return await svc.submit(small_world.query())
+
+        outcome = run(scenario())
+        assert outcome.status is OutcomeStatus.OK
+        assert outcome.attempts == 2
+
+    def test_degraded_serves_stale_with_metadata(self, small_world):
+        backend = FailingBackend(fail_first=0)
+
+        async def scenario():
+            svc = make_service(
+                small_world, backends={"greedy": backend}, max_retries=0
+            )
+            async with svc:
+                primed = await svc.submit(small_world.query())
+                backend.fail_first = 10**9  # backend dies
+                small_world.hub.publish()   # and the world moves on
+                degraded = await svc.submit(small_world.query())
+            return primed, degraded
+
+        primed, degraded = run(scenario())
+        assert primed.status is OutcomeStatus.OK
+        assert degraded.status is OutcomeStatus.DEGRADED
+        assert degraded.degraded
+        assert degraded.answer == primed.answer
+        assert degraded.stale_age_s is not None and degraded.stale_age_s >= 0.0
+        assert degraded.epochs_behind is not None and degraded.epochs_behind >= 1
+        assert "backend down" in degraded.reason
+
+    def test_max_stale_none_disables_degraded(self, small_world):
+        backend = FailingBackend(fail_first=0)
+
+        async def scenario():
+            svc = make_service(
+                small_world, backends={"greedy": backend}, max_retries=0
+            )
+            async with svc:
+                await svc.submit(small_world.query())
+                backend.fail_first = 10**9
+                small_world.hub.publish()
+                return await svc.submit(small_world.query(max_stale_s=None))
+
+        outcome = run(scenario())
+        assert outcome.status is OutcomeStatus.FAILED
+
+    def test_slow_backend_bounded_by_deadline(self, small_world):
+        async def scenario():
+            svc = make_service(
+                small_world,
+                backends={"greedy": SlowBackend(5.0)},
+                max_retries=0,
+                deadline_grace_s=0.5,
+            )
+            async with svc:
+                t0 = time.monotonic()
+                outcome = await svc.submit(
+                    small_world.query(deadline_s=0.2, max_stale_s=None)
+                )
+                elapsed = time.monotonic() - t0
+            return outcome, elapsed
+
+        outcome, elapsed = run(scenario())
+        assert outcome.status is OutcomeStatus.FAILED
+        assert "exceeded" in outcome.reason
+        assert elapsed < 1.5  # deadline + grace, not the 5 s backend stall
+
+
+class TestBreaker:
+    def test_breaker_opens_then_recovers(self, small_world):
+        backend = FailingBackend()
+
+        async def scenario():
+            svc = make_service(
+                small_world,
+                backends={"greedy": backend},
+                max_retries=0,
+                breaker_min_calls=3,
+                breaker_window=6,
+                breaker_open_s=0.05,
+            )
+            async with svc:
+                for i in range(4):
+                    await svc.submit(
+                        small_world.query(
+                            goal=small_world.goal(index=i), max_stale_s=None
+                        )
+                    )
+                breaker = svc.breaker_for("greedy")
+                assert breaker.snapshot()["state"] == "open"
+                # While open, the live path is not even attempted.
+                calls_before = backend.calls
+                blocked = await svc.submit(
+                    small_world.query(max_stale_s=None)
+                )
+                assert blocked.status is OutcomeStatus.REJECTED
+                assert blocked.reason == "breaker_open"
+                assert backend.calls == calls_before
+                # Backend heals; after the cooldown, probes re-close it.
+                backend.fail_first = 0
+                await asyncio.sleep(0.06)
+                # Two successful probes (distinct goals so neither is a
+                # fresh-cache hit) walk half_open back to closed.
+                for i in (5, 6):
+                    recovered = await svc.submit(
+                        small_world.query(goal=small_world.goal(index=i))
+                    )
+                    assert recovered.status is OutcomeStatus.OK
+                states = [new for _t, _old, new in breaker.transitions]
+                assert "open" in states
+                assert states[-1] == "closed"
+            return True
+
+        assert run(scenario())
+
+    def test_open_breaker_falls_back_to_stale(self, small_world):
+        backend = FailingBackend(fail_first=0)
+
+        async def scenario():
+            svc = make_service(
+                small_world,
+                backends={"greedy": backend},
+                max_retries=0,
+                breaker_min_calls=2,
+                breaker_window=4,
+                breaker_open_s=30.0,
+            )
+            async with svc:
+                await svc.submit(small_world.query())
+                backend.fail_first = 10**9
+                small_world.hub.publish()
+                for _ in range(3):
+                    await svc.submit(small_world.query())
+                small_world.hub.publish()
+                return await svc.submit(small_world.query())
+
+        outcome = run(scenario())
+        assert outcome.status is OutcomeStatus.DEGRADED
+        assert outcome.reason == "breaker_open"
+
+
+class TestDiskCache:
+    def test_write_through_survives_restart(self, small_world, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+
+        async def scenario():
+            async with make_service(small_world, cache=cache) as svc:
+                return await svc.submit(small_world.query())
+
+        primed = run(scenario())
+        assert primed.status is OutcomeStatus.OK
+
+        # A cold service instance with a dead backend: the only source of
+        # answers is the on-disk cache from the previous "process".
+        backend = FailingBackend()
+
+        async def cold_scenario():
+            svc = make_service(
+                small_world,
+                cache=ResultCache(tmp_path / "cache"),
+                backends={"greedy": backend},
+                max_retries=0,
+            )
+            async with svc:
+                return await svc.submit(small_world.query())
+
+        outcome = run(cold_scenario())
+        assert outcome.status is OutcomeStatus.DEGRADED
+        assert outcome.answer["members"] == primed.answer["members"]
+        assert outcome.stale_age_s is not None
+
+
+class TestStats:
+    def test_stats_reports_counters_and_breakers(self, small_world):
+        async def scenario():
+            async with make_service(small_world) as svc:
+                await svc.submit(small_world.query())
+                await svc.submit(small_world.query(composer="quantum"))
+                return svc.stats()
+
+        stats = run(scenario())
+        assert stats["counters"]["service.queries"] == 2
+        assert stats["counters"]["service.ok"] == 1
+        assert stats["counters"]["service.rejected"] == 1
+        assert stats["breakers"]["greedy"]["state"] == "closed"
+        assert stats["bulkhead"]["held"] == 0
+
+    @pytest.mark.parametrize("composer", ["greedy", "annealing"])
+    def test_default_backends_answer(self, small_world, composer):
+        async def scenario():
+            async with make_service(small_world) as svc:
+                return await svc.submit(
+                    small_world.query(composer=composer, deadline_s=5.0)
+                )
+
+        outcome = run(scenario())
+        assert outcome.status is OutcomeStatus.OK
+        assert outcome.answer["satisfied"]

@@ -1,0 +1,89 @@
+"""Snapshot isolation: epochs are immutable views over a churning world."""
+
+
+from repro.service import SnapshotHub
+
+
+class TestEpochIsolation:
+    def test_snapshot_survives_node_kill(self, small_world):
+        w = small_world
+        snap = w.hub.publish()
+        victim = w.inventory.all()[0]
+        assert snap.by_id(victim.id).alive
+        w.network.fail_node(victim.node_id)
+        # The live asset is down; the captured epoch still says alive.
+        assert not victim.alive
+        assert snap.by_id(victim.id).alive
+        assert victim.node_id in snap.topology.graph
+
+    def test_snapshot_survives_battery_drain(self, small_world):
+        w = small_world
+        asset = w.inventory.all()[0]
+        snap = w.hub.publish()
+        frozen = snap.by_id(asset.id).battery.fraction_remaining
+        asset.battery.remaining_j = 0.0
+        assert snap.by_id(asset.id).battery.fraction_remaining == frozen
+
+    def test_pool_excludes_dead_assets_at_publish(self, small_world):
+        w = small_world
+        victim = w.inventory.all()[3]
+        w.network.fail_node(victim.node_id)
+        snap = w.hub.publish()
+        assert snap.by_id(victim.id) is None
+        assert snap.size == len(w.inventory.all()) - 1
+
+
+class TestHub:
+    def test_epochs_are_monotonic(self, small_world):
+        hub = small_world.hub
+        first = hub.publish()
+        second = hub.publish()
+        assert second.epoch == first.epoch + 1
+        assert hub.epoch == second.epoch
+
+    def test_current_is_stable_without_churn(self, small_world):
+        hub = small_world.hub
+        a = hub.current()
+        b = hub.current()
+        assert a is b
+        assert hub.publishes == 1
+
+    def test_churn_triggers_lazy_republish(self, small_world):
+        w = small_world
+        before = w.hub.current()
+        victim = w.inventory.all()[0]
+        w.network.fail_node(victim.node_id)
+        after = w.hub.current()  # min_refresh_s=0 -> republish immediately
+        assert after.epoch == before.epoch + 1
+        assert after.by_id(victim.id) is None
+        assert before.by_id(victim.id) is not None
+
+    def test_refresh_is_rate_limited(self, small_world):
+        w = small_world
+        clock = FakeClock()
+        hub = SnapshotHub(
+            w.inventory, min_refresh_s=10.0, clock=clock
+        )
+        first = hub.current()
+        w.network.fail_node(w.inventory.all()[0].node_id)
+        # Dirty, but not enough wall time elapsed: same epoch served.
+        assert hub.current() is first
+        clock.advance(11.0)
+        assert hub.current().epoch == first.epoch + 1
+
+    def test_mark_dirty_forces_republish(self, small_world):
+        hub = small_world.hub
+        first = hub.current()
+        hub.mark_dirty()
+        assert hub.current().epoch == first.epoch + 1
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
