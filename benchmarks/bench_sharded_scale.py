@@ -1,0 +1,191 @@
+"""PR7 scale gate: sharded engine throughput at 1/2/4 shards.
+
+Runs uniform-grid worlds (1k and 5k nodes; ``--full`` adds 10k) with a
+mostly-shard-local raw-send workload through :class:`repro.shard.ShardedSimulator`
+at shard counts 1, 2, and 4, and records events/sec for each.  Wall time is
+measured around the whole ``run()`` — including the replicated world build
+and barrier IPC — so the speedup numbers are end-to-end, not cherry-picked.
+
+The acceptance gate (>= ``REQUIRED_SPEEDUP``x events/sec at 4 shards vs 1
+on the >= 5k-node world) is only *enforced* when the host actually has 4+
+CPUs; on smaller hosts the numbers are still recorded, with the gate marked
+unenforced.  Results land in ``BENCH_pr7.json`` (schema ``bench-pr7/1``).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_scale.py [--quick|--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.shard import ShardPlan, ShardScenarioSpec, ShardedSimulator, WorkloadSpec
+from repro.util.tables import json_safe
+
+BENCH_PR7_SCHEMA = "bench-pr7/1"
+
+#: 4 shards must deliver at least this events/sec multiple over 1 shard on
+#: the gate world — when the host has the cores to show it.
+REQUIRED_SPEEDUP = 2.0
+
+#: The gate applies to the largest world at or above this size.
+GATE_MIN_NODES = 5000
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _world(n_nodes: int, seed: int = 3) -> ShardScenarioSpec:
+    """A uniform radio field with nearest-neighbor datagrams.
+
+    Raw link-layer sends (no router) with a ``local`` workload keep
+    cross-shard traffic confined to the cut fronts, and the low bitrate
+    cap keeps the conservative window wide (fewer barriers per simulated
+    second) without changing the per-event work being measured.
+    """
+    return ShardScenarioSpec(
+        seed=seed,
+        kind="uniform",
+        n_nodes=n_nodes,
+        spacing_m=60.0,
+        jitter_m=8.0,
+        bitrate_bps=5e4,
+        router=None,
+        mac="csma",
+        workload=WorkloadSpec(
+            kind="local", rate_hz=1.0, size_bits=2048, ttl=1, sender_stride=1
+        ),
+    )
+
+
+def _run_once(
+    spec: ShardScenarioSpec, n_shards: int, until: float, mode: str
+) -> Dict[str, Any]:
+    plan = ShardPlan(n_shards=n_shards, cell_size_m=120.0)
+    engine = ShardedSimulator(spec, plan, mode=mode, collect_trace=False)
+    t0 = time.perf_counter()
+    result = engine.run(until)
+    wall = time.perf_counter() - t0
+    events = result.events_processed
+    return {
+        "n_shards": n_shards,
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall if wall > 1e-9 else 0.0,
+        "n_windows": result.n_windows,
+        "retries": result.retries,
+    }
+
+
+def bench(
+    sizes: Tuple[int, ...] = (1000, 5000),
+    until: float = 4.0,
+    mode: str = "fork",
+) -> Dict[str, Any]:
+    cpu_count = os.cpu_count() or 1
+    worlds: Dict[str, Any] = {}
+    for n_nodes in sizes:
+        spec = _world(n_nodes)
+        rows: List[Dict[str, Any]] = []
+        for k in SHARD_COUNTS:
+            row = _run_once(spec, k, until, mode)
+            rows.append(row)
+            print(
+                f"n={n_nodes} shards={k}: {row['events']} events in "
+                f"{row['wall_s']:.2f}s -> {row['events_per_sec']:,.0f} ev/s"
+            )
+        base = rows[0]["events_per_sec"]
+        worlds[f"n{n_nodes}"] = {
+            "n_nodes": n_nodes,
+            "until_s": until,
+            "shards": {str(r["n_shards"]): r for r in rows},
+            "speedup_2x": rows[1]["events_per_sec"] / base if base else 0.0,
+            "speedup_4x": rows[2]["events_per_sec"] / base if base else 0.0,
+        }
+
+    gate_worlds = [w for w in worlds.values() if w["n_nodes"] >= GATE_MIN_NODES]
+    gate_world = max(gate_worlds, key=lambda w: w["n_nodes"]) if gate_worlds else None
+    enforced = cpu_count >= 4 and gate_world is not None
+    passed: Optional[bool] = None
+    if gate_world is not None:
+        passed = gate_world["speedup_4x"] >= REQUIRED_SPEEDUP
+    return {
+        "schema": BENCH_PR7_SCHEMA,
+        "cpu_count": cpu_count,
+        "mode": mode,
+        "gate": {
+            "required_speedup_4x": REQUIRED_SPEEDUP,
+            "world": f"n{gate_world['n_nodes']}" if gate_world else None,
+            "enforced": enforced,
+            "passed": passed,
+        },
+        "worlds": worlds,
+    }
+
+
+def write_bench_pr7(payload: Dict[str, Any], path: Optional[str] = None) -> str:
+    if path is None:
+        out_dir = os.environ.get("REPRO_BENCH_JSON_DIR") or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "BENCH_pr7.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(json_safe(payload), fh, indent=2, allow_nan=False)
+        fh.write("\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small worlds, short horizon (smoke only; gate never enforced)",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="add the 10k-node world"
+    )
+    parser.add_argument(
+        "--mode", default="fork", choices=("fork", "spawn", "inline")
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        payload = bench(sizes=(300,), until=2.0, mode=args.mode)
+    elif args.full:
+        payload = bench(sizes=(1000, 5000, 10000), until=4.0, mode=args.mode)
+    else:
+        payload = bench(sizes=(1000, 5000), until=4.0, mode=args.mode)
+
+    path = write_bench_pr7(payload)
+    print(f"wrote {path}")
+    gate = payload["gate"]
+    if gate["enforced"]:
+        if gate["passed"]:
+            print(
+                f"OK: {gate['world']} reached "
+                f"{payload['worlds'][gate['world']]['speedup_4x']:.2f}x "
+                f"at 4 shards (floor {REQUIRED_SPEEDUP}x)"
+            )
+            return 0
+        print(
+            f"FAIL: {gate['world']} at "
+            f"{payload['worlds'][gate['world']]['speedup_4x']:.2f}x "
+            f"(< {REQUIRED_SPEEDUP}x) with {payload['cpu_count']} CPUs"
+        )
+        return 1
+    print(
+        f"gate not enforced (cpu_count={payload['cpu_count']}, "
+        f"gate world={gate['world']}); numbers recorded only"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

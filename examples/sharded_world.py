@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Sharded simulation quickstart: one world, many processes, one trace.
+
+Walks the :mod:`repro.shard` surface end to end:
+
+1. declare a shardable world (:class:`ShardScenarioSpec`) and a cut
+   (:class:`ShardPlan`),
+2. run it serially — the 1-shard reference,
+3. run the identical world as four worker processes synchronized at
+   conservative time-window barriers,
+4. verify both produce the *same merged trace fingerprint* (the sharded
+   engine's correctness contract), and compare throughput.
+
+Run:  PYTHONPATH=src python examples/sharded_world.py
+"""
+
+from repro.shard import (
+    FaultPlanSpec,
+    LinkFlapSpec,
+    ShardPlan,
+    ShardScenarioSpec,
+    ShardedSimulator,
+    WorkloadSpec,
+    run_serial,
+)
+
+
+def main() -> None:
+    # 1. A 3x3-block urban district; every other node beacons once per
+    #    second through a flooding router while links flap underneath.
+    #    The bitrate cap keeps the conservative sync window wide (the
+    #    lookahead is min-packet-airtime, so slow radios = fewer barriers).
+    spec = ShardScenarioSpec(
+        seed=7,
+        blocks=3,
+        n_blue=24,
+        bitrate_cap_bps=5e4,
+        router="flooding",
+        workload=WorkloadSpec(kind="beacons", rate_hz=1.0, ttl=4, sender_stride=2),
+        faults=FaultPlanSpec(
+            link_flap=LinkFlapSpec(start_s=1.0, n_links=3, mtbf_s=4.0)
+        ),
+    )
+    plan = ShardPlan(n_shards=4, cell_size_m=60.0)
+    horizon = 5.0
+
+    # 2. The serial reference: same keyed-RNG dispatch, no barriers.
+    serial = run_serial(spec, horizon)
+    print(
+        f"serial:  {len(serial.records)} trace records, "
+        f"{serial.events_processed} events in {serial.wall_elapsed_s:.2f}s"
+    )
+
+    # 3. Four worker processes, conservative window barriers over pipes.
+    sharded = ShardedSimulator(spec, plan, mode="fork").run(horizon)
+    owned = [p["owned"] for p in sharded.per_shard]
+    print(
+        f"sharded: {len(sharded.records)} trace records across "
+        f"{sharded.n_shards} shards (nodes per shard: {owned}), "
+        f"{sharded.n_windows} windows of {sharded.window_s * 1e3:.1f} ms"
+    )
+
+    # 4. The correctness contract: partition-invariant fingerprints.
+    fp_serial, fp_sharded = serial.fingerprint(), sharded.fingerprint()
+    print(f"serial  fingerprint: {fp_serial}")
+    print(f"sharded fingerprint: {fp_sharded}")
+    if fp_serial != fp_sharded:
+        raise SystemExit("FINGERPRINT MISMATCH — the engine has a bug")
+    print("fingerprints match: the sharded run is bit-identical to serial")
+    print(
+        f"throughput: serial {serial.events_per_sec:,.0f} ev/s, "
+        f"sharded {sharded.events_per_sec:,.0f} ev/s "
+        "(sharded wins once worlds outgrow one core)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -50,12 +50,19 @@ class AodvRouter(Router):
         discovery_timeout_s: float = 2.0,
         max_discovery_retries: int = 2,
         rreq_ttl: int = 16,
+        destination_only: bool = False,
     ):
         super().__init__(network)
         self.route_lifetime_s = route_lifetime_s
         self.discovery_timeout_s = discovery_timeout_s
         self.max_discovery_retries = max_discovery_retries
         self.rreq_ttl = rreq_ttl
+        #: RFC 3561's 'D' flag: only the destination may answer an RREQ.
+        #: Intermediate cache replies compare the cached sequence against
+        #: the originator's *knowledge* of the destination sequence — a
+        #: read of the router-global ``_seq`` map that has no distributed
+        #: equivalent, so sharded execution requires this flag.
+        self.destination_only = destination_only
         self._tables: Dict[int, Dict[int, RouteEntry]] = {}
         self._seq: Dict[int, int] = {}
         self._rreq_id = 0
@@ -264,7 +271,7 @@ class AodvRouter(Router):
         if node.id == info.target:
             self._send_rrep(node.id, info, hops=0, rreq=packet)
             return
-        cached = self._route(node.id, info.target)
+        cached = None if self.destination_only else self._route(node.id, info.target)
         if cached is not None and cached.dst_seq >= info.target_seq:
             # Intermediate reply from cache.
             self._send_rrep(

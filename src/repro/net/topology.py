@@ -1,21 +1,38 @@
-"""Topology snapshots.
+"""Topology snapshots and spatial partitioning.
 
 A :class:`TopologySnapshot` is a networkx view of the network at one instant:
 nodes are live endpoints, edges carry delivery probability and ETX (expected
 transmission count).  Synthesis, tomography, and assurance all consume these
 snapshots rather than poking at the live network.
+
+:class:`GridPartition` / :func:`partition_network` split a world into
+contiguous spatial shards for the sharded execution engine
+(:mod:`repro.shard`): nodes are bucketed into grid cells, the occupied cells
+are walked in a seeded boustrophedon sweep, and cut points are placed at the
+ideal per-shard node counts.  The sweep is pure integer/float arithmetic over
+sorted inputs, so the same ``(positions, n_shards, cell_size, seed)`` always
+yields the same assignment in every process — the property the conservative
+time-sync protocol depends on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 import networkx as nx
 
 from repro.net.node import Network
+from repro.util.rng import derive_seed
 
-__all__ = ["TopologySnapshot", "build_topology"]
+__all__ = [
+    "TopologySnapshot",
+    "build_topology",
+    "GridPartition",
+    "partition_network",
+    "min_cross_shard_distance_m",
+]
 
 
 @dataclass
@@ -105,3 +122,165 @@ def build_topology(
             if p >= min_delivery_probability:
                 graph.add_edge(node.id, other_id, p=p, etx=1.0 / p)
     return TopologySnapshot(graph=graph, time=network.sim.now)
+
+
+# ---------------------------------------------------------------- partition
+
+
+@dataclass(frozen=True)
+class GridPartition:
+    """A deterministic spatial assignment of nodes to shards.
+
+    ``assignments`` maps every node id to a shard index in
+    ``[0, n_shards)``.  ``cells`` maps each *occupied* grid cell to the
+    shard that owns it; a node's cell is ``(floor(x / cell_size),
+    floor(y / cell_size))``, so a node sitting exactly on a cell border
+    belongs to the cell whose lower edge it touches (floor convention).
+    Empty cells are simply absent — they own no nodes and cost nothing.
+    """
+
+    n_shards: int
+    cell_size_m: float
+    seed: int
+    assignments: Mapping[int, int] = field(default_factory=dict)
+    cells: Mapping[Tuple[int, int], int] = field(default_factory=dict)
+
+    def shard_of(self, node_id: int) -> int:
+        return self.assignments[node_id]
+
+    def nodes_of(self, shard: int) -> List[int]:
+        """Sorted node ids owned by ``shard``."""
+        return sorted(n for n, s in self.assignments.items() if s == shard)
+
+    def counts(self) -> List[int]:
+        """Nodes per shard (length ``n_shards``; empty shards count 0)."""
+        out = [0] * self.n_shards
+        for s in self.assignments.values():
+            out[s] += 1
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"GridPartition(n_shards={self.n_shards}, "
+            f"cell_size_m={self.cell_size_m}, counts={self.counts()})"
+        )
+
+
+def _cell_of(x: float, y: float, cell_size: float) -> Tuple[int, int]:
+    return (math.floor(x / cell_size), math.floor(y / cell_size))
+
+
+def partition_network(
+    network: Network,
+    n_shards: int,
+    *,
+    cell_size_m: Optional[float] = None,
+    seed: int = 0,
+) -> GridPartition:
+    """Partition ``network`` into ``n_shards`` contiguous spatial shards.
+
+    Nodes are bucketed into square grid cells (default edge: the network's
+    maximum comm range, so one cell roughly spans one radio neighborhood),
+    the occupied cells are walked in a boustrophedon sweep — column-major
+    or row-major, chosen deterministically from ``seed`` — and cut points
+    fall at the ideal cumulative node counts ``i * N / n_shards``.  The
+    result is balanced to within one cell's population and identical in
+    every process given the same inputs.
+
+    Isolated nodes and empty cells need no special casing: only occupied
+    cells enter the sweep, and an isolated node is just a cell of
+    population one.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if cell_size_m is None:
+        cell_size_m = max(network._max_range(), 1.0)
+    if not (cell_size_m > 0.0) or not math.isfinite(cell_size_m):
+        raise ValueError(f"cell_size_m must be finite and > 0, got {cell_size_m}")
+
+    by_cell: Dict[Tuple[int, int], List[int]] = {}
+    for nid in sorted(network.nodes):
+        node = network.nodes[nid]
+        cell = _cell_of(node.position.x, node.position.y, cell_size_m)
+        by_cell.setdefault(cell, []).append(nid)
+
+    total = sum(len(v) for v in by_cell.values())
+    assignments: Dict[int, int] = {}
+    cell_owner: Dict[Tuple[int, int], int] = {}
+    if total == 0:
+        return GridPartition(
+            n_shards=n_shards,
+            cell_size_m=cell_size_m,
+            seed=seed,
+            assignments=assignments,
+            cells=cell_owner,
+        )
+
+    # Seeded sweep axis: 0 walks columns of constant x (snaking in y),
+    # 1 walks rows of constant y (snaking in x).  The snake keeps
+    # consecutive cells spatially adjacent, so each shard is a contiguous
+    # band and cross-shard traffic concentrates at two cut fronts.
+    axis = derive_seed(seed, "shard.partition.axis") % 2
+
+    def sweep_key(cell: Tuple[int, int]) -> Tuple[int, int]:
+        major, minor = (cell[0], cell[1]) if axis == 0 else (cell[1], cell[0])
+        return (major, -minor if major % 2 else minor)
+
+    ordered = sorted(by_cell, key=sweep_key)
+    shard = 0
+    cum = 0
+    for cell in ordered:
+        # Advance to the next shard once the running population has
+        # reached this shard's ideal cumulative share.
+        while shard < n_shards - 1 and cum * n_shards >= (shard + 1) * total:
+            shard += 1
+        cell_owner[cell] = shard
+        for nid in by_cell[cell]:
+            assignments[nid] = shard
+        cum += len(by_cell[cell])
+
+    return GridPartition(
+        n_shards=n_shards,
+        cell_size_m=cell_size_m,
+        seed=seed,
+        assignments=assignments,
+        cells=cell_owner,
+    )
+
+
+def min_cross_shard_distance_m(
+    network: Network, partition: GridPartition
+) -> float:
+    """Minimum distance between any two nodes owned by different shards.
+
+    Feeds the conservative lookahead's propagation term.  Only adjacent
+    occupied cell pairs with different owners are compared pairwise; any
+    non-adjacent cross-shard pair is separated by at least one full empty
+    or same-owner cell, so ``cell_size_m`` lower-bounds it.  Returns
+    ``inf`` for single-shard partitions (no cross-shard pairs exist).
+    """
+    if partition.n_shards <= 1 or not partition.cells:
+        return math.inf
+    cell_size = partition.cell_size_m
+    members: Dict[Tuple[int, int], List[int]] = {}
+    for nid, shard in partition.assignments.items():
+        node = network.nodes[nid]
+        members.setdefault(
+            _cell_of(node.position.x, node.position.y, cell_size), []
+        ).append(nid)
+
+    best = math.inf
+    cells = partition.cells
+    for (cx, cy), owner in cells.items():
+        for dx, dy in ((1, -1), (1, 0), (1, 1), (0, 1)):
+            other = (cx + dx, cy + dy)
+            if other not in cells or cells[other] == owner:
+                continue
+            for a in members[(cx, cy)]:
+                pa = network.nodes[a].position
+                for b in members[other]:
+                    pb = network.nodes[b].position
+                    d = math.hypot(pa.x - pb.x, pa.y - pb.y)
+                    if d < best:
+                        best = d
+    return min(best, cell_size)

@@ -38,6 +38,7 @@ from repro.obs.analyze import (
     render_trace_report,
     trace_summary_json,
 )
+from repro.obs.merge import merge_traces, merged_fingerprint
 from repro.obs.profiler import KernelProfiler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import ReportInputError, collect_export
@@ -55,6 +56,8 @@ from repro.obs.spans import Span, SpanTracker
 from repro.obs.tracing import TRACE_CATEGORIES, TRACE_HEADER, PacketTracer, TraceContext
 
 __all__ = [
+    "merge_traces",
+    "merged_fingerprint",
     "Span",
     "SpanTracker",
     "KernelProfiler",

@@ -1,0 +1,104 @@
+"""Deterministic cross-process trace merging.
+
+Each shard of a sharded run (:mod:`repro.shard`) records its own
+:class:`~repro.sim.trace.TraceLog`; this module merges those per-shard
+streams into one canonical stream and fingerprints it so a sharded run can
+be compared bit-for-bit against a serial one.
+
+Two layers of determinism:
+
+* :func:`merge_traces` stable-sorts on ``(time, shard, local uid)`` — the
+  local uid is each record's index in its shard's stream, so the merged
+  order is reproducible no matter which worker finished first.
+* :func:`merged_fingerprint` hashes a *canonical multiset* of records —
+  sorted by ``(rounded time, category, fields)`` with shard-identifying
+  fields stripped — because the relative order of same-timestamp records
+  from different shards is an artifact of the partition, not of the model.
+  Serial and sharded runs of the same world therefore hash identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["merge_traces", "merged_fingerprint"]
+
+#: Bookkeeping fields stamped by the merge itself (plus the NDJSON ``type``
+#: tag); stripped before fingerprinting so serial streams hash the same.
+MERGE_FIELDS = ("shard", "uid", "type")
+
+
+def _as_dict(record: Any) -> Dict[str, Any]:
+    """Normalize a TraceRecord or mapping into a plain field dict."""
+    if isinstance(record, Mapping):
+        return dict(record)
+    # repro.sim.trace.TraceRecord (or anything shaped like it).
+    out = {"time": record.time, "category": record.category}
+    out.update(dict(record.fields))
+    return out
+
+
+def merge_traces(
+    shard_streams: Sequence[Iterable[Any]],
+) -> List[Dict[str, Any]]:
+    """Merge per-shard trace streams into one deterministic stream.
+
+    ``shard_streams[i]`` is shard ``i``'s records in emission order
+    (:class:`~repro.sim.trace.TraceRecord` objects or dicts with ``time``
+    and ``category`` keys).  Each merged record gains ``shard`` (stream
+    index) and ``uid`` (position within its stream), and the result is
+    stable-sorted on ``(time, shard, uid)`` — a total order independent
+    of worker completion timing.
+    """
+    merged: List[Dict[str, Any]] = []
+    for shard, stream in enumerate(shard_streams):
+        for uid, record in enumerate(stream):
+            rec = _as_dict(record)
+            rec["shard"] = shard
+            rec["uid"] = uid
+            merged.append(rec)
+    merged.sort(key=lambda r: (r["time"], r["shard"], r["uid"]))
+    return merged
+
+
+def _canonical_entry(
+    rec: Dict[str, Any], exclude: Tuple[str, ...]
+) -> Tuple[float, str, Tuple[Tuple[str, Any], ...]]:
+    fields = tuple(
+        sorted(
+            (k, v)
+            for k, v in rec.items()
+            if k not in ("time", "category") and k not in exclude
+        )
+    )
+    return (round(rec["time"], 9), rec["category"], fields)
+
+
+def merged_fingerprint(
+    records: Iterable[Any],
+    categories: Optional[Iterable[str]] = None,
+    *,
+    exclude_fields: Tuple[str, ...] = MERGE_FIELDS,
+) -> str:
+    """Content hash of a trace stream, invariant to shard layout.
+
+    Records are canonicalized (time rounded to 9 decimals — sub-nanosecond
+    float noise is not signal — shard bookkeeping fields stripped) and
+    hashed as a *sorted multiset*, so two streams fingerprint equal iff
+    they contain the same records regardless of same-timestamp interleave.
+    Accepts TraceRecords, plain dicts, or the output of
+    :func:`merge_traces`; pass ``categories`` to restrict the comparison.
+    """
+    wanted = set(categories) if categories is not None else None
+    entries = []
+    for record in records:
+        rec = _as_dict(record)
+        if wanted is not None and rec["category"] not in wanted:
+            continue
+        entries.append(_canonical_entry(rec, exclude_fields))
+    entries.sort(key=repr)
+    digest = hashlib.blake2b(digest_size=16)
+    for entry in entries:
+        digest.update(repr(entry).encode("utf-8"))
+    return digest.hexdigest()

@@ -131,7 +131,10 @@ def summarize_run(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                 k: v for k, v in record.items() if k not in ("type", "name")
             }
         elif rtype == "meta":
-            meta_events.append(record)
+            # Exports written by older kernels can carry inf/nan rates
+            # (zero wall-elapsed runs); scrub them here so the summary —
+            # printed or JSON-dumped — never propagates non-finite floats.
+            meta_events.append(json_safe(record))
 
     hot_paths = sorted(
         (

@@ -1,0 +1,425 @@
+"""The shard coordinator: window barriers, pipes, retries, merged results.
+
+:class:`ShardedSimulator` exposes the same ``run(until=...)`` surface as
+:class:`~repro.sim.kernel.Simulator` but executes the world as N shard
+replicas advancing in conservative time windows:
+
+1. Every worker builds the same world from the spec (``"ready"``
+   handshake reports its lookahead; the coordinator takes the min).
+2. Per window, the coordinator sends ``("window", t_end, handoffs,
+   lifecycle)`` to every worker, which applies the inbound cross-shard
+   deliveries and injected node up/down events, advances its simulator to
+   the barrier, and replies ``("done", ...)`` with its outbox.  A window
+   of ``lookahead / 2`` (strictly any window ≤ lookahead) guarantees
+   every handoff generated in window *j* delivers after barrier *j*, so
+   applying it at the start of window *j+1* never schedules into the
+   past.
+3. ``("finish",)`` collects per-shard traces and counters, which are
+   merged deterministically: traces via
+   :func:`repro.obs.merge.merge_traces`, counters by sum (max for
+   replicated fault counters).
+
+Failure semantics follow :mod:`repro.campaign.runner`: a worker that dies
+or misses a barrier deadline poisons the whole attempt — workers share
+replicated state, so partial recovery is impossible by design — and the
+coordinator kills the pool and retries the entire run from scratch
+(deterministic worlds make the retry bit-identical, minus the chaos that
+killed it).  ``mode="inline"`` runs every shard runtime in-process with
+the same barrier algebra: slower than a real pool but deterministic,
+debuggable, and what most tests use.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.merge import merge_traces, merged_fingerprint
+from repro.shard.runtime import REPLICATED_METRIC_PREFIXES, ShardRuntime
+from repro.shard.spec import ShardConfigError, ShardPlan, ShardScenarioSpec
+
+__all__ = ["ShardedSimulator", "ShardRunResult", "ShardWorkerError", "run_serial"]
+
+#: Hard sanity cap on barrier count: a mis-specified window must fail
+#: loudly, not grind through millions of IPC round-trips.
+MAX_WINDOWS = 2_000_000
+
+
+class ShardWorkerError(RuntimeError):
+    """A worker died, errored, or missed a barrier deadline."""
+
+
+@dataclass
+class ShardRunResult:
+    """Merged outcome of a sharded (or serial reference) run."""
+
+    until: float
+    n_shards: int
+    mode: str
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    events_processed: int = 0
+    wall_elapsed_s: float = 0.0
+    lookahead_s: float = math.inf
+    window_s: float = math.inf
+    n_windows: int = 0
+    retries: int = 0
+    per_shard: List[Dict[str, Any]] = field(default_factory=list)
+
+    def fingerprint(self, categories: Optional[Sequence[str]] = None) -> str:
+        """Partition-invariant content hash of the merged trace."""
+        return merged_fingerprint(self.records, categories)
+
+    @property
+    def events_per_sec(self) -> float:
+        if not math.isfinite(self.wall_elapsed_s) or self.wall_elapsed_s < 1e-9:
+            return 0.0
+        return self.events_processed / self.wall_elapsed_s
+
+
+def run_serial(
+    spec: ShardScenarioSpec, until: float, *, collect_trace: bool = True
+) -> ShardRunResult:
+    """The 1-shard reference run: same keyed dispatch, no barriers."""
+    runtime = ShardRuntime(
+        spec, ShardPlan(n_shards=1), 0, collect_trace=collect_trace
+    )
+    runtime.apply_lifecycle(spec.lifecycle)
+    t0 = time.perf_counter()
+    runtime.sim.run(until=until)
+    wall = time.perf_counter() - t0
+    payload = runtime.collect()
+    return ShardRunResult(
+        until=until,
+        n_shards=1,
+        mode="serial",
+        records=merge_traces([payload["records"]]),
+        counters=dict(payload["counters"]),
+        events_processed=payload["events_processed"],
+        wall_elapsed_s=wall,
+        per_shard=[{"shard": 0, "owned": payload["owned"]}],
+    )
+
+
+def _merge_counters(payloads: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    merged: Dict[str, float] = {}
+    for payload in payloads:
+        for name, value in payload["counters"].items():
+            if name.startswith(REPLICATED_METRIC_PREFIXES):
+                merged[name] = max(merged.get(name, 0.0), value)
+            else:
+                merged[name] = merged.get(name, 0.0) + value
+    return merged
+
+
+def _shard_worker_main(
+    conn: Any,
+    spec: ShardScenarioSpec,
+    plan: ShardPlan,
+    shard_index: int,
+    collect_trace: bool,
+) -> None:
+    """Worker process entry: build, handshake, serve window barriers."""
+    try:
+        runtime = ShardRuntime(
+            spec, plan, shard_index, collect_trace=collect_trace
+        )
+        conn.send(("ready", shard_index, runtime.lookahead_s, len(runtime.owned)))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "window":
+                _tag, t_end, handoffs, lifecycle = msg
+                runtime.apply_handoffs(handoffs)
+                runtime.apply_lifecycle(lifecycle)
+                outbox = runtime.run_window(t_end)
+                conn.send(
+                    ("done", shard_index, outbox, runtime.sim.events_processed)
+                )
+            elif msg[0] == "finish":
+                conn.send(("result", shard_index, runtime.collect()))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise ShardWorkerError(f"unknown message {msg[0]!r}")
+    except EOFError:  # coordinator went away; nothing to report to
+        pass
+    except Exception as exc:
+        try:
+            conn.send(("error", shard_index, repr(exc)))
+        except (OSError, BrokenPipeError):
+            pass
+    finally:
+        conn.close()
+
+
+class ShardedSimulator:
+    """Coordinator for a multi-process (or inline) sharded run."""
+
+    def __init__(
+        self,
+        spec: ShardScenarioSpec,
+        plan: Optional[ShardPlan] = None,
+        *,
+        n_shards: Optional[int] = None,
+        mode: str = "fork",
+        collect_trace: bool = True,
+        barrier_timeout_s: float = 120.0,
+        max_retries: int = 1,
+    ):
+        if plan is None:
+            plan = ShardPlan(n_shards=n_shards if n_shards is not None else 1)
+        elif n_shards is not None and n_shards != plan.n_shards:
+            raise ShardConfigError("n_shards conflicts with plan.n_shards")
+        if mode not in ("fork", "spawn", "inline"):
+            raise ShardConfigError(f"unknown mode {mode!r}")
+        if mode == "inline" and spec.chaos_crash is not None:
+            raise ShardConfigError(
+                "chaos_crash hard-kills its process; use fork/spawn mode"
+            )
+        spec.validate()
+        plan.validate()
+        self.spec = spec
+        self.plan = plan
+        self.mode = mode
+        self.collect_trace = collect_trace
+        self.barrier_timeout_s = barrier_timeout_s
+        self.max_retries = max_retries
+
+    # ---------------------------------------------------------------- public
+
+    def run(self, until: float) -> ShardRunResult:
+        """Advance every shard to ``until``; return the merged result."""
+        if not (until > 0.0) or not math.isfinite(until):
+            raise ShardConfigError(f"until must be finite and > 0, got {until}")
+        if self.plan.n_shards == 1:
+            return run_serial(self.spec, until, collect_trace=self.collect_trace)
+        retries = 0
+        while True:
+            try:
+                if self.mode == "inline":
+                    result = self._run_inline(until)
+                else:
+                    result = self._run_pool(until)
+                result.retries = retries
+                return result
+            except ShardWorkerError:
+                retries += 1
+                if retries > self.max_retries:
+                    raise
+
+    # ---------------------------------------------------------------- shared
+
+    def _resolve_window(self, lookahead: float) -> float:
+        if not math.isfinite(lookahead) or lookahead <= 0.0:
+            raise ShardConfigError(
+                f"degenerate lookahead {lookahead!r}: the world admits "
+                "zero-delay cross-shard interaction"
+            )
+        window = self.plan.window_s
+        if window is None:
+            # Half the lookahead: correct at any value <= lookahead, and
+            # the margin keeps barrier-edge deliveries strictly interior.
+            return lookahead / 2.0
+        if window > lookahead:
+            raise ShardConfigError(
+                f"window_s={window} exceeds the conservative lookahead "
+                f"{lookahead:.6g}s; handoffs would arrive late"
+            )
+        return window
+
+    @staticmethod
+    def _barriers(until: float, window: float) -> List[float]:
+        n = int(math.ceil(until / window))
+        if n > MAX_WINDOWS:
+            raise ShardConfigError(
+                f"{n} windows of {window:.3g}s to reach t={until}: raise "
+                "window_s / bitrate_cap or lower the horizon"
+            )
+        return [min(until, (j + 1) * window) for j in range(n)]
+
+    def _lifecycle_buckets(
+        self, barriers: List[float]
+    ) -> List[List[Tuple[float, int, bool]]]:
+        """Bucket spec lifecycle events by the window containing them."""
+        buckets: List[List[Tuple[float, int, bool]]] = [[] for _ in barriers]
+        for event in sorted(self.spec.lifecycle):
+            when = event[0]
+            if when > barriers[-1]:
+                continue  # beyond the horizon, same as serial
+            for j, t_end in enumerate(barriers):
+                if when <= t_end:
+                    buckets[j].append(event)
+                    break
+        return buckets
+
+    def _merged(
+        self,
+        until: float,
+        payloads: List[Dict[str, Any]],
+        wall: float,
+        lookahead: float,
+        window: float,
+        n_windows: int,
+    ) -> ShardRunResult:
+        records: List[Dict[str, Any]] = []
+        if self.collect_trace:
+            records = merge_traces([p["records"] for p in payloads])
+        return ShardRunResult(
+            until=until,
+            n_shards=self.plan.n_shards,
+            mode=self.mode,
+            records=records,
+            counters=_merge_counters(payloads),
+            events_processed=sum(p["events_processed"] for p in payloads),
+            wall_elapsed_s=wall,
+            lookahead_s=lookahead,
+            window_s=window,
+            n_windows=n_windows,
+            per_shard=[
+                {"shard": p["shard"], "owned": p["owned"]} for p in payloads
+            ],
+        )
+
+    # ---------------------------------------------------------------- inline
+
+    def _run_inline(self, until: float) -> ShardRunResult:
+        k = self.plan.n_shards
+        t0 = time.perf_counter()
+        runtimes = [
+            ShardRuntime(self.spec, self.plan, i, collect_trace=self.collect_trace)
+            for i in range(k)
+        ]
+        lookahead = min(rt.lookahead_s for rt in runtimes)
+        window = self._resolve_window(lookahead)
+        barriers = self._barriers(until, window)
+        buckets = self._lifecycle_buckets(barriers)
+        inboxes: List[List[Any]] = [[] for _ in range(k)]
+        for j, t_end in enumerate(barriers):
+            outboxes: List[List[Any]] = [[] for _ in range(k)]
+            for i, runtime in enumerate(runtimes):
+                runtime.apply_handoffs(inboxes[i])
+                runtime.apply_lifecycle(buckets[j])
+                outboxes[i] = runtime.run_window(t_end)
+            inboxes = [[] for _ in range(k)]
+            for out in outboxes:
+                for handoff in out:
+                    inboxes[handoff[4]].append(handoff)
+        payloads = [rt.collect() for rt in runtimes]
+        wall = time.perf_counter() - t0
+        return self._merged(
+            until, payloads, wall, lookahead, window, len(barriers)
+        )
+
+    # ------------------------------------------------------------------ pool
+
+    def _recv(self, conn: Any, proc: Any, shard: int) -> Tuple[Any, ...]:
+        """One message from ``conn`` within the barrier deadline."""
+        deadline = time.monotonic() + self.barrier_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                raise ShardWorkerError(f"shard {shard} missed barrier deadline")
+            try:
+                if conn.poll(min(remaining, 0.25)):
+                    msg = conn.recv()
+                    break
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                raise ShardWorkerError(f"shard {shard} pipe failed: {exc!r}")
+            if not proc.is_alive():
+                raise ShardWorkerError(
+                    f"shard {shard} died (exitcode={proc.exitcode})"
+                )
+        if msg[0] == "error":
+            raise ShardWorkerError(f"shard {shard} errored: {msg[2]}")
+        return msg
+
+    @staticmethod
+    def _kill_pool(procs: List[Any], conns: List[Any]) -> None:
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=2.0)
+
+    def _run_pool(self, until: float) -> ShardRunResult:
+        k = self.plan.n_shards
+        start_method = self.mode
+        if start_method not in mp.get_all_start_methods():  # pragma: no cover
+            start_method = "spawn"
+        ctx = mp.get_context(start_method)
+        t0 = time.perf_counter()
+        procs: List[Any] = []
+        conns: List[Any] = []
+        try:
+            for i in range(k):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, self.spec, self.plan, i, self.collect_trace),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+
+            lookaheads = []
+            for i in range(k):
+                msg = self._recv(conns[i], procs[i], i)
+                if msg[0] != "ready":
+                    raise ShardWorkerError(
+                        f"shard {i}: expected ready, got {msg[0]!r}"
+                    )
+                lookaheads.append(msg[2])
+            lookahead = min(lookaheads)
+            window = self._resolve_window(lookahead)
+            barriers = self._barriers(until, window)
+            buckets = self._lifecycle_buckets(barriers)
+
+            inboxes: List[List[Any]] = [[] for _ in range(k)]
+            for j, t_end in enumerate(barriers):
+                for i in range(k):
+                    conns[i].send(("window", t_end, inboxes[i], buckets[j]))
+                inboxes = [[] for _ in range(k)]
+                for i in range(k):
+                    msg = self._recv(conns[i], procs[i], i)
+                    if msg[0] != "done":
+                        raise ShardWorkerError(
+                            f"shard {i}: expected done, got {msg[0]!r}"
+                        )
+                    for handoff in msg[2]:
+                        inboxes[handoff[4]].append(handoff)
+
+            payloads: List[Optional[Dict[str, Any]]] = [None] * k
+            for i in range(k):
+                conns[i].send(("finish",))
+            for i in range(k):
+                msg = self._recv(conns[i], procs[i], i)
+                if msg[0] != "result":
+                    raise ShardWorkerError(
+                        f"shard {i}: expected result, got {msg[0]!r}"
+                    )
+                payloads[msg[1]] = msg[2]
+        except (OSError, BrokenPipeError) as exc:
+            raise ShardWorkerError(f"pool pipe failure: {exc!r}")
+        finally:
+            self._kill_pool(procs, conns)
+        wall = time.perf_counter() - t0
+        return self._merged(
+            until,
+            [p for p in payloads if p is not None],
+            wall,
+            lookahead,
+            window,
+            len(barriers),
+        )

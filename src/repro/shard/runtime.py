@@ -1,0 +1,470 @@
+"""One shard's replica: world build, ownership, windows, handoffs.
+
+A :class:`ShardRuntime` is what actually lives inside each worker process
+(or side by side in inline mode): a full replica of the world built
+deterministically from the spec's seed, specialized to one shard of the
+partition.  Replication is the synchronization strategy — mobility sweeps
+and fault processes run identically everywhere from their own named RNG
+streams, so node liveness, positions, and blocked links never need to be
+shipped; only *packet handoffs* and externally injected lifecycle events
+cross the barrier.
+
+What is partitioned, not replicated:
+
+* **Origination** — the synthetic workload only schedules ticks for owned
+  senders.
+* **Routing reaction** — non-owned nodes are detached from the router, so
+  deliveries (which only happen owner-side) never trigger replica
+  forwarding.
+* **Trace recording** — :class:`.dispatch.ShardTraceLog` keeps each
+  record in exactly one shard.
+
+The conservative lookahead is ``min packet airtime + min cross-shard
+propagation delay``: every cross-shard delivery is scheduled at least one
+airtime after its send, so a window of ``lookahead / 2`` guarantees all
+handoffs land strictly inside the *next* window.  The propagation term
+only contributes when no broadcast can occur (broadcast delay carries no
+propagation component) and the world is static.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.net.packet as packet_module
+from repro.faults.faults import LinkFlapFault, NodeChurnFault
+from repro.net.channel import Channel
+from repro.net.mac import ContentionMac, IdealMac
+from repro.net.node import Network
+from repro.net.packet import Packet, PacketKind
+from repro.net.registry import StackSpec, compose
+from repro.net.stack import SPEED_OF_LIGHT_M_S
+from repro.net.topology import (
+    GridPartition,
+    min_cross_shard_distance_m,
+    partition_network,
+)
+from repro.scenarios.builder import ScenarioBuilder
+from repro.shard.dispatch import Handoff, ShardDispatcher, ShardTraceLog
+from repro.shard.rng import KeyedHopRng
+from repro.shard.spec import ShardPlan, ShardScenarioSpec
+from repro.sim.kernel import Simulator
+from repro.util.geometry import Point
+from repro.util.rng import derive_seed
+
+__all__ = ["ShardRuntime", "REPLICATED_METRIC_PREFIXES", "AODV_CONTROL_BITS"]
+
+#: Metric counters incremented identically in every replica (fault
+#: processes run everywhere); merged with ``max``, not ``sum``.
+REPLICATED_METRIC_PREFIXES = ("faults.",)
+
+#: AODV RREQ/RREP frames are 256 bits — the smallest packet a world with
+#: AODV can put on the air, hence a lookahead bound.
+AODV_CONTROL_BITS = 256
+
+#: Per-shard packet-uid blocks: shard ``i`` allocates uids from
+#: ``1 + i * 10**9``, so forwarded uids never collide across shards.
+UID_BLOCK = 10**9
+
+
+class ShardRuntime:
+    """A full world replica acting for one shard of the partition."""
+
+    def __init__(
+        self,
+        spec: ShardScenarioSpec,
+        plan: ShardPlan,
+        shard_index: int,
+        *,
+        collect_trace: bool = True,
+    ):
+        spec.validate()
+        plan.validate()
+        self.spec = spec
+        self.plan = plan
+        self.shard_index = shard_index
+        # Own uid counter, installed as the packet module's allocator
+        # whenever this runtime is active (activate() — critical in
+        # inline mode where several runtimes share one process).
+        self._uid_counter = itertools.count(1 + shard_index * UID_BLOCK)
+        self.activate()
+
+        self.sim = Simulator(seed=spec.seed)
+        self.sim.trace = ShardTraceLog(self.sim, shard_index)
+        self.sim.trace.enabled = collect_trace
+
+        self.scenario = None
+        if spec.kind == "urban":
+            self.network = self._build_urban()
+        else:
+            self.network = self._build_uniform()
+        if spec.bitrate_cap_bps is not None:
+            for node in self.network.nodes.values():
+                node.bitrate_bps = min(node.bitrate_bps, spec.bitrate_cap_bps)
+
+        self.partition: GridPartition = partition_network(
+            self.network,
+            plan.n_shards,
+            cell_size_m=plan.cell_size_m,
+            seed=plan.partition_seed,
+        )
+        self.owned = frozenset(self.partition.nodes_of(shard_index))
+        self.sim.trace.set_ownership(self.owned)
+
+        # Non-owned nodes keep their replica state but stop *reacting*:
+        # deliveries only ever happen owner-side, and a detached node
+        # cannot originate forwards.
+        for nid in sorted(self.network.nodes):
+            node = self.network.nodes[nid]
+            if nid not in self.owned and node.router is not None:
+                node.router.detach(nid)
+
+        self.outbox: List[Handoff] = []
+        self.hoprng = KeyedHopRng(derive_seed(spec.seed, "shard.hops"))
+        self.dispatcher = ShardDispatcher(
+            self.network.stack,
+            owned=self.owned,
+            shard_index=shard_index,
+            assignments=self.partition.assignments,
+            hoprng=self.hoprng,
+            outbox=self.outbox,
+        )
+        self.network.stack.dispatcher = self.dispatcher
+
+        self._install_handlers()
+        self._install_workload()
+        self._install_faults()
+        if self.scenario is not None and spec.mobile_fraction > 0.0:
+            self.scenario.mobility.start()
+        self._install_chaos()
+
+        self.lookahead_s = self._lookahead()
+
+    # ------------------------------------------------------------ activation
+
+    def activate(self) -> None:
+        """Make this runtime's uid counter the packet allocator."""
+        packet_module._packet_ids = self._uid_counter
+
+    # ----------------------------------------------------------- world build
+
+    def _build_urban(self) -> Network:
+        spec = self.spec
+        builder = (
+            ScenarioBuilder(self.sim)
+            .urban_grid(
+                blocks=spec.blocks,
+                block_size_m=spec.block_size_m,
+                density=spec.density,
+            )
+            .population(n_blue=spec.n_blue, n_red=spec.n_red, n_gray=spec.n_gray)
+            .mobility(
+                spec.mobile_fraction,
+                update_period_s=spec.mobility_period_s,
+            )
+        )
+        if spec.router is not None:
+            builder = builder.stack(
+                router=spec.router,
+                mac=spec.mac,
+                router_params=spec.router_param_dict(),
+                mac_params=spec.mac_param_dict(),
+            )
+        self.scenario = builder.build()
+        return self.scenario.network
+
+    def _build_uniform(self) -> Network:
+        """A jittered grid of identical radios — the benchmark world.
+
+        Built without the asset machinery (batteries, sensors): at 10k
+        nodes the world must stay cheap to replicate, and uniform radios
+        give the scale bench a controlled lookahead.
+        """
+        spec = self.spec
+        channel = Channel(seed=derive_seed(spec.seed, "shard.channel"))
+        mac: Any = (
+            ContentionMac() if spec.mac == "csma" else IdealMac()
+        )
+        network = Network(self.sim, channel=channel, mac=mac)
+        rng = np.random.default_rng(derive_seed(spec.seed, "shard.uniform"))
+        side = int(math.ceil(math.sqrt(spec.n_nodes)))
+        # One bulk draw keeps the build fast and trivially replicated.
+        jitter = rng.uniform(-spec.jitter_m, spec.jitter_m, size=(spec.n_nodes, 2))
+        for i in range(spec.n_nodes):
+            x = (i % side) * spec.spacing_m + jitter[i, 0]
+            y = (i // side) * spec.spacing_m + jitter[i, 1]
+            network.create_node(
+                i,
+                Point(x, y),
+                tx_power_dbm=spec.tx_power_dbm,
+                bitrate_bps=spec.bitrate_bps,
+            )
+        if spec.router is not None:
+            stack_spec = StackSpec(
+                router=spec.router,
+                mac=spec.mac,
+                router_params=spec.router_param_dict(),
+                mac_params=spec.mac_param_dict(),
+            )
+            compose(
+                self.sim,
+                stack_spec,
+                network=network,
+                attach=sorted(network.nodes),
+            )
+        return network
+
+    # ------------------------------------------------------------- handlers
+
+    def _install_handlers(self) -> None:
+        trace = self.sim.trace
+
+        def on_rx(node: Any, pkt: Packet, from_id: int) -> None:
+            trace.emit(
+                "app.rx",
+                node=node.id,
+                src=pkt.src,
+                kind=pkt.kind.value,
+                last_hop=from_id,
+            )
+
+        for node in self.network.nodes.values():
+            node.default_handler = on_rx
+
+    # ------------------------------------------------------------- workload
+
+    def _workload_partner(self, sender: int, ids: Sequence[int]) -> int:
+        """Seed-derived fixed unicast partner (never the sender itself)."""
+        others = [n for n in ids if n != sender]
+        pick = derive_seed(self.spec.seed, "shard.partner", str(sender)) % len(others)
+        return others[pick]
+
+    def _neighbor_buckets(
+        self, ids: Sequence[int]
+    ) -> Tuple[float, Dict[Tuple[int, int], List[int]]]:
+        """Spatial hash for nearest-neighbor queries.
+
+        A pairwise scan is O(n) per sender — 25M distance evaluations at
+        5k nodes, dwarfing the simulation itself — and the build cost is
+        replicated in every worker, so it would cap sharded speedup cold.
+        Bucketing by node spacing makes each query O(1) on quasi-uniform
+        worlds.
+        """
+        cell = max(
+            self.spec.spacing_m
+            if self.spec.kind == "uniform"
+            else self.network._max_range(),
+            1.0,
+        )
+        nodes = self.network.nodes
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for nid in ids:
+            p = nodes[nid].position
+            key = (math.floor(p.x / cell), math.floor(p.y / cell))
+            buckets.setdefault(key, []).append(nid)
+        return cell, buckets
+
+    def _nearest_neighbor(
+        self,
+        sender: int,
+        cell: float,
+        buckets: Dict[Tuple[int, int], List[int]],
+    ) -> int:
+        """Closest other node; ties break to the lowest id (the same
+        winner the ascending-id pairwise scan would pick)."""
+        nodes = self.network.nodes
+        p = nodes[sender].position
+        cx, cy = math.floor(p.x / cell), math.floor(p.y / cell)
+        best, best_d = sender, math.inf
+        ring = 0
+        while True:
+            for dx in range(-ring, ring + 1):
+                for dy in range(-ring, ring + 1):
+                    if max(abs(dx), abs(dy)) != ring:
+                        continue  # only the new ring's cells
+                    for nid in buckets.get((cx + dx, cy + dy), ()):
+                        if nid == sender:
+                            continue
+                        q = nodes[nid].position
+                        d = (p.x - q.x) ** 2 + (p.y - q.y) ** 2
+                        if d < best_d or (d == best_d and nid < best):
+                            best, best_d = nid, d
+            # A node in ring r+1 can still be closer than one found in
+            # ring r (corner vs edge), so scan until the ring's nearest
+            # possible distance exceeds the best found.
+            if best != sender and (ring * cell) ** 2 > best_d:
+                return best
+            ring += 1
+            if ring * cell > 1e7:  # pragma: no cover - degenerate world
+                return best
+
+    def _install_workload(self) -> None:
+        wl = self.spec.workload
+        ids = sorted(self.network.nodes)
+        if len(ids) < 2 and wl.kind != "beacons":
+            return
+        period = 1.0 / wl.rate_hz
+        network = self.network
+        if wl.kind == "local":
+            cell, buckets = self._neighbor_buckets(ids)
+        for sender in ids[:: wl.sender_stride]:
+            if sender not in self.owned:
+                continue
+            # Seed-derived phase spreads senders across the period so the
+            # serial run and every shard layout see identical tick times.
+            phase = (
+                derive_seed(self.spec.seed, "shard.phase", str(sender)) % 10**6
+            ) / 10**6
+            start = wl.start_s + phase * period
+            if wl.kind == "beacons":
+                dst: Optional[int] = None
+                kind = PacketKind.BEACON
+            else:
+                dst = (
+                    self._workload_partner(sender, ids)
+                    if wl.kind == "unicast"
+                    else self._nearest_neighbor(sender, cell, buckets)
+                )
+                kind = PacketKind.DATA
+
+            def tick(s: int = sender, d: Optional[int] = dst, k: PacketKind = kind):
+                node = network.nodes[s]
+                pkt = Packet(
+                    src=s,
+                    dst=d,
+                    kind=k,
+                    size_bits=wl.size_bits,
+                    ttl=wl.ttl,
+                    created_at=self.sim.now,
+                )
+                if node.router is not None:
+                    node.router.send(s, pkt)
+                elif d is None:
+                    network.broadcast(s, pkt)
+                else:
+                    network.send(s, d, pkt)
+
+            self.sim.every(period, tick, start_delay=start)
+
+    # --------------------------------------------------------------- faults
+
+    def _install_faults(self) -> None:
+        plan = self.spec.faults
+        if plan is None:
+            return
+        if plan.churn is not None:
+            c = plan.churn
+            fault = NodeChurnFault(
+                self.network,
+                mtbf_s=c.mtbf_s,
+                mean_downtime_s=c.mean_downtime_s,
+            )
+            fault.schedule(c.start_s, c.duration_s)
+        if plan.link_flap is not None:
+            f = plan.link_flap
+            fault = LinkFlapFault(
+                self.network,
+                n_links=f.n_links,
+                mtbf_s=f.mtbf_s,
+                mean_downtime_s=f.mean_downtime_s,
+            )
+            fault.schedule(f.start_s, f.duration_s)
+
+    # ---------------------------------------------------------------- chaos
+
+    def _install_chaos(self) -> None:
+        chaos = self.spec.chaos_crash
+        if chaos is None or chaos[0] != self.shard_index:
+            return
+        _shard, when, sentinel = chaos
+
+        def crash() -> None:
+            if os.path.exists(sentinel):
+                return  # already died once; behave this attempt
+            with open(sentinel, "w", encoding="utf-8") as fh:
+                fh.write("crashed\n")
+            os._exit(11)
+
+        self.sim.call_at(when, crash)
+
+    # ------------------------------------------------------------- lookahead
+
+    def _lookahead(self) -> float:
+        if self.plan.n_shards <= 1:
+            return math.inf
+        min_bits = float(self.spec.workload.size_bits)
+        if self.spec.router == "aodv":
+            min_bits = min(min_bits, float(AODV_CONTROL_BITS))
+        max_bitrate = max(
+            node.bitrate_bps for node in self.network.nodes.values()
+        )
+        airtime = min_bits / max(max_bitrate, 1.0)
+        # Broadcast delay carries no propagation term, so distance only
+        # helps when nothing can broadcast and nobody moves.
+        prop = 0.0
+        broadcast_free = (
+            self.spec.router is None and self.spec.workload.kind == "local"
+        )
+        if broadcast_free and self.spec.mobile_fraction == 0.0:
+            dist = min_cross_shard_distance_m(self.network, self.partition)
+            if math.isfinite(dist):
+                prop = dist / SPEED_OF_LIGHT_M_S
+        return airtime + prop
+
+    # --------------------------------------------------------------- windows
+
+    def run_window(self, t_end: float) -> List[Handoff]:
+        """Advance to the barrier; return (and clear) the outbox."""
+        self.activate()
+        self.sim.run(until=t_end)
+        out = list(self.outbox)
+        self.outbox.clear()
+        return out
+
+    def apply_handoffs(self, handoffs: Sequence[Handoff]) -> None:
+        """Schedule deliveries shipped by other shards.
+
+        Lookahead guarantees every ``deliver_time`` lies at or beyond the
+        barrier we just crossed, so ``call_at`` never schedules into the
+        past.
+        """
+        self.activate()
+        dispatcher = self.dispatcher
+        for deliver_time, kind, src, dst, _shard, pkt in handoffs:
+            self.sim.call_at(
+                deliver_time,
+                lambda k=kind, s=src, d=dst, p=pkt: dispatcher.apply_remote(
+                    k, s, d, p
+                ),
+            )
+
+    def apply_lifecycle(self, events: Sequence[Tuple[float, int, bool]]) -> None:
+        """Schedule coordinator-injected node up/down transitions."""
+        self.activate()
+        network = self.network
+        for when, node_id, up in events:
+            if node_id not in network.nodes:
+                continue
+            if up:
+                self.sim.call_at(when, lambda n=node_id: network.restore_node(n))
+            else:
+                self.sim.call_at(when, lambda n=node_id: network.fail_node(n))
+
+    # --------------------------------------------------------------- results
+
+    def collect(self) -> Dict[str, Any]:
+        """The shard's contribution to the merged result (picklable)."""
+        return {
+            "shard": self.shard_index,
+            "owned": len(self.owned),
+            "records": [rec.as_dict() for rec in self.sim.trace.records],
+            "counters": dict(self.sim.metrics.counters()),
+            "events_processed": self.sim.events_processed,
+            "wall_elapsed": self.sim.wall_elapsed,
+            "now": self.sim.now,
+        }

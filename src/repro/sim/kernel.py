@@ -9,6 +9,7 @@ layered on top (see :mod:`repro.sim.process`).
 from __future__ import annotations
 
 import heapq
+import math
 from time import perf_counter
 from typing import Any, Callable, Generator, List, Optional
 
@@ -213,10 +214,16 @@ class Simulator:
 
     @property
     def events_per_sec(self) -> float:
-        """Kernel throughput across all :meth:`run` calls so far."""
-        if self.wall_elapsed <= 0.0:
+        """Kernel throughput across all :meth:`run` calls so far.
+
+        Degenerate clocks (a zero-work run, a coarse timer rounding wall
+        time to ~0, or a poisoned ``wall_elapsed``) yield ``0.0`` rather
+        than letting ``inf``/``nan`` leak into exported telemetry JSON.
+        """
+        if not math.isfinite(self.wall_elapsed) or self.wall_elapsed < 1e-9:
             return 0.0
-        return self.events_processed / self.wall_elapsed
+        rate = self.events_processed / self.wall_elapsed
+        return rate if math.isfinite(rate) else 0.0
 
     def span(self, name: str, *, scope: str = "main", **attrs: Any) -> Span:
         """Open a hierarchical span (see :mod:`repro.obs.spans`):

@@ -1,0 +1,76 @@
+"""Sharded-run specs content-address into the campaign cache.
+
+Repartitioning a world (shard count, cell size, partition seed, window)
+changes what a task computes, so a :class:`~repro.shard.ShardPlan` or
+:class:`~repro.shard.ShardScenarioSpec` embedded in a task config must
+produce a different content-addressed key — recompose ⇒ cache miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import TaskSpec, canonical_json, config_key
+from repro.shard import ShardPlan, ShardScenarioSpec, WorkloadSpec
+
+
+def _key(**config):
+    return config_key(config, version="test")
+
+
+class TestShardPlanKeys:
+    def test_equal_plans_share_a_key(self):
+        a = ShardPlan(n_shards=4, cell_size_m=60.0, partition_seed=3)
+        b = ShardPlan(n_shards=4, cell_size_m=60.0, partition_seed=3)
+        assert _key(plan=a) == _key(plan=b)
+
+    def test_any_recompose_is_a_cache_miss(self):
+        base = ShardPlan(n_shards=4, cell_size_m=60.0, partition_seed=3)
+        variants = [
+            dataclasses.replace(base, n_shards=2),
+            dataclasses.replace(base, cell_size_m=80.0),
+            dataclasses.replace(base, partition_seed=4),
+            dataclasses.replace(base, window_s=0.002),
+        ]
+        keys = {_key(plan=p) for p in [base, *variants]}
+        assert len(keys) == len(variants) + 1
+
+    def test_plan_does_not_collide_with_equivalent_dict(self):
+        plan = ShardPlan(n_shards=4)
+        as_dict = dataclasses.asdict(plan)
+        assert _key(plan=plan) != _key(plan=as_dict)
+        assert "__dataclass__" in canonical_json(plan)
+
+    def test_scenario_spec_changes_key_too(self):
+        spec = ShardScenarioSpec(seed=7, router="flooding")
+        rerouted = dataclasses.replace(spec, router="aodv")
+        reworked = dataclasses.replace(
+            spec, workload=WorkloadSpec(kind="local", rate_hz=2.0)
+        )
+        keys = {_key(world=s) for s in (spec, rerouted, reworked)}
+        assert len(keys) == 3
+
+
+class TestShardPlanInCache:
+    def test_recomposed_plan_misses_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        serial = ShardPlan(n_shards=1)
+        sharded = ShardPlan(n_shards=4, cell_size_m=60.0)
+
+        def task(plan):
+            # Params stay JSON-able for storage; the *key* is derived from
+            # the dataclass itself via canonical_json's dataclass tagging.
+            return TaskSpec(
+                campaign="shard-key",
+                index=0,
+                params=tuple(sorted(dataclasses.asdict(plan).items())),
+                replicate=0,
+                seed=9,
+                key=config_key({"plan": plan, "seed": 9}, version="test"),
+            )
+
+        cache.put(task(serial), {"events_per_sec": 1000.0})
+        assert cache.get(task(serial)) == {"events_per_sec": 1000.0}
+        # Same seed, same campaign — but a different cut: must miss.
+        assert cache.get(task(sharded)) is None

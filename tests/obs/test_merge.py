@@ -1,0 +1,102 @@
+"""Deterministic trace merge + partition-invariant fingerprints."""
+
+from __future__ import annotations
+
+from repro.obs.merge import MERGE_FIELDS, merge_traces, merged_fingerprint
+from repro.sim.trace import TraceRecord
+
+
+def _rec(time, category, **fields):
+    return TraceRecord(
+        time=time, category=category, fields=tuple(sorted(fields.items()))
+    )
+
+
+def test_merge_stamps_shard_and_uid_and_sorts_by_time():
+    s0 = [_rec(0.2, "app.rx", node=1), _rec(0.5, "app.rx", node=2)]
+    s1 = [_rec(0.1, "app.rx", node=3)]
+    merged = merge_traces([s0, s1])
+    assert [(r["time"], r["shard"], r["uid"]) for r in merged] == [
+        (0.1, 1, 0),
+        (0.2, 0, 0),
+        (0.5, 0, 1),
+    ]
+    assert merged[0]["node"] == 3
+
+
+def test_merge_ties_break_on_shard_then_uid():
+    s0 = [_rec(1.0, "a", k=1), _rec(1.0, "a", k=2)]
+    s1 = [_rec(1.0, "a", k=3)]
+    merged = merge_traces([s0, s1])
+    assert [r["k"] for r in merged] == [1, 2, 3]
+    # Stream order is preserved within a shard regardless of field values.
+    merged_rev = merge_traces([s1, s0])
+    assert [r["k"] for r in merged_rev] == [3, 1, 2]
+
+
+def test_fingerprint_invariant_to_shard_layout():
+    records = [_rec(0.1 * i, "app.rx", node=i, src=i + 1) for i in range(10)]
+    serial_fp = merged_fingerprint(records)
+    # Arbitrary 3-way split of the same records.
+    split = [records[0::3], records[1::3], records[2::3]]
+    sharded_fp = merged_fingerprint(merge_traces(split))
+    assert serial_fp == sharded_fp
+    # A different split hashes the same too.
+    split2 = [records[:4], records[4:]]
+    assert merged_fingerprint(merge_traces(split2)) == serial_fp
+
+
+def test_fingerprint_detects_content_differences():
+    base = [_rec(0.1, "app.rx", node=1), _rec(0.2, "app.rx", node=2)]
+    fp = merged_fingerprint(base)
+    assert merged_fingerprint(base[:1]) != fp
+    changed = [_rec(0.1, "app.rx", node=1), _rec(0.2, "app.rx", node=99)]
+    assert merged_fingerprint(changed) != fp
+    shifted = [_rec(0.1, "app.rx", node=1), _rec(0.3, "app.rx", node=2)]
+    assert merged_fingerprint(shifted) != fp
+
+
+def test_fingerprint_ignores_subnanosecond_time_noise():
+    a = [_rec(0.1, "app.rx", node=1)]
+    b = [_rec(0.1 + 1e-12, "app.rx", node=1)]
+    assert merged_fingerprint(a) == merged_fingerprint(b)
+
+
+def test_fingerprint_category_filter():
+    records = [
+        _rec(0.1, "app.rx", node=1),
+        _rec(0.2, "route.drop", node=2),
+        _rec(0.3, "app.rx", node=3),
+    ]
+    all_fp = merged_fingerprint(records)
+    rx_fp = merged_fingerprint(records, categories=["app.rx"])
+    assert rx_fp != all_fp
+    assert rx_fp == merged_fingerprint(
+        [records[0], records[2]], categories=["app.rx"]
+    )
+
+
+def test_fingerprint_accepts_dicts_and_strips_merge_fields():
+    as_record = [_rec(0.5, "app.rx", node=7)]
+    as_dicts = [
+        {
+            "time": 0.5,
+            "category": "app.rx",
+            "node": 7,
+            "shard": 3,
+            "uid": 42,
+            "type": "trace",
+        }
+    ]
+    assert merged_fingerprint(as_record) == merged_fingerprint(as_dicts)
+    assert set(MERGE_FIELDS) == {"shard", "uid", "type"}
+
+
+def test_fingerprint_handles_mixed_field_types():
+    # Sorting the multiset must not compare floats against strings.
+    records = [
+        _rec(0.1, "app.rx", node=1, kind="data"),
+        _rec(0.1, "app.rx", node="gw", kind=4),
+    ]
+    fp = merged_fingerprint(records)
+    assert fp == merged_fingerprint(list(reversed(records)))

@@ -1,0 +1,158 @@
+"""Deterministic grid partitioner: balance, edge cases, cross-process stability."""
+
+from __future__ import annotations
+
+import math
+import subprocess
+import sys
+
+import pytest
+
+from repro.net.node import Network
+from repro.net.topology import (
+    GridPartition,
+    min_cross_shard_distance_m,
+    partition_network,
+)
+from repro.sim.kernel import Simulator
+from repro.util.geometry import Point
+
+
+def _grid_world(n_side: int = 6, spacing: float = 50.0) -> Network:
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    nid = 0
+    for i in range(n_side):
+        for j in range(n_side):
+            net.create_node(nid, Point(i * spacing, j * spacing))
+            nid += 1
+    return net
+
+
+def test_partition_covers_every_node_balanced():
+    net = _grid_world()
+    part = partition_network(net, 4, cell_size_m=50.0, seed=7)
+    assert set(part.assignments) == set(net.nodes)
+    assert set(part.assignments.values()) <= set(range(4))
+    counts = part.counts()
+    assert sum(counts) == 36
+    # Balanced to within one cell's population (6 nodes per column here).
+    assert max(counts) - min(counts) <= 6
+
+
+def test_partition_single_shard_owns_everything():
+    net = _grid_world(n_side=3)
+    part = partition_network(net, 1)
+    assert part.counts() == [9]
+    assert min_cross_shard_distance_m(net, part) == math.inf
+
+
+def test_partition_empty_network():
+    sim = Simulator(seed=0)
+    net = Network(sim)
+    part = partition_network(net, 4, cell_size_m=10.0)
+    assert part.assignments == {}
+    assert part.cells == {}
+    assert part.counts() == [0, 0, 0, 0]
+
+
+def test_partition_isolated_node_is_a_singleton_cell():
+    sim = Simulator(seed=0)
+    net = Network(sim)
+    net.create_node(0, Point(0.0, 0.0))
+    net.create_node(1, Point(10.0, 0.0))
+    # Far-off isolated node: its own cell, still assigned to some shard.
+    net.create_node(2, Point(5000.0, 5000.0))
+    part = partition_network(net, 2, cell_size_m=50.0, seed=1)
+    assert set(part.assignments) == {0, 1, 2}
+    assert all(0 <= s < 2 for s in part.assignments.values())
+    # Two occupied cells, one of them the isolated singleton.
+    assert len(part.cells) == 2
+
+
+def test_partition_border_node_uses_floor_convention():
+    sim = Simulator(seed=0)
+    net = Network(sim)
+    # x = 100.0 with cell size 100 sits exactly on the border between
+    # cells 0 and 1; floor(100/100) == 1, so it belongs to cell (1, 0).
+    net.create_node(0, Point(99.9, 0.0))
+    net.create_node(1, Point(100.0, 0.0))
+    part = partition_network(net, 2, cell_size_m=100.0, seed=0)
+    assert set(part.cells) == {(0, 0), (1, 0)}
+    assert part.shard_of(0) != part.shard_of(1)
+
+
+def test_partition_rejects_bad_args():
+    net = _grid_world(n_side=2)
+    with pytest.raises(ValueError):
+        partition_network(net, 0)
+    with pytest.raises(ValueError):
+        partition_network(net, 2, cell_size_m=0.0)
+    with pytest.raises(ValueError):
+        partition_network(net, 2, cell_size_m=math.inf)
+
+
+def test_partition_seed_changes_sweep_axis_but_stays_total():
+    net = _grid_world()
+    a = partition_network(net, 3, cell_size_m=50.0, seed=0)
+    b = partition_network(net, 3, cell_size_m=50.0, seed=1)
+    assert sum(a.counts()) == sum(b.counts()) == 36
+    # Same seed, same result; partition is a pure function of its inputs.
+    a2 = partition_network(net, 3, cell_size_m=50.0, seed=0)
+    assert a.assignments == a2.assignments
+    assert a.cells == a2.cells
+
+
+def test_min_cross_shard_distance_bounded_by_cell_size():
+    net = _grid_world(spacing=50.0)
+    part = partition_network(net, 4, cell_size_m=50.0, seed=7)
+    d = min_cross_shard_distance_m(net, part)
+    assert 0.0 < d <= 50.0
+    # Adjacent columns are 50 m apart, so the true minimum is exactly it.
+    assert d == pytest.approx(50.0)
+
+
+_SUBPROC_SNIPPET = """
+import json, sys
+from repro.net.node import Network
+from repro.net.topology import partition_network
+from repro.sim.kernel import Simulator
+from repro.util.geometry import Point
+
+sim = Simulator(seed=3)
+net = Network(sim)
+nid = 0
+for i in range(6):
+    for j in range(6):
+        net.create_node(nid, Point(i * 50.0, j * 50.0))
+        nid += 1
+part = partition_network(net, 4, cell_size_m=50.0, seed=7)
+print(json.dumps(sorted(part.assignments.items())))
+"""
+
+
+def test_partition_deterministic_across_processes():
+    """The property conservative time sync depends on: every worker that
+    rebuilds the world computes the identical assignment."""
+    net = _grid_world()
+    local = sorted(partition_network(net, 4, cell_size_m=50.0, seed=7).assignments.items())
+    outs = [
+        subprocess.run(
+            [sys.executable, "-c", _SUBPROC_SNIPPET],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        for _ in range(2)
+    ]
+    assert outs[0] == outs[1]
+    import json
+
+    assert json.loads(outs[0]) == [list(pair) for pair in local]
+
+
+def test_grid_partition_repr_mentions_counts():
+    part = GridPartition(
+        n_shards=2, cell_size_m=10.0, seed=0, assignments={0: 0, 1: 1}, cells={}
+    )
+    assert "counts=[1, 1]" in repr(part)

@@ -1,0 +1,82 @@
+"""events_per_sec stays finite under degenerate wall clocks."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.report import summarize_run
+from repro.sim.kernel import Simulator
+
+
+def test_zero_wall_elapsed_rate_is_zero():
+    sim = Simulator(seed=1)
+    assert sim.wall_elapsed == 0.0
+    assert sim.events_per_sec == 0.0
+
+
+def test_near_zero_wall_elapsed_rate_is_zero():
+    sim = Simulator(seed=1)
+    sim.events_processed = 10_000
+    sim.wall_elapsed = 1e-12  # coarse timer rounded an instant run to ~0
+    assert sim.events_per_sec == 0.0
+
+
+def test_nonfinite_wall_elapsed_rate_is_zero():
+    sim = Simulator(seed=1)
+    sim.events_processed = 5
+    for bad in (math.inf, math.nan):
+        sim.wall_elapsed = bad
+        assert sim.events_per_sec == 0.0
+
+
+def test_normal_rate_unchanged():
+    sim = Simulator(seed=1)
+    sim.events_processed = 500
+    sim.wall_elapsed = 0.25
+    assert sim.events_per_sec == 2000.0
+
+
+class _ListSink:
+    def __init__(self):
+        self.rows = []
+
+    def write(self, record):
+        self.rows.append(record)
+
+    def flush(self):
+        pass
+
+    def close(self):
+        pass
+
+
+def test_export_obs_emits_json_serializable_rate():
+    sim = Simulator(seed=1)
+    sink = sim.trace.add_sink(_ListSink())
+    sim.events_processed = 42
+    sim.wall_elapsed = 0.0
+    sim.export_obs()
+    meta = [r for r in sink.rows if r.get("type") == "meta"]
+    assert meta, "export_obs should emit a meta record"
+    # Strict JSON (allow_nan=False) must accept the exported numbers.
+    payload = json.dumps(meta[-1], allow_nan=False)
+    assert '"events_per_sec": 0.0' in payload
+
+
+def test_summarize_run_scrubs_nonfinite_meta_floats():
+    records = [
+        {
+            "type": "meta",
+            "event": "export",
+            "events_per_sec": math.inf,
+            "wall_elapsed_s": math.nan,
+            "events_processed": 3,
+        }
+    ]
+    summary = summarize_run(records)
+    event = summary["meta_events"][0]
+    assert event["events_per_sec"] is None
+    assert event["wall_elapsed_s"] is None
+    assert event["events_processed"] == 3
+    json.dumps(summary, allow_nan=False)
