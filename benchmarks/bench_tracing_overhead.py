@@ -25,6 +25,7 @@ from common import (
     run_and_print,
     sim_rate,
     write_bench_pr4,
+    write_bench_pr8,
 )
 
 from repro import Simulator
@@ -175,6 +176,123 @@ def run_experiment(quick: bool = True) -> ResultTable:
     return table
 
 
+def run_pr8(rounds: int = 6, seed: int = 11) -> dict:
+    """Overhead pin for the binary telemetry plane (``BENCH_pr8.json``).
+
+    The PR4 sweep above answers "does tracing perturb behaviour"; this
+    mode answers "what does tracing *cost now*" precisely enough to gate
+    on.  Single-shot events/sec on a shared 1-vCPU box is ±10% noise —
+    the same order as the budget being enforced — so each round runs a
+    router's off and on arms back-to-back (adjacent runs share the same
+    host-contention window) with a full collection before every run (one
+    arm never pays another's garbage).  The overhead is the *median
+    paired* on/off ratio across rounds: independent per-arm maxima catch
+    quiet windows at different times and so fabricate overhead out of
+    host noise, a max-paired ratio cherry-picks the round where noise
+    favoured the on arm, while the median of paired ratios cancels the
+    common-mode slowdown and is robust to outliers in both directions.
+    The reported off rate is the best-of (the least-interfered sample)
+    and the on rate is that off rate scaled by the median paired ratio,
+    so the three published numbers stay mutually consistent.
+
+    Returns the payload written to ``BENCH_pr8.json``; the behaviour
+    fingerprint is asserted stable across every run of a router on the
+    way (tracing on or off, round to round — the tracer only observes).
+    """
+    import gc
+    import json
+    import os
+
+    samples = {name: {"off": [], "on": []} for name in ROUTERS}
+    fingerprints = {}
+    for _ in range(rounds):
+        for name in ROUTERS:
+            for traced in (False, True):
+                gc.collect()
+                res = tracing_task({"router": name, "traced": traced}, seed)
+                samples[name]["on" if traced else "off"].append(
+                    res["events_per_sec"]
+                )
+                fp = fingerprints.setdefault(name, res["behaviour_fingerprint"])
+                if res["behaviour_fingerprint"] != fp:
+                    raise AssertionError(
+                        f"router {name}: behaviour fingerprint changed across "
+                        "runs — tracing perturbed the simulation"
+                    )
+
+    routers = {}
+    for name, arms in samples.items():
+        ratio = float(
+            np.median([on / off for off, on in zip(arms["off"], arms["on"])])
+        )
+        off_best = max(arms["off"])
+        routers[name] = {
+            "tracing_off": off_best,
+            "tracing_on": off_best * ratio,
+            "overhead_frac": 1.0 - ratio,
+        }
+    eps_off = float(np.mean([r["tracing_off"] for r in routers.values()]))
+    eps_on = float(np.mean([r["tracing_on"] for r in routers.values()]))
+    overhead = (eps_off - eps_on) / eps_off
+
+    baseline = {"source": "BENCH_pr4.json"}
+    pr4_path = os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_pr4.json")
+    try:
+        with open(pr4_path, encoding="utf-8") as fh:
+            pr4 = json.load(fh)["events_per_sec"]
+        baseline["tracing_off"] = pr4["tracing_off"]
+        baseline["overhead_frac"] = pr4["overhead_frac"]
+        baseline["tracing_off_ratio"] = (
+            eps_off / pr4["tracing_off"] if pr4["tracing_off"] else None
+        )
+    except (OSError, KeyError, ValueError):
+        baseline["tracing_off"] = None
+
+    path = write_bench_pr8(
+        events_per_sec={
+            "tracing_off": eps_off,
+            "tracing_on": eps_on,
+            "overhead_frac": overhead,
+        },
+        routers=routers,
+        baseline=baseline,
+        methodology={
+            "workload": "PR4 tracing sweep (24 nodes, 300 s, 4 routers)",
+            "seed": seed,
+            "rounds": rounds,
+            "protocol": (
+                "interleaved arms, gc.collect() per run; overhead from the "
+                "median paired on/off ratio per router (common-mode host "
+                "noise cancels); off rate is best-of-N"
+            ),
+        },
+    )
+    print(f"wrote {path}")
+    for name, r in routers.items():
+        print(
+            f"  {name}: off={r['tracing_off']:.0f} on={r['tracing_on']:.0f} "
+            f"events/s  overhead={r['overhead_frac']:.2%}"
+        )
+    print(
+        f"  mean: off={eps_off:.0f} on={eps_on:.0f} events/s  "
+        f"overhead={overhead:.2%}"
+        + (
+            f"  (off vs PR4 baseline: {baseline['tracing_off_ratio']:.2f}x)"
+            if baseline.get("tracing_off_ratio")
+            else ""
+        )
+    )
+    return {
+        "events_per_sec": {
+            "tracing_off": eps_off,
+            "tracing_on": eps_on,
+            "overhead_frac": overhead,
+        },
+        "routers": routers,
+        "baseline": baseline,
+    }
+
+
 def test_tracing_overhead(benchmark):
     table = run_and_print(benchmark, run_experiment)
     rows = {(r["router"], bool(r["traced"])): r for r in table.to_dicts()}
@@ -193,4 +311,19 @@ def test_tracing_overhead(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment(quick=False).print()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pr8",
+        action="store_true",
+        help="noise-controlled overhead pin: write BENCH_pr8.json",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=6, help="best-of rounds for --pr8"
+    )
+    args = parser.parse_args()
+    if args.pr8:
+        run_pr8(rounds=args.rounds)
+    else:
+        run_experiment(quick=False).print()

@@ -42,7 +42,9 @@ __all__ = [
     "campaign_runner",
     "sim_rate",
     "write_bench_pr4",
+    "write_bench_pr8",
     "BENCH_PR4_SCHEMA",
+    "BENCH_PR8_SCHEMA",
 ]
 
 
@@ -149,6 +151,50 @@ def write_bench_pr4(
         "schema": BENCH_PR4_SCHEMA,
         "events_per_sec": events_per_sec,
         "routers": routers,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(json_safe(payload), fh, indent=2, allow_nan=False)
+        fh.write("\n")
+    return path
+
+
+#: Schema tag for the PR8 telemetry-plane overhead pin (``BENCH_pr8.json``).
+BENCH_PR8_SCHEMA = "bench-pr8/1"
+
+
+def write_bench_pr8(
+    *,
+    events_per_sec: Dict[str, float],
+    routers: Dict[str, Dict[str, Any]],
+    baseline: Dict[str, Any],
+    methodology: Dict[str, Any],
+    path: Optional[str] = None,
+) -> str:
+    """Write the PR8 tracing-overhead pin (``BENCH_pr8.json``).
+
+    ``events_per_sec`` carries the cross-router ``{"tracing_off",
+    "tracing_on", "overhead_frac"}`` summary measured on the PR4 workload
+    with the binary staging path; ``routers`` maps router name ->
+    per-arm best-of rates and overhead; ``baseline`` records the
+    BENCH_pr4 numbers this run is compared against (so the artifact is
+    self-contained); ``methodology`` pins how the numbers were taken
+    (rounds, interleaving, GC control) — a future reader must be able to
+    reproduce the measurement, not just the value.
+    """
+    import json
+
+    if path is None:
+        out_dir = os.environ.get("REPRO_BENCH_JSON_DIR") or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "BENCH_pr8.json")
+    payload = {
+        "schema": BENCH_PR8_SCHEMA,
+        "events_per_sec": events_per_sec,
+        "routers": routers,
+        "baseline": baseline,
+        "methodology": methodology,
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(json_safe(payload), fh, indent=2, allow_nan=False)

@@ -67,6 +67,33 @@ def main() -> None:
     if fp_serial != fp_sharded:
         raise SystemExit("FINGERPRINT MISMATCH — the engine has a bug")
     print("fingerprints match: the sharded run is bit-identical to serial")
+
+    # 5. The metrics plane obeys the same contract: per-shard registries
+    #    merge (counters summed, replicated families max-merged) to the
+    #    serial registry.  shard.lag_events is coordinator-side accounting
+    #    — real skew in the sharded run, identically zero serially — so it
+    #    is excluded; float sums are rounded to 9 decimals (same tolerance
+    #    as the trace fingerprint) because summing per-shard partials in a
+    #    different order than serial legally moves the last ulp.
+    def comparable(metrics):
+        def canon(v):
+            if isinstance(v, float):
+                return round(v, 9)
+            if isinstance(v, list):
+                return [canon(x) for x in v]
+            if isinstance(v, dict):
+                return {k: canon(x) for k, x in v.items()}
+            return v
+
+        return {k: canon(v) for k, v in metrics.items() if k != "shard.lag_events"}
+
+    if comparable(serial.metrics) != comparable(sharded.metrics):
+        raise SystemExit("MERGED METRICS MISMATCH — the engine has a bug")
+    print(
+        "merged metrics match serial "
+        f"({len(comparable(serial.metrics))} instruments, "
+        f"shard lag {sharded.metrics['shard.lag_events']['value']:.0f} events)"
+    )
     print(
         f"throughput: serial {serial.events_per_sec:,.0f} ev/s, "
         f"sharded {sharded.events_per_sec:,.0f} ev/s "

@@ -188,6 +188,9 @@ class StackContext:
         self.h_backoff = registry.histogram("net.mac_backoff_s")
         # (control_tx counter, control_bits counter) per router name.
         self._control_counters: Dict[str, Tuple[Any, Any]] = {}
+        # (tx counter, delivered counter) per router name — the pair the
+        # live SLO snapshot derives per-router delivery ratios from.
+        self._route_counters: Dict[str, Tuple[Any, Any]] = {}
 
     # ------------------------------------------------------------- clock/rng
 
@@ -213,6 +216,21 @@ class StackContext:
 
     def incr(self, name: str, amount: float = 1.0) -> None:
         self.sim.metrics.incr(name, amount)
+
+    def route_counters(self, node: "NetNode") -> Tuple[Any, Any]:
+        """The ``(route.<name>.tx, route.<name>.delivered)`` counter pair
+        for a node's router, cached per router name (one dict hit per
+        transmission on the hot path, instrument creation only once)."""
+        name = node.router.name if node.router is not None else "none"
+        pair = self._route_counters.get(name)
+        if pair is None:
+            registry = self.sim.registry
+            pair = (
+                registry.counter(f"route.{name}.tx"),
+                registry.counter(f"route.{name}.delivered"),
+            )
+            self._route_counters[name] = pair
+        return pair
 
     def count_control(self, sender: "NetNode", packet: Packet) -> None:
         """Charge a non-DATA transmission to its router's control budget."""
@@ -542,6 +560,7 @@ class FastPathDispatcher:
         ctx = self.ctx
         ctx.incr("net.tx_attempts")
         ctx.c_tx.inc()
+        ctx.route_counters(sender)[0].inc()
         ctx.count_control(sender, packet)
         if sender.energy_hook:
             sender.energy_hook(packet.size_bits, 0.0)
@@ -558,6 +577,7 @@ class FastPathDispatcher:
         ctx = self.ctx
         ctx.incr("net.tx_success")
         ctx.c_rx.inc()
+        ctx.route_counters(receiver)[1].inc()
         self.app.deliver(receiver, packet, sender_id)
         if duplicate:
             ctx.incr("net.rx_duplicated")
@@ -621,13 +641,7 @@ class FastPathDispatcher:
         token = None
         if tracer is not None:
             token = tracer.on_enqueue(
-                sender_id,
-                receiver_id,
-                packet,
-                backoff_s=backoff,
-                airtime_s=airtime,
-                prop_s=prop,
-                extra_s=extra_delay,
+                sender_id, receiver_id, packet, backoff, airtime, prop, extra_delay
             )
 
         def complete() -> None:
@@ -644,9 +658,7 @@ class FastPathDispatcher:
                         on_result(False)
                     return
                 if token is not None:
-                    tracer.on_rx(
-                        token, packet, sender_id, receiver_id, extra_s=extra_delay
-                    )
+                    tracer.on_rx(token, packet, sender_id, receiver_id, extra_delay)
                 self._deliver_up(receiver, packet, sender_id, duplicate)
                 if on_result:
                     on_result(True)
@@ -691,15 +703,7 @@ class FastPathDispatcher:
         if tracer is not None:
             # One hop span covers the whole broadcast; each receiver's
             # reception (or loss) is recorded against it individually.
-            token = tracer.on_enqueue(
-                sender_id,
-                None,
-                packet,
-                backoff_s=backoff,
-                airtime_s=airtime,
-                prop_s=0.0,
-                extra_s=0.0,
-            )
+            token = tracer.on_enqueue(sender_id, None, packet, backoff, airtime)
         # The batch: per receiver (node_id, corrupt, duplicate, extra_delay_s).
         # This loop is the dispatch hot path at scale (every flood rebroad-
         # cast walks it once per neighbor), so the per-receiver verdict is
@@ -714,19 +718,24 @@ class FastPathDispatcher:
         )
         c_dropped = ctx.c_dropped
         deliveries: List[Tuple[int, bool, bool, float]] = []
+        # Failed receptions are all decided inside this one event, with no
+        # other trace emissions in between, so they are collected and
+        # emitted as one batch after the loop — same records, same order,
+        # one tracer call instead of one per lost receiver.
+        drops: List[Tuple[int, str]] = []
         for nid in neighbor_ids:
             receiver = nodes[nid]
             p_ok = delivery_probability(sender, receiver) * survival
             if rng_random() >= p_ok:
                 c_dropped.inc()
                 if token is not None:
-                    tracer.on_drop(token, sender_id, nid, "loss")
+                    drops.append((nid, "loss"))
                 continue
             if link_blocked(sender_id, nid):
                 ctx.incr("net.link_blocked")
                 c_dropped.inc()
                 if token is not None:
-                    tracer.on_drop(token, sender_id, nid, "link_blocked")
+                    drops.append((nid, "link_blocked"))
                 continue
             corrupt = duplicate = False
             extra_delay = 0.0
@@ -737,9 +746,11 @@ class FastPathDispatcher:
                     if drop:
                         c_dropped.inc()
                         if token is not None:
-                            tracer.on_drop(token, sender_id, nid, "gremlin")
+                            drops.append((nid, "gremlin"))
                         continue
             deliveries.append((nid, corrupt, duplicate, extra_delay))
+        if drops:
+            tracer.on_drops(token, sender_id, drops)
 
         def deliver_one(
             nid: int, corrupt: bool, duplicate: bool, extra_delay: float
@@ -756,7 +767,7 @@ class FastPathDispatcher:
                     tracer.on_drop(token, sender_id, nid, "corrupt")
                 return
             if token is not None:
-                tracer.on_rx(token, packet, sender_id, nid, extra_s=extra_delay)
+                tracer.on_rx(token, packet, sender_id, nid, extra_delay)
             self._deliver_up(receiver, packet, sender_id, duplicate)
 
         def complete() -> None:

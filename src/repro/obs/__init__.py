@@ -16,8 +16,17 @@ layer every performance PR reports against:
   per-hop ``pkt.*`` events with trace contexts carried in packet headers;
 * :mod:`repro.obs.analyze` — offline happens-before reconstruction,
   latency phase attribution, critical paths, Chrome-trace export;
-* :mod:`repro.obs.report` — ``python -m repro.obs report run.ndjson``
-  and ``python -m repro.obs trace run.ndjson``.
+* :mod:`repro.obs.telemetry` — the zero-tax binary trace plane: a
+  preallocated struct-packed ring with string interning that the hot
+  path appends to without building dicts, decoded lazily on first read;
+* :mod:`repro.obs.merge` — cross-shard unification: deterministic trace
+  merging plus :func:`~repro.obs.merge.merge_metrics` for registry
+  states (counters summed, replicated families max-merged);
+* :mod:`repro.obs.export` — OpenMetrics text rendering/parsing and the
+  live snapshot/SLO layer;
+* :mod:`repro.obs.report` — ``python -m repro.obs report run.ndjson``,
+  ``python -m repro.obs trace run.ndjson``, and
+  ``python -m repro.obs live <export-dir>``.
 
 :func:`wire_from_env` turns the whole stack on from the environment
 (``REPRO_OBS_NDJSON=<path>``, ``REPRO_OBS_PROFILE=1``,
@@ -38,12 +47,28 @@ from repro.obs.analyze import (
     render_trace_report,
     trace_summary_json,
 )
-from repro.obs.merge import merge_traces, merged_fingerprint
+from repro.obs.export import (
+    check_slos,
+    flatten_snapshot,
+    live_snapshot,
+    parse_openmetrics,
+    parse_slo,
+    render_live,
+    render_openmetrics,
+    state_from_records,
+)
+from repro.obs.merge import (
+    merge_metrics,
+    merge_traces,
+    merged_fingerprint,
+    payload_to_records,
+)
 from repro.obs.profiler import KernelProfiler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.report import ReportInputError, collect_export
+from repro.obs.report import REPORT_SCHEMA, ReportInputError, collect_export
 from repro.obs.report import main as report_main
 from repro.obs.report import render_report, summarize_run
+from repro.obs.telemetry import BinaryTraceRing, RecordSchema, StringTable, load_ring
 from repro.obs.sinks import (
     NdjsonSink,
     RingSink,
@@ -58,6 +83,21 @@ from repro.obs.tracing import TRACE_CATEGORIES, TRACE_HEADER, PacketTracer, Trac
 __all__ = [
     "merge_traces",
     "merged_fingerprint",
+    "merge_metrics",
+    "payload_to_records",
+    "BinaryTraceRing",
+    "RecordSchema",
+    "StringTable",
+    "load_ring",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "state_from_records",
+    "live_snapshot",
+    "flatten_snapshot",
+    "render_live",
+    "parse_slo",
+    "check_slos",
+    "REPORT_SCHEMA",
     "Span",
     "SpanTracker",
     "KernelProfiler",
@@ -95,7 +135,7 @@ ENV_ROTATE_BYTES = 64 * 1024 * 1024
 _export_seq = itertools.count(1)
 
 
-def wire_from_env(sim, env: Optional[dict] = None):
+def wire_from_env(sim, env: Optional[dict] = None, *, shard: Optional[int] = None):
     """Attach sinks/profiler/tracer to ``sim`` per ``REPRO_OBS_*`` variables.
 
     * ``REPRO_OBS_NDJSON`` — stream the trace to this NDJSON path
@@ -104,29 +144,56 @@ def wire_from_env(sim, env: Optional[dict] = None):
       simulator gets its own ``task-<pid>-<seq>.ndjson`` file in this
       directory, so parallel campaign workers never interleave writes
       (``python -m repro.obs trace <dir>`` folds them back together);
+    * ``REPRO_OBS_RING_DIR`` — like the above but binary: the simulator's
+      trace is dumped as a struct-packed ``.ring`` file at export time
+      (``sim.export_obs()``), the cheapest way to keep a full trace;
     * ``REPRO_OBS_ROTATE_BYTES`` — rotation threshold (default 64 MiB);
     * ``REPRO_OBS_PROFILE`` — any non-empty value enables the kernel
       profiler; its rows reach the sink when ``sim.export_obs()`` runs;
     * ``REPRO_OBS_TRACE`` — any non-empty value enables causal packet
       tracing (:mod:`repro.obs.tracing`) on the simulator.
 
+    Sinks are attached *lazily* (``add_sink(..., lazy=True)``): records
+    reach them in batches at flush points rather than one write per emit,
+    so env-wired telemetry rides the zero-tax staging path.  Every
+    env-wired flow already flushes — ``sim.export_obs()`` and
+    ``trace.flush_sinks()`` both drain the backlog first.
+
+    ``shard`` namespaces the per-simulator export files (``shard<k>-``
+    prefix) so shard workers sharing one export directory can never
+    collide: fork-mode siblings inherit the parent's sequence counter and
+    can race the same ``task-<pid>-<seq>`` name; the shard index is
+    unique by construction.  (:class:`~repro.shard.runtime.ShardRuntime`
+    passes its shard index; the ``REPRO_OBS_SHARD`` variable is the
+    env-only override.)
+
     Returns ``sim`` so builders can chain it.
     """
     env = env if env is not None else os.environ
+    if shard is None and env.get("REPRO_OBS_SHARD"):
+        shard = int(env["REPRO_OBS_SHARD"])
+    prefix = "" if shard is None else f"shard{shard}-"
     max_bytes = int(env.get("REPRO_OBS_ROTATE_BYTES", ENV_ROTATE_BYTES))
     path = env.get("REPRO_OBS_NDJSON")
     if path:
-        sim.trace.add_sink(NdjsonSink(path, max_bytes=max_bytes, append=True))
+        sim.trace.add_sink(
+            NdjsonSink(path, max_bytes=max_bytes, append=True), lazy=True
+        )
     export_dir = env.get("REPRO_OBS_NDJSON_DIR")
     if export_dir:
-        name = f"task-{os.getpid()}-{next(_export_seq)}.ndjson"
+        name = f"{prefix}task-{os.getpid()}-{next(_export_seq)}.ndjson"
         sim.trace.add_sink(
             NdjsonSink(
                 os.path.join(export_dir, name),
                 max_bytes=max_bytes,
                 append=True,
-            )
+            ),
+            lazy=True,
         )
+    ring_dir = env.get("REPRO_OBS_RING_DIR")
+    if ring_dir:
+        name = f"{prefix}task-{os.getpid()}-{next(_export_seq)}.ring"
+        sim.ring_dump_path = os.path.join(ring_dir, name)
     if env.get("REPRO_OBS_PROFILE"):
         sim.enable_profiling()
     if env.get("REPRO_OBS_TRACE"):

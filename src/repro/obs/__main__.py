@@ -1,7 +1,9 @@
 """Entry point: ``python -m repro.obs report <run.ndjson>`` summarizes a
 telemetry export; ``python -m repro.obs trace <run.ndjson|dir>`` runs the
 causal packet-trace analyzer (latency phases, critical path, Chrome-trace
-export)."""
+export); ``python -m repro.obs live <dir>`` watches an export in a
+snapshot loop (event rate, delivery ratios, breaker states, shard lag)
+and enforces ``--slo`` thresholds with a non-zero exit on breach."""
 
 import sys
 

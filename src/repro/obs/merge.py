@@ -1,9 +1,10 @@
-"""Deterministic cross-process trace merging.
+"""Deterministic cross-process trace and metrics merging.
 
 Each shard of a sharded run (:mod:`repro.shard`) records its own
-:class:`~repro.sim.trace.TraceLog`; this module merges those per-shard
-streams into one canonical stream and fingerprints it so a sharded run can
-be compared bit-for-bit against a serial one.
+:class:`~repro.sim.trace.TraceLog` and :class:`~repro.obs.registry.
+MetricsRegistry`; this module merges those per-shard streams into one
+canonical stream and fingerprints it so a sharded run can be compared
+bit-for-bit against a serial one.
 
 Two layers of determinism:
 
@@ -15,6 +16,15 @@ Two layers of determinism:
   fields stripped — because the relative order of same-timestamp records
   from different shards is an artifact of the partition, not of the model.
   Serial and sharded runs of the same world therefore hash identically.
+
+:func:`merge_metrics` is the registry counterpart: counters sum across
+shards (each shard observed disjoint work), *replicated* counters — fault
+processes run identically in every replica — take the max instead of
+multiply-counting, gauges take the max, and histograms merge bucket-wise,
+which is exact because every shard uses the same bucket bounds.
+:func:`payload_to_records` decodes the binary trace payload a shard ships
+(:meth:`~repro.sim.trace.TraceLog.packed_payload`) into the dicts the
+trace merge consumes.
 """
 
 from __future__ import annotations
@@ -22,7 +32,14 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["merge_traces", "merged_fingerprint"]
+from repro.obs.telemetry import BinaryTraceRing
+
+__all__ = [
+    "merge_traces",
+    "merged_fingerprint",
+    "merge_metrics",
+    "payload_to_records",
+]
 
 #: Bookkeeping fields stamped by the merge itself (plus the NDJSON ``type``
 #: tag); stripped before fingerprinting so serial streams hash the same.
@@ -102,3 +119,80 @@ def merged_fingerprint(
     for entry in entries:
         digest.update(repr(entry).encode("utf-8"))
     return digest.hexdigest()
+
+
+def payload_to_records(payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Decode a shard's packed trace payload into merge-ready dicts.
+
+    The inverse of :meth:`repro.sim.trace.TraceLog.packed_payload`: the
+    per-record dicts a shard used to ship across the pipe, now built on
+    the coordinator side only — the pipe carries one bytes blob.
+    """
+    ring = BinaryTraceRing.from_payload(dict(payload))
+    records: List[Dict[str, Any]] = []
+    for time, category, fields in ring.iter_tuples():
+        rec = {"time": time, "category": category}
+        rec.update(fields)
+        records.append(rec)
+    return records
+
+
+def merge_metrics(
+    states: Sequence[Mapping[str, Mapping[str, Any]]],
+    *,
+    replicated_prefixes: Tuple[str, ...] = (),
+) -> Dict[str, Dict[str, Any]]:
+    """Merge per-shard registry states into one.
+
+    ``states[i]`` is shard ``i``'s
+    :meth:`~repro.obs.registry.MetricsRegistry.state` dict.  Merge rules:
+
+    * **counter** — summed; names starting with ``replicated_prefixes``
+      (fault processes, replicated in every shard) take the max instead.
+    * **gauge** — max (a point-in-time level; summing replicas of the
+      same level would overstate it).
+    * **histogram** — bucket counts, count, and total sum; min/max fold.
+      Bucket bounds must agree across shards — same instrument, same
+      world build — anything else is a config error, raised loudly.
+
+    The result is shard-count invariant for deterministic worlds: a
+    serial run and any sharded layout of the same world merge to the same
+    state (up to gauges that measure the partition itself).
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for state in states:
+        for name, inst in state.items():
+            kind = inst.get("kind")
+            cur = merged.get(name)
+            if cur is None:
+                merged[name] = {k: (list(v) if isinstance(v, list) else v)
+                                for k, v in inst.items()}
+                continue
+            if cur.get("kind") != kind:
+                raise ValueError(
+                    f"metric {name!r} has kind {cur.get('kind')!r} in one "
+                    f"shard and {kind!r} in another"
+                )
+            if kind == "counter":
+                if name.startswith(replicated_prefixes):
+                    cur["value"] = max(cur["value"], inst["value"])
+                else:
+                    cur["value"] += inst["value"]
+            elif kind == "gauge":
+                cur["value"] = max(cur["value"], inst["value"])
+            elif kind == "histogram":
+                if list(cur["buckets"]) != list(inst["buckets"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ between "
+                        "shards; cannot merge"
+                    )
+                cur["counts"] = [
+                    a + b for a, b in zip(cur["counts"], inst["counts"])
+                ]
+                cur["count"] += inst["count"]
+                cur["total"] += inst["total"]
+                cur["min"] = min(cur["min"], inst["min"])
+                cur["max"] = max(cur["max"], inst["max"])
+            else:
+                raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+    return merged

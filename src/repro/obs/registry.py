@@ -42,6 +42,10 @@ class Counter:
     def as_dict(self) -> Dict[str, Any]:
         return {"kind": "counter", "name": self.name, "value": self.value}
 
+    def state(self) -> Dict[str, Any]:
+        """Mergeable raw state (see :func:`repro.obs.merge.merge_metrics`)."""
+        return {"kind": "counter", "value": self.value}
+
 
 class Gauge:
     """A point-in-time value (queue depth, live nodes, cache size)."""
@@ -60,6 +64,10 @@ class Gauge:
 
     def as_dict(self) -> Dict[str, Any]:
         return {"kind": "gauge", "name": self.name, "value": self.value}
+
+    def state(self) -> Dict[str, Any]:
+        """Mergeable raw state (see :func:`repro.obs.merge.merge_metrics`)."""
+        return {"kind": "gauge", "value": self.value}
 
 
 class Histogram:
@@ -133,6 +141,20 @@ class Histogram:
     def as_dict(self) -> Dict[str, Any]:
         return {"kind": "histogram", "name": self.name, **self.summary()}
 
+    def state(self) -> Dict[str, Any]:
+        """Mergeable raw state: bucket bounds and counts, not quantile
+        estimates — per-shard p95s cannot be combined, bucket counts can
+        (see :func:`repro.obs.merge.merge_metrics`)."""
+        return {
+            "kind": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
 
 class MetricsRegistry:
     """Named instruments; one registry per simulator.
@@ -179,6 +201,20 @@ class MetricsRegistry:
         for store in (self._counters, self._gauges, self._histograms):
             for name, inst in store.items():
                 out[name] = inst.as_dict()
+        return out
+
+    def state(self) -> Dict[str, Dict[str, Any]]:
+        """Raw mergeable state of every instrument, keyed by name.
+
+        Unlike :meth:`snapshot` (display summaries), this preserves what
+        cross-shard merging needs: histogram bucket counts rather than
+        interpolated quantiles.  Feed a list of these to
+        :func:`repro.obs.merge.merge_metrics`.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for store in (self._counters, self._gauges, self._histograms):
+            for name, inst in store.items():
+                out[name] = inst.state()
         return out
 
     def as_records(self) -> List[Dict[str, Any]]:

@@ -1,21 +1,28 @@
-"""Run reports: summarize an NDJSON telemetry export.
+"""Run reports: summarize a telemetry export.
 
 ``python -m repro.obs report run.ndjson`` digests the record stream a
 :class:`~repro.obs.sinks.NdjsonSink` captured — trace events, spans,
 metric snapshots, profiler rows — into one run summary: per-category trace
 counts, span aggregates, the top-N wall-clock hot paths, and final metric
-values.  ``--json`` writes the summary machine-readably so CI can assert
-on it; the text rendering is for humans.
+values.  ``--json`` writes the summary machine-readably (stamped with a
+``schema`` version) so CI can assert on it; the text rendering is for
+humans.
 
 ``python -m repro.obs trace run.ndjson`` runs the causal packet-trace
 analyzer (:mod:`repro.obs.analyze`) over the same export: per-flow latency
 phase breakdowns, the delivery critical path, and optional Chrome-trace
 JSON export (``--chrome out.json``).
 
-Both subcommands accept a single export file, a rotated export (the
-``path.N`` generations are folded in automatically), or a directory of
-``*.ndjson`` exports; a missing or empty input is a clear error with exit
-status 2, not a traceback.
+``python -m repro.obs live run-dir --slo 'kernel.events_per_sec>=1000'``
+watches an export in a snapshot loop: kernel event rate, per-router
+delivery ratios, service breaker states, and shard lag in one screen,
+with counter rates between samples and exit status 1 when an SLO
+threshold is breached (see :mod:`repro.obs.export`).
+
+All subcommands accept a single export file, a rotated export (the
+``path.N`` generations are folded in automatically), or a directory
+mixing ``*.ndjson`` exports and ``*.ring`` binary trace dumps; a missing
+or empty input is a clear error with exit status 2, not a traceback.
 """
 
 from __future__ import annotations
@@ -24,9 +31,11 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.sinks import ndjson_parts, read_ndjson
+from repro.obs.telemetry import load_ring
 from repro.util.tables import json_safe
 
 __all__ = [
@@ -34,8 +43,13 @@ __all__ = [
     "render_report",
     "collect_export",
     "ReportInputError",
+    "REPORT_SCHEMA",
     "main",
 ]
+
+#: Version stamp for ``report --json`` output.  Bump when summary keys
+#: change shape so downstream consumers can dispatch on it.
+REPORT_SCHEMA = "obs-report/2"
 
 
 class ReportInputError(Exception):
@@ -45,24 +59,34 @@ class ReportInputError(Exception):
 def collect_export(path: str) -> Tuple[List[Dict[str, Any]], int, List[str]]:
     """Load every record the input path holds.
 
-    ``path`` may be an export file (rotated generations are included), or
-    a directory containing ``*.ndjson`` exports (each with its rotations).
-    Returns ``(records, skipped_lines, parts)``.  Raises
-    :class:`ReportInputError` with a human-ready message when the path is
-    missing, matches nothing, or yields zero records.
+    ``path`` may be an export file (rotated generations are included), a
+    ``*.ring`` binary trace dump, or a directory mixing ``*.ndjson``
+    exports (each with its rotations) and ``*.ring`` dumps — shard
+    workers and the serial path may land different formats in the same
+    export directory.  Returns ``(records, skipped_lines, parts)``.
+    Raises :class:`ReportInputError` with a human-ready message when the
+    path is missing, matches nothing, or yields zero records.
     """
     if os.path.isdir(path):
-        bases = sorted(
-            os.path.join(path, name)
-            for name in os.listdir(path)
-            if name.endswith(".ndjson")
-        )
-        if not bases:
+        names = sorted(os.listdir(path))
+        bases = [
+            os.path.join(path, name) for name in names if name.endswith(".ndjson")
+        ]
+        rings = [
+            os.path.join(path, name) for name in names if name.endswith(".ring")
+        ]
+        if not bases and not rings:
             raise ReportInputError(
-                f"no *.ndjson exports found in directory {path!r} — "
-                "was the run started with REPRO_OBS_NDJSON set?"
+                f"no *.ndjson or *.ring exports found in directory {path!r} — "
+                "was the run started with REPRO_OBS_NDJSON_DIR or "
+                "REPRO_OBS_RING_DIR set?"
             )
         parts = [part for base in bases for part in ndjson_parts(base)]
+        parts.extend(rings)
+    elif path.endswith(".ring"):
+        parts = [path] if os.path.exists(path) else []
+        if not parts:
+            raise ReportInputError(f"ring dump not found: {path!r}")
     else:
         parts = ndjson_parts(path)
         if not parts:
@@ -73,6 +97,9 @@ def collect_export(path: str) -> Tuple[List[Dict[str, Any]], int, List[str]]:
     records: List[Dict[str, Any]] = []
     skipped = 0
     for part in parts:
+        if part.endswith(".ring"):
+            records.extend(load_ring(part))
+            continue
         part_records, part_skipped = read_ndjson(part)
         records.extend(part_records)
         skipped += part_skipped
@@ -144,6 +171,7 @@ def summarize_run(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         key=lambda row: (-row["wall_s"], row["label"]),
     )
     return {
+        "schema": REPORT_SCHEMA,
         "n_records": n_records,
         "virtual_time": {"min": t_min, "max": t_max},
         "trace_counts": dict(sorted(trace_counts.items())),
@@ -215,6 +243,82 @@ def render_report(summary: Dict[str, Any], *, top: int = 10) -> str:
     return "\n".join(lines)
 
 
+def _run_live(args: argparse.Namespace) -> int:
+    """Snapshot loop behind ``python -m repro.obs live``.
+
+    Re-reads the export each tick (sinks are cumulative, so the latest
+    metric records are the current truth), derives counter rates from the
+    previous sample, and evaluates ``--slo`` thresholds.  Exit status: 1
+    if the final snapshot breached an SLO, 2 if the export never became
+    readable, else 0.
+    """
+    from repro.obs.export import (
+        check_slos,
+        flatten_snapshot,
+        live_snapshot,
+        parse_slo,
+        render_live,
+        state_from_records,
+    )
+
+    try:
+        for spec in args.slo:
+            parse_slo(spec)  # fail fast on typos, before the loop
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    prev_counters: Dict[str, float] = {}
+    prev_wall: Optional[float] = None
+    breaches: List[str] = []
+    saw_data = False
+    tick = 0
+    while True:
+        tick += 1
+        try:
+            records, _, _ = collect_export(args.path)
+        except ReportInputError as exc:
+            if args.count and tick >= args.count:
+                if not saw_data:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                break
+            print(f"[waiting] {exc}", file=sys.stderr)
+            time.sleep(args.interval)
+            continue
+        saw_data = True
+        state, meta = state_from_records(records)
+        now = time.monotonic()
+        rates: Dict[str, float] = {}
+        counters = {
+            name: float(inst["value"])
+            for name, inst in state.items()
+            if inst.get("kind") == "counter"
+        }
+        if prev_wall is not None and now > prev_wall:
+            dt = now - prev_wall
+            for name, value in counters.items():
+                delta = value - prev_counters.get(name, 0.0)
+                if delta:
+                    rates[name] = delta / dt
+        prev_counters, prev_wall = counters, now
+        snapshot = live_snapshot(state, meta, rates=rates or None)
+        breaches = check_slos(flatten_snapshot(snapshot, state), args.slo)
+        if tick > 1:
+            print()
+        print(render_live(snapshot))
+        for breach in breaches:
+            print(f"SLO BREACH: {breach}")
+        if args.json_out:
+            _write_json(
+                args.json_out, {"snapshot": snapshot, "slo_breaches": breaches}
+            )
+        if args.count and tick >= args.count:
+            break
+        time.sleep(args.interval)
+    return 1 if breaches else 0
+
+
 def _write_json(path: str, payload: Dict[str, Any]) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(json_safe(payload), fh, indent=2, allow_nan=False)
@@ -242,7 +346,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="write the machine-readable digest here")
     trace.add_argument("--chrome", dest="chrome_out", default=None,
                        help="write Chrome Trace Event JSON here")
+    live = sub.add_parser(
+        "live",
+        help="snapshot loop: event rate, delivery ratios, breakers, SLOs",
+    )
+    live.add_argument("path", help="export file or directory (*.ndjson/*.ring)")
+    live.add_argument("--interval", type=float, default=2.0,
+                      help="seconds between snapshots (default: 2)")
+    live.add_argument("--count", type=int, default=0,
+                      help="snapshots to take before exiting (0 = forever)")
+    live.add_argument("--slo", action="append", default=[], metavar="SPEC",
+                      help="threshold like 'kernel.events_per_sec>=1000' "
+                           "(repeatable; breach makes the exit status 1)")
+    live.add_argument("--json", dest="json_out", default=None,
+                      help="also write the final snapshot as JSON here")
     args = parser.parse_args(argv)
+
+    if args.command == "live":
+        return _run_live(args)
 
     try:
         records, skipped, parts = collect_export(args.path)

@@ -109,15 +109,30 @@ class NdjsonSink(Sink):
         self.written += 1
 
     def _rotate(self) -> None:
+        # Shift and replace steps tolerate FileNotFoundError: when several
+        # processes share an export directory (shard workers, forked
+        # campaign tasks) a sibling may have shifted or removed a
+        # generation between our existence check and the rename.  Losing
+        # the race must not kill the writer — each worker's own live file
+        # is unique, so only already-rotated history can be contested.
         self._fh.close()
         oldest = f"{self.path}.{self.max_files}"
-        if os.path.exists(oldest):
-            os.remove(oldest)
+        try:
+            if os.path.exists(oldest):
+                os.remove(oldest)
+        except FileNotFoundError:  # pragma: no cover - racing sibling
+            pass
         for i in range(self.max_files - 1, 0, -1):
             src = f"{self.path}.{i}"
-            if os.path.exists(src):
-                os.replace(src, f"{self.path}.{i + 1}")
-        os.replace(self.path, f"{self.path}.1")
+            try:
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{i + 1}")
+            except FileNotFoundError:  # pragma: no cover - racing sibling
+                pass
+        try:
+            os.replace(self.path, f"{self.path}.1")
+        except FileNotFoundError:  # pragma: no cover - racing sibling
+            pass
         self._fh = open(self.path, "w", encoding="utf-8")
         self._size = 0
         self.rotations += 1

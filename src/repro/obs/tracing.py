@@ -51,6 +51,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
+from repro.obs.telemetry import RecordSchema
+
 __all__ = ["TraceContext", "PacketTracer", "TRACE_HEADER", "TRACE_CATEGORIES"]
 
 #: Header key carrying the (trace_id, parent_span, hop) tuple.  The value is
@@ -70,6 +72,41 @@ TRACE_CATEGORIES = (
     "pkt.route_drop",
     "pkt.deliver",
 )
+
+# Pre-sorted field schemas, one per category: the tracer knows its field
+# sets statically, so every hop event takes TraceLog.emit_schema's
+# positional fast path (no kwargs dict, no per-record key sort) — the
+# bulk of what made tracing-on runs 51% slower than tracing-off.
+_S_SEND = RecordSchema(
+    "pkt.send",
+    ("dst", "flow", "kind", "rmsg", "size_bits", "src", "tid", "uid"),
+)
+_S_SPAWN = RecordSchema(
+    "pkt.spawn", ("parent_span", "parent_tid", "reason", "tid")
+)
+_S_ENQUEUE = RecordSchema(
+    "pkt.enqueue",
+    (
+        "airtime_s", "backoff_s", "dst", "extra_s", "hop", "kind",
+        "parent", "prop_s", "span", "src", "tid", "uid",
+    ),
+)
+_S_RX = RecordSchema("pkt.rx", ("dst", "extra_s", "hop", "span", "src", "tid"))
+_S_DROP = RecordSchema("pkt.drop", ("dst", "reason", "span", "src", "tid"))
+_S_RETX = RecordSchema("pkt.retx", ("attempt", "layer", "msg", "src", "tid"))
+_S_CUSTODY = RecordSchema("pkt.custody", ("copies", "node", "tid", "uid"))
+_S_ROUTE_DROP = RecordSchema("pkt.route_drop", ("node", "reason", "tid", "uid"))
+_S_DELIVER = RecordSchema(
+    "pkt.deliver", ("hops", "latency_s", "node", "span", "tid", "uid")
+)
+
+# Integer schema ids for the inlined staging fast paths below: staging the id
+# instead of the RecordSchema object keeps the staged tuples all-atomic, so
+# CPython's GC untracks them at their first collection instead of rescanning
+# tens of thousands of live tuples every gen1/gen2 pass mid-run.
+_I_ENQUEUE = _S_ENQUEUE.sid
+_I_RX = _S_RX.sid
+_I_DROP = _S_DROP.sid
 
 
 @dataclass(frozen=True)
@@ -117,6 +154,11 @@ class PacketTracer:
 
     def __init__(self, sim: "Simulator"):  # noqa: F821
         self.sim = sim
+        # Bound once: the tracer is created after any TraceLog replacement
+        # (ShardRuntime swaps sim.trace at construction and never enables
+        # a tracer), so caching the log saves two attribute hops per hop
+        # event on the hottest instrumented path in the tree.
+        self._trace = sim.trace
         self.enabled = True
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
@@ -127,7 +169,11 @@ class PacketTracer:
         self._uid_map: dict = {}
 
     def _uid(self, packet: "Packet") -> int:  # noqa: F821
-        return self._uid_map.setdefault(packet.uid, len(self._uid_map) + 1)
+        m = self._uid_map
+        uid = m.get(packet.uid)
+        if uid is None:
+            uid = m[packet.uid] = len(m) + 1
+        return uid
 
     # -------------------------------------------------------------- contexts
 
@@ -148,25 +194,23 @@ class PacketTracer:
         tid = next(self._trace_ids)
         packet.headers[TRACE_HEADER] = (tid, 0, 0)
         parent = packet.headers.pop("_trace_from", None)
-        self.sim.trace.emit(
-            "pkt.send",
-            tid=tid,
-            uid=self._uid(packet),
-            src=packet.src,
-            dst=packet.dst,
-            kind=packet.kind.value,
-            size_bits=packet.size_bits,
-            flow=packet.flow_id,
-            rmsg=packet.headers.get("rmsg"),
+        self._trace.emit_schema(
+            _S_SEND,
+            (
+                packet.dst,
+                packet.flow_id,
+                packet.kind._value_,
+                packet.headers.get("rmsg"),
+                packet.size_bits,
+                packet.src,
+                tid,
+                self._uid(packet),
+            ),
         )
         if parent is not None:
             parent_tid, parent_span, _hop = parent
-            self.sim.trace.emit(
-                "pkt.spawn",
-                tid=tid,
-                parent_tid=parent_tid,
-                parent_span=parent_span,
-                reason=packet.kind.value,
+            self._trace.emit_schema(
+                _S_SPAWN, (parent_span, parent_tid, packet.kind._value_, tid)
             )
         return tid
 
@@ -189,18 +233,19 @@ class PacketTracer:
         sender_id: int,
         receiver_id: Optional[int],
         packet: "Packet",  # noqa: F821
-        *,
-        backoff_s: float,
-        airtime_s: float,
-        prop_s: float,
-        extra_s: float,
+        backoff_s: float = 0.0,
+        airtime_s: float = 0.0,
+        prop_s: float = 0.0,
+        extra_s: float = 0.0,
     ) -> Optional[Tuple[int, int, int]]:
         """One transmission handed to the MAC; allocates its hop span.
 
         Returns an opaque token (trace id, span id, hop index) the network
         passes back to :meth:`on_rx` / :meth:`on_drop`, or ``None`` when
         the packet carries no context (originated before tracing was on).
-        ``receiver_id`` is ``None`` for link-local broadcast.
+        ``receiver_id`` is ``None`` for link-local broadcast.  The delay
+        components are positional so the dispatcher hot path skips the
+        kwargs dict.
         """
         if not self.enabled:
             return None
@@ -209,21 +254,35 @@ class PacketTracer:
             return None
         tid, parent, hop = ctx
         span = next(self._span_ids)
-        self.sim.trace.emit(
-            "pkt.enqueue",
-            tid=tid,
-            span=span,
-            parent=parent,
-            hop=hop,
-            src=sender_id,
-            dst=-1 if receiver_id is None else receiver_id,
-            uid=self._uid(packet),
-            kind=packet.kind.value,
-            backoff_s=backoff_s,
-            airtime_s=airtime_s,
-            prop_s=prop_s,
-            extra_s=extra_s,
-        )
+        dst = -1 if receiver_id is None else receiver_id
+        # ._value_ skips Enum's DynamicClassAttribute descriptor (~4x
+        # cheaper; this and on_rx run once per radio transmission).
+        kind = packet.kind._value_
+        uid_map = self._uid_map
+        uid = uid_map.get(packet.uid)
+        if uid is None:
+            uid = uid_map[packet.uid] = len(uid_map) + 1
+        # Inlined TraceLog.emit_schema staging (here and in on_rx/on_drop):
+        # these three methods fire once per radio transmission, so even the
+        # method-call overhead of emit_schema shows up in the tracing tax.
+        # Field order must match _S_ENQUEUE.keys in both branches.
+        t = self._trace
+        budget = t._budget
+        if budget:
+            t._stage((
+                t._sim.now, _I_ENQUEUE,
+                airtime_s, backoff_s, dst, extra_s, hop, kind,
+                parent, prop_s, span, sender_id, tid, uid,
+            ))
+            t._budget = budget - 1
+        else:
+            t.emit_schema(
+                _S_ENQUEUE,
+                (
+                    airtime_s, backoff_s, dst, extra_s, hop, kind,
+                    parent, prop_s, span, sender_id, tid, uid,
+                ),
+            )
         return (tid, span, hop)
 
     def on_rx(
@@ -232,7 +291,6 @@ class PacketTracer:
         packet: "Packet",  # noqa: F821
         sender_id: int,
         receiver_id: int,
-        *,
         extra_s: float = 0.0,
     ) -> None:
         """The transmission reached ``receiver_id``.
@@ -242,16 +300,17 @@ class PacketTracer:
         Call immediately before handing the packet to the receiver.
         """
         tid, span, hop = token
-        packet.headers[TRACE_HEADER] = (tid, span, hop + 1)
-        self.sim.trace.emit(
-            "pkt.rx",
-            tid=tid,
-            span=span,
-            src=sender_id,
-            dst=receiver_id,
-            hop=hop + 1,
-            extra_s=extra_s,
-        )
+        hop += 1
+        packet.headers[TRACE_HEADER] = (tid, span, hop)
+        t = self._trace
+        budget = t._budget
+        if budget:
+            t._stage(
+                (t._sim.now, _I_RX, receiver_id, extra_s, hop, span, sender_id, tid)
+            )
+            t._budget = budget - 1
+        else:
+            t.emit_schema(_S_RX, (receiver_id, extra_s, hop, span, sender_id, tid))
 
     def on_drop(
         self,
@@ -263,14 +322,38 @@ class PacketTracer:
         """The transmission failed toward ``receiver_id`` (``reason`` from
         the module docstring's table)."""
         tid, span, _hop = token
-        self.sim.trace.emit(
-            "pkt.drop",
-            tid=tid,
-            span=span,
-            src=sender_id,
-            dst=-1 if receiver_id is None else receiver_id,
-            reason=reason,
-        )
+        dst = -1 if receiver_id is None else receiver_id
+        t = self._trace
+        budget = t._budget
+        if budget:
+            t._stage((t._sim.now, _I_DROP, dst, reason, span, sender_id, tid))
+            t._budget = budget - 1
+        else:
+            t.emit_schema(_S_DROP, (dst, reason, span, sender_id, tid))
+
+    def on_drops(
+        self,
+        token: Tuple[int, int, int],
+        sender_id: int,
+        drops: "list[Tuple[int, str]]",
+    ) -> None:
+        """Batched :meth:`on_drop`: ordered ``(receiver_id, reason)`` pairs
+        sharing one hop span — a broadcast's failed receptions, which are
+        all decided inside one event.  Emits records identical (content and
+        order) to per-pair ``on_drop`` calls while paying the call and
+        guard overhead once per batch."""
+        tid, span, _hop = token
+        t = self._trace
+        budget = t._budget
+        if budget >= len(drops):
+            stage = t._stage
+            now = t._sim.now
+            for dst, reason in drops:
+                stage((now, _I_DROP, dst, reason, span, sender_id, tid))
+            t._budget = budget - len(drops)
+        else:
+            for dst, reason in drops:
+                t.emit_schema(_S_DROP, (dst, reason, span, sender_id, tid))
 
     def drop_unsent(
         self, packet: "Packet", sender_id: int, reason: str  # noqa: F821
@@ -281,13 +364,15 @@ class PacketTracer:
         ctx = packet.headers.get(TRACE_HEADER)
         if ctx is None:
             return
-        self.sim.trace.emit(
-            "pkt.drop",
-            tid=ctx[0],
-            span=0,
-            src=sender_id,
-            dst=packet.dst if packet.dst is not None else -1,
-            reason=reason,
+        self._trace.emit_schema(
+            _S_DROP,
+            (
+                packet.dst if packet.dst is not None else -1,
+                reason,
+                0,
+                sender_id,
+                ctx[0],
+            ),
         )
 
     # ----------------------------------------------------- protocol layers
@@ -306,13 +391,9 @@ class PacketTracer:
         if not self.enabled:
             return
         ctx = packet.headers.get(TRACE_HEADER)
-        self.sim.trace.emit(
-            "pkt.retx",
-            tid=ctx[0] if ctx is not None else None,
-            src=sender_id,
-            attempt=attempt,
-            layer=layer,
-            msg=msg_id,
+        self._trace.emit_schema(
+            _S_RETX,
+            (attempt, layer, msg_id, sender_id, ctx[0] if ctx is not None else None),
         )
 
     def on_custody(
@@ -328,12 +409,8 @@ class PacketTracer:
         ctx = packet.headers.get(TRACE_HEADER)
         if ctx is None:
             return
-        self.sim.trace.emit(
-            "pkt.custody",
-            tid=ctx[0],
-            node=node_id,
-            uid=self._uid(packet),
-            copies=copies,
+        self._trace.emit_schema(
+            _S_CUSTODY, (copies, node_id, ctx[0], self._uid(packet))
         )
 
     def on_route_drop(
@@ -345,12 +422,8 @@ class PacketTracer:
         ctx = packet.headers.get(TRACE_HEADER)
         if ctx is None:
             return
-        self.sim.trace.emit(
-            "pkt.route_drop",
-            tid=ctx[0],
-            node=node_id,
-            uid=self._uid(packet),
-            reason=reason,
+        self._trace.emit_schema(
+            _S_ROUTE_DROP, (node_id, reason, ctx[0], self._uid(packet))
         )
 
     def on_deliver(self, node_id: int, packet: "Packet") -> None:  # noqa: F821
@@ -361,12 +434,14 @@ class PacketTracer:
         if ctx is None:
             return
         tid, parent_span, hop = ctx
-        self.sim.trace.emit(
-            "pkt.deliver",
-            tid=tid,
-            span=parent_span,
-            node=node_id,
-            uid=self._uid(packet),
-            hops=hop,
-            latency_s=self.sim.now - packet.created_at,
+        self._trace.emit_schema(
+            _S_DELIVER,
+            (
+                hop,
+                self.sim.now - packet.created_at,
+                node_id,
+                parent_span,
+                tid,
+                self._uid(packet),
+            ),
         )

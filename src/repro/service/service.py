@@ -261,6 +261,11 @@ class SynthesisService:
         self.breakers: Dict[str, CircuitBreaker] = {
             name: self._new_breaker(name) for name in self.backends
         }
+        # Publish every breaker's initial (closed) state so the live
+        # snapshot shows all backends from query zero, not only ones that
+        # have already transitioned.
+        for name in self.breakers:
+            self.metrics.gauge(f"service.breaker.{name}.state").set(0.0)
         self._rng = np.random.default_rng(derive_seed(seed, "service", "backoff"))
         self._fresh: "OrderedDict[Tuple[str, int], Dict[str, Any]]" = OrderedDict()
         self._fresh_capacity = fresh_capacity
@@ -309,11 +314,21 @@ class SynthesisService:
             **self._breaker_conf,
         )
 
+    #: Breaker state encoded for gauges/OpenMetrics: higher is sicker.
+    _BREAKER_STATE_CODE = {
+        BreakerState.CLOSED: 0.0,
+        BreakerState.HALF_OPEN: 1.0,
+        BreakerState.OPEN: 2.0,
+    }
+
     def _on_breaker_transition(
         self, name: str, old: BreakerState, new: BreakerState
     ) -> None:
         self.metrics.counter("service.breaker_transitions").inc()
         self.metrics.counter(f"service.breaker.{name}.{new.value}").inc()
+        self.metrics.gauge(f"service.breaker.{name}.state").set(
+            self._BREAKER_STATE_CODE[new]
+        )
 
     def breaker_for(self, backend: str) -> CircuitBreaker:
         if backend not in self.breakers:
@@ -403,6 +418,12 @@ class SynthesisService:
         self.metrics.counter(f"service.{outcome.status.value}").inc()
         if outcome.status is OutcomeStatus.REJECTED and outcome.reason:
             self.metrics.counter(f"service.rejected.{outcome.reason}").inc()
+        if outcome.degraded and outcome.stale_age_s is not None:
+            # How old the answers we actually serve degraded are — the
+            # SLO the stale store's capacity and max_stale_s trade against.
+            self.metrics.histogram("service.stale_age_s").observe(
+                outcome.stale_age_s
+            )
         self.metrics.histogram("service.latency_s").observe(outcome.elapsed_s)
         self.metrics.gauge("service.queue_depth").set(float(self.bulkhead.waiting))
         self.metrics.gauge("service.inflight").set(float(self.bulkhead.held))

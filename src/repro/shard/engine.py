@@ -37,7 +37,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.merge import merge_traces, merged_fingerprint
+from repro.obs.merge import (
+    merge_metrics,
+    merge_traces,
+    merged_fingerprint,
+    payload_to_records,
+)
 from repro.shard.runtime import REPLICATED_METRIC_PREFIXES, ShardRuntime
 from repro.shard.spec import ShardConfigError, ShardPlan, ShardScenarioSpec
 
@@ -61,6 +66,10 @@ class ShardRunResult:
     mode: str
     records: List[Dict[str, Any]] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Merged registry instrument state (see ``merge_metrics``): counters
+    #: summed (``faults.*`` max-merged), gauges maxed, histograms merged
+    #: bucket-wise — plus the coordinator's ``shard.lag_events`` gauge.
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     events_processed: int = 0
     wall_elapsed_s: float = 0.0
     lookahead_s: float = math.inf
@@ -92,12 +101,17 @@ def run_serial(
     runtime.sim.run(until=until)
     wall = time.perf_counter() - t0
     payload = runtime.collect()
+    metrics = merge_metrics(
+        [payload["metrics"]], replicated_prefixes=REPLICATED_METRIC_PREFIXES
+    )
+    metrics["shard.lag_events"] = {"kind": "gauge", "value": 0.0}
     return ShardRunResult(
         until=until,
         n_shards=1,
         mode="serial",
-        records=merge_traces([payload["records"]]),
+        records=merge_traces([payload_to_records(payload["trace"])]),
         counters=dict(payload["counters"]),
+        metrics=metrics,
         events_processed=payload["events_processed"],
         wall_elapsed_s=wall,
         per_shard=[{"shard": 0, "owned": payload["owned"]}],
@@ -265,13 +279,28 @@ class ShardedSimulator:
     ) -> ShardRunResult:
         records: List[Dict[str, Any]] = []
         if self.collect_trace:
-            records = merge_traces([p["records"] for p in payloads])
+            records = merge_traces(
+                [payload_to_records(p["trace"]) for p in payloads]
+            )
+        metrics = merge_metrics(
+            [p["metrics"] for p in payloads],
+            replicated_prefixes=REPLICATED_METRIC_PREFIXES,
+        )
+        # Coordinator-side gauge: how unevenly the partition loaded the
+        # workers (max minus min events fired).  A lag of ~0 means the
+        # layout is balanced; a large one names the scaling bottleneck.
+        events = [p["events_processed"] for p in payloads]
+        metrics["shard.lag_events"] = {
+            "kind": "gauge",
+            "value": float(max(events) - min(events)) if events else 0.0,
+        }
         return ShardRunResult(
             until=until,
             n_shards=self.plan.n_shards,
             mode=self.mode,
             records=records,
             counters=_merge_counters(payloads),
+            metrics=metrics,
             events_processed=sum(p["events_processed"] for p in payloads),
             wall_elapsed_s=wall,
             lookahead_s=lookahead,

@@ -49,6 +49,7 @@ from repro.net.topology import (
     min_cross_shard_distance_m,
     partition_network,
 )
+from repro.obs import wire_from_env
 from repro.scenarios.builder import ScenarioBuilder
 from repro.shard.dispatch import Handoff, ShardDispatcher, ShardTraceLog
 from repro.shard.rng import KeyedHopRng
@@ -97,6 +98,18 @@ class ShardRuntime:
         self.sim = Simulator(seed=spec.seed)
         self.sim.trace = ShardTraceLog(self.sim, shard_index)
         self.sim.trace.enabled = collect_trace
+        # Env-wired observability (REPRO_OBS_NDJSON_DIR / _RING_DIR /
+        # _PROFILE): the shard index namespaces export filenames so
+        # fork-mode siblings — which inherit the parent's pid-seq counter
+        # state — can never clobber each other's parts.  REPRO_OBS_TRACE
+        # is deliberately dropped: the causal packet tracer bypasses the
+        # ownership filter (emit_schema has no shard gate), so enabling
+        # it per-replica would duplicate pkt.* records across shards.
+        wire_from_env(
+            self.sim,
+            {k: v for k, v in os.environ.items() if k != "REPRO_OBS_TRACE"},
+            shard=shard_index,
+        )
 
         self.scenario = None
         if spec.kind == "urban":
@@ -458,12 +471,23 @@ class ShardRuntime:
     # --------------------------------------------------------------- results
 
     def collect(self) -> Dict[str, Any]:
-        """The shard's contribution to the merged result (picklable)."""
+        """The shard's contribution to the merged result (picklable).
+
+        The trace travels as one struct-packed binary payload
+        (:meth:`~repro.sim.trace.TraceLog.packed_payload`) rather than a
+        list of per-record dicts — orders of magnitude less pickle for
+        the pipe; the coordinator decodes with
+        :func:`repro.obs.merge.payload_to_records`.  ``metrics`` is the
+        registry's raw mergeable state (:func:`repro.obs.merge.
+        merge_metrics` unifies it across shards).
+        """
+        self.sim.export_obs()
         return {
             "shard": self.shard_index,
             "owned": len(self.owned),
-            "records": [rec.as_dict() for rec in self.sim.trace.records],
+            "trace": self.sim.trace.packed_payload(),
             "counters": dict(self.sim.metrics.counters()),
+            "metrics": self.sim.registry.state(),
             "events_processed": self.sim.events_processed,
             "wall_elapsed": self.sim.wall_elapsed,
             "now": self.sim.now,

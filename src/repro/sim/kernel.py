@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 import math
 from time import perf_counter
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.errors import SimulationError
 from repro.obs.profiler import KernelProfiler
@@ -58,6 +58,9 @@ class Simulator:
         #: Opt-in causal packet tracer (see :mod:`repro.obs.tracing`);
         #: ``None`` keeps every transmit path unchanged.
         self.packet_tracer: Optional[Any] = None
+        #: When set (``REPRO_OBS_RING_DIR``), :meth:`export_obs` also dumps
+        #: the trace as a binary ``.ring`` file at this path.
+        self.ring_dump_path: Optional[str] = None
         #: Events fired and wall-clock seconds spent across all run() calls.
         self.events_processed = 0
         self.wall_elapsed = 0.0
@@ -267,8 +270,7 @@ class Simulator:
         cumulative state (safe to call more than once — reports take each
         profile label's latest totals).
         """
-        write = self.trace.write_record
-        write(
+        aux: List[Dict[str, Any]] = [
             {
                 "type": "meta",
                 "event": "export",
@@ -277,17 +279,20 @@ class Simulator:
                 "wall_elapsed_s": self.wall_elapsed,
                 "events_per_sec": self.events_per_sec,
             }
-        )
+        ]
         if self.profiler is not None:
-            for record in self.profiler.as_records():
-                write(record)
-        for record in self.registry.as_records():
-            write(record)
+            aux.extend(self.profiler.as_records())
+        aux.extend(self.registry.as_records())
         for name, value in self.metrics.counters().items():
-            write(
+            aux.append(
                 {"type": "metric", "kind": "counter", "name": name, "value": value}
             )
+        write = self.trace.write_record
+        for record in aux:
+            write(record)
         self.trace.flush_sinks()
+        if self.ring_dump_path is not None:
+            self.trace.dump_ring(self.ring_dump_path, aux_records=aux)
 
     def __repr__(self) -> str:
         return f"Simulator(now={self.now:.3f}, queued={self.queue_length})"

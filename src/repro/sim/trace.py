@@ -4,6 +4,18 @@ A :class:`TraceLog` records ``(time, category, fields)`` tuples.  Traces are
 how integration tests assert on *sequences* of behavior (e.g., "the reflex
 fired before re-synthesis was requested") and how determinism is verified
 across runs.
+
+Since the telemetry-plane rework the log is **lazy** on its hot path: when
+no live listener or eager sink is attached, ``emit`` appends one staging
+tuple and returns — no dict, no sort, no dataclass.  Staged entries are
+compacted into a struct-packed :class:`~repro.obs.telemetry.BinaryTraceRing`
+at flush points (or past a watermark) and decoded back into
+:class:`TraceRecord` objects only when :attr:`records` is actually read.
+Decoded records are bit-identical to eagerly-built ones, so fingerprints
+do not depend on which path a run took.  Attaching a listener or an eager
+sink switches emission back to the legacy per-record path; lazily-attached
+sinks (``add_sink(sink, lazy=True)``) instead drain at flush time, keeping
+the hot path untaxed.
 """
 
 from __future__ import annotations
@@ -13,9 +25,17 @@ import logging
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.telemetry import BinaryTraceRing, RecordSchema
+
 __all__ = ["TraceRecord", "TraceLog"]
 
 logger = logging.getLogger("repro.obs")
+
+#: Staged entries past this count are compacted into the binary ring from
+#: inside ``emit`` — a memory backstop; flush points compact much earlier
+#: in any instrumented run.  Large enough that benchmark cells never pay
+#: compaction inside the timed window.
+COMPACT_WATERMARK = 262_144
 
 
 @dataclass(frozen=True)
@@ -42,94 +62,359 @@ class TraceLog:
     """Append-only trace attached to a simulator.
 
     Tracing is enabled by default but can be capped or disabled for very
-    large runs (benchmarks disable it).  The in-memory ``records`` list is
-    bounded by ``max_records`` — but hitting the cap no longer loses data
-    silently: overflow is counted on :attr:`dropped`, warned about once,
-    and every record (retained or not) still reaches the live listeners
-    and any attached streaming sinks (:mod:`repro.obs.sinks`), so a
-    rotated NDJSON export keeps the full stream.
+    large runs.  The in-memory record store is bounded by ``max_records``
+    — but hitting the cap no longer loses data silently: overflow is
+    counted on :attr:`dropped`, warned about once, and every record
+    (retained or not) still reaches the live listeners and any attached
+    streaming sinks (:mod:`repro.obs.sinks`), so a rotated NDJSON export
+    keeps the full stream.
     """
 
     def __init__(self, sim: "Simulator", max_records: int = 1_000_000):  # noqa: F821
         self._sim = sim
-        self.enabled = True
-        self.max_records = max_records
-        self.records: List[TraceRecord] = []
+        self._enabled = True
+        self._max_records = max_records
         #: Records not retained in memory because ``max_records`` was hit.
         self.dropped = 0
         self._warned_capped = False
         self._listeners: List[Callable[[TraceRecord], None]] = []
         self._sinks: List[Any] = []
+        self._lazy_sinks: List[Any] = []
+        # True while any listener or eager sink is attached — flips emission
+        # back to the legacy per-record path.
+        self._eager = False
+        # --- lazy store: packed prefix + staged tail + decode cache -------
+        self._ring = BinaryTraceRing()
+        # Tail entries: TraceRecord (eager path), (time, category, fields)
+        # 3-tuples (generic emit), or flat (time, schema, *values) tuples
+        # (schema emit) — one allocation per staged record.
+        self._tail: List[Any] = []
+        # Bound append, saving a lookup per staged record; `_tail` is only
+        # ever cleared in place, never rebound, so the binding stays valid.
+        self._stage = self._tail.append
+        # Decoded prefix of the stream; extended on demand by `records`.
+        self._cache: List[TraceRecord] = []
+        # Trace records already written to lazy sinks.
+        self._drained = 0
+        # --- fused hot-path guard ------------------------------------------
+        # `_budget` is how many records the staging path may still append
+        # before anything else needs to happen: it is zero when disabled or
+        # in eager mode, and otherwise counts down to the nearer of the
+        # memory cap and the compaction watermark.  One int read and one
+        # write replace four attribute reads per record; every state change
+        # that could affect it goes through `_refresh_guards`.
+        self._compact_at = COMPACT_WATERMARK
+        self._budget = 0
+        self._refresh_guards()
+
+    # --------------------------------------------------------- guard plumbing
+
+    @property
+    def _n(self) -> int:
+        """Retained record count (ring + tail) — the logical stream length."""
+        return len(self._ring) + len(self._tail)
+
+    def _refresh_guards(self) -> None:
+        if self._enabled and not self._eager:
+            limit = min(self._max_records, self._compact_at)
+            self._budget = max(0, limit - self._n)
+        else:
+            self._budget = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether emits are recorded; assignable, as before the rework."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        self._refresh_guards()
+
+    @property
+    def max_records(self) -> int:
+        """The in-memory retention cap; assignable, as before the rework."""
+        return self._max_records
+
+    @max_records.setter
+    def max_records(self, value: int) -> None:
+        self._max_records = value
+        self._refresh_guards()
+
+    # ------------------------------------------------------------------- emit
 
     def emit(self, category: str, **fields: Any) -> None:
-        if not self.enabled:
+        budget = self._budget
+        if budget:
+            # The zero-tax path: one tuple append.  `fields` is a fresh
+            # kwargs dict the caller cannot alias, so deferring the sort
+            # and the dataclass to decode time is safe.
+            self._stage((self._sim.now, category, fields))
+            self._budget = budget - 1
+        else:
+            self._emit_slow(category, fields)
+
+    def emit_schema(self, schema: RecordSchema, values: Tuple[Any, ...]) -> None:
+        """Schema fast path: positional values against pre-sorted keys.
+
+        For emitters with a fixed field set (the packet tracer) — skips
+        the kwargs dict and the per-record key sort on top of the lazy
+        path's savings.  ``values`` must align with ``schema.keys``.
+        Staging the schema's int id (not the object) keeps this at one
+        flat-tuple append of atomic values, which CPython's GC untracks
+        at the first collection instead of rescanning forever.
+        """
+        budget = self._budget
+        if budget:
+            self._stage((self._sim.now, schema.sid) + values)
+            self._budget = budget - 1
+        else:
+            self._emit_slow_schema(schema, values)
+
+    def _emit_slow(self, category: str, fields: Dict[str, Any]) -> None:
+        """Off the staging fast path: disabled, eager, capped, or due for
+        an in-emit compaction (the memory backstop)."""
+        if not self._enabled:
             return
-        record = TraceRecord(
-            time=self._sim.now,
-            category=category,
-            fields=tuple(sorted(fields.items())),
-        )
-        if len(self.records) < self.max_records:
-            self.records.append(record)
+        if self._eager:
+            self._emit_eager(
+                TraceRecord(
+                    time=self._sim.now,
+                    category=category,
+                    fields=tuple(sorted(fields.items())),
+                )
+            )
+        elif self._n >= self._max_records:
+            self._overflow((self._sim.now, category, fields))
+        else:
+            # Compaction watermark trip: pack, which re-arms the budget.
+            self.compact()
+            self._stage((self._sim.now, category, fields))
+            self._budget -= 1
+
+    def _emit_slow_schema(self, schema: RecordSchema, values: Tuple[Any, ...]) -> None:
+        if not self._enabled:
+            return
+        if self._eager:
+            self._emit_eager(
+                TraceRecord(
+                    time=self._sim.now,
+                    category=schema.category,
+                    fields=tuple(zip(schema.keys, values)),
+                )
+            )
+        elif self._n >= self._max_records:
+            self._overflow((self._sim.now, schema.sid) + values)
+        else:
+            self.compact()
+            self._stage((self._sim.now, schema.sid) + values)
+            self._budget -= 1
+
+    def _emit_eager(self, record: TraceRecord) -> None:
+        """The legacy per-record path: listeners and sinks see it now."""
+        if self._n < self._max_records:
+            self._tail.append(record)
         else:
             self.dropped += 1
-            if not self._warned_capped:
-                self._warned_capped = True
-                logger.warning(
-                    "trace capped at %d in-memory records; further records "
-                    "are dropped from memory (attach a sink — e.g. "
-                    "repro.obs.NdjsonSink — to keep the full stream)",
-                    self.max_records,
-                )
-                self.write_record(
-                    {
-                        "type": "meta",
-                        "event": "trace_capped",
-                        "time": record.time,
-                        "max_records": self.max_records,
-                    }
-                )
+            self._warn_capped(record.time)
         for listener in self._listeners:
             listener(record)
-        if self._sinks:
+        if self._sinks or self._lazy_sinks:
             payload = {"type": "trace", **record.as_dict()}
             for sink in self._sinks:
                 sink.write(payload)
+            if self._lazy_sinks:
+                # Keep lazy sinks ordered: backlog first, then this record
+                # — but only for overflow records, which will never appear
+                # in a later drain.  Retained records drain at flush time.
+                if self._n >= self._max_records and self.dropped:
+                    self._drain_lazy()
+                    for sink in self._lazy_sinks:
+                        sink.write(payload)
+
+    def _overflow(self, entry: Tuple[Any, ...]) -> None:
+        """Past the cap on the lazy path: count, warn once, and stream the
+        record to lazily-attached sinks so the export keeps everything."""
+        self.dropped += 1
+        self._warn_capped(entry[0])
+        if self._lazy_sinks:
+            self._drain_lazy()
+            record = self._decode_entry(entry)
+            payload = {"type": "trace", **record.as_dict()}
+            for sink in self._lazy_sinks:
+                sink.write(payload)
+
+    def _warn_capped(self, time: float) -> None:
+        if self._warned_capped:
+            return
+        self._warned_capped = True
+        logger.warning(
+            "trace capped at %d in-memory records; further records "
+            "are dropped from memory (attach a sink — e.g. "
+            "repro.obs.NdjsonSink — to keep the full stream)",
+            self.max_records,
+        )
+        self.write_record(
+            {
+                "type": "meta",
+                "event": "trace_capped",
+                "time": time,
+                "max_records": self.max_records,
+            }
+        )
+
+    # ------------------------------------------------------- lazy store plumbing
+
+    @staticmethod
+    def _decode_entry(entry: Any) -> TraceRecord:
+        if type(entry) is TraceRecord:
+            return entry
+        key = entry[1]
+        if type(key) is int:
+            schema = RecordSchema.registry[key]
+            return TraceRecord(
+                entry[0], schema.category, tuple(zip(schema.keys, entry[2:]))
+            )
+        return TraceRecord(entry[0], key, tuple(sorted(entry[2].items())))
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The retained records, decoding lazily on first read.
+
+        Returns the decode cache itself: iteration, indexing, and ``len``
+        behave exactly like the eager list this used to be.
+        """
+        cache = self._cache
+        if len(cache) < self._n:
+            packed_n = len(self._ring)
+            if len(cache) < packed_n:
+                for tup in self._ring.iter_tuples(start=len(cache)):
+                    cache.append(TraceRecord(*tup))
+            decode = self._decode_entry
+            for entry in self._tail[len(cache) - packed_n:]:
+                cache.append(decode(entry))
+        return cache
+
+    def compact(self) -> int:
+        """Pack the staged tail into the binary ring; returns bytes held.
+
+        Runs at flush points (and past the emit watermark): record content
+        moves from N Python tuples to one struct-packed buffer.  Purely a
+        representation change — ``records`` decodes the same stream.
+        """
+        if self._tail:
+            ring = self._ring
+            for entry in self._tail:
+                if type(entry) is TraceRecord:
+                    ring.append(entry.time, entry.category, entry.fields)
+                else:
+                    key = entry[1]
+                    if type(key) is int:
+                        schema = RecordSchema.registry[key]
+                        ring.append(
+                            entry[0], schema.category, zip(schema.keys, entry[2:])
+                        )
+                    else:
+                        ring.append(entry[0], key, sorted(entry[2].items()))
+            self._tail.clear()
+        # Re-arm the in-emit compaction watermark relative to the new count.
+        self._compact_at = self._n + COMPACT_WATERMARK
+        self._refresh_guards()
+        return self._ring.nbytes
+
+    def packed_payload(self) -> Dict[str, Any]:
+        """Compact everything and return the picklable binary payload
+        (see :meth:`BinaryTraceRing.to_payload`) — how a shard ships its
+        trace through a pipe without materializing per-record dicts."""
+        self.compact()
+        return self._ring.to_payload()
+
+    def dump_ring(
+        self, path: str, aux_records: Optional[Iterable[Dict[str, Any]]] = None
+    ) -> str:
+        """Compact and write the trace as a ``.ring`` binary export."""
+        self.compact()
+        return self._ring.dump(path, aux_records=aux_records)
+
+    # ---------------------------------------------------------------- listeners
 
     def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         """Register a live listener for each emitted record."""
         self._listeners.append(listener)
+        self._eager = True
+        self._refresh_guards()
 
     # ------------------------------------------------------------------ sinks
 
-    def add_sink(self, sink: Any) -> Any:
+    def add_sink(self, sink: Any, *, lazy: bool = False) -> Any:
         """Attach a streaming sink; every emitted record (including ones
-        past the memory cap) is written to it as a dict."""
-        self._sinks.append(sink)
+        past the memory cap) is written to it as a dict.
+
+        ``lazy=True`` keeps the hot path untaxed: records reach the sink
+        in batches at flush points (``flush_sinks``/``write_record``/
+        ``close_sinks``) instead of one write per emit.  Cap-overflow
+        records are still written at emit time — they exist nowhere else.
+        """
+        if lazy:
+            self._lazy_sinks.append(sink)
+        else:
+            self._sinks.append(sink)
+            self._eager = True
+            self._refresh_guards()
         return sink
 
     def remove_sink(self, sink: Any) -> None:
         if sink in self._sinks:
             self._sinks.remove(sink)
+        if sink in self._lazy_sinks:
+            self._lazy_sinks.remove(sink)
+        self._eager = bool(self._listeners or self._sinks)
+        self._refresh_guards()
 
     @property
     def sinks(self) -> Tuple[Any, ...]:
-        return tuple(self._sinks)
+        return tuple(self._sinks) + tuple(self._lazy_sinks)
+
+    def _drain_lazy(self) -> None:
+        """Write retained records not yet seen by lazy sinks, in order."""
+        if not self._lazy_sinks or self._drained >= self._n:
+            return
+        records = self.records
+        for rec in records[self._drained:]:
+            payload = {"type": "trace", **rec.as_dict()}
+            for sink in self._lazy_sinks:
+                sink.write(payload)
+        self._drained = len(records)
 
     def write_record(self, record: Dict[str, Any]) -> None:
         """Write an arbitrary (non-trace) record dict to the sinks —
-        profiler rows, metric snapshots, meta events."""
+        profiler rows, metric snapshots, meta events.  Lazy sinks receive
+        the trace backlog first so stream order is preserved."""
+        self._drain_lazy()
         for sink in self._sinks:
+            sink.write(record)
+        for sink in self._lazy_sinks:
             sink.write(record)
 
     def flush_sinks(self) -> None:
+        self._drain_lazy()
         for sink in self._sinks:
+            sink.flush()
+        for sink in self._lazy_sinks:
             sink.flush()
 
     def close_sinks(self) -> None:
+        self._drain_lazy()
         for sink in self._sinks:
             sink.close()
+        for sink in self._lazy_sinks:
+            sink.close()
         self._sinks.clear()
+        self._lazy_sinks.clear()
+        self._eager = bool(self._listeners)
+        self._refresh_guards()
+
+    # ---------------------------------------------------------------- queries
 
     def filter(
         self, category: Optional[str] = None, **field_filters: Any
@@ -181,7 +466,12 @@ class TraceLog:
             yield {"type": "trace", **rec.as_dict()}
 
     def clear(self) -> None:
-        self.records.clear()
+        self._ring.clear()
+        self._tail.clear()
+        self._cache = []
+        self._drained = 0
+        self._compact_at = COMPACT_WATERMARK
+        self._refresh_guards()
 
     def __len__(self) -> int:
-        return len(self.records)
+        return self._n

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-from repro.obs.merge import MERGE_FIELDS, merge_traces, merged_fingerprint
+import pytest
+
+from repro.obs.merge import (
+    MERGE_FIELDS,
+    merge_metrics,
+    merge_traces,
+    merged_fingerprint,
+)
 from repro.sim.trace import TraceRecord
 
 
@@ -100,3 +107,92 @@ def test_fingerprint_handles_mixed_field_types():
     ]
     fp = merged_fingerprint(records)
     assert fp == merged_fingerprint(list(reversed(records)))
+
+
+# -- merge_metrics ------------------------------------------------------
+
+
+def _counter(v):
+    return {"kind": "counter", "value": float(v)}
+
+
+def _gauge(v):
+    return {"kind": "gauge", "value": float(v)}
+
+
+def _hist(counts, *, buckets=(0.1, 1.0), total=0.0, mn=0.0, mx=0.0):
+    return {
+        "kind": "histogram",
+        "buckets": list(buckets),
+        "counts": list(counts),
+        "count": sum(counts),
+        "total": total,
+        "min": mn,
+        "max": mx,
+    }
+
+
+def test_merge_metrics_counters_sum_but_replicated_families_max():
+    # net.tx is per-shard work (sums); faults.* schedules are replicated
+    # into every shard, so summing would multiply them by the shard count.
+    states = [
+        {"net.tx": _counter(10), "faults.link_flaps": _counter(3)},
+        {"net.tx": _counter(7), "faults.link_flaps": _counter(3)},
+        {"net.tx": _counter(5), "faults.link_flaps": _counter(2)},
+    ]
+    merged = merge_metrics(states, replicated_prefixes=("faults.",))
+    assert merged["net.tx"]["value"] == 22.0
+    assert merged["faults.link_flaps"]["value"] == 3.0
+
+
+def test_merge_metrics_gauges_take_max():
+    merged = merge_metrics([{"q": _gauge(2)}, {"q": _gauge(9)}, {"q": _gauge(4)}])
+    assert merged["q"] == {"kind": "gauge", "value": 9.0}
+
+
+def test_merge_metrics_histograms_merge_bucketwise():
+    a = _hist([3, 1, 0], total=0.5, mn=0.01, mx=0.9)
+    b = _hist([1, 2, 1], total=2.5, mn=0.05, mx=3.0)
+    merged = merge_metrics([{"lat": a}, {"lat": b}])["lat"]
+    assert merged["counts"] == [4, 3, 1]
+    assert merged["count"] == 8
+    assert merged["total"] == pytest.approx(3.0)
+    assert merged["min"] == 0.01
+    assert merged["max"] == 3.0
+    # Inputs are not mutated (first-seen state is deep-copied).
+    assert a["counts"] == [3, 1, 0]
+
+
+def test_merge_metrics_rejects_bucket_and_kind_mismatches():
+    with pytest.raises(ValueError):
+        merge_metrics(
+            [
+                {"lat": _hist([1, 0, 0], buckets=(0.1, 1.0))},
+                {"lat": _hist([1, 0, 0], buckets=(0.2, 1.0))},
+            ]
+        )
+    with pytest.raises(ValueError):
+        merge_metrics([{"x": _counter(1)}, {"x": _gauge(1)}])
+
+
+def test_merge_metrics_union_of_names():
+    merged = merge_metrics([{"a": _counter(1)}, {"b": _counter(2)}])
+    assert merged["a"]["value"] == 1.0
+    assert merged["b"]["value"] == 2.0
+
+
+def test_merged_metrics_invariant_to_shard_count():
+    # The same total work split across 2 or 4 shards merges identically
+    # (the metrics analogue of the fingerprint partition-invariance).
+    def shard(tx, flaps, depth):
+        return {
+            "net.tx": _counter(tx),
+            "faults.link_flaps": _counter(flaps),
+            "queue.depth": _gauge(depth),
+        }
+
+    two = [shard(12, 5, 3), shard(8, 5, 7)]
+    four = [shard(6, 5, 1), shard(6, 5, 3), shard(4, 5, 7), shard(4, 5, 2)]
+    a = merge_metrics(two, replicated_prefixes=("faults.",))
+    b = merge_metrics(four, replicated_prefixes=("faults.",))
+    assert a == b

@@ -50,7 +50,7 @@ class TestGracefulErrors:
         rc = obs_main(["trace", str(empty)])
         assert rc == 2
         err = capsys.readouterr().err
-        assert "no *.ndjson exports" in err
+        assert "no *.ndjson or *.ring exports" in err
 
     def test_export_without_pkt_records_exits_2(self, tmp_path, capsys):
         path = tmp_path / "plain.ndjson"
@@ -101,3 +101,117 @@ class TestTraceSubcommand:
         rc = obs_main(["trace", str(exports)])
         assert rc == 0
         assert "critical path" in capsys.readouterr().out
+
+
+class TestReportSchemaAndRings:
+    def test_report_json_carries_schema_version(self, tmp_path):
+        export = tmp_path / "run.ndjson"
+        _write_ndjson(export, trace_records())
+        out_json = tmp_path / "report.json"
+        rc = obs_main(["report", str(export), "--json", str(out_json)])
+        assert rc == 0
+        report = json.loads(out_json.read_text())
+        assert report["schema"] == "obs-report/2"
+        assert report["skipped_lines"] == 0
+
+    def test_report_reads_mixed_ndjson_and_ring_directory(self, tmp_path):
+        from repro.obs.telemetry import BinaryTraceRing
+
+        exports = tmp_path / "exports"
+        exports.mkdir()
+        _write_ndjson(exports / "shard0-task-1-1.ndjson", trace_records()[:2])
+        ring = BinaryTraceRing()
+        for rec in trace_records()[2:]:
+            fields = sorted(
+                (k, v) for k, v in rec.items()
+                if k not in ("type", "time", "category")
+            )
+            ring.append(rec["time"], rec["category"], fields)
+        ring.dump(
+            str(exports / "shard1-task-1-2.ring"),
+            aux_records=[{"type": "metric", "name": "net.tx",
+                          "kind": "counter", "value": 5.0}],
+        )
+        out_json = tmp_path / "report.json"
+        rc = obs_main(["report", str(exports), "--json", str(out_json)])
+        assert rc == 0
+        report = json.loads(out_json.read_text())
+        # All four trace records from both formats, plus the aux metric.
+        assert sum(report["trace_counts"].values()) == 4
+        assert report["metrics"]["net.tx"]["value"] == 5.0
+
+    def test_trace_analyzer_reads_ring_only_directory(self, tmp_path, capsys):
+        from repro.obs.telemetry import BinaryTraceRing
+
+        exports = tmp_path / "exports"
+        exports.mkdir()
+        ring = BinaryTraceRing()
+        for rec in trace_records():
+            fields = sorted(
+                (k, v) for k, v in rec.items()
+                if k not in ("type", "time", "category")
+            )
+            ring.append(rec["time"], rec["category"], fields)
+        ring.dump(str(exports / "task.ring"))
+        rc = obs_main(["trace", str(exports)])
+        assert rc == 0
+        assert "critical path" in capsys.readouterr().out
+
+
+class TestLiveSubcommand:
+    def _export_with_metrics(self, path):
+        _write_ndjson(path, [
+            {"type": "metric", "name": "route.flooding.tx",
+             "kind": "counter", "value": 10.0},
+            {"type": "metric", "name": "route.flooding.delivered",
+             "kind": "counter", "value": 9.0},
+            {"type": "metric", "name": "service.breaker.greedy.state",
+             "kind": "gauge", "value": 0.0},
+            {"type": "metric", "name": "shard.lag_events",
+             "kind": "gauge", "value": 3.0},
+            {"type": "meta", "event": "export", "sim_now": 10.0,
+             "events_processed": 1000, "events_per_sec": 5000.0},
+        ])
+
+    def test_live_single_snapshot_ok(self, tmp_path, capsys):
+        export = tmp_path / "run.ndjson"
+        self._export_with_metrics(export)
+        rc = obs_main([
+            "live", str(export), "--count", "1",
+            "--slo", "kernel.events_per_sec>=1000",
+            "--slo", "shard.lag_events<=5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events/sec=5000.0" in out
+        assert "flooding: delivery_ratio=0.900" in out
+        assert "greedy=closed" in out
+        assert "lag_events=3" in out
+
+    def test_live_exits_1_on_slo_breach(self, tmp_path, capsys):
+        export = tmp_path / "run.ndjson"
+        self._export_with_metrics(export)
+        out_json = tmp_path / "live.json"
+        rc = obs_main([
+            "live", str(export), "--count", "1",
+            "--slo", "routers.flooding.delivery_ratio>=0.95",
+            "--json", str(out_json),
+        ])
+        assert rc == 1
+        assert "SLO BREACH" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert payload["slo_breaches"]
+        assert payload["snapshot"]["kernel"]["events_per_sec"] == 5000.0
+
+    def test_live_missing_export_exits_2(self, tmp_path, capsys):
+        rc = obs_main(["live", str(tmp_path / "nope"), "--count", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_live_rejects_malformed_slo(self, tmp_path, capsys):
+        export = tmp_path / "run.ndjson"
+        self._export_with_metrics(export)
+        rc = obs_main(["live", str(export), "--count", "1",
+                       "--slo", "events_per_sec==fast"])
+        assert rc == 2
+        assert "bad SLO" in capsys.readouterr().err

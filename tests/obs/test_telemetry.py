@@ -1,0 +1,129 @@
+"""Binary trace ring: pack/decode fidelity, eviction, transport, disk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.telemetry import (
+    RING_MAGIC,
+    BinaryTraceRing,
+    RecordSchema,
+    StringTable,
+    load_ring,
+)
+
+
+def test_string_table_interns_and_restores():
+    table = StringTable()
+    a = table.intern("pkt.rx")
+    b = table.intern("uid")
+    assert table.intern("pkt.rx") == a  # stable on re-intern
+    assert table.lookup(a) == "pkt.rx"
+    assert table.lookup(b) == "uid"
+    clone = StringTable(table.as_list())
+    assert clone.intern("pkt.rx") == a
+    assert len(clone) == len(table)
+
+
+def test_record_schema_requires_sorted_keys_and_registers():
+    schema = RecordSchema("t.sorted", ("a", "b", "c"))
+    assert RecordSchema.registry[schema.sid] is schema
+    with pytest.raises(ValueError):
+        RecordSchema("t.unsorted", ("b", "a"))
+
+
+def test_pack_decode_round_trip_is_bit_identical():
+    ring = BinaryTraceRing()
+    fields = (
+        ("big", 2**70),  # wider than i64: object side-table
+        ("flag_f", False),
+        ("flag_t", True),
+        ("fval", 0.1 + 0.2),  # must come back to the exact same double
+        ("ival", -(2**62)),
+        ("none", None),
+        ("sval", "hello"),
+    )
+    ring.append(1.5, "test.cat", fields)
+    [(time, category, decoded)] = list(ring.iter_tuples())
+    assert time == 1.5
+    assert category == "test.cat"
+    assert decoded == fields
+    # Types survive exactly: bools are bools, not ints.
+    values = dict(decoded)
+    assert values["flag_t"] is True and values["flag_f"] is False
+    assert type(values["ival"]) is int and type(values["fval"]) is float
+    assert values["big"] == 2**70
+
+
+def test_flight_recorder_eviction_keeps_newest():
+    ring = BinaryTraceRing(capacity_records=3)
+    for i in range(10):
+        ring.append(float(i), "c", (("i", i),))
+    assert len(ring) == 3
+    assert ring.evicted == 7
+    assert [t for t, _c, _f in ring.iter_tuples()] == [7.0, 8.0, 9.0]
+    ring.clear()
+    assert len(ring) == 0 and ring.evicted == 0 and ring.nbytes == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BinaryTraceRing(capacity_records=0)
+
+
+def test_payload_round_trip_survives_pickle_shapes():
+    ring = BinaryTraceRing()
+    for i in range(50):
+        ring.append(i * 0.25, f"cat.{i % 3}", (("n", i), ("tag", f"s{i % 5}")))
+    payload = ring.to_payload()
+    # The whole trace ships as one bytes blob + interning table.
+    assert isinstance(payload["packed"], bytes)
+    clone = BinaryTraceRing.from_payload(payload)
+    assert list(clone.iter_tuples()) == list(ring.iter_tuples())
+
+
+def test_payload_respects_eviction_offset():
+    ring = BinaryTraceRing(capacity_records=4)
+    for i in range(9):
+        ring.append(float(i), "c", (("i", i),))
+    clone = BinaryTraceRing.from_payload(ring.to_payload())
+    assert [t for t, _c, _f in clone.iter_tuples()] == [5.0, 6.0, 7.0, 8.0]
+
+
+def test_iter_tuples_from_offset():
+    ring = BinaryTraceRing()
+    for i in range(5):
+        ring.append(float(i), "c", (("i", i),))
+    assert [t for t, _c, _f in ring.iter_tuples(start=3)] == [3.0, 4.0]
+    assert list(ring.iter_tuples(start=5)) == []
+
+
+def test_dump_and_load_ring_with_aux_records(tmp_path):
+    ring = BinaryTraceRing()
+    ring.append(0.5, "pkt.rx", (("hop", 2), ("uid", "u1")))
+    ring.append(1.0, "pkt.drop", (("reason", "loss"),))
+    aux = [
+        {"type": "meta", "event": "export", "events_per_sec": 1234.5},
+        {"type": "metric", "name": "net.tx", "kind": "counter", "value": 7.0},
+    ]
+    path = ring.dump(str(tmp_path / "sub" / "run.ring"), aux_records=aux)
+    records = load_ring(path)
+    assert records[0] == {"type": "trace", "time": 0.5, "category": "pkt.rx",
+                          "hop": 2, "uid": "u1"}
+    assert records[1]["reason"] == "loss"
+    assert records[2]["event"] == "export"
+    assert records[3]["value"] == 7.0
+
+
+def test_load_ring_rejects_non_ring_files(tmp_path):
+    path = tmp_path / "not-a-ring.ring"
+    path.write_bytes(b"something else entirely\n")
+    with pytest.raises(ValueError, match="bad magic"):
+        load_ring(str(path))
+    assert RING_MAGIC.endswith(b"\n")  # readline-based header contract
+
+
+def test_empty_ring_dump_round_trips(tmp_path):
+    ring = BinaryTraceRing()
+    path = ring.dump(str(tmp_path / "empty.ring"))
+    assert load_ring(path) == []

@@ -1,0 +1,110 @@
+"""Shard workers on the unified telemetry plane.
+
+Two contracts:
+
+* **Metrics parity** — per-shard registries merged by the coordinator
+  (counters summed, ``faults.*`` max-merged) equal the serial registry,
+  the metrics analogue of the trace-fingerprint gate.
+* **Export collision safety** — fork-mode workers sharing one
+  ``REPRO_OBS_NDJSON_DIR`` land ``shard<k>-``-prefixed files: forked
+  siblings inherit the parent's pid-seq counter state, so the pid-seq
+  name alone is not unique (the PR8 regression).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.shard import (
+    ShardPlan,
+    ShardScenarioSpec,
+    ShardedSimulator,
+    WorkloadSpec,
+    run_serial,
+)
+
+SPEC = ShardScenarioSpec(
+    seed=5,
+    blocks=3,
+    n_blue=20,
+    bitrate_cap_bps=5e4,
+    router="flooding",
+    mobile_fraction=0.25,
+    workload=WorkloadSpec(kind="beacons", rate_hz=1.0, ttl=4, sender_stride=2),
+)
+PLAN = ShardPlan(n_shards=4, cell_size_m=60.0)
+UNTIL = 4.0
+
+
+def _canon(metrics, *, drop=("shard.lag_events",)):
+    """Comparable view: coordinator-only gauges out, float sums rounded
+    to the fingerprint tolerance (per-shard partials sum in a different
+    order than serial, which legally moves the last ulp)."""
+
+    def canon(v):
+        if isinstance(v, float):
+            return round(v, 9)
+        if isinstance(v, list):
+            return [canon(x) for x in v]
+        if isinstance(v, dict):
+            return {k: canon(x) for k, x in v.items()}
+        return v
+
+    return {k: canon(v) for k, v in metrics.items() if k not in drop}
+
+
+def test_merged_metrics_equal_serial_inline():
+    serial = run_serial(SPEC, UNTIL)
+    sharded = ShardedSimulator(SPEC, PLAN, mode="inline").run(UNTIL)
+    assert serial.metrics, "scenario produced no metrics"
+    assert _canon(serial.metrics) == _canon(sharded.metrics)
+    # Serial is one shard: lag is identically zero.  Sharded lag is the
+    # max-min spread of per-shard event counts — present and >= 0.
+    assert serial.metrics["shard.lag_events"]["value"] == 0.0
+    assert sharded.metrics["shard.lag_events"]["value"] >= 0.0
+
+
+def test_merged_metrics_invariant_to_the_cut():
+    base = ShardedSimulator(SPEC, PLAN, mode="inline").run(UNTIL)
+    recut = ShardedSimulator(
+        SPEC,
+        ShardPlan(n_shards=2, cell_size_m=70.0, partition_seed=9),
+        mode="inline",
+    ).run(UNTIL)
+    assert _canon(base.metrics) == _canon(recut.metrics)
+
+
+def test_fork_workers_do_not_collide_in_shared_export_dir(tmp_path, monkeypatch):
+    export_dir = tmp_path / "obs"
+    export_dir.mkdir()
+    monkeypatch.setenv("REPRO_OBS_NDJSON_DIR", str(export_dir))
+    sharded = ShardedSimulator(
+        SPEC, ShardPlan(n_shards=2, cell_size_m=60.0), mode="fork"
+    ).run(UNTIL)
+    assert sharded.n_shards == 2
+    names = sorted(os.listdir(export_dir))
+    # One export per shard, each namespaced by its shard index.
+    shard_files = {
+        k: [n for n in names if n.startswith(f"shard{k}-")] for k in (0, 1)
+    }
+    assert len(shard_files[0]) == 1 and len(shard_files[1]) == 1
+    assert set(names) == {shard_files[0][0], shard_files[1][0]}
+    # Every file is non-empty valid NDJSON (no interleaved/clobbered writes).
+    from repro.obs.sinks import read_ndjson
+
+    for name in names:
+        records, skipped = read_ndjson(str(export_dir / name))
+        assert records and skipped == 0
+
+
+def test_fork_merged_metrics_match_serial(tmp_path, monkeypatch):
+    # The real-pipes path: states cross the process boundary and merge.
+    serial = run_serial(SPEC, UNTIL)  # before setenv: no ring for serial
+    monkeypatch.setenv("REPRO_OBS_RING_DIR", str(tmp_path / "rings"))
+    sharded = ShardedSimulator(
+        SPEC, ShardPlan(n_shards=2, cell_size_m=60.0), mode="fork"
+    ).run(UNTIL)
+    assert _canon(serial.metrics) == _canon(sharded.metrics)
+    # Each worker also dumped its binary ring, shard-prefixed.
+    rings = sorted(os.listdir(tmp_path / "rings"))
+    assert [n.split("-")[0] for n in rings] == ["shard0", "shard1"]
