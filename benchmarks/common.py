@@ -43,9 +43,33 @@ __all__ = [
     "sim_rate",
     "write_bench_pr4",
     "write_bench_pr8",
+    "manifest_paths",
     "BENCH_PR4_SCHEMA",
     "BENCH_PR8_SCHEMA",
 ]
+
+
+def manifest_paths() -> list:
+    """RunManifests stamped by this process's env-wired exports, sorted.
+
+    Scans the ``REPRO_OBS_*`` export locations for ``*.manifest.json``
+    files (see :mod:`repro.obs.forensics`): every ``BENCH_*.json`` records
+    them so a benchmark number can always be traced back to the exact
+    seeds, RNG draw counts, and spec hashes that produced it.
+    """
+    import glob
+
+    candidates = []
+    for var in ("REPRO_OBS_RING_DIR", "REPRO_OBS_NDJSON_DIR"):
+        directory = os.environ.get(var)
+        if directory and os.path.isdir(directory):
+            candidates.extend(
+                glob.glob(os.path.join(directory, "*.manifest.json"))
+            )
+    single = os.environ.get("REPRO_OBS_NDJSON")
+    if single and os.path.exists(single + ".manifest.json"):
+        candidates.append(single + ".manifest.json")
+    return sorted(set(candidates))
 
 
 def standard_scenario(
@@ -151,6 +175,7 @@ def write_bench_pr4(
         "schema": BENCH_PR4_SCHEMA,
         "events_per_sec": events_per_sec,
         "routers": routers,
+        "run_manifests": manifest_paths(),
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(json_safe(payload), fh, indent=2, allow_nan=False)
@@ -195,6 +220,7 @@ def write_bench_pr8(
         "routers": routers,
         "baseline": baseline,
         "methodology": methodology,
+        "run_manifests": manifest_paths(),
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(json_safe(payload), fh, indent=2, allow_nan=False)

@@ -6,6 +6,10 @@ campaign stack (spec expansion, process-pool fan-out, result cache,
 aggregation) and writes the aggregated table as JSON.  CI runs this as its
 smoke-campaign job and uploads the JSON as a build artifact; it is also a
 quick local health check that parallel execution works on a given machine.
+
+``python -m repro.campaign replay <cache-entry.json>`` re-runs one cached
+task from its stored params/seed and verifies every deterministic result
+field (and the RunManifest fingerprint) reproduces exactly.
 """
 
 from __future__ import annotations
@@ -21,7 +25,16 @@ from repro.campaign.cache import ResultCache
 from repro.campaign.runner import CampaignInterrupted, CampaignRunner
 from repro.campaign.spec import SweepSpec
 
-__all__ = ["smoke_task", "smoke_spec", "main"]
+__all__ = ["smoke_task", "smoke_spec", "replay_main", "main"]
+
+#: Result keys that legitimately vary between bit-identical executions
+#: (wall-clock throughput) or that replay compares field-by-field
+#: (``run_manifest``); everything else must reproduce exactly.
+REPLAY_VOLATILE_KEYS = ("events_per_sec", "run_manifest")
+
+#: RunManifest fields replay asserts on.  ``created_at``, ``env``, and
+#: ``exports`` are process-local by design and excluded.
+REPLAY_MANIFEST_KEYS = ("fingerprint", "root_seed", "rng_streams", "checkpoints")
 
 
 def smoke_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
@@ -69,11 +82,17 @@ def smoke_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         sim.run(until=horizon)
     sim.export_obs()
 
+    from repro.obs.forensics import manifest_for_sim
+
     return {
         "delivery_ratio": service.delivery_ratio(),
         "tx_attempts": float(sim.metrics.counter("net.tx_attempts")),
         "events_per_sec": sim.events_per_sec,
         "trace_fingerprint": sim.trace.fingerprint(),
+        # Full provenance (seed, RNG stream draw counts, trace digest) so
+        # cached entries stay auditable and `repro.campaign replay` can
+        # re-verify them; aggregation ignores non-numeric result fields.
+        "run_manifest": manifest_for_sim(sim).as_dict(),
     }
 
 
@@ -89,7 +108,107 @@ def smoke_spec(replicates: int = 3) -> SweepSpec:
     )
 
 
+def _load_task_fn(spec: str):
+    """Resolve a ``module:attr`` task-function reference."""
+    import importlib
+
+    module_name, _, attr = spec.partition(":")
+    if not attr:
+        raise ValueError(f"task fn must look like module:attr, got {spec!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def replay_main(argv=None) -> int:
+    """``python -m repro.campaign replay <entry>``: re-run one cached task.
+
+    ``entry`` is a result-cache entry JSON (the ``<key>.json`` file a
+    :class:`~repro.campaign.cache.ResultCache` wrote), or a bare cache key
+    combined with ``--cache DIR``.  The task function re-executes with the
+    cached params and seed, and every deterministic result field — plus
+    the RunManifest's fingerprint and RNG draw counts — must reproduce
+    exactly.  Exit status: 0 reproduced, 1 diverged, 2 unreadable entry.
+    """
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign replay",
+        description="Re-run one cached campaign task and verify determinism.",
+    )
+    parser.add_argument("entry", help="cache entry JSON file, or key with --cache")
+    parser.add_argument("--cache", default=None, help="cache directory for bare keys")
+    parser.add_argument(
+        "--fn",
+        default="repro.campaign.cli:smoke_task",
+        help="task function as module:attr (default: the smoke task)",
+    )
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="also write the replay verdict as JSON here")
+    args = parser.parse_args(argv)
+
+    path = args.entry
+    if not os.path.exists(path) and args.cache:
+        path = ResultCache(args.cache).path_for(args.entry)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            entry = json.load(fh)
+        params, seed, cached = entry["params"], entry["seed"], entry["result"]
+        task_fn = _load_task_fn(args.fn)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError, AttributeError,
+            ImportError) as exc:
+        print(f"error: cannot replay {args.entry!r}: {exc!r}", file=sys.stderr)
+        return 2
+
+    fresh = task_fn(params, seed)
+    mismatches = []
+    for key in sorted(cached):
+        if key in REPLAY_VOLATILE_KEYS:
+            continue
+        if cached[key] != fresh.get(key):
+            mismatches.append(
+                {"field": key, "cached": cached[key], "replayed": fresh.get(key)}
+            )
+    cached_manifest = cached.get("run_manifest") or {}
+    fresh_manifest = fresh.get("run_manifest") or {}
+    if cached_manifest and fresh_manifest:
+        for key in REPLAY_MANIFEST_KEYS:
+            if cached_manifest.get(key) != fresh_manifest.get(key):
+                mismatches.append(
+                    {
+                        "field": f"run_manifest.{key}",
+                        "cached": cached_manifest.get(key),
+                        "replayed": fresh_manifest.get(key),
+                    }
+                )
+    verdict = {
+        "match": not mismatches,
+        "key": entry.get("key"),
+        "seed": seed,
+        "params": params,
+        "mismatches": mismatches,
+    }
+    print(
+        f"task key={entry.get('key')} seed={seed}: "
+        + ("REPLAY OK: cached result reproduced" if verdict["match"]
+           else f"REPLAY DIVERGED ({len(mismatches)} field(s))")
+    )
+    for row in mismatches:
+        print(f"  {row['field']}: cached={row['cached']!r} "
+              f"replayed={row['replayed']!r}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(verdict, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0 if verdict["match"] else 1
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # A leading `replay` dispatches to the forensics subcommand; the main
+    # campaign CLI stays a flat option parser (CI invokes it bare).
+    if argv and argv[0] == "replay":
+        return replay_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign",
         description="Run the built-in smoke campaign.",

@@ -412,6 +412,14 @@ class CampaignRunner:
                     "elapsed_s": outcome.elapsed_s,
                     "attempts": outcome.attempts,
                     "telemetry": outcome.telemetry,
+                    # Provenance for `repro.campaign replay`: tasks that
+                    # return a RunManifest get it mirrored into the entry
+                    # meta, where audits can read it without re-running.
+                    "manifest": (
+                        outcome.result.get("run_manifest")
+                        if isinstance(outcome.result, dict)
+                        else None
+                    ),
                 },
             )
 

@@ -24,6 +24,11 @@ layer every performance PR reports against:
   states (counters summed, replicated families max-merged);
 * :mod:`repro.obs.export` — OpenMetrics text rendering/parsing and the
   live snapshot/SLO layer;
+* :mod:`repro.obs.forensics` — run forensics: RunManifests stamped next
+  to every export, ``python -m repro.obs replay <manifest>``
+  (deterministic re-execution with checkpointed asserts), and
+  ``python -m repro.obs diff A B`` (first-divergence location with
+  happens-before context);
 * :mod:`repro.obs.report` — ``python -m repro.obs report run.ndjson``,
   ``python -m repro.obs trace run.ndjson``, and
   ``python -m repro.obs live <export-dir>``.
@@ -68,7 +73,13 @@ from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import REPORT_SCHEMA, ReportInputError, collect_export
 from repro.obs.report import main as report_main
 from repro.obs.report import render_report, summarize_run
-from repro.obs.telemetry import BinaryTraceRing, RecordSchema, StringTable, load_ring
+from repro.obs.telemetry import (
+    BinaryTraceRing,
+    RecordSchema,
+    StringTable,
+    load_ring,
+    load_ring_ex,
+)
 from repro.obs.sinks import (
     NdjsonSink,
     RingSink,
@@ -89,6 +100,7 @@ __all__ = [
     "RecordSchema",
     "StringTable",
     "load_ring",
+    "load_ring_ex",
     "render_openmetrics",
     "parse_openmetrics",
     "state_from_records",
@@ -126,7 +138,51 @@ __all__ = [
     "render_trace_report",
     "trace_summary_json",
     "wire_from_env",
+    # Forensics layer (resolved lazily via __getattr__; see below).
+    "RunManifest",
+    "content_hash",
+    "manifest_path",
+    "manifest_for_sim",
+    "manifest_for_shard_result",
+    "write_manifest",
+    "load_manifest",
+    "replay_manifest",
+    "diff_records",
+    "diff_exports",
+    "dump_divergence",
+    "ForensicsError",
+    "ReplayError",
 ]
+
+#: Names re-exported from :mod:`repro.obs.forensics`.  Resolved lazily:
+#: forensics pulls in the campaign layer (for canonical spec hashing),
+#: and importing that eagerly from here would cycle through the kernel's
+#: ``repro.obs`` import at interpreter start.
+_FORENSICS_EXPORTS = frozenset(
+    {
+        "RunManifest",
+        "content_hash",
+        "manifest_path",
+        "manifest_for_sim",
+        "manifest_for_shard_result",
+        "write_manifest",
+        "load_manifest",
+        "replay_manifest",
+        "diff_records",
+        "diff_exports",
+        "dump_divergence",
+        "ForensicsError",
+        "ReplayError",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _FORENSICS_EXPORTS:
+        from repro.obs import forensics
+
+        return getattr(forensics, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Default rotation size for env-wired NDJSON sinks (64 MiB).
 ENV_ROTATE_BYTES = 64 * 1024 * 1024
@@ -148,6 +204,9 @@ def wire_from_env(sim, env: Optional[dict] = None, *, shard: Optional[int] = Non
       trace is dumped as a struct-packed ``.ring`` file at export time
       (``sim.export_obs()``), the cheapest way to keep a full trace;
     * ``REPRO_OBS_ROTATE_BYTES`` — rotation threshold (default 64 MiB);
+    * ``REPRO_OBS_RING_BUDGET_BYTES`` — byte budget for the in-memory
+      binary trace ring: oldest records are evicted once the packed
+      buffer exceeds it (counted on the ``trace.evicted`` metric);
     * ``REPRO_OBS_PROFILE`` — any non-empty value enables the kernel
       profiler; its rows reach the sink when ``sim.export_obs()`` runs;
     * ``REPRO_OBS_TRACE`` — any non-empty value enables causal packet
@@ -194,6 +253,9 @@ def wire_from_env(sim, env: Optional[dict] = None, *, shard: Optional[int] = Non
     if ring_dir:
         name = f"{prefix}task-{os.getpid()}-{next(_export_seq)}.ring"
         sim.ring_dump_path = os.path.join(ring_dir, name)
+    ring_budget = env.get("REPRO_OBS_RING_BUDGET_BYTES")
+    if ring_budget:
+        sim.trace.ring_budget_bytes = int(ring_budget)
     if env.get("REPRO_OBS_PROFILE"):
         sim.enable_profiling()
     if env.get("REPRO_OBS_TRACE"):

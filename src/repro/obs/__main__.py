@@ -3,7 +3,12 @@ telemetry export; ``python -m repro.obs trace <run.ndjson|dir>`` runs the
 causal packet-trace analyzer (latency phases, critical path, Chrome-trace
 export); ``python -m repro.obs live <dir>`` watches an export in a
 snapshot loop (event rate, delivery ratios, breaker states, shard lag)
-and enforces ``--slo`` thresholds with a non-zero exit on breach."""
+and enforces ``--slo`` thresholds with a non-zero exit on breach;
+``python -m repro.obs replay <manifest>`` re-executes a run from its
+RunManifest and asserts determinism (exit 1 on divergence);
+``python -m repro.obs diff <A> <B>`` locates the first record on which
+two exports disagree, with happens-before context (exit 1 when they
+differ, 2 when unreadable)."""
 
 import sys
 

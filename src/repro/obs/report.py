@@ -19,6 +19,12 @@ delivery ratios, service breaker states, and shard lag in one screen,
 with counter rates between samples and exit status 1 when an SLO
 threshold is breached (see :mod:`repro.obs.export`).
 
+``python -m repro.obs replay run.ndjson.manifest.json`` re-executes a run
+from its RunManifest and asserts the replayed trace fingerprint matches,
+checkpoint by checkpoint; ``python -m repro.obs diff A B`` locates the
+first record on which two exports disagree (see
+:mod:`repro.obs.forensics`).
+
 All subcommands accept a single export file, a rotated export (the
 ``path.N`` generations are folded in automatically), or a directory
 mixing ``*.ndjson`` exports and ``*.ring`` binary trace dumps; a missing
@@ -35,7 +41,7 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.sinks import ndjson_parts, read_ndjson
-from repro.obs.telemetry import load_ring
+from repro.obs.telemetry import load_ring_ex
 from repro.util.tables import json_safe
 
 __all__ = [
@@ -63,7 +69,9 @@ def collect_export(path: str) -> Tuple[List[Dict[str, Any]], int, List[str]]:
     ``*.ring`` binary trace dump, or a directory mixing ``*.ndjson``
     exports (each with its rotations) and ``*.ring`` dumps — shard
     workers and the serial path may land different formats in the same
-    export directory.  Returns ``(records, skipped_lines, parts)``.
+    export directory.  Returns ``(records, skipped, parts)``, where
+    ``skipped`` counts unparsable NDJSON lines plus ring records carrying
+    value tags this repro version does not know (written by a newer one).
     Raises :class:`ReportInputError` with a human-ready message when the
     path is missing, matches nothing, or yields zero records.
     """
@@ -98,7 +106,9 @@ def collect_export(path: str) -> Tuple[List[Dict[str, Any]], int, List[str]]:
     skipped = 0
     for part in parts:
         if part.endswith(".ring"):
-            records.extend(load_ring(part))
+            ring_records, ring_skipped, _evicted = load_ring_ex(part)
+            records.extend(ring_records)
+            skipped += ring_skipped
             continue
         part_records, part_skipped = read_ndjson(part)
         records.extend(part_records)
@@ -319,6 +329,47 @@ def _run_live(args: argparse.Namespace) -> int:
     return 1 if breaches else 0
 
 
+def _run_replay(args: argparse.Namespace) -> int:
+    """``python -m repro.obs replay <manifest>``: exit 0 when the rebuilt
+    run reproduces the recorded fingerprint, 1 on divergence, 2 when the
+    manifest is unreadable or not replayable."""
+    from repro.obs.forensics import (
+        ForensicsError,
+        load_manifest,
+        render_replay_report,
+        replay_manifest,
+    )
+
+    try:
+        manifest = load_manifest(args.manifest)
+        report = replay_manifest(manifest, from_time=args.from_time)
+    except ForensicsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_replay_report(report))
+    if args.json_out:
+        _write_json(args.json_out, report)
+        print(f"wrote {args.json_out}")
+    return 0 if report["match"] else 1
+
+
+def _run_diff(args: argparse.Namespace) -> int:
+    """``python -m repro.obs diff A B``: exit 0 identical, 1 diverged,
+    2 when either export is unreadable."""
+    from repro.obs.forensics import diff_exports, render_diff
+
+    try:
+        result = diff_exports(args.a, args.b, context=args.context)
+    except ReportInputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(result, context=args.context))
+    if args.json_out:
+        _write_json(args.json_out, result)
+        print(f"wrote {args.json_out}")
+    return 0 if result["identical"] else 1
+
+
 def _write_json(path: str, payload: Dict[str, Any]) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(json_safe(payload), fh, indent=2, allow_nan=False)
@@ -360,10 +411,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                            "(repeatable; breach makes the exit status 1)")
     live.add_argument("--json", dest="json_out", default=None,
                       help="also write the final snapshot as JSON here")
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a run from its RunManifest and assert determinism",
+    )
+    replay.add_argument(
+        "manifest", help="<export>.manifest.json stamped next to an export"
+    )
+    replay.add_argument(
+        "--from", dest="from_time", type=float, default=None, metavar="T",
+        help="only assert checkpoints at virtual time >= T",
+    )
+    replay.add_argument("--json", dest="json_out", default=None,
+                        help="also write the replay report as JSON here")
+    diff = sub.add_parser(
+        "diff",
+        help="first-divergence diff of two exports (exit 1 when they differ)",
+    )
+    diff.add_argument("a", help="first export (file, dir, or *.ring)")
+    diff.add_argument("b", help="second export")
+    diff.add_argument("--context", type=int, default=5,
+                      help="records of context around the divergence")
+    diff.add_argument("--json", dest="json_out", default=None,
+                      help="also write the diff report as JSON here")
     args = parser.parse_args(argv)
 
     if args.command == "live":
         return _run_live(args)
+    if args.command == "replay":
+        return _run_replay(args)
+    if args.command == "diff":
+        return _run_diff(args)
 
     try:
         records, skipped, parts = collect_export(args.path)

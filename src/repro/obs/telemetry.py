@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import warnings
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.util.tables import json_safe
@@ -43,6 +44,7 @@ __all__ = [
     "RecordSchema",
     "BinaryTraceRing",
     "load_ring",
+    "load_ring_ex",
     "RING_MAGIC",
     "RING_SCHEMA",
 ]
@@ -167,18 +169,36 @@ class BinaryTraceRing:
 
     ``capacity_records`` turns it into a flight recorder: the oldest
     records are evicted (counted on :attr:`evicted`) once the cap is hit.
+    ``capacity_bytes`` bounds the packed buffer the same way — the oldest
+    records are dropped until the buffer fits the byte budget, but the
+    newest record is always retained even when it alone exceeds it.
     Without a cap it is a compact append-only store — the form
     :class:`~repro.sim.trace.TraceLog` compacts its staged tail into.
     """
 
-    __slots__ = ("strings", "capacity_records", "evicted", "_buf", "_offsets", "_objects")
+    __slots__ = (
+        "strings",
+        "capacity_records",
+        "capacity_bytes",
+        "evicted",
+        "_buf",
+        "_offsets",
+        "_objects",
+    )
 
-    def __init__(self, capacity_records: Optional[int] = None):
+    def __init__(
+        self,
+        capacity_records: Optional[int] = None,
+        capacity_bytes: Optional[int] = None,
+    ):
         if capacity_records is not None and capacity_records < 1:
             raise ValueError("capacity_records must be >= 1 or None")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be >= 1 or None")
         self.strings = StringTable()
         self.capacity_records = capacity_records
-        #: Records evicted by the flight-recorder cap.
+        self.capacity_bytes = capacity_bytes
+        #: Records evicted by the flight-recorder caps.
         self.evicted = 0
         self._buf = bytearray()
         # Start offset of every retained record, in order.
@@ -233,12 +253,26 @@ class BinaryTraceRing:
         if (
             self.capacity_records is not None
             and len(self._offsets) > self.capacity_records
-        ):
+        ) or (self.capacity_bytes is not None and len(buf) > self.capacity_bytes):
             self._evict()
 
     def _evict(self) -> None:
         """Drop the oldest records down to capacity; reclaim the bytes."""
-        drop = len(self._offsets) - self.capacity_records
+        drop = 0
+        if self.capacity_records is not None:
+            drop = max(0, len(self._offsets) - self.capacity_records)
+        if self.capacity_bytes is not None:
+            # Smallest drop whose suffix fits the byte budget; the newest
+            # record survives even when it alone exceeds the budget (a
+            # flight recorder that recorded nothing would be worse).
+            total = len(self._buf)
+            while (
+                drop < len(self._offsets) - 1
+                and total - self._offsets[drop] > self.capacity_bytes
+            ):
+                drop += 1
+        if drop <= 0:
+            return
         self.evicted += drop
         cut = self._offsets[drop]
         del self._buf[:cut]
@@ -352,6 +386,10 @@ class BinaryTraceRing:
             "packed_len": len(packed),
             "n_aux": len(aux_lines),
             "objects": json_safe(list(self._objects)),
+            # Forward compatibility: readers use the *writer's* tag->size
+            # map to skip over records holding tags they don't know.
+            "tag_sizes": {str(tag): size for tag, size in _VALUE_SIZE.items()},
+            "evicted": self.evicted,
         }
         parent = os.path.dirname(path)
         if parent:
@@ -376,6 +414,30 @@ def load_ring(path: str) -> List[Dict[str, Any]]:
     :class:`~repro.obs.sinks.NdjsonSink` would have written — followed by
     the dump's auxiliary records (meta/metric/profile rows), so reports
     and analyzers consume ``.ring`` and ``.ndjson`` through one path.
+
+    Records packed with value tags this reader does not know (a newer
+    writer) are skipped with a single warning rather than crashing; use
+    :func:`load_ring_ex` to observe the skip count programmatically.
+    """
+    records, skipped, _evicted = load_ring_ex(path)
+    if skipped:
+        warnings.warn(
+            f"{path}: skipped {skipped} record(s) with unknown value tags "
+            "(written by a newer repro?)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return records
+
+
+def load_ring_ex(path: str) -> Tuple[List[Dict[str, Any]], int, int]:
+    """Like :func:`load_ring`, returning ``(records, skipped, evicted)``.
+
+    ``skipped`` counts records dropped because they carried value tags
+    unknown to this reader (forward compatibility: the dump header's
+    ``tag_sizes`` map lets us hop over them without losing framing);
+    ``evicted`` is the writer-side flight-recorder eviction count, so
+    forensics can tell "diverged" from "evicted before capture".
     """
     with open(path, "rb") as fh:
         magic = fh.readline()
@@ -389,20 +451,60 @@ def load_ring(path: str) -> List[Dict[str, Any]]:
             for line in fh.read().decode("utf-8").splitlines()
             if line.strip()
         ]
-    ring = BinaryTraceRing.from_payload(
-        {
-            "strings": strings_blob.decode("utf-8").split("\x00")
-            if strings_blob
-            else [],
-            "packed": packed,
-            "n": header["n_records"],
-            "objects": header.get("objects", []),
-        }
+    strings = (
+        strings_blob.decode("utf-8").split("\x00") if strings_blob else []
     )
+    objects = header.get("objects", [])
+    tag_sizes = {
+        int(tag): size
+        for tag, size in (header.get("tag_sizes") or {}).items()
+    }
+    for tag, size in _VALUE_SIZE.items():
+        tag_sizes.setdefault(tag, size)
     records: List[Dict[str, Any]] = []
-    for time, category, fields in ring.iter_tuples():
-        rec = {"type": "trace", "time": time, "category": category}
+    skipped = 0
+    pos = 0
+    end = len(packed)
+    for _ in range(header["n_records"]):
+        if pos >= end:
+            break
+        time, cid, n_fields = _HEAD.unpack_from(packed, pos)
+        pos += _HEAD.size
+        fields: List[Tuple[str, Any]] = []
+        known = True
+        for _ in range(n_fields):
+            kid, tag = _FIELD.unpack_from(packed, pos)
+            pos += _FIELD.size
+            if tag == _T_NONE:
+                value: Any = None
+            elif tag == _T_FLOAT:
+                value = _F64.unpack_from(packed, pos)[0]
+            elif tag == _T_INT:
+                value = _I64.unpack_from(packed, pos)[0]
+            elif tag == _T_STR:
+                value = strings[_U32.unpack_from(packed, pos)[0]]
+            elif tag == _T_TRUE:
+                value = True
+            elif tag == _T_FALSE:
+                value = False
+            elif tag == _T_OBJ:
+                value = objects[_U32.unpack_from(packed, pos)[0]]
+            else:
+                size = tag_sizes.get(tag)
+                if size is None:
+                    # No size hint either: framing is lost from here on.
+                    return records + aux, skipped + 1, int(header.get("evicted", 0))
+                known = False
+                value = None
+                pos += size
+                continue
+            pos += tag_sizes[tag]
+            fields.append((strings[kid], value))
+        if not known:
+            skipped += 1
+            continue
+        rec = {"type": "trace", "time": time, "category": strings[cid]}
         rec.update(fields)
         records.append(rec)
     records.extend(aux)
-    return records
+    return records, skipped, int(header.get("evicted", 0))

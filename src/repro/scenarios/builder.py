@@ -313,6 +313,13 @@ class ScenarioBuilder:
             scenario.router = composed.router
             scenario.transport = composed.transport
             scenario.stack_spec = self._stack_spec
+            # Provenance for RunManifests: the composed stack is part of
+            # what shaped this run, so its content hash travels with
+            # every export stamped from this simulator.
+            from repro.obs.forensics import content_hash
+
+            hashes = self.sim.provenance.setdefault("content_hashes", {})
+            hashes["stack_spec"] = content_hash(self._stack_spec)
         return scenario
 
     def _attach_mobility(

@@ -46,7 +46,13 @@ from repro.obs.merge import (
 from repro.shard.runtime import REPLICATED_METRIC_PREFIXES, ShardRuntime
 from repro.shard.spec import ShardConfigError, ShardPlan, ShardScenarioSpec
 
-__all__ = ["ShardedSimulator", "ShardRunResult", "ShardWorkerError", "run_serial"]
+__all__ = [
+    "ShardedSimulator",
+    "ShardDivergenceError",
+    "ShardRunResult",
+    "ShardWorkerError",
+    "run_serial",
+]
 
 #: Hard sanity cap on barrier count: a mis-specified window must fail
 #: loudly, not grind through millions of IPC round-trips.
@@ -55,6 +61,20 @@ MAX_WINDOWS = 2_000_000
 
 class ShardWorkerError(RuntimeError):
     """A worker died, errored, or missed a barrier deadline."""
+
+
+class ShardDivergenceError(RuntimeError):
+    """A sharded run's merged trace disagreed with the serial reference.
+
+    Raised by :meth:`ShardedSimulator.run_verified` after both runs have
+    been dumped to disk; :attr:`report` is the divergence report dict
+    (see :func:`repro.obs.forensics.dump_divergence`) naming the first
+    divergent event and its owning shard.
+    """
+
+    def __init__(self, message: str, report: Dict[str, Any]):
+        super().__init__(message)
+        self.report = report
 
 
 @dataclass
@@ -77,6 +97,11 @@ class ShardRunResult:
     n_windows: int = 0
     retries: int = 0
     per_shard: List[Dict[str, Any]] = field(default_factory=list)
+    #: Forensics provenance (serial runs only): per-stream RNG identity
+    #: rows and periodic draw-count checkpoints — the RunManifest inputs.
+    rng_streams: List[Dict[str, Any]] = field(default_factory=list)
+    rng_checkpoints: List[Dict[str, Any]] = field(default_factory=list)
+    checkpoint_interval_s: Optional[float] = None
 
     def fingerprint(self, categories: Optional[Sequence[str]] = None) -> str:
         """Partition-invariant content hash of the merged trace."""
@@ -90,13 +115,26 @@ class ShardRunResult:
 
 
 def run_serial(
-    spec: ShardScenarioSpec, until: float, *, collect_trace: bool = True
+    spec: ShardScenarioSpec,
+    until: float,
+    *,
+    collect_trace: bool = True,
+    checkpoint_interval_s: Optional[float] = None,
 ) -> ShardRunResult:
-    """The 1-shard reference run: same keyed dispatch, no barriers."""
+    """The 1-shard reference run: same keyed dispatch, no barriers.
+
+    ``checkpoint_interval_s`` enables periodic RNG draw-count checkpoints
+    (see :meth:`~repro.sim.kernel.Simulator.enable_rng_checkpoints`) —
+    the checkpoint callback draws no randomness and emits no records, so
+    enabling it never perturbs the trace.  The result then carries the
+    RNG provenance a replayable RunManifest needs.
+    """
     runtime = ShardRuntime(
         spec, ShardPlan(n_shards=1), 0, collect_trace=collect_trace
     )
     runtime.apply_lifecycle(spec.lifecycle)
+    if checkpoint_interval_s is not None:
+        runtime.sim.enable_rng_checkpoints(checkpoint_interval_s)
     t0 = time.perf_counter()
     runtime.sim.run(until=until)
     wall = time.perf_counter() - t0
@@ -115,6 +153,9 @@ def run_serial(
         events_processed=payload["events_processed"],
         wall_elapsed_s=wall,
         per_shard=[{"shard": 0, "owned": payload["owned"]}],
+        rng_streams=runtime.sim.rng.stream_states(),
+        rng_checkpoints=list(runtime.sim.rng_checkpoints),
+        checkpoint_interval_s=checkpoint_interval_s,
     )
 
 
@@ -222,6 +263,51 @@ class ShardedSimulator:
                 retries += 1
                 if retries > self.max_retries:
                     raise
+
+    def run_verified(
+        self,
+        until: float,
+        *,
+        report_dir: str = "divergence-report",
+        checkpoint_interval_s: Optional[float] = None,
+    ) -> ShardRunResult:
+        """Run sharded, then verify against the serial reference.
+
+        On a fingerprint mismatch both merged streams are dumped to
+        ``report_dir`` (NDJSON exports + RunManifests + a
+        ``divergence.json`` naming the first divergent event and its
+        owning shard — see :func:`repro.obs.forensics.dump_divergence`)
+        and :class:`ShardDivergenceError` is raised.  On agreement the
+        sharded result is returned untouched.
+        """
+        sharded = self.run(until)
+        serial = run_serial(
+            self.spec,
+            until,
+            collect_trace=self.collect_trace,
+            checkpoint_interval_s=checkpoint_interval_s,
+        )
+        if serial.fingerprint() == sharded.fingerprint():
+            return sharded
+        # Imported lazily: the forensics layer only loads on the failure
+        # path, keeping the happy path's import surface unchanged.
+        from repro.obs.forensics import dump_divergence
+
+        report = dump_divergence(
+            serial, sharded, self.spec, self.plan, until, report_dir
+        )
+        first = (report.get("diff") or {}).get("first_divergence") or {}
+        where = (
+            f"t={first.get('time'):g} {first.get('category')} "
+            f"(shard {first.get('owning_shard')})"
+            if first
+            else "streams differ only in cardinality"
+        )
+        raise ShardDivergenceError(
+            f"sharded run diverged from serial reference at {where}; "
+            f"full dump in {report['report_path']}",
+            report,
+        )
 
     # ---------------------------------------------------------------- shared
 

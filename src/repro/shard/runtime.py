@@ -29,6 +29,7 @@ propagation component) and the world is static.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import math
 import os
@@ -110,6 +111,24 @@ class ShardRuntime:
             {k: v for k, v in os.environ.items() if k != "REPRO_OBS_TRACE"},
             shard=shard_index,
         )
+
+        # Provenance for RunManifests stamped next to this run's exports.
+        # Only the 1-shard (serial reference) world embeds the replay
+        # payload: a shard-local trace is a partial view, so replaying it
+        # alone could never reproduce the merged fingerprint.
+        from repro.obs.forensics import content_hash
+
+        self.sim.provenance["content_hashes"] = {
+            "scenario_spec": content_hash(spec),
+            "shard_plan": content_hash(plan),
+        }
+        if plan.n_shards == 1:
+            self.sim.provenance["scenario"] = {
+                "kind": "shard-world",
+                "spec": dataclasses.asdict(spec),
+                "plan": dataclasses.asdict(plan),
+                "until": None,
+            }
 
         self.scenario = None
         if spec.kind == "urban":

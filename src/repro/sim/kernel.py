@@ -61,6 +61,16 @@ class Simulator:
         #: When set (``REPRO_OBS_RING_DIR``), :meth:`export_obs` also dumps
         #: the trace as a binary ``.ring`` file at this path.
         self.ring_dump_path: Optional[str] = None
+        #: Provenance facts for :mod:`repro.obs.forensics` RunManifests:
+        #: builders stamp ``content_hashes`` (name -> digest of the spec
+        #: that shaped this run) and, when the whole world is rebuildable
+        #: from a declarative spec, a ``scenario`` replay payload.
+        self.provenance: Dict[str, Any] = {}
+        #: Periodic ``(time, per-stream draw counts)`` checkpoints captured
+        #: by :meth:`enable_rng_checkpoints`; manifests embed them so
+        #: ``python -m repro.obs replay --from T`` can window its asserts.
+        self.rng_checkpoints: List[Dict[str, Any]] = []
+        self.rng_checkpoint_interval_s: Optional[float] = None
         #: Events fired and wall-clock seconds spent across all run() calls.
         self.events_processed = 0
         self.wall_elapsed = 0.0
@@ -262,6 +272,25 @@ class Simulator:
         self.packet_tracer.enabled = True
         return self.packet_tracer
 
+    def enable_rng_checkpoints(self, interval_s: float) -> None:
+        """Capture per-stream RNG draw counts every ``interval_s``.
+
+        The checkpoint callback draws no randomness and emits no trace
+        records, so enabling it never perturbs the simulated world — it
+        only reads generator states (via the PCG64 distance walk in
+        :mod:`repro.util.rng`).  Checkpoints land on
+        :attr:`rng_checkpoints` and travel in RunManifests, giving replay
+        a first-divergence bisector over time.
+        """
+        self.rng_checkpoint_interval_s = interval_s
+
+        def checkpoint() -> None:
+            self.rng_checkpoints.append(
+                {"time": self.now, "draws": self.rng.draw_counts()}
+            )
+
+        self.every(interval_s, checkpoint)
+
     def export_obs(self) -> None:
         """Push profiler rows, registry state, and run counters to the
         trace sinks, then flush them.
@@ -293,6 +322,32 @@ class Simulator:
         self.trace.flush_sinks()
         if self.ring_dump_path is not None:
             self.trace.dump_ring(self.ring_dump_path, aux_records=aux)
+        self._stamp_manifests()
+
+    def _stamp_manifests(self) -> None:
+        """Write a RunManifest next to every file export of this run.
+
+        Each ``<export>.manifest.json`` records the provenance needed to
+        reproduce and audit the export (seed, content hashes, RNG stream
+        states, env knobs — see :mod:`repro.obs.forensics`).  Imported
+        lazily: runs without file sinks never load the forensics layer.
+        """
+        paths = [
+            sink_path
+            for sink_path in (
+                getattr(sink, "path", None) for sink in self.trace.sinks
+            )
+            if sink_path
+        ]
+        if self.ring_dump_path is not None:
+            paths.append(self.ring_dump_path)
+        if not paths:
+            return
+        from repro.obs.forensics import manifest_for_sim, manifest_path, write_manifest
+
+        manifest = manifest_for_sim(self, exports=paths)
+        for path in paths:
+            write_manifest(manifest, manifest_path(path))
 
     def __repr__(self) -> str:
         return f"Simulator(now={self.now:.3f}, queued={self.queue_length})"

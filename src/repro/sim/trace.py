@@ -85,6 +85,9 @@ class TraceLog:
         self._eager = False
         # --- lazy store: packed prefix + staged tail + decode cache -------
         self._ring = BinaryTraceRing()
+        # Ring evictions already accounted for (counter + cache shift).
+        self._ring_base = 0
+        self._warned_evicted = False
         # Tail entries: TraceRecord (eager path), (time, category, fields)
         # 3-tuples (generic emit), or flat (time, schema, *values) tuples
         # (schema emit) — one allocation per staged record.
@@ -140,6 +143,30 @@ class TraceLog:
     def max_records(self, value: int) -> None:
         self._max_records = value
         self._refresh_guards()
+
+    @property
+    def ring_budget_bytes(self) -> Optional[int]:
+        """Byte budget for the packed ring (flight-recorder mode).
+
+        Setting it turns the compacted store into a bounded flight
+        recorder: once compaction pushes the packed buffer past the
+        budget, the oldest records are evicted — counted on the
+        ``trace.evicted`` registry counter and warned about once, so a
+        truncated trace is never mistaken for a complete one.
+        """
+        return self._ring.capacity_bytes
+
+    @ring_budget_bytes.setter
+    def ring_budget_bytes(self, value: Optional[int]) -> None:
+        self._ring.capacity_bytes = value
+        if value is not None and self._ring.nbytes > value:
+            self._ring._evict()
+            self._account_evictions()
+
+    @property
+    def ring_evicted(self) -> int:
+        """Records lost to the ring byte budget so far."""
+        return self._ring.evicted
 
     # ------------------------------------------------------------------- emit
 
@@ -317,10 +344,47 @@ class TraceLog:
                     else:
                         ring.append(entry[0], key, sorted(entry[2].items()))
             self._tail.clear()
+            if ring.evicted != self._ring_base:
+                self._account_evictions()
         # Re-arm the in-emit compaction watermark relative to the new count.
         self._compact_at = self._n + COMPACT_WATERMARK
         self._refresh_guards()
         return self._ring.nbytes
+
+    def _account_evictions(self) -> None:
+        """Settle byte-budget evictions: shift the decode cache and the
+        lazy-sink drain mark to the new retained stream, count the loss on
+        the ``trace.evicted`` registry counter, and warn once."""
+        newly = self._ring.evicted - self._ring_base
+        if newly <= 0:
+            return
+        self._ring_base = self._ring.evicted
+        # Retained-stream index k now maps to old index k + newly.
+        if len(self._cache) > newly:
+            del self._cache[:newly]
+        else:
+            self._cache = []
+        self._drained = max(0, self._drained - newly)
+        registry = getattr(self._sim, "registry", None)
+        if registry is not None:
+            registry.counter("trace.evicted").inc(newly)
+        if not self._warned_evicted:
+            self._warned_evicted = True
+            logger.warning(
+                "trace ring evicted %d record(s) under its %s-byte budget; "
+                "the in-memory trace is now a suffix of the run (raise "
+                "ring_budget_bytes or attach a sink to keep everything)",
+                newly,
+                self._ring.capacity_bytes,
+            )
+            self.write_record(
+                {
+                    "type": "meta",
+                    "event": "ring_evicted",
+                    "time": self._sim.now,
+                    "budget_bytes": self._ring.capacity_bytes,
+                }
+            )
 
     def packed_payload(self) -> Dict[str, Any]:
         """Compact everything and return the picklable binary payload
@@ -470,6 +534,7 @@ class TraceLog:
         self._tail.clear()
         self._cache = []
         self._drained = 0
+        self._ring_base = 0
         self._compact_at = COMPACT_WATERMARK
         self._refresh_guards()
 

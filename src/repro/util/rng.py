@@ -9,11 +9,82 @@ independent, so adding a new consumer does not perturb existing ones.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
-__all__ = ["derive_seed", "RngStreams"]
+__all__ = ["derive_seed", "RngStreams", "generator_draws", "generator_digest"]
+
+#: The PCG64 LCG multiplier (``PCG_DEFAULT_MULTIPLIER_128``); the state
+#: advances ``s' = s * MULT + inc (mod 2**128)`` once per 64-bit output.
+_PCG64_MULT = 47026247687942121848144207491837523525
+_PCG64_MASK = (1 << 128) - 1
+
+
+def _lcg_distance(start: int, target: int, mult: int, inc: int, mask: int) -> Optional[int]:
+    """Steps from ``start`` to ``target`` along an LCG orbit, or ``None``.
+
+    The classic O(log period) walk (Melissa O'Neill's ``pcg_extras``
+    distance): at iteration ``k``, ``cur_mult/cur_plus`` jump ``2**k``
+    steps, and because the low ``k`` bits of a power-of-two-modulus LCG
+    have period ``2**k``, matching the target bit-by-bit recovers the
+    distance.  Returns ``None`` if the states never converge within the
+    state width — i.e. they belong to different increments/sequences.
+    """
+    the_bit = 1
+    distance = 0
+    cur_state, cur_mult, cur_plus = start, mult, inc
+    while cur_state != target:
+        if (cur_state ^ target) & the_bit:
+            cur_state = (cur_state * cur_mult + cur_plus) & mask
+            distance |= the_bit
+        if (cur_state ^ target) & the_bit:
+            return None  # different sequence: bit can no longer change
+        the_bit <<= 1
+        if the_bit > mask:
+            return None
+        cur_plus = ((cur_mult + 1) * cur_plus) & mask
+        cur_mult = (cur_mult * cur_mult) & mask
+    return distance
+
+
+def generator_draws(gen: np.random.Generator, seed: int) -> Optional[int]:
+    """How many 64-bit words ``gen`` has produced since ``seed`` created it.
+
+    Works by measuring the LCG distance between a freshly seeded PCG64
+    state and the generator's current state — no wrapping or counting on
+    the draw path, so the hot path stays untouched.  Returns ``None`` for
+    non-PCG64 bit generators or states from a different sequence.
+    """
+    state = gen.bit_generator.state
+    if state.get("bit_generator") != "PCG64":
+        return None
+    fresh = np.random.default_rng(seed).bit_generator.state
+    if fresh["state"]["inc"] != state["state"]["inc"]:
+        return None
+    return _lcg_distance(
+        fresh["state"]["state"],
+        state["state"]["state"],
+        _PCG64_MULT,
+        state["state"]["inc"],
+        _PCG64_MASK,
+    )
+
+
+def generator_digest(gen: np.random.Generator) -> str:
+    """Process-independent digest of a generator's exact current state."""
+    state = gen.bit_generator.state
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(repr(sorted(_flatten_state(state))).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _flatten_state(state: Dict[str, Any], prefix: str = ""):
+    for key, value in state.items():
+        if isinstance(value, dict):
+            yield from _flatten_state(value, f"{prefix}{key}.")
+        else:
+            yield (f"{prefix}{key}", repr(value))
 
 
 def derive_seed(root_seed: int, *names: str) -> int:
@@ -62,6 +133,38 @@ class RngStreams:
     def reset(self) -> None:
         """Drop all streams so the next ``get`` starts from the seed again."""
         self._streams.clear()
+
+    def draw_counts(self) -> Dict[str, Optional[int]]:
+        """Exact 64-bit outputs drawn per stream, by stream name.
+
+        Computed from generator state (the LCG distance walk), so reading
+        it costs nothing on the draw path; ``None`` marks a stream whose
+        state cannot be attributed to its derived seed.
+        """
+        return {
+            name: generator_draws(self._streams[name], derive_seed(self.seed, name))
+            for name in sorted(self._streams)
+        }
+
+    def stream_states(self) -> list:
+        """Provenance rows for every stream touched so far.
+
+        One ``{"name", "seed", "draws", "state_digest"}`` dict per stream,
+        sorted by name — the RNG identity section of a RunManifest.
+        """
+        out = []
+        for name in sorted(self._streams):
+            gen = self._streams[name]
+            seed = derive_seed(self.seed, name)
+            out.append(
+                {
+                    "name": name,
+                    "seed": seed,
+                    "draws": generator_draws(gen, seed),
+                    "state_digest": generator_digest(gen),
+                }
+            )
+        return out
 
     def __repr__(self) -> str:
         return f"RngStreams(seed={self.seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,102 @@
+"""``python -m repro.campaign replay``: re-run one cached task entry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.cli import main as campaign_main
+from repro.campaign.cli import replay_main
+from tests.campaign.taskfns import affine_noise_task
+
+FN = "tests.campaign.taskfns:affine_noise_task"
+
+
+@pytest.fixture()
+def entry(tmp_path):
+    """A hand-rolled cache entry whose result the task fn reproduces."""
+    params = {"gain": 3.0, "offset": 2.0}
+    seed = 424242
+    path = tmp_path / "entry.json"
+    path.write_text(
+        json.dumps(
+            {
+                "key": "deadbeef",
+                "params": params,
+                "seed": seed,
+                "result": affine_noise_task(params, seed),
+            }
+        )
+    )
+    return path
+
+
+def test_reproduced_entry_exits_zero(entry, capsys):
+    assert replay_main([str(entry), "--fn", FN]) == 0
+    assert "REPLAY OK" in capsys.readouterr().out
+
+
+def test_perturbed_field_exits_one_and_names_it(entry, tmp_path, capsys):
+    payload = json.loads(entry.read_text())
+    payload["result"]["value"] += 1e-6
+    entry.write_text(json.dumps(payload))
+    verdict_path = tmp_path / "verdict.json"
+    assert replay_main([str(entry), "--fn", FN, "--json", str(verdict_path)]) == 1
+    out = capsys.readouterr().out
+    assert "REPLAY DIVERGED (1 field(s))" in out
+    assert "value:" in out
+    verdict = json.loads(verdict_path.read_text())
+    assert verdict["mismatches"][0]["field"] == "value"
+
+
+def test_volatile_fields_are_ignored(entry, capsys):
+    payload = json.loads(entry.read_text())
+    payload["result"]["events_per_sec"] = 1e9  # host-dependent, never compared
+    entry.write_text(json.dumps(payload))
+    assert replay_main([str(entry), "--fn", FN]) == 0
+    capsys.readouterr()
+
+
+def test_unreadable_entry_exits_two(tmp_path, capsys):
+    assert replay_main([str(tmp_path / "missing.json"), "--fn", FN]) == 2
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("{not json")
+    assert replay_main([str(garbage), "--fn", FN]) == 2
+    assert "cannot replay" in capsys.readouterr().err
+
+
+def test_bad_fn_spec_exits_two(entry, capsys):
+    assert replay_main([str(entry), "--fn", "no-colon"]) == 2
+    assert replay_main([str(entry), "--fn", "tests.campaign.taskfns:absent"]) == 2
+    capsys.readouterr()
+
+
+def test_main_dispatches_replay_subcommand(entry, capsys):
+    assert campaign_main(["replay", str(entry), "--fn", FN]) == 0
+    assert "REPLAY OK" in capsys.readouterr().out
+
+
+def test_bare_key_resolves_through_cache_dir(tmp_path, capsys):
+    from repro.campaign.cache import ResultCache
+
+    cache = ResultCache(str(tmp_path / "cache"))
+    params = {"gain": 1.0, "offset": 5.0}
+    seed = 7
+    path = cache.path_for("ab12cd")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "key": "ab12cd",
+                "params": params,
+                "seed": seed,
+                "result": affine_noise_task(params, seed),
+            }
+        )
+    )
+    code = replay_main(
+        ["ab12cd", "--cache", str(tmp_path / "cache"), "--fn", FN]
+    )
+    assert code == 0
+    capsys.readouterr()

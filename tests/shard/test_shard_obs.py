@@ -82,13 +82,16 @@ def test_fork_workers_do_not_collide_in_shared_export_dir(tmp_path, monkeypatch)
         SPEC, ShardPlan(n_shards=2, cell_size_m=60.0), mode="fork"
     ).run(UNTIL)
     assert sharded.n_shards == 2
-    names = sorted(os.listdir(export_dir))
-    # One export per shard, each namespaced by its shard index.
+    all_names = sorted(os.listdir(export_dir))
+    names = [n for n in all_names if n.endswith(".ndjson")]
+    # One export per shard, each namespaced by its shard index, and each
+    # stamped with a provenance manifest alongside.
     shard_files = {
         k: [n for n in names if n.startswith(f"shard{k}-")] for k in (0, 1)
     }
     assert len(shard_files[0]) == 1 and len(shard_files[1]) == 1
     assert set(names) == {shard_files[0][0], shard_files[1][0]}
+    assert set(all_names) == set(names) | {f"{n}.manifest.json" for n in names}
     # Every file is non-empty valid NDJSON (no interleaved/clobbered writes).
     from repro.obs.sinks import read_ndjson
 
@@ -106,5 +109,7 @@ def test_fork_merged_metrics_match_serial(tmp_path, monkeypatch):
     ).run(UNTIL)
     assert _canon(serial.metrics) == _canon(sharded.metrics)
     # Each worker also dumped its binary ring, shard-prefixed.
-    rings = sorted(os.listdir(tmp_path / "rings"))
+    rings = sorted(
+        n for n in os.listdir(tmp_path / "rings") if n.endswith(".ring")
+    )
     assert [n.split("-")[0] for n in rings] == ["shard0", "shard1"]
