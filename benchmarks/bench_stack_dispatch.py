@@ -15,16 +15,23 @@ Results land in ``BENCH_pr5.json`` (schema ``bench-pr5/1``) next to the
 earlier ``BENCH_pr4.json`` baseline.  Run directly::
 
     PYTHONPATH=src python benchmarks/bench_stack_dispatch.py
+
+``--pr10`` runs the vectorized-fast-path gate instead (see
+:func:`bench_pr10`): 1k/5k-node worlds, fast path on/off, tracing on/off,
+writing ``BENCH_pr10.json`` (schema ``bench-pr10/1``).
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
+import statistics
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.net import fastpath
 from repro.net.channel import Channel
 from repro.net.node import SPEED_OF_LIGHT_M_S, NetNode, Network
 from repro.net.packet import Packet
@@ -402,6 +409,284 @@ def write_bench_pr5(payload: Dict[str, object], path: Optional[str] = None) -> s
     return path
 
 
+# --------------------------------------------------------------------- pr10
+#
+# The PR10 gate measures the vectorized fast path (calendar queue, batched
+# SINR kernel, slotted packet pools) on worlds two orders of magnitude
+# larger than the PR5 gate: 1k- and 5k-node grids carrying 64 persistent
+# greedy-geo unicast streams.  Every cell of the {fast on/off} x {tracing
+# on/off} matrix must produce the same trace fingerprint across the fast
+# arms (the vectorized path is bit-identical, not merely close), the
+# fast-on/tracing-off arm must clear 3x the BENCH_pr8 tracing-off baseline,
+# and the absolute tracing tax (wall microseconds added per event, median
+# of paired on/off rounds) must stay within the 10% budget PR8 gated
+# against — 10% of the PR8-era per-event time.  The tax is gated in
+# absolute terms because this PR shrinks the denominator: events are 3-4x
+# faster, so the same (in fact smaller) tax reads as a larger *fraction*
+# of a much smaller event budget.  Both numbers are reported.
+
+BENCH_PR10_SCHEMA = "bench-pr10/1"
+
+#: Fast-on/tracing-off events/sec must reach this multiple of the
+#: BENCH_pr8 tracing-off baseline in every world.
+PR10_FLOOR_RATIO = 3.0
+
+#: Fallback for the BENCH_pr8 tracing-off baseline (events/sec) when the
+#: artifact is not present next to ROADMAP.md.
+PR10_BASELINE_FALLBACK = 16326.307007931164
+
+#: The tracing tax may not exceed this fraction of the *baseline* event
+#: budget (1e6 / baseline microseconds per event).
+PR10_TAX_BUDGET_FRAC = 0.10
+
+#: World name -> grid side (1024 and 5041 nodes at 60 m spacing).
+PR10_WORLDS = {"1k": 32, "5k": 71}
+
+PR10_SEED = 41
+PR10_MESSAGES = 5000
+PR10_PAIRS = 64
+PR10_ROUNDS = 5
+
+
+def _run_pr10_workload(n_side: int, tracing: bool):
+    """One deterministic pr10 run; returns (fingerprint, events, wall_s).
+
+    64 persistent source->destination streams on an ``n_side`` x
+    ``n_side`` grid (60 m spacing), greedy-geo routed, 5000 messages at a
+    20 ms clip.  Persistent streams keep the forwarding working set hot —
+    the regime the next-hop/pair caches and the calendar queue are built
+    for — and the fixed pair table makes every run bit-reproducible.
+    """
+    sim = Simulator(seed=PR10_SEED)
+    if tracing:
+        sim.enable_packet_tracing()
+    net = Network(sim, Channel(seed=sim.rng.seed))
+    node_id = 1
+    for row in range(n_side):
+        for col in range(n_side):
+            net.create_node(node_id, Point(col * 60.0, row * 60.0))
+            node_id += 1
+    ids = sorted(net.nodes)
+    router = GreedyGeoRouter(net)
+    router.attach_all(ids)
+    svc = MessageService(router)
+    n = len(ids)
+    for i in range(PR10_MESSAGES):
+        pair = i % PR10_PAIRS
+        src = ids[(7919 * pair) % n]
+        dst = ids[(104729 * pair + 13) % n]
+        if dst == src:
+            dst = ids[(dst + 1) % n]
+        sim.call_at(
+            1.0 + i * 0.02,
+            lambda s=src, d=dst, k=i: svc.send(s, d, payload=("m", k)),
+        )
+    gc.collect()
+    t0 = time.perf_counter()
+    sim.run(until=600.0)
+    wall_s = time.perf_counter() - t0
+    return sim.trace.fingerprint(), sim.events_processed, wall_s
+
+
+def _with_fast_path(value: str, fn: Callable[[], Tuple[str, int, float]]):
+    """Run ``fn`` with ``REPRO_FAST_PATH`` pinned to ``value``.
+
+    The gate is resolved at dispatcher construction, so the environment
+    must cover world build and run; it is restored (and the cached gate
+    refreshed) afterwards no matter what.
+    """
+    old = os.environ.get("REPRO_FAST_PATH")
+    os.environ["REPRO_FAST_PATH"] = value
+    fastpath.refresh()
+    try:
+        return fn()
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_FAST_PATH", None)
+        else:
+            os.environ["REPRO_FAST_PATH"] = old
+        fastpath.refresh()
+
+
+def _pr10_baseline() -> Dict[str, object]:
+    """The BENCH_pr8 tracing-off baseline this gate multiplies."""
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_pr8.json",
+    )
+    baseline: Dict[str, object] = {
+        "source": "BENCH_pr8.json",
+        "events_per_sec": PR10_BASELINE_FALLBACK,
+        "from_artifact": False,
+    }
+    try:
+        with open(path, encoding="utf-8") as fh:
+            baseline["events_per_sec"] = json.load(fh)["events_per_sec"][
+                "tracing_off"
+            ]
+            baseline["from_artifact"] = True
+    except (OSError, KeyError, ValueError):
+        pass
+    return baseline
+
+
+def bench_pr10() -> Dict[str, object]:
+    baseline = _pr10_baseline()
+    baseline_eps = float(baseline["events_per_sec"])
+    floor_eps = PR10_FLOOR_RATIO * baseline_eps
+    budget_us = PR10_TAX_BUDGET_FRAC * 1e6 / baseline_eps
+
+    worlds: Dict[str, Dict[str, object]] = {}
+    for name, n_side in PR10_WORLDS.items():
+        cells: Dict[str, List[float]] = {}
+        prints: Dict[str, str] = {}
+        events: Dict[str, int] = {}
+        # Interleaved rounds: each round visits every cell back-to-back so
+        # paired statistics share one host-contention window (the
+        # BENCH_pr8 protocol).
+        for _ in range(PR10_ROUNDS):
+            for fast in (True, False):
+                for tracing in (False, True):
+                    key = (
+                        f"fast_{'on' if fast else 'off'}/"
+                        f"tracing_{'on' if tracing else 'off'}"
+                    )
+                    fp, n_events, wall_s = _with_fast_path(
+                        "1" if fast else "0",
+                        lambda t=tracing: _run_pr10_workload(n_side, t),
+                    )
+                    cells.setdefault(key, []).append(n_events / max(wall_s, 1e-9))
+                    if key in prints and prints[key] != fp:
+                        raise AssertionError(
+                            f"{name}/{key}: fingerprint changed between "
+                            "rounds — the run is not deterministic"
+                        )
+                    prints[key] = fp
+                    events[key] = n_events
+        rates = {key: max(vals) for key, vals in cells.items()}
+        # Tracing tax on the fast path: median of paired per-round deltas
+        # in microseconds per event (common-mode host noise cancels).
+        tax_us = statistics.median(
+            1e6 / on - 1e6 / off
+            for on, off in zip(
+                cells["fast_on/tracing_on"], cells["fast_on/tracing_off"]
+            )
+        )
+        overhead_frac = statistics.median(
+            1.0 - on / off
+            for on, off in zip(
+                cells["fast_on/tracing_on"], cells["fast_on/tracing_off"]
+            )
+        )
+        worlds[name] = {
+            "n_side": n_side,
+            "n_nodes": n_side * n_side,
+            "events": events["fast_on/tracing_off"],
+            "events_per_sec": rates,
+            "fingerprints": prints,
+            "fingerprint_match": {
+                "tracing_off": prints["fast_on/tracing_off"]
+                == prints["fast_off/tracing_off"],
+                "tracing_on": prints["fast_on/tracing_on"]
+                == prints["fast_off/tracing_on"],
+            },
+            "speedup_vs_baseline": rates["fast_on/tracing_off"] / baseline_eps,
+            "fastpath_speedup": rates["fast_on/tracing_off"]
+            / rates["fast_off/tracing_off"],
+            "tracing": {
+                "tax_us_per_event": tax_us,
+                "overhead_frac": overhead_frac,
+            },
+        }
+        print(
+            f"{name:>3}: fast-on {rates['fast_on/tracing_off']:,.0f} ev/s "
+            f"({worlds[name]['speedup_vs_baseline']:.2f}x baseline), "
+            f"fast-off {rates['fast_off/tracing_off']:,.0f} ev/s, "
+            f"tracing tax {tax_us:.2f} us/event "
+            f"({overhead_frac:.1%} of the fast event budget)"
+        )
+
+    return {
+        "schema": BENCH_PR10_SCHEMA,
+        "baseline": baseline,
+        "floor": {
+            "ratio": PR10_FLOOR_RATIO,
+            "events_per_sec": floor_eps,
+        },
+        "tracing_tax": {
+            "budget_frac": PR10_TAX_BUDGET_FRAC,
+            "baseline_event_budget_us": 1e6 / baseline_eps,
+            "budget_us_per_event": budget_us,
+        },
+        "worlds": worlds,
+        "methodology": {
+            "workload": (
+                f"{PR10_PAIRS} persistent greedy-geo unicast streams, "
+                f"{PR10_MESSAGES} messages at 20 ms, 60 m grid spacing, "
+                f"seed {PR10_SEED}"
+            ),
+            "rounds": PR10_ROUNDS,
+            "protocol": (
+                "interleaved cells per round, gc.collect() before each "
+                "timed run; rates are best-of-rounds, tracing tax is the "
+                "median paired on/off delta on the fast arms"
+            ),
+        },
+    }
+
+
+def write_bench_pr10(payload: Dict[str, object], path: Optional[str] = None) -> str:
+    if path is None:
+        out_dir = os.environ.get("REPRO_BENCH_JSON_DIR") or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "BENCH_pr10.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(json_safe(payload), fh, indent=2, allow_nan=False)
+        fh.write("\n")
+    return path
+
+
+def main_pr10() -> int:
+    payload = bench_pr10()
+    path = write_bench_pr10(payload)
+    print(f"wrote {path}")
+    ok = True
+    floor_eps = payload["floor"]["events_per_sec"]
+    budget_us = payload["tracing_tax"]["budget_us_per_event"]
+    for name, row in payload["worlds"].items():
+        fast_on = row["events_per_sec"]["fast_on/tracing_off"]
+        if fast_on < floor_eps:
+            print(
+                f"FAIL: {name}: fast path at {fast_on:,.0f} ev/s, floor is "
+                f"{floor_eps:,.0f} ({PR10_FLOOR_RATIO}x BENCH_pr8 baseline)"
+            )
+            ok = False
+        for arm, matched in row["fingerprint_match"].items():
+            if not matched:
+                print(
+                    f"FAIL: {name}/{arm}: vectorized fast path diverged "
+                    "from the scalar path"
+                )
+                ok = False
+        tax_us = row["tracing"]["tax_us_per_event"]
+        if tax_us > budget_us:
+            print(
+                f"FAIL: {name}: tracing tax {tax_us:.2f} us/event exceeds "
+                f"the {budget_us:.2f} us budget "
+                f"({PR10_TAX_BUDGET_FRAC:.0%} of the baseline event budget)"
+            )
+            ok = False
+    if ok:
+        print(
+            f"OK: fast path >= {PR10_FLOOR_RATIO}x baseline in every world, "
+            "fingerprints bit-identical across fast arms, tracing tax "
+            "within budget"
+        )
+    return 0 if ok else 1
+
+
 def main() -> int:
     payload = bench()
     path = write_bench_pr5(payload)
@@ -423,4 +708,6 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    if "--pr10" in sys.argv[1:]:
+        sys.exit(main_pr10())
     sys.exit(main())

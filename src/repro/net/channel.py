@@ -7,21 +7,57 @@ that is a smooth (logistic) function of SINR, where interference includes
 active jammers.  This is the classic abstraction used by packet-level MANET
 simulators; it reproduces the qualitative effects the paper's arguments rely
 on (range limits, partitions, jamming-induced loss).
+
+Hot-path notes
+--------------
+Propagation parameters are construction-time constants, which makes the
+expensive scalar cores memoizable:
+
+* :meth:`Channel.shadowing_db` used to build a fresh seeded generator
+  (SHA-256 seed derivation + PCG64 init) on *every* call — per link, per
+  packet.  Links are static, so the draw is cached per node pair.
+* :meth:`Channel.path_loss_db` caches per distinct distance (static worlds
+  repeat the same distances forever; the cache is size-capped so mobile
+  worlds cannot grow it without bound).
+* :meth:`Channel.comm_range_m` caches per ``(tx_power_dbm, margin_db)``.
+
+All caches are invalidated on :meth:`add_jammer` / :meth:`clear_jammers`,
+and every jammer-dependent result carries the :meth:`jam_signature` of the
+moment it was computed — attack scenarios flip ``Jammer.active`` in place,
+which must never serve stale interference from a cache.
+
+The batch API (:meth:`rx_power_dbm_batch` / :meth:`sinr_db_batch` /
+:meth:`delivery_verdicts`) evaluates all receivers of one transmission in a
+single fused pass over those memoized cores.  Transcendentals
+(``log10``/``exp``) deliberately stay on scalar ``math.*``: numpy's SIMD
+loops are *not* bit-identical to libm on all hardware, and the PR5 golden
+fingerprints pin exact trace bytes.  numpy (via :mod:`repro.net.fastpath`)
+is used only where it is IEEE-exact — elementwise multiply and compare of
+the final verdicts — so the vectorized and pure-Python paths return the
+same bits.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.net import fastpath
 from repro.util.geometry import Point, distance
 from repro.util.rng import derive_seed
 
 __all__ = ["Channel", "Jammer"]
+
+#: Cap on the per-distance path-loss memo; mobile worlds generate unbounded
+#: distinct distances, so the cache resets rather than grows past this.
+_PL_CACHE_MAX = 1 << 16
+
+#: Batch size at which the numpy verdict compare beats the scalar loop.
+_NP_VERDICT_MIN = 8
 
 
 def _dbm_to_mw(dbm: float) -> float:
@@ -68,6 +104,9 @@ class Channel:
         Std-dev of the per-transmission fast-fading term.
     sinr_threshold_db:
         SINR at which delivery probability is 50%.
+
+    Propagation parameters are fixed at construction; the memo caches
+    below rely on that (build a new Channel to model different physics).
     """
 
     def __init__(
@@ -98,25 +137,45 @@ class Channel:
         self.seed = seed
         self.jammers: List[Jammer] = []
         self._fading_rng = np.random.default_rng(derive_seed(seed, "fading"))
+        # Memo caches (see module docstring).  Bumping _jam_epoch is how
+        # add/clear_jammers invalidates anything keyed on a jam signature.
+        self._shadow_cache: Dict[Tuple[int, int], float] = {}
+        self._pl_cache: Dict[float, float] = {}
+        self._range_cache: Dict[Tuple[float, float], float] = {}
+        self._jam_epoch = 0
+        self._noise_mw = _dbm_to_mw(noise_floor_dbm)
 
     # ------------------------------------------------------------ propagation
 
     def path_loss_db(self, d: float) -> float:
         """Deterministic log-distance path loss at distance ``d`` meters."""
-        d = max(d, self.reference_distance_m)
-        return self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(
-            d / self.reference_distance_m
+        cached = self._pl_cache.get(d)
+        if cached is not None:
+            return cached
+        clamped = max(d, self.reference_distance_m)
+        loss = self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(
+            clamped / self.reference_distance_m
         )
+        cache = self._pl_cache
+        if len(cache) >= _PL_CACHE_MAX:
+            cache.clear()
+        cache[d] = loss
+        return loss
 
     def shadowing_db(self, node_a: int, node_b: int) -> float:
         """Static per-link shadowing, symmetric in the node pair."""
         if self.shadowing_sigma_db <= 0:
             return 0.0
-        lo, hi = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+        key = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+        cached = self._shadow_cache.get(key)
+        if cached is not None:
+            return cached
         rng = np.random.default_rng(
-            derive_seed(self.seed, "shadow", str(lo), str(hi))
+            derive_seed(self.seed, "shadow", str(key[0]), str(key[1]))
         )
-        return float(rng.normal(0.0, self.shadowing_sigma_db))
+        value = float(rng.normal(0.0, self.shadowing_sigma_db))
+        self._shadow_cache[key] = value
+        return value
 
     def rx_power_dbm(
         self,
@@ -155,9 +214,7 @@ class Channel:
             tx_power_dbm, tx_pos, rx_pos, tx_id, rx_id, with_fading=with_fading
         )
         denom_mw = (
-            _dbm_to_mw(self.noise_floor_dbm)
-            + self.interference_mw(rx_pos)
-            + extra_interference_mw
+            self._noise_mw + self.interference_mw(rx_pos) + extra_interference_mw
         )
         return rx_dbm - _mw_to_dbm(denom_mw)
 
@@ -192,11 +249,138 @@ class Channel:
         z = min(max(z, -40.0), 40.0)
         return 1.0 / (1.0 + math.exp(-z))
 
+    # ------------------------------------------------------------- batch API
+
+    def rx_power_dbm_batch(
+        self,
+        tx_power_dbm: float,
+        tx_pos: Point,
+        rx_pos: Sequence[Point],
+        rx_ids: Sequence[int],
+        tx_id: int = -1,
+        *,
+        with_fading: bool = False,
+    ) -> List[float]:
+        """Received power for every receiver of one transmission.
+
+        Semantically ``[rx_power_dbm(…, p, tx_id, i) for p, i in
+        zip(rx_pos, rx_ids)]`` — bit-identical to the scalar loop, fused
+        over the path-loss and shadowing memos.  Fading (when requested)
+        draws sequentially in receiver order, matching the scalar path.
+        """
+        pl = self.path_loss_db
+        sh = self.shadowing_db
+        shadowed = tx_id >= 0
+        out = []
+        append = out.append
+        for pos, rid in zip(rx_pos, rx_ids):
+            power = tx_power_dbm - pl(distance(tx_pos, pos))
+            if shadowed and rid >= 0:
+                power += sh(tx_id, rid)
+            append(power)
+        if with_fading and self.fading_sigma_db > 0:
+            normal = self._fading_rng.normal
+            sigma = self.fading_sigma_db
+            out = [p + float(normal(0.0, sigma)) for p in out]
+        return out
+
+    def sinr_db_batch(
+        self,
+        tx_power_dbm: float,
+        tx_pos: Point,
+        rx_pos: Sequence[Point],
+        rx_ids: Sequence[int],
+        tx_id: int = -1,
+        *,
+        with_fading: bool = False,
+        extra_interference_mw: float = 0.0,
+    ) -> List[float]:
+        """SINR (dB) for every receiver of one transmission.
+
+        Matches ``sinr_db`` bit-for-bit.  With no jammers the noise+extra
+        denominator is constant across the batch and converted to dBm once.
+        """
+        powers = self.rx_power_dbm_batch(
+            tx_power_dbm, tx_pos, rx_pos, rx_ids, tx_id, with_fading=with_fading
+        )
+        if not self.jammers:
+            denom_db = _mw_to_dbm(self._noise_mw + extra_interference_mw)
+            return [p - denom_db for p in powers]
+        interference = self.interference_mw
+        base = self._noise_mw + extra_interference_mw
+        return [
+            p - _mw_to_dbm(base + interference(pos))
+            for p, pos in zip(powers, rx_pos)
+        ]
+
+    def delivery_probability_batch(
+        self,
+        tx_power_dbm: float,
+        tx_pos: Point,
+        rx_pos: Sequence[Point],
+        rx_ids: Sequence[int],
+        tx_id: int = -1,
+        *,
+        extra_interference_mw: float = 0.0,
+    ) -> List[float]:
+        """``delivery_probability`` for every receiver, fused and memoized."""
+        sinrs = self.sinr_db_batch(
+            tx_power_dbm,
+            tx_pos,
+            rx_pos,
+            rx_ids,
+            tx_id,
+            with_fading=False,
+            extra_interference_mw=extra_interference_mw,
+        )
+        inv_soft = 1.0 / max(self.sinr_softness_db, 1e-6)
+        threshold = self.sinr_threshold_db
+        exp = math.exp
+        out = []
+        append = out.append
+        for sinr in sinrs:
+            z = (sinr - threshold) * inv_soft
+            z = min(max(z, -40.0), 40.0)
+            append(1.0 / (1.0 + exp(-z)))
+        return out
+
+    def delivery_verdicts(
+        self,
+        probs: Sequence[float],
+        draws: Sequence[float],
+        *,
+        survival: float = 1.0,
+    ) -> List[bool]:
+        """Decode success verdicts from precomputed probabilities and draws.
+
+        ``draws[i]`` is the uniform consumed for receiver ``i`` — either a
+        batched ``Generator.random(n)`` slab or KeyedHopRng addressed
+        draws; either way the verdict is a pure function of the draw, so
+        batching never perturbs it.  Receiver ``i`` decodes iff
+        ``draws[i] < probs[i] * survival`` — the same float multiply and
+        compare as the scalar dispatcher, evaluated through numpy when the
+        fast path is on and the batch is large enough (elementwise ``*``
+        and ``<`` on float64 are IEEE-exact, so both paths agree bitwise).
+        """
+        xp = fastpath.numpy_or_none()
+        if xp is not None and len(probs) >= _NP_VERDICT_MIN:
+            p = xp.asarray(probs, dtype=xp.float64)
+            if survival != 1.0:
+                p = p * survival
+            return (xp.asarray(draws, dtype=xp.float64) < p).tolist()
+        if survival != 1.0:
+            return [d < p * survival for p, d in zip(probs, draws)]
+        return [d < p for p, d in zip(probs, draws)]
+
     def comm_range_m(self, tx_power_dbm: float, margin_db: float = 0.0) -> float:
         """Distance at which mean SINR (no jamming) equals the threshold.
 
         Used to size neighbor-search grids; actual delivery is probabilistic.
         """
+        key = (tx_power_dbm, margin_db)
+        cached = self._range_cache.get(key)
+        if cached is not None:
+            return cached
         budget_db = (
             tx_power_dbm
             - self.noise_floor_dbm
@@ -205,19 +389,47 @@ class Channel:
             - margin_db
         )
         if budget_db <= 0:
-            return self.reference_distance_m
-        return self.reference_distance_m * 10.0 ** (
-            budget_db / (10.0 * self.path_loss_exponent)
-        )
+            value = self.reference_distance_m
+        else:
+            value = self.reference_distance_m * 10.0 ** (
+                budget_db / (10.0 * self.path_loss_exponent)
+            )
+        self._range_cache[key] = value
+        return value
 
     # ----------------------------------------------------------------- jamming
 
+    def jam_signature(self) -> Tuple:
+        """A hashable token that changes whenever jamming state changes.
+
+        Covers the jammer roster (``_jam_epoch`` bumps on add/clear) *and*
+        in-place toggles — attack scenarios flip ``Jammer.active`` and
+        retune ``power_dbm`` directly, bypassing the channel.  Anything
+        cached from jammer-dependent math (e.g. the stack's pair-probability
+        cache) must key on this.  Costs one empty tuple when undisturbed.
+        """
+        jammers = self.jammers
+        if not jammers:
+            return (self._jam_epoch, ())
+        return (
+            self._jam_epoch,
+            tuple((j.active, j.power_dbm) for j in jammers),
+        )
+
+    def _invalidate_caches(self) -> None:
+        self._jam_epoch += 1
+        self._shadow_cache.clear()
+        self._pl_cache.clear()
+        self._range_cache.clear()
+
     def add_jammer(self, jammer: Jammer) -> Jammer:
         self.jammers.append(jammer)
+        self._invalidate_caches()
         return jammer
 
     def clear_jammers(self) -> None:
         self.jammers.clear()
+        self._invalidate_caches()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,57 @@
+"""Fast-path gating: optional numpy acceleration with a kill switch.
+
+The vectorized hot path (batched verdict compares, slab RNG draws) rides on
+numpy, declared as the ``fast`` optional extra in pyproject.  Everything it
+accelerates has a pure-Python twin that produces bit-identical results, so
+this module is the single switchboard deciding which twin runs:
+
+* ``REPRO_FAST_PATH=0`` in the environment forces the scalar path — the
+  escape hatch for debugging a suspected vectorization bug or for timing
+  the fallback.
+* numpy missing (a ``repro[fast]``-less install) silently falls back.
+
+The decision is resolved once, at first use, and cached; tests flip it
+with :func:`refresh` after monkeypatching the environment.  Callers that
+sit on the per-packet path should grab the verdict once per dispatcher
+construction, not per packet.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+__all__ = ["fast_path_enabled", "numpy_or_none", "refresh"]
+
+_UNRESOLVED = object()
+_numpy: Any = _UNRESOLVED
+
+
+def _resolve() -> Optional[Any]:
+    if os.environ.get("REPRO_FAST_PATH", "1").strip().lower() in ("0", "false", "off"):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is baked into CI images
+        return None
+    return numpy
+
+
+def numpy_or_none() -> Optional[Any]:
+    """The numpy module when the fast path is on, else ``None``."""
+    global _numpy
+    if _numpy is _UNRESOLVED:
+        _numpy = _resolve()
+    return _numpy
+
+
+def fast_path_enabled() -> bool:
+    """True when vectorized kernels should run (numpy present, not gated)."""
+    return numpy_or_none() is not None
+
+
+def refresh() -> bool:
+    """Re-read ``REPRO_FAST_PATH`` and numpy availability (for tests)."""
+    global _numpy
+    _numpy = _UNRESOLVED
+    return fast_path_enabled()

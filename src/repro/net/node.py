@@ -104,6 +104,21 @@ class Network:
         self._grid: Dict[Tuple[int, int], Set[int]] = {}
         self._cell_size = 0.0
         self._grid_dirty = True
+        #: Bumped on every membership/position change; position-dependent
+        #: caches (the PHY pair-probability cache) key their validity on it
+        #: instead of hashing Point coordinates per lookup.
+        self.topology_version = 0
+        #: Bumped on every up/down flip; caches that depend on which nodes
+        #: are alive (e.g. greedy-geo next-hop memos built over the default
+        #: liveness-filtered neighbor view) key on this *and* on
+        #: :attr:`topology_version`.
+        self.liveness_version = 0
+        # (node_id, include_down) -> sorted neighbor ids.  Broadcast asks
+        # for a node's neighborhood twice per transmission (MAC load + the
+        # fan-out list); on static worlds the answer never changes between
+        # topology/liveness transitions, so it is cached and dropped
+        # wholesale on grid rebuilds and up/down flips.
+        self._neighbor_cache: Dict[Tuple[int, bool], List[int]] = {}
         # Listeners observing node liveness transitions (routers invalidate
         # stale state, services re-plan around losses).
         self._node_state_listeners: List[NodeStateListener] = []
@@ -121,6 +136,7 @@ class Network:
             raise NetworkError(f"duplicate node id {node.id}")
         self.nodes[node.id] = node
         self._grid_dirty = True
+        self.topology_version += 1
         return node
 
     def create_node(self, node_id: int, position: Point, **kwargs: Any) -> NetNode:
@@ -129,6 +145,7 @@ class Network:
     def remove_node(self, node_id: int) -> None:
         self.nodes.pop(node_id, None)
         self._grid_dirty = True
+        self.topology_version += 1
 
     def node(self, node_id: int) -> NetNode:
         try:
@@ -139,6 +156,7 @@ class Network:
     def set_position(self, node_id: int, position: Point) -> None:
         self.node(node_id).position = position
         self._grid_dirty = True
+        self.topology_version += 1
 
     def fail_node(self, node_id: int) -> None:
         """Take a node down (battlefield loss, capture, battery death).
@@ -150,6 +168,8 @@ class Network:
         if not node.up:
             return
         node.up = False
+        self._neighbor_cache.clear()
+        self.liveness_version += 1
         self.sim.trace.emit("net.node_down", node=node_id)
         self._notify_node_state(node_id, False)
 
@@ -159,6 +179,8 @@ class Network:
         if node.up:
             return
         node.up = True
+        self._neighbor_cache.clear()
+        self.liveness_version += 1
         self.sim.trace.emit("net.node_up", node=node_id)
         self._notify_node_state(node_id, True)
 
@@ -228,6 +250,7 @@ class Network:
             cell = self._cell_of(node.position)
             self._grid.setdefault(cell, set()).add(node.id)
         self._grid_dirty = False
+        self._neighbor_cache.clear()
 
     def _cell_of(self, p: Point) -> Tuple[int, int]:
         return (int(math.floor(p.x / self._cell_size)), int(math.floor(p.y / self._cell_size)))
@@ -235,11 +258,20 @@ class Network:
     def invalidate_topology(self) -> None:
         """Mark the spatial index stale (bulk position updates call this)."""
         self._grid_dirty = True
+        self.topology_version += 1
 
     def neighbors(self, node_id: int, *, include_down: bool = False) -> List[int]:
-        """Ids of nodes within (margin-extended) communication range."""
+        """Ids of nodes within (margin-extended) communication range.
+
+        The returned list is cached until the next topology or liveness
+        change — treat it as read-only.
+        """
         if self._grid_dirty:
             self._rebuild_grid()
+        cache_key = (node_id, include_down)
+        cached = self._neighbor_cache.get(cache_key)
+        if cached is not None:
+            return cached
         node = self.node(node_id)
         limit = self.channel.comm_range_m(
             node.tx_power_dbm, margin_db=-self.neighbor_margin_db
@@ -257,6 +289,7 @@ class Network:
                     if distance(node.position, other.position) <= limit:
                         found.append(other_id)
         found.sort()
+        self._neighbor_cache[cache_key] = found
         return found
 
     # --------------------------------------------------------------- transmit
@@ -277,8 +310,13 @@ class Network:
         (success) or would have completed (failure) — i.e., it models a
         link-layer ack with negligible ack airtime.
         """
-        sender = self.node(sender_id)
-        receiver = self.node(receiver_id)
+        nodes = self.nodes
+        try:
+            sender = nodes[sender_id]
+            receiver = nodes[receiver_id]
+        except KeyError:
+            sender = self.node(sender_id)  # raises NetworkError, names the id
+            receiver = self.node(receiver_id)
         self.stack.dispatcher.unicast(sender, receiver, packet, on_result)
 
     def broadcast(self, sender_id: int, packet: Packet) -> int:

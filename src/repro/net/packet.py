@@ -3,12 +3,20 @@
 Packets carry an application payload plus the headers the routing layer
 needs.  Sizes are in bits so transmission delay follows directly from the
 radio bitrate.
+
+:class:`Packet` is a hand-written ``__slots__`` class rather than a
+dataclass: forwarding-heavy workloads allocate one copy per node per flood,
+and the slotted layout drops the per-instance ``__dict__`` while
+:meth:`Packet.copy_for_forwarding` skips ``__init__`` entirely.  The
+dataclass surface is preserved — same constructor signature and defaults,
+field-wise ``==``, unhashable (router state keys off ``uid``, never off
+packet objects) — so callers cannot tell the difference.  For churn-bound
+hot paths, :mod:`repro.net.pool` adds an explicit free-list on top.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Optional
 
@@ -18,21 +26,32 @@ _packet_ids = itertools.count(1)
 
 
 class PacketKind(Enum):
-    """Coarse traffic classes; fingerprinting keys off these."""
+    """Coarse traffic classes; fingerprinting keys off these.
 
-    DATA = "data"
-    ACK = "ack"
-    BEACON = "beacon"
-    PROBE = "probe"
-    PROBE_REPLY = "probe_reply"
-    CONTROL = "control"
-    RREQ = "rreq"
-    RREP = "rrep"
-    DTN_SUMMARY = "dtn_summary"
-    MODEL_UPDATE = "model_update"
+    ``value`` stays the wire-stable string (trace records and fingerprints
+    embed it); ``code`` is a small dense int for array packing and fast
+    dispatch tables.  Members are singletons, so the hot path compares
+    kinds with ``is``.
+    """
+
+    def __new__(cls, value: str, code: int) -> "PacketKind":
+        member = object.__new__(cls)
+        member._value_ = value
+        member.code = code
+        return member
+
+    DATA = ("data", 0)
+    ACK = ("ack", 1)
+    BEACON = ("beacon", 2)
+    PROBE = ("probe", 3)
+    PROBE_REPLY = ("probe_reply", 4)
+    CONTROL = ("control", 5)
+    RREQ = ("rreq", 6)
+    RREP = ("rrep", 7)
+    DTN_SUMMARY = ("dtn_summary", 8)
+    MODEL_UPDATE = ("model_update", 9)
 
 
-@dataclass
 class Packet:
     """A network packet.
 
@@ -40,17 +59,49 @@ class Packet:
     node ids the packet visited (used for tomography and metrics).
     """
 
-    src: int
-    dst: Optional[int]
-    kind: PacketKind = PacketKind.DATA
-    payload: Any = None
-    size_bits: int = 1024
-    ttl: int = 32
-    created_at: float = 0.0
-    uid: int = field(default_factory=lambda: next(_packet_ids))
-    flow_id: Optional[int] = None
-    path: List[int] = field(default_factory=list)
-    headers: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = (
+        "src",
+        "dst",
+        "kind",
+        "payload",
+        "size_bits",
+        "ttl",
+        "created_at",
+        "uid",
+        "flow_id",
+        "path",
+        "headers",
+    )
+
+    # Field-wise equality without hashability, as the old dataclass had:
+    # uid is the identity routers key on; packet objects never go in sets.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __init__(
+        self,
+        src: int,
+        dst: Optional[int],
+        kind: PacketKind = PacketKind.DATA,
+        payload: Any = None,
+        size_bits: int = 1024,
+        ttl: int = 32,
+        created_at: float = 0.0,
+        uid: Optional[int] = None,
+        flow_id: Optional[int] = None,
+        path: Optional[List[int]] = None,
+        headers: Optional[Dict[str, Any]] = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.size_bits = size_bits
+        self.ttl = ttl
+        self.created_at = created_at
+        self.uid = next(_packet_ids) if uid is None else uid
+        self.flow_id = flow_id
+        self.path = [] if path is None else path
+        self.headers = {} if headers is None else headers
 
     def copy_for_forwarding(self) -> "Packet":
         """A forwarding copy sharing uid/payload but with its own path list.
@@ -63,22 +114,48 @@ class Packet:
         tuples, or *flat* mutable containers — values nested deeper than
         one level are shared and must be treated as read-only.
         """
-        headers = {
-            k: (v.copy() if isinstance(v, (dict, list, set)) else v)
-            for k, v in self.headers.items()
-        }
-        return Packet(
-            src=self.src,
-            dst=self.dst,
-            kind=self.kind,
-            payload=self.payload,
-            size_bits=self.size_bits,
-            ttl=self.ttl - 1,
-            created_at=self.created_at,
-            uid=self.uid,
-            flow_id=self.flow_id,
-            path=list(self.path),
-            headers=headers,
+        clone = Packet.__new__(Packet)
+        self._fill_forwarding_copy(clone)
+        return clone
+
+    def _fill_forwarding_copy(self, clone: "Packet") -> "Packet":
+        """Populate ``clone`` as this packet's forwarding copy (ttl-1)."""
+        clone.src = self.src
+        clone.dst = self.dst
+        clone.kind = self.kind
+        clone.payload = self.payload
+        clone.size_bits = self.size_bits
+        clone.ttl = self.ttl - 1
+        clone.created_at = self.created_at
+        clone.uid = self.uid
+        clone.flow_id = self.flow_id
+        clone.path = list(self.path)
+        headers = self.headers
+        clone.headers = (
+            {
+                k: (v.copy() if isinstance(v, (dict, list, set)) else v)
+                for k, v in headers.items()
+            }
+            if headers
+            else {}
+        )
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Packet:
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.kind == other.kind
+            and self.payload == other.payload
+            and self.size_bits == other.size_bits
+            and self.ttl == other.ttl
+            and self.created_at == other.created_at
+            and self.uid == other.uid
+            and self.flow_id == other.flow_id
+            and self.path == other.path
+            and self.headers == other.headers
         )
 
     @property

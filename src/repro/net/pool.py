@@ -1,0 +1,79 @@
+"""A free-list pool for forwarding-copy packet churn.
+
+Flooding-style dissemination creates one :meth:`Packet.copy_for_forwarding`
+per node per packet; most die quickly (duplicate-suppressed, TTL-expired)
+and go straight to the garbage collector.  :class:`PacketPool` recycles
+those shells: :meth:`clone_for_forwarding` fills a recycled ``Packet``
+instead of allocating, and :meth:`release` returns one to the free list.
+
+Lifetime rules — the pool is explicit, never reference-counted:
+
+1. **Release only what provably never escaped.**  A clone handed to
+   ``network.broadcast``/``send``, a router's ``_deliver_up``, a DTN store,
+   or any handler is *escaped*: downstream layers may retain it (delivery
+   completions fire later, metrics keep paths, apps keep payloads).  The
+   only legal release sites are branches where the clone stayed local —
+   e.g. a TTL-death branch whose copy was only shown to the tracer (which
+   records scalars, never the object).
+2. **Never touch a packet after releasing it.**  The next
+   ``clone_for_forwarding`` will overwrite every field in place.
+3. **When in doubt, don't release.**  An unreleased clone is garbage
+   collected exactly as before the pool existed; a wrongly released one is
+   silent state corruption.  The pool is an opt-in optimization for
+   audited hot paths, not a general allocator.
+
+The free list is bounded (:attr:`max_free`) so a burst of dead packets
+cannot pin memory, and ``reused``/``released`` counters make recycling
+observable in benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net.packet import Packet
+
+__all__ = ["PacketPool"]
+
+
+class PacketPool:
+    """Explicit acquire/release recycling for :class:`Packet` shells."""
+
+    __slots__ = ("_free", "max_free", "released", "reused")
+
+    def __init__(self, max_free: int = 4096):
+        self._free: List[Packet] = []
+        self.max_free = max_free
+        #: Packets returned via :meth:`release` (lifetime counter).
+        self.released = 0
+        #: Clones served from the free list instead of a fresh allocation.
+        self.reused = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def clone_for_forwarding(self, packet: Packet) -> Packet:
+        """``packet.copy_for_forwarding()`` drawing the shell from the pool.
+
+        Field-for-field identical to the plain copy (shared uid/payload,
+        own path list, one-level-deep header copy, ttl-1); only the
+        allocation is recycled.
+        """
+        free = self._free
+        if free:
+            self.reused += 1
+            return packet._fill_forwarding_copy(free.pop())
+        return packet.copy_for_forwarding()
+
+    def release(self, packet: Packet) -> None:
+        """Return a dead, never-escaped clone to the free list.
+
+        Payload/path/header references are dropped immediately so the pool
+        never extends the lifetime of application objects.
+        """
+        self.released += 1
+        packet.payload = None
+        packet.path = []
+        packet.headers = {}
+        if len(self._free) < self.max_free:
+            self._free.append(packet)

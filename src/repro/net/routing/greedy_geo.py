@@ -9,7 +9,8 @@ service; the default reads true positions, modeling a GPS-equipped force.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from math import hypot
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.net.node import NetNode, Network
 from repro.net.packet import Packet
@@ -34,9 +35,22 @@ class GreedyGeoRouter(Router):
     ):
         super().__init__(network)
         self._locate = location_service or self._true_position
+        # The memo below answers from cached geometry, which is only the
+        # truth when positions come from the true-position service.
+        self._memo_ok = location_service is None
         self.max_detours = max_detours
         self.retries = retries
         self._rng = network.sim.rng.get("geo")
+        # (node_id, dst_id) -> (best_nid, best_d, here_d): the *unfiltered*
+        # greedy argmin over the node's live neighborhood plus the node's
+        # own distance to the destination.  Valid only while topology and
+        # liveness stand still (see _forward); only used with the
+        # true-position location service, whose answers are exactly the
+        # cached geometry.
+        self._next_hop: Dict[
+            Tuple[int, Optional[int]], Tuple[Optional[int], float, float]
+        ] = {}
+        self._next_hop_sig: Tuple[int, int] = (-1, -1)
 
     def _true_position(self, node_id: int) -> Optional[Point]:
         if node_id in self.network.nodes:
@@ -69,17 +83,47 @@ class GreedyGeoRouter(Router):
             self.sim.metrics.incr(f"route.{self.name}.no_location")
             self._trace_drop(node.id, packet, "no_location")
             return
-        here = distance(node.position, dst_pos)
+        network = self.network
         best_id: Optional[int] = None
+        cacheable = self._memo_ok
+        if cacheable:
+            sig = (network.topology_version, network.liveness_version)
+            if sig != self._next_hop_sig:
+                self._next_hop.clear()
+                self._next_hop_sig = sig
+            cached = self._next_hop.get((node.id, packet.dst))
+            if cached is not None:
+                cached_id, cached_d, here = cached
+                # The unfiltered argmin is exactly what the filtered scan
+                # below would pick whenever it is admissible: removing
+                # path-visited candidates can't surface an earlier or
+                # smaller minimum, and ties resolve to the first neighbor
+                # in iteration order either way.
+                if cached_id is not None and cached_d < here and cached_id not in packet.path:
+                    self._dispatch(node, packet, cached_id, attempt)
+                    return
+            else:
+                here = distance(node.position, dst_pos)
+        else:
+            here = distance(node.position, dst_pos)
         best_dist = here
-        neighbor_ids = self.network.neighbors(node.id)
+        free_id: Optional[int] = None  # unfiltered argmin, for the memo
+        free_dist = here
+        neighbor_ids = network.neighbors(node.id)
+        nodes = network.nodes
+        dx, dy = dst_pos.x, dst_pos.y
+        path = packet.path
         for nid in neighbor_ids:
-            if nid in packet.path:
-                continue
-            d = distance(self.network.node(nid).position, dst_pos)
-            if d < best_dist:
+            pos = nodes[nid].position
+            d = hypot(pos.x - dx, pos.y - dy)
+            if d < free_dist:
+                free_dist = d
+                free_id = nid
+            if d < best_dist and nid not in path:
                 best_dist = d
                 best_id = nid
+        if cacheable:
+            self._next_hop[(node.id, packet.dst)] = (free_id, free_dist, here)
         detours = packet.headers.get("geo_detours", 0)
         if best_id is None:
             # Local minimum: take a bounded random detour, then give up.
@@ -90,7 +134,11 @@ class GreedyGeoRouter(Router):
                 return
             best_id = candidates[int(self._rng.integers(0, len(candidates)))]
             packet.headers["geo_detours"] = detours + 1
+        self._dispatch(node, packet, best_id, attempt)
 
+    def _dispatch(
+        self, node: NetNode, packet: Packet, next_id: int, attempt: int
+    ) -> None:
         def result(ok: bool) -> None:
             if not ok and attempt < self.retries:
                 tracer = self._tracer()
@@ -103,7 +151,7 @@ class GreedyGeoRouter(Router):
                 self.sim.metrics.incr(f"route.{self.name}.link_drop")
                 self._trace_drop(node.id, packet, "link_drop")
 
-        self.network.send(node.id, best_id, packet, on_result=result)
+        self.network.send(node.id, next_id, packet, on_result=result)
 
 
 # Registry hookup: addressable by name in stack compositions.

@@ -42,6 +42,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.net import fastpath
 from repro.net.mac import ContentionMac, MacAccess
 from repro.net.packet import Packet, PacketKind
 from repro.util.geometry import distance
@@ -201,6 +202,10 @@ class StackContext:
     def call_in(self, delay: float, fn: Callable[[], None]) -> Any:
         return self.sim.call_in(delay, fn)
 
+    def call_in_fast(self, delay: float, fn: Callable[[], None]) -> None:
+        """Fast-lane ``call_in`` for never-cancelled packet completions."""
+        self.sim.call_in_fast(delay, fn)
+
     # ----------------------------------------------------------- emit hooks
 
     @property
@@ -252,12 +257,29 @@ class StackContext:
 # ------------------------------------------------------------------- layers
 
 
+#: Cap on the PHY pair-probability cache; mobile worlds churn positions
+#: (a key component), so the cache resets rather than grows past this.
+_PAIR_CACHE_MAX = 1 << 17
+
+
 class PhyLayer(LayerBase):
     """PHY/channel layer: propagation, airtime, and delivery probability.
 
     Wraps a :class:`~repro.net.channel.Channel`; the per-bit timing comes
     from :meth:`Packet.airtime_s` so bits-vs-seconds conversion lives in
     exactly one place.
+
+    Delivery probability is deterministic per ``(pair, positions, tx
+    power, jamming state)``, so the layer caches it — on static worlds
+    every rebroadcast after the first is a dict hit instead of the full
+    path-loss/shadowing/SINR chain.  Keys are bare ``(sender_id,
+    receiver_id)`` pairs (cheap int hashing on the hot path); validity of
+    the position and jamming inputs is carried by the cache signature
+    instead — the network's ``topology_version`` (bumped on every
+    membership/position change) plus the channel's
+    :meth:`~repro.net.channel.Channel.jam_signature` (which covers
+    add/clear and in-place ``Jammer.active`` flips).  Any signature change
+    drops the whole cache.
     """
 
     name = "phy"
@@ -265,21 +287,97 @@ class PhyLayer(LayerBase):
     def __init__(self, channel: "Channel"):
         super().__init__()
         self.channel = channel
+        self._pair_cache: Dict[Tuple, float] = {}
+        self._pair_sig: Optional[Tuple] = None
+        # (sender_id, receiver_id) -> propagation seconds; purely position
+        # dependent, so validity is the network's topology_version alone.
+        self._prop_cache: Dict[Tuple[int, int], float] = {}
+        self._prop_version = -1
 
     def airtime_s(self, node: "NetNode", packet: Packet) -> float:
         return packet.airtime_s(node.bitrate_bps)
 
     def propagation_s(self, sender: "NetNode", receiver: "NetNode") -> float:
-        return distance(sender.position, receiver.position) / SPEED_OF_LIGHT_M_S
+        assert self.ctx is not None
+        version = self.ctx.network.topology_version
+        if version != self._prop_version:
+            self._prop_cache.clear()
+            self._prop_version = version
+        key = (sender.id, receiver.id)
+        prop = self._prop_cache.get(key)
+        if prop is None:
+            prop = distance(sender.position, receiver.position) / SPEED_OF_LIGHT_M_S
+            if len(self._prop_cache) >= _PAIR_CACHE_MAX:
+                self._prop_cache.clear()
+            self._prop_cache[key] = prop
+        return prop
+
+    def _live_pair_cache(self) -> Dict[Tuple, float]:
+        assert self.ctx is not None
+        signature = (
+            self.ctx.network.topology_version,
+            self.channel.jam_signature(),
+        )
+        if signature != self._pair_sig:
+            self._pair_cache.clear()
+            self._pair_sig = signature
+        return self._pair_cache
 
     def delivery_probability(self, sender: "NetNode", receiver: "NetNode") -> float:
-        return self.channel.delivery_probability(
-            sender.tx_power_dbm,
-            sender.position,
-            receiver.position,
-            sender.id,
-            receiver.id,
-        )
+        cache = self._live_pair_cache()
+        key = (sender.id, receiver.id)
+        p = cache.get(key)
+        if p is None:
+            p = self.channel.delivery_probability(
+                sender.tx_power_dbm,
+                sender.position,
+                receiver.position,
+                sender.id,
+                receiver.id,
+            )
+            if len(cache) >= _PAIR_CACHE_MAX:
+                cache.clear()
+            cache[key] = p
+        return p
+
+    def delivery_probability_batch(
+        self, sender: "NetNode", receivers: Sequence["NetNode"]
+    ) -> List[float]:
+        """Delivery probability for every receiver of one transmission.
+
+        Bit-identical to calling :meth:`delivery_probability` per
+        receiver; cache misses go through the channel's fused batch
+        kernel in one call instead of re-entering the scalar chain.
+        """
+        cache = self._live_pair_cache()
+        sid = sender.id
+        spos = sender.position
+        spow = sender.tx_power_dbm
+        get = cache.get
+        out: List[Any] = []
+        miss_idx: List[int] = []
+        miss_keys: List[Tuple] = []
+        miss_pos: List[Any] = []
+        miss_ids: List[int] = []
+        for i, receiver in enumerate(receivers):
+            key = (sid, receiver.id)
+            p = get(key)
+            out.append(p)
+            if p is None:
+                miss_idx.append(i)
+                miss_keys.append(key)
+                miss_pos.append(receiver.position)
+                miss_ids.append(receiver.id)
+        if miss_idx:
+            probs = self.channel.delivery_probability_batch(
+                spow, spos, miss_pos, miss_ids, sid
+            )
+            if len(cache) + len(probs) >= _PAIR_CACHE_MAX:
+                cache.clear()
+            for i, key, p in zip(miss_idx, miss_keys, probs):
+                cache[key] = p
+                out[i] = p
+        return out
 
 
 class MacLayer(LayerBase):
@@ -313,13 +411,29 @@ class QueueLayer(LayerBase):
 
     name = "queue"
 
+    def __init__(self) -> None:
+        super().__init__()
+        # sender_id -> that node's live neighbor objects; resolving the id
+        # list to objects once per (topology, liveness) era turns the
+        # per-transmission load scan into bare attribute reads.
+        self._nbr_nodes: Dict[int, List["NetNode"]] = {}
+        self._nbr_sig: Tuple[int, int] = (-1, -1)
+
     def busy_neighbors(self, sender: "NetNode") -> int:
         assert self.ctx is not None
         network = self.ctx.network
-        nodes = network.nodes
-        return sum(
-            nodes[nid].busy_tx for nid in network.neighbors(sender.id) if nid in nodes
-        )
+        sig = (network.topology_version, network.liveness_version)
+        if sig != self._nbr_sig:
+            self._nbr_nodes.clear()
+            self._nbr_sig = sig
+        neighbors = self._nbr_nodes.get(sender.id)
+        if neighbors is None:
+            nodes = network.nodes
+            neighbors = [
+                nodes[nid] for nid in network.neighbors(sender.id) if nid in nodes
+            ]
+            self._nbr_nodes[sender.id] = neighbors
+        return sum([n.busy_tx for n in neighbors])
 
     def begin_tx(self, sender: "NetNode") -> None:
         sender.busy_tx += 1
@@ -524,6 +638,9 @@ class FastPathDispatcher:
         self.queue = queue
         self.faults = faults
         self.app = app
+        # Resolved once per dispatcher: whether broadcast draws come as one
+        # numpy slab (bit-identical to sequential draws) or one at a time.
+        self._fast = fastpath.fast_path_enabled()
 
     # ---------------------------------------------------------- shared core
 
@@ -675,7 +792,7 @@ class FastPathDispatcher:
                 if on_result:
                     on_result(False)
 
-        ctx.call_in(delay, complete)
+        ctx.call_in_fast(delay, complete)
 
     # ------------------------------------------------------------ broadcast
 
@@ -706,12 +823,22 @@ class FastPathDispatcher:
             token = tracer.on_enqueue(sender_id, None, packet, backoff, airtime)
         # The batch: per receiver (node_id, corrupt, duplicate, extra_delay_s).
         # This loop is the dispatch hot path at scale (every flood rebroad-
-        # cast walks it once per neighbor), so the per-receiver verdict is
-        # inlined with the callables hoisted to locals; the draw order is
-        # identical to _hop_verdict and must stay that way.
+        # cast walks it once per neighbor).  Probabilities come from the
+        # PHY pair cache / fused channel kernel in one call, the delivery
+        # Bernoullis as one RNG slab (``Generator.random(n)`` yields the
+        # same doubles as n sequential ``random()`` calls, so the draw-
+        # per-receiver contract of the scalar path is preserved exactly),
+        # and the verdicts as one batched compare.
         nodes = ctx.network.nodes
-        rng_random = ctx.rng.random
-        delivery_probability = self.phy.delivery_probability
+        receivers = [nodes[nid] for nid in neighbor_ids]
+        probs = self.phy.delivery_probability_batch(sender, receivers)
+        n = len(receivers)
+        if self._fast:
+            draws = ctx.rng.random(n)
+        else:
+            rng_random = ctx.rng.random
+            draws = [rng_random() for _ in range(n)]
+        verdicts = self.phy.channel.delivery_verdicts(probs, draws, survival=survival)
         link_blocked = self.faults.link_blocked
         gremlin_verdict = (
             self.faults.gremlin_verdict if self.faults.gremlins else None
@@ -723,10 +850,8 @@ class FastPathDispatcher:
         # emitted as one batch after the loop — same records, same order,
         # one tracer call instead of one per lost receiver.
         drops: List[Tuple[int, str]] = []
-        for nid in neighbor_ids:
-            receiver = nodes[nid]
-            p_ok = delivery_probability(sender, receiver) * survival
-            if rng_random() >= p_ok:
+        for nid, delivered in zip(neighbor_ids, verdicts):
+            if not delivered:
                 c_dropped.inc()
                 if token is not None:
                     drops.append((nid, "loss"))
@@ -774,7 +899,7 @@ class FastPathDispatcher:
             self.queue.end_tx(sender)
             for nid, corrupt, duplicate, extra_delay in deliveries:
                 if extra_delay > 0.0:
-                    ctx.call_in(
+                    ctx.call_in_fast(
                         extra_delay,
                         lambda n=nid, c=corrupt, d=duplicate, e=extra_delay: (
                             deliver_one(n, c, d, e)
@@ -783,7 +908,7 @@ class FastPathDispatcher:
                 else:
                     deliver_one(nid, corrupt, duplicate, 0.0)
 
-        ctx.call_in(base_delay, complete)
+        ctx.call_in_fast(base_delay, complete)
         return len(neighbor_ids)
 
 

@@ -16,6 +16,7 @@ streams the state to sinks for ``repro.obs report``.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -99,11 +100,9 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        # First bucket whose bound is >= value; len(buckets) == overflow.
+        # (bisect_left: everything before the insertion point is < value.)
+        self.counts[bisect_left(self.buckets, value)] += 1
 
     @property
     def mean(self) -> float:

@@ -104,9 +104,15 @@ _S_DELIVER = RecordSchema(
 # instead of the RecordSchema object keeps the staged tuples all-atomic, so
 # CPython's GC untracks them at their first collection instead of rescanning
 # tens of thousands of live tuples every gen1/gen2 pass mid-run.
+_I_SEND = _S_SEND.sid
+_I_SPAWN = _S_SPAWN.sid
 _I_ENQUEUE = _S_ENQUEUE.sid
 _I_RX = _S_RX.sid
 _I_DROP = _S_DROP.sid
+_I_RETX = _S_RETX.sid
+_I_CUSTODY = _S_CUSTODY.sid
+_I_ROUTE_DROP = _S_ROUTE_DROP.sid
+_I_DELIVER = _S_DELIVER.sid
 
 
 @dataclass(frozen=True)
@@ -192,26 +198,39 @@ class PacketTracer:
         if existing is not None:
             return existing[0]
         tid = next(self._trace_ids)
-        packet.headers[TRACE_HEADER] = (tid, 0, 0)
-        parent = packet.headers.pop("_trace_from", None)
-        self._trace.emit_schema(
-            _S_SEND,
-            (
-                packet.dst,
-                packet.flow_id,
-                packet.kind._value_,
-                packet.headers.get("rmsg"),
-                packet.size_bits,
-                packet.src,
-                tid,
-                self._uid(packet),
-            ),
-        )
+        headers = packet.headers
+        headers[TRACE_HEADER] = (tid, 0, 0)
+        parent = headers.pop("_trace_from", None)
+        kind = packet.kind._value_
+        uid_map = self._uid_map
+        uid = uid_map.get(packet.uid)
+        if uid is None:
+            uid = uid_map[packet.uid] = len(uid_map) + 1
+        t = self._trace
+        budget = t._budget
+        if budget:
+            t._stage((
+                t._sim.now, _I_SEND,
+                packet.dst, packet.flow_id, kind, headers.get("rmsg"),
+                packet.size_bits, packet.src, tid, uid,
+            ))
+            t._budget = budget - 1
+        else:
+            t.emit_schema(
+                _S_SEND,
+                (
+                    packet.dst, packet.flow_id, kind, headers.get("rmsg"),
+                    packet.size_bits, packet.src, tid, uid,
+                ),
+            )
         if parent is not None:
             parent_tid, parent_span, _hop = parent
-            self._trace.emit_schema(
-                _S_SPAWN, (parent_span, parent_tid, packet.kind._value_, tid)
-            )
+            budget = t._budget
+            if budget:
+                t._stage((t._sim.now, _I_SPAWN, parent_span, parent_tid, kind, tid))
+                t._budget = budget - 1
+            else:
+                t.emit_schema(_S_SPAWN, (parent_span, parent_tid, kind, tid))
         return tid
 
     def inherit(
@@ -262,10 +281,11 @@ class PacketTracer:
         uid = uid_map.get(packet.uid)
         if uid is None:
             uid = uid_map[packet.uid] = len(uid_map) + 1
-        # Inlined TraceLog.emit_schema staging (here and in on_rx/on_drop):
-        # these three methods fire once per radio transmission, so even the
-        # method-call overhead of emit_schema shows up in the tracing tax.
-        # Field order must match _S_ENQUEUE.keys in both branches.
+        # Inlined TraceLog.emit_schema staging (here and in every other
+        # emitter): these methods fire once per radio transmission or per
+        # protocol action, so even the method-call overhead of emit_schema
+        # shows up in the tracing tax.  Field order must match the
+        # schema's keys in both branches.
         t = self._trace
         budget = t._budget
         if budget:
@@ -364,16 +384,14 @@ class PacketTracer:
         ctx = packet.headers.get(TRACE_HEADER)
         if ctx is None:
             return
-        self._trace.emit_schema(
-            _S_DROP,
-            (
-                packet.dst if packet.dst is not None else -1,
-                reason,
-                0,
-                sender_id,
-                ctx[0],
-            ),
-        )
+        dst = packet.dst if packet.dst is not None else -1
+        t = self._trace
+        budget = t._budget
+        if budget:
+            t._stage((t._sim.now, _I_DROP, dst, reason, 0, sender_id, ctx[0]))
+            t._budget = budget - 1
+        else:
+            t.emit_schema(_S_DROP, (dst, reason, 0, sender_id, ctx[0]))
 
     # ----------------------------------------------------- protocol layers
 
@@ -391,10 +409,14 @@ class PacketTracer:
         if not self.enabled:
             return
         ctx = packet.headers.get(TRACE_HEADER)
-        self._trace.emit_schema(
-            _S_RETX,
-            (attempt, layer, msg_id, sender_id, ctx[0] if ctx is not None else None),
-        )
+        tid = ctx[0] if ctx is not None else None
+        t = self._trace
+        budget = t._budget
+        if budget:
+            t._stage((t._sim.now, _I_RETX, attempt, layer, msg_id, sender_id, tid))
+            t._budget = budget - 1
+        else:
+            t.emit_schema(_S_RETX, (attempt, layer, msg_id, sender_id, tid))
 
     def on_custody(
         self,
@@ -409,9 +431,13 @@ class PacketTracer:
         ctx = packet.headers.get(TRACE_HEADER)
         if ctx is None:
             return
-        self._trace.emit_schema(
-            _S_CUSTODY, (copies, node_id, ctx[0], self._uid(packet))
-        )
+        t = self._trace
+        budget = t._budget
+        if budget:
+            t._stage((t._sim.now, _I_CUSTODY, copies, node_id, ctx[0], self._uid(packet)))
+            t._budget = budget - 1
+        else:
+            t.emit_schema(_S_CUSTODY, (copies, node_id, ctx[0], self._uid(packet)))
 
     def on_route_drop(
         self, node_id: int, packet: "Packet", reason: str  # noqa: F821
@@ -422,9 +448,13 @@ class PacketTracer:
         ctx = packet.headers.get(TRACE_HEADER)
         if ctx is None:
             return
-        self._trace.emit_schema(
-            _S_ROUTE_DROP, (node_id, reason, ctx[0], self._uid(packet))
-        )
+        t = self._trace
+        budget = t._budget
+        if budget:
+            t._stage((t._sim.now, _I_ROUTE_DROP, node_id, reason, ctx[0], self._uid(packet)))
+            t._budget = budget - 1
+        else:
+            t.emit_schema(_S_ROUTE_DROP, (node_id, reason, ctx[0], self._uid(packet)))
 
     def on_deliver(self, node_id: int, packet: "Packet") -> None:  # noqa: F821
         """The packet reached an application handler at ``node_id``."""
@@ -434,14 +464,16 @@ class PacketTracer:
         if ctx is None:
             return
         tid, parent_span, hop = ctx
-        self._trace.emit_schema(
-            _S_DELIVER,
-            (
-                hop,
-                self.sim.now - packet.created_at,
-                node_id,
-                parent_span,
-                tid,
-                self._uid(packet),
-            ),
-        )
+        latency = self.sim.now - packet.created_at
+        uid = self._uid(packet)
+        t = self._trace
+        budget = t._budget
+        if budget:
+            t._stage(
+                (t._sim.now, _I_DELIVER, hop, latency, node_id, parent_span, tid, uid)
+            )
+            t._budget = budget - 1
+        else:
+            t.emit_schema(
+                _S_DELIVER, (hop, latency, node_id, parent_span, tid, uid)
+            )

@@ -197,7 +197,7 @@ class ShardDispatcher(FastPathDispatcher):
                 if on_result:
                     on_result(False)
 
-        ctx.call_in(delay, complete)
+        ctx.call_in_fast(delay, complete)
         _ = drop_reason  # parity with the serial path's bookkeeping
 
     # ------------------------------------------------------------ broadcast
@@ -221,17 +221,20 @@ class ShardDispatcher(FastPathDispatcher):
         self._charge_tx(sender, packet)
         survival = access.collision_survival
         nodes = ctx.network.nodes
-        delivery_probability = self.phy.delivery_probability
         link_blocked = self.faults.link_blocked
         c_dropped = ctx.c_dropped
         owned = self.owned
         deliver_time = ctx.sim.now + base_delay
+        # Batched: probabilities through the PHY pair cache / fused channel
+        # kernel, Bernoullis as addressed draws (pure per-hop functions, so
+        # batching cannot reorder outcomes), verdicts in one compare.
+        receivers = [nodes[nid] for nid in neighbor_ids]
+        probs = self.phy.delivery_probability_batch(sender, receivers)
+        draws = rng.uniforms_at(("rx", sender_id, seq), neighbor_ids)
+        verdicts = self.phy.channel.delivery_verdicts(probs, draws, survival=survival)
         local: List[int] = []
-        for nid in neighbor_ids:
-            receiver = nodes[nid]
-            p_ok = delivery_probability(sender, receiver) * survival
-            rng.rekey("rx", sender_id, seq, nid)
-            if rng.random() >= p_ok:
+        for nid, delivered in zip(neighbor_ids, verdicts):
+            if not delivered:
                 c_dropped.inc()
                 continue
             if link_blocked(sender_id, nid):
@@ -253,7 +256,7 @@ class ShardDispatcher(FastPathDispatcher):
                     continue
                 self._deliver_up(receiver, packet, sender_id, False)
 
-        ctx.call_in(base_delay, complete)
+        ctx.call_in_fast(base_delay, complete)
         return len(neighbor_ids)
 
     # -------------------------------------------------------------- handoff

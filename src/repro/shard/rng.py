@@ -49,6 +49,25 @@ class KeyedHopRng:
         # Top 53 bits -> uniform double in [0, 1), same mapping numpy uses.
         return (int.from_bytes(raw, "big") >> 11) * _U53
 
+    def uniforms_at(self, prefix: Tuple[Any, ...], suffixes: Any) -> list:
+        """Batch of addressed first draws: one uniform per suffix.
+
+        ``uniforms_at(("rx", s, q), ids)[i]`` equals
+        ``rekey("rx", s, q, ids[i]); random()`` — same payload, same hash,
+        same double — without mutating the instance key, so a whole
+        broadcast's delivery Bernoullis come back in one call while
+        staying pure functions of each hop's identity.
+        """
+        seed = self.seed
+        blake2b = hashlib.blake2b
+        out = []
+        append = out.append
+        for suffix in suffixes:
+            payload = repr((seed, prefix + (suffix,), 0)).encode("utf-8")
+            raw = blake2b(payload, digest_size=8).digest()
+            append((int.from_bytes(raw, "big") >> 11) * _U53)
+        return out
+
     # ---------------------------------------------- Generator-shaped surface
 
     def random(self) -> float:

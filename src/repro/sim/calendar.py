@@ -1,0 +1,238 @@
+"""A slotted calendar event queue for the kernel hot path.
+
+The classic discrete-event queue is a binary heap; ours held rich
+:class:`~repro.sim.event.Event` objects whose ``__lt__`` runs in Python, so
+every sift paid interpreter-level comparisons and tuple allocations.  The
+:class:`CalendarQueue` below replaces it with the calendar-queue family of
+structures (Brown 1988): virtual time is divided into fixed-width *slots*,
+each slot owning one unsorted bucket.  Pushes append into the bucket of the
+entry's slot in O(1); pops sort the earliest non-empty bucket once (C-level
+``list.sort`` on lean tuples) and then walk it with an index cursor.  A
+small heap of occupied slot indices — thousands of times smaller than the
+entry count — finds the next non-empty bucket without scanning empty years.
+
+Entries are **lean tuples** ``(time, priority, seq, payload)``.  Tuple
+comparison in C reproduces the kernel's historical stable ordering exactly
+— time, then priority, then insertion sequence — and ``seq`` is unique so
+payloads are never compared.  The payload is either a rich ``Event`` (the
+process/timer API) or a bare callable (the packet fast lane, see
+``Simulator.call_in_fast``).
+
+The slot width adapts to the workload: when the average bucket occupancy
+drifts outside ``[1, 2 * TARGET_OCCUPANCY]`` at a resize checkpoint, the
+queue samples the pending inter-event gaps and rebuilds with a width that
+puts ~``TARGET_OCCUPANCY`` entries in a bucket.  Resizes preserve ordering
+trivially (entries carry their full sort key) and amortize to O(1) per
+operation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from math import floor
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["CalendarQueue"]
+
+#: One queue entry: ``(time, priority, seq, payload)``.
+Entry = Tuple[float, int, int, Any]
+
+#: Aim for this many entries per bucket after a resize.
+TARGET_OCCUPANCY = 8
+
+#: Re-examine the width when the size crosses these growth factors.
+_RESIZE_GROW = 2.0
+_RESIZE_SHRINK = 0.5
+
+#: How many pending entries to sample when estimating a new slot width.
+_WIDTH_SAMPLE = 64
+
+
+class CalendarQueue:
+    """Slotted calendar queue over lean ``(time, priority, seq, payload)``
+    tuples with exact, stable heap-order semantics.
+
+    >>> q = CalendarQueue()
+    >>> q.push((2.0, 0, 1, "b")); q.push((1.0, 0, 0, "a"))
+    >>> q.pop()
+    (1.0, 0, 0, 'a')
+    >>> q.peek_time()
+    2.0
+    """
+
+    __slots__ = (
+        "_width",
+        "_buckets",
+        "_slot_heap",
+        "_cur_slot",
+        "_cur_bucket",
+        "_cur_index",
+        "_size",
+        "_resize_at",
+        "_shrink_at",
+        "_last_time",
+    )
+
+    def __init__(self, width: float = 1.0):
+        if width <= 0:
+            raise ValueError(f"slot width must be positive, got {width}")
+        self._width = float(width)
+        # slot index -> unsorted bucket list (never the current one).
+        self._buckets: dict[int, List[Entry]] = {}
+        # Min-heap of occupied slot indices (lazy deletion on pop).
+        self._slot_heap: List[int] = []
+        # The bucket currently being drained, sorted, with a read cursor.
+        self._cur_slot: Optional[int] = None
+        self._cur_bucket: List[Entry] = []
+        self._cur_index = 0
+        self._size = 0
+        self._resize_at = TARGET_OCCUPANCY * 4
+        self._shrink_at = 0
+        # Monotone floor for pushes into the drained region (diagnostics).
+        self._last_time = 0.0
+
+    # ------------------------------------------------------------------ sizes
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def width(self) -> float:
+        """Current slot width in virtual-time units (for tests/telemetry)."""
+        return self._width
+
+    # ------------------------------------------------------------------- push
+
+    def push(self, entry: Entry) -> None:
+        """Insert an entry; O(1) amortized."""
+        slot = floor(entry[0] / self._width)
+        cur = self._cur_slot
+        if cur is not None and slot <= cur:
+            # Landing in (or before) the bucket being drained — the latter
+            # happens when a peek advanced the cursor and a later push
+            # targets an earlier slot.  Keep the drained prefix intact and
+            # insert in sorted position within the remainder.
+            bucket = self._cur_bucket
+            lo, hi = self._cur_index, len(bucket)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if bucket[mid] < entry:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            bucket.insert(lo, entry)
+        else:
+            bucket = self._buckets.get(slot)
+            if bucket is None:
+                self._buckets[slot] = [entry]
+                heapq.heappush(self._slot_heap, slot)
+            else:
+                bucket.append(entry)
+        self._size += 1
+        if self._size >= self._resize_at:
+            self._maybe_resize()
+
+    # -------------------------------------------------------------------- pop
+
+    def _advance(self) -> bool:
+        """Load the earliest occupied slot as the current bucket."""
+        buckets = self._buckets
+        heap = self._slot_heap
+        while heap:
+            slot = heapq.heappop(heap)
+            bucket = buckets.pop(slot, None)
+            if bucket:
+                bucket.sort()
+                self._cur_slot = slot
+                self._cur_bucket = bucket
+                self._cur_index = 0
+                return True
+        self._cur_slot = None
+        self._cur_bucket = []
+        self._cur_index = 0
+        return False
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the least entry, or ``None`` when empty."""
+        if self._cur_index >= len(self._cur_bucket):
+            self._cur_slot = None
+            if not self._advance():
+                return None
+        entry = self._cur_bucket[self._cur_index]
+        self._cur_index += 1
+        self._size -= 1
+        self._last_time = entry[0]
+        if self._cur_index >= len(self._cur_bucket):
+            # Bucket drained: drop it so its memory is reclaimed promptly.
+            self._cur_slot = None
+            self._cur_bucket = []
+            self._cur_index = 0
+        if self._size <= self._shrink_at:
+            self._maybe_resize()
+        return entry
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest pending time without removing it, or ``None``."""
+        if self._cur_index < len(self._cur_bucket):
+            return self._cur_bucket[self._cur_index][0]
+        if not self._advance():
+            return None
+        return self._cur_bucket[0][0]
+
+    # ------------------------------------------------------------- iteration
+
+    def __iter__(self) -> Iterator[Entry]:
+        """All pending entries, in no particular order."""
+        yield from self._cur_bucket[self._cur_index :]
+        for bucket in self._buckets.values():
+            yield from bucket
+
+    # --------------------------------------------------------------- resizing
+
+    def _maybe_resize(self) -> None:
+        """Adapt the slot width to keep bucket occupancy near the target.
+
+        Triggered on size-threshold crossings; estimates the mean gap
+        between pending event times from a sample and rebuilds so one
+        bucket spans ~``TARGET_OCCUPANCY`` events.  Cheap relative to the
+        growth that triggered it, and a no-op when the width is already
+        within 2x of the estimate.
+        """
+        size = self._size
+        self._resize_at = max(int(size * _RESIZE_GROW), TARGET_OCCUPANCY * 4)
+        self._shrink_at = int(size * _RESIZE_SHRINK) if size > TARGET_OCCUPANCY * 8 else 0
+        if size < 2:
+            return
+        times = sorted(entry[0] for _, entry in zip(range(_WIDTH_SAMPLE), self))
+        span = times[-1] - times[0]
+        if span <= 0.0:
+            return  # all sampled events simultaneous: width is irrelevant
+        new_width = span / max(len(times) - 1, 1) * TARGET_OCCUPANCY
+        if new_width <= 0.0 or 0.5 <= new_width / self._width <= 2.0:
+            return
+        entries = list(self)
+        self._width = new_width
+        self._buckets.clear()
+        self._slot_heap.clear()
+        self._cur_slot = None
+        self._cur_bucket = []
+        self._cur_index = 0
+        width = self._width
+        buckets = self._buckets
+        for entry in entries:
+            slot = floor(entry[0] / width)
+            bucket = buckets.get(slot)
+            if bucket is None:
+                buckets[slot] = [entry]
+                heapq.heappush(self._slot_heap, slot)
+            else:
+                bucket.append(entry)
+
+    def __repr__(self) -> str:
+        return (
+            f"CalendarQueue(size={self._size}, width={self._width:.6g}, "
+            f"buckets={len(self._buckets) + bool(self._cur_bucket)})"
+        )

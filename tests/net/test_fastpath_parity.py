@@ -1,0 +1,155 @@
+"""Scalar path == vectorized path, bit for bit.
+
+The fast path (numpy batch draws and verdict compares, gated by
+:mod:`repro.net.fastpath`) is only allowed to change *speed*.  These tests
+pin that contract end to end: the AODV + reliable-transport scenario —
+node churn, a link cut, a packet gremlin, retransmission timers — must
+produce the identical trace fingerprint whether ``REPRO_FAST_PATH`` is on
+or off, and a forensics manifest stamped by a fast run must replay clean
+under the scalar path (and vice versa).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.net import fastpath
+from repro.net.channel import Channel
+from repro.obs.forensics import manifest_path
+from repro.obs.report import main as obs_main
+from repro.shard.engine import run_serial
+from repro.shard.spec import ShardScenarioSpec, WorkloadSpec
+from tests.net.stack_scenarios import FINGERPRINT_SCENARIOS
+from tests.net.test_stack_fingerprint import GOLDEN
+
+
+@contextmanager
+def fast_path(value):
+    """Pin ``REPRO_FAST_PATH`` (``None`` = unset) and refresh the gate."""
+    old = os.environ.get("REPRO_FAST_PATH")
+    try:
+        if value is None:
+            os.environ.pop("REPRO_FAST_PATH", None)
+        else:
+            os.environ["REPRO_FAST_PATH"] = value
+        fastpath.refresh()
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_FAST_PATH", None)
+        else:
+            os.environ["REPRO_FAST_PATH"] = old
+        fastpath.refresh()
+
+
+# ----------------------------------------------------------------- the gate
+
+
+def test_gate_env_kill_switch():
+    for off in ("0", "false", "off"):
+        with fast_path(off):
+            assert not fastpath.fast_path_enabled()
+            assert fastpath.numpy_or_none() is None
+    with fast_path(None):
+        # numpy is in the base image; unset means on.
+        assert fastpath.fast_path_enabled()
+    with fast_path("1"):
+        assert fastpath.fast_path_enabled()
+
+
+def test_gate_is_cached_until_refresh():
+    with fast_path("1"):
+        assert fastpath.fast_path_enabled()
+        os.environ["REPRO_FAST_PATH"] = "0"
+        # Stale until someone refreshes — the documented contract.
+        assert fastpath.fast_path_enabled()
+        fastpath.refresh()
+        assert not fastpath.fast_path_enabled()
+
+
+# ---------------------------------------------------- kernel-level identity
+
+
+def test_delivery_verdicts_numpy_and_scalar_agree():
+    channel = Channel(seed=5)
+    import random
+
+    rng = random.Random(99)
+    probs = [rng.random() for _ in range(64)]
+    draws = [rng.random() for _ in range(64)]
+    for survival in (1.0, 0.85):
+        with fast_path("1"):
+            fast = channel.delivery_verdicts(probs, draws, survival=survival)
+        with fast_path("0"):
+            slow = channel.delivery_verdicts(probs, draws, survival=survival)
+        assert fast == slow
+        assert all(isinstance(v, bool) for v in slow)
+
+
+# ------------------------------------------------- scenario-level identity
+
+
+def test_aodv_churn_fingerprint_identical_across_paths():
+    """The full AODV + churn + gremlin world, both arms, against GOLDEN.
+
+    A fresh Network is built inside each arm (dispatchers snapshot the
+    gate at construction), so this exercises the real batched broadcast
+    and the real scalar fallback — not a mocked switch.
+    """
+    scenario = FINGERPRINT_SCENARIOS["aodv_reliable"]
+    with fast_path("1"):
+        fast = scenario()
+    with fast_path("0"):
+        scalar = scenario()
+    assert fast == scalar
+    assert fast == GOLDEN["aodv_reliable"]
+
+
+def test_flooding_broadcast_fingerprint_identical_across_paths():
+    """Broadcast fan-out is the batched slab-draw path; pin it separately."""
+    scenario = FINGERPRINT_SCENARIOS["flooding"]
+    with fast_path("1"):
+        fast = scenario()
+    with fast_path("0"):
+        scalar = scenario()
+    assert fast == scalar
+    assert fast == GOLDEN["flooding"]
+
+
+# ----------------------------------------------- forensics replay crosses
+
+
+def _world(seed: int = 42) -> ShardScenarioSpec:
+    return ShardScenarioSpec(
+        seed=seed,
+        kind="uniform",
+        n_nodes=10,
+        spacing_m=110.0,
+        workload=WorkloadSpec(rate_hz=1.5),
+    )
+
+
+def test_fast_run_manifest_replays_clean_under_scalar_path(
+    tmp_path, monkeypatch, capsys
+):
+    """A manifest stamped by a fast-path run replays exit-0 — even when the
+    replaying process runs the scalar path (and the reverse).  This is the
+    forensics-grade statement of scalar == vectorized."""
+    ring_dir = tmp_path / "rings"
+    monkeypatch.setenv("REPRO_OBS_RING_DIR", str(ring_dir))
+    with fast_path("1"):
+        run_serial(_world(), 6.0, checkpoint_interval_s=2.0)
+    monkeypatch.delenv("REPRO_OBS_RING_DIR")
+    (ring,) = [
+        str(ring_dir / name)
+        for name in sorted(os.listdir(ring_dir))
+        if name.endswith(".ring")
+    ]
+    manifest = manifest_path(ring)
+    with fast_path("0"):
+        assert obs_main(["replay", manifest]) == 0
+    with fast_path("1"):
+        assert obs_main(["replay", manifest]) == 0
+    out = capsys.readouterr().out
+    assert out.count("REPLAY OK") == 2

@@ -1,0 +1,163 @@
+"""CalendarQueue ordering equivalence vs a reference binary heap.
+
+The calendar queue replaced ``heapq`` as the kernel's event store (PR 10);
+its one job is to reproduce heap order *exactly* — time, then priority,
+then insertion sequence — under every workload shape: duplicate
+timestamps, pushes into the bucket currently being drained, adaptive
+resizes, and interleaved push/pop.  The property test below drives both
+structures with the same randomized operation stream and demands identical
+pop sequences.  Simulator-level tests cover the semantics the queue swap
+must not disturb: cancellation, re-scheduling, and the fast lane.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.calendar import CalendarQueue
+
+# ---------------------------------------------------------------- reference
+
+
+def _drain(queue: CalendarQueue):
+    out = []
+    while True:
+        entry = queue.pop()
+        if entry is None:
+            return out
+        out.append(entry)
+
+
+# A pool of times with heavy duplication pressure: ties are where stable
+# ordering bugs hide.
+_times = st.one_of(
+    st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.5, 2.5, 100.0]),
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+)
+_entries = st.lists(
+    st.tuples(_times, st.integers(min_value=-2, max_value=2)),
+    max_size=200,
+)
+
+
+@given(_entries)
+@settings(max_examples=200, deadline=None)
+def test_push_all_pop_all_matches_heapq(pairs):
+    queue = CalendarQueue()
+    heap = []
+    for seq, (t, prio) in enumerate(pairs):
+        entry = (t, prio, seq, f"payload-{seq}")
+        queue.push(entry)
+        heapq.heappush(heap, entry)
+    popped = _drain(queue)
+    assert popped == [heapq.heappop(heap) for _ in range(len(heap))]
+    assert len(queue) == 0 and not queue
+
+
+@given(_entries, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=200, deadline=None)
+def test_interleaved_push_pop_matches_heapq(pairs, seed):
+    """Random interleaving, with later pushes targeting already-popped times.
+
+    Pops advance the queue's bucket cursor; subsequent pushes may land in
+    the current (partially drained) bucket or even an earlier slot.  The
+    monotone-time kernel never does the latter, but the queue contract is
+    plain heap order, so we test it anyway.
+    """
+    rng = random.Random(seed)
+    queue = CalendarQueue()
+    heap = []
+    seq = 0
+    pending = list(pairs)
+    popped, expected = [], []
+    while pending or heap:
+        if pending and (not heap or rng.random() < 0.6):
+            t, prio = pending.pop()
+            entry = (t, prio, seq, seq)
+            seq += 1
+            queue.push(entry)
+            heapq.heappush(heap, entry)
+        else:
+            popped.append(queue.pop())
+            expected.append(heapq.heappop(heap))
+    assert popped == expected
+    assert queue.pop() is None
+
+
+def test_duplicate_timestamps_preserve_insertion_order():
+    queue = CalendarQueue()
+    for seq in range(50):
+        queue.push((1.0, 0, seq, seq))
+    assert [entry[3] for entry in _drain(queue)] == list(range(50))
+
+
+def test_priority_breaks_time_ties():
+    queue = CalendarQueue()
+    queue.push((1.0, 1, 0, "late"))
+    queue.push((1.0, -1, 1, "early"))
+    queue.push((1.0, 0, 2, "mid"))
+    assert [entry[3] for entry in _drain(queue)] == ["early", "mid", "late"]
+
+
+def test_peek_time_and_len_through_resize():
+    queue = CalendarQueue(width=1.0)
+    # Thousands of entries over a huge span force at least one width resize.
+    entries = [(float(i) * 37.0, 0, i, i) for i in range(2000)]
+    random.Random(7).shuffle(entries)
+    for entry in entries:
+        queue.push(entry)
+    assert len(queue) == 2000
+    assert queue.peek_time() == 0.0
+    assert sorted(queue) == sorted(entries)
+    assert _drain(queue) == sorted(entries)
+
+
+def test_push_into_drained_bucket_after_peek():
+    queue = CalendarQueue(width=10.0)
+    queue.push((5.0, 0, 0, "a"))
+    queue.push((6.0, 0, 1, "b"))
+    assert queue.peek_time() == 5.0  # loads+sorts the slot-0 bucket
+    queue.push((5.5, 0, 2, "between"))
+    queue.push((0.5, 0, 3, "before"))
+    assert [e[3] for e in _drain(queue)] == ["before", "a", "between", "b"]
+
+
+# ------------------------------------------------------- Simulator semantics
+
+
+def test_simulator_cancellation_and_reschedule():
+    sim = Simulator(seed=1)
+    fired = []
+    victim = sim.call_at(2.0, lambda: fired.append("victim"))
+    sim.call_at(1.0, lambda: fired.append("first"))
+    sim.call_at(1.0, victim.cancel)  # cancel while queued
+    sim.call_at(3.0, lambda: fired.append("last"))
+    sim.run()
+    assert fired == ["first", "last"]
+    # A cancelled event is invisible to queue_length but still queued
+    # internally until its timestamp passes.
+    ghost = sim.call_at(10.0, lambda: fired.append("ghost"))
+    ghost.cancel()
+    assert sim.queue_length == 0
+    sim.run()
+    assert fired == ["first", "last"]
+
+
+def test_simulator_fast_lane_counts_and_orders_with_events():
+    sim = Simulator(seed=2)
+    order = []
+    sim.call_at(1.0, lambda: order.append("event@1"))
+    sim.call_in_fast(0.5, lambda: order.append("fast@0.5"))
+    sim.call_in_fast(1.0, lambda: order.append("fast@1"))  # after event@1: FIFO tie
+    sim.call_at(2.0, lambda: order.append("event@2"))
+    sim.run()
+    assert order == ["fast@0.5", "event@1", "fast@1", "event@2"]
+    assert sim.events_fast == 2
+    # Fast-lane firings are a subset of the total processed count, so
+    # events_per_sec and run telemetry see them.
+    assert sim.events_processed == 4

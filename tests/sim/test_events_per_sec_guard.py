@@ -64,6 +64,24 @@ def test_export_obs_emits_json_serializable_rate():
     assert '"events_per_sec": 0.0' in payload
 
 
+def test_export_obs_meta_counts_fast_lane_events():
+    """Fast-lane firings must be visible to telemetry: counted in
+    events_processed (hence events_per_sec) and broken out as events_fast
+    in the exported meta record."""
+    sim = Simulator(seed=1)
+    sink = sim.trace.add_sink(_ListSink())
+    for i in range(5):
+        sim.call_in_fast(0.1 * (i + 1), lambda: None)
+    sim.call_at(1.0, lambda: None)
+    sim.run()
+    assert sim.events_fast == 5
+    assert sim.events_processed == 6
+    sim.export_obs()
+    meta = [r for r in sink.rows if r.get("type") == "meta"][-1]
+    assert meta["events_fast"] == 5
+    assert meta["events_processed"] == 6
+
+
 def test_summarize_run_scrubs_nonfinite_meta_floats():
     records = [
         {
